@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the DES engine: raw event throughput and timer
+//! cancellation cost — the substrate every experiment stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use presence_des::{Actor, Context, SimDuration, SimTime, Simulation};
+use std::hint::black_box;
+
+struct TimerChain {
+    remaining: u64,
+}
+
+impl Actor<u32> for TimerChain {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        ctx.set_timer(SimDuration::from_nanos(1), 0);
+    }
+    fn on_event(&mut self, ctx: &mut Context<'_, u32>, _: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(SimDuration::from_nanos(1), 0);
+        }
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    const EVENTS: u64 = 100_000;
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("timer_chain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            sim.add_actor(TimerChain { remaining: EVENTS });
+            sim.run_until_idle();
+            black_box(sim.events_processed())
+        });
+    });
+
+    group.bench_function("fanout_heap_100k", |b| {
+        // Pre-scheduled events in random time order stress the heap.
+        struct Sink;
+        impl Actor<u32> for Sink {
+            fn on_event(&mut self, _: &mut Context<'_, u32>, _: u32) {}
+        }
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let id = sim.add_actor(Sink);
+            let mut t: u64 = 0x2545f4914f6cdd1d;
+            for i in 0..EVENTS {
+                t ^= t << 13;
+                t ^= t >> 7;
+                t ^= t << 17;
+                sim.schedule_at(SimTime::from_nanos(t % 1_000_000_000), id, i as u32);
+            }
+            sim.run_until_idle();
+            black_box(sim.events_processed())
+        });
+    });
+
+    group.bench_function("cancelled_timers_100k", |b| {
+        struct Canceller {
+            remaining: u64,
+        }
+        impl Actor<u32> for Canceller {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Context<'_, u32>, _: u32) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    // Arm two timers, cancel one — the protocols' dominant
+                    // pattern (every reply cancels its timeout).
+                    let h = ctx.set_timer(SimDuration::from_nanos(2), 1);
+                    ctx.cancel(h);
+                    ctx.set_timer(SimDuration::from_nanos(1), 0);
+                }
+            }
+        }
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            sim.add_actor(Canceller { remaining: EVENTS });
+            sim.run_until_idle();
+            black_box(sim.events_processed())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the network fabric: admission + delivery cost under
+//! each delay/loss model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use presence_des::{SimTime, StreamRng};
+use presence_net::{
+    BernoulliLoss, ConstantDelay, Fabric, GilbertElliott, NoLoss, SendOutcome, ThreeMode,
+};
+use presence_des::SimDuration;
+use std::hint::black_box;
+
+fn run_fabric(mut fabric: Fabric, n: u64) -> u64 {
+    let mut rng = StreamRng::new(7, 0);
+    let mut delivered = 0;
+    for i in 0..n {
+        let now = SimTime::from_nanos(i * 1_000_000); // spacing > max delay keeps delivery order monotone
+        match fabric.send(now, &mut rng) {
+            SendOutcome::Deliver(at) => {
+                fabric.on_delivered(at.max(now));
+                delivered += 1;
+            }
+            _ => {}
+        }
+    }
+    delivered
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_fabric");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("three_mode_no_loss", |b| {
+        b.iter(|| {
+            let f = Fabric::new(
+                20_000,
+                Box::new(ThreeMode::paper_default()),
+                Box::new(NoLoss),
+            );
+            black_box(run_fabric(f, N))
+        });
+    });
+
+    group.bench_function("constant_bernoulli", |b| {
+        b.iter(|| {
+            let f = Fabric::new(
+                20_000,
+                Box::new(ConstantDelay(SimDuration::from_micros(300))),
+                Box::new(BernoulliLoss::new(0.05)),
+            );
+            black_box(run_fabric(f, N))
+        });
+    });
+
+    group.bench_function("three_mode_gilbert_elliott", |b| {
+        b.iter(|| {
+            let f = Fabric::new(
+                20_000,
+                Box::new(ThreeMode::paper_default()),
+                Box::new(GilbertElliott::bursty(0.05)),
+            );
+            black_box(run_fabric(f, N))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the protocol state machines: the per-event cost a
+//! mobile-phone-class device or CP pays. The paper argues DCPP is
+//! "computationally simpler" than SAPP — these benches quantify that for
+//! both roles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presence_core::{
+    CpAction, CpId, DcppConfig, DcppCp, DcppDevice, DeviceId, Probe, Prober, SappConfig,
+    SappCp, SappDevice, SappDeviceConfig,
+};
+use presence_des::SimTime;
+use std::hint::black_box;
+
+fn bench_devices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_on_probe");
+
+    group.bench_function("sapp", |b| {
+        let mut dev = SappDevice::new(DeviceId(0), SappDeviceConfig::paper_default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            let probe = Probe { cp: CpId((t % 20) as u32), seq: t };
+            black_box(dev.on_probe(SimTime::from_nanos(t), black_box(probe)))
+        });
+    });
+
+    group.bench_function("dcpp", |b| {
+        let mut dev = DcppDevice::new(DeviceId(0), DcppConfig::paper_default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            let probe = Probe { cp: CpId((t % 20) as u32), seq: t };
+            black_box(dev.on_probe(SimTime::from_nanos(t), black_box(probe)))
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_cp_full_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_full_cycle");
+
+    // One complete probe cycle: wake-timer fire → probe → reply → sleep.
+    group.bench_function("sapp", |b| {
+        let mut cp = SappCp::new(CpId(1), SappConfig::paper_default());
+        let mut dev = SappDevice::new(DeviceId(0), SappDeviceConfig::paper_default());
+        let mut out: Vec<CpAction> = Vec::with_capacity(4);
+        let mut now = SimTime::ZERO;
+        cp.start(now, &mut out);
+        b.iter(|| {
+            // Find the probe we just sent and answer it.
+            let probe = out
+                .iter()
+                .find_map(|a| match a {
+                    CpAction::SendProbe(p) => Some(*p),
+                    _ => None,
+                })
+                .expect("probe in flight");
+            now = now + presence_des::SimDuration::from_millis(1);
+            let reply = dev.on_probe(now, probe);
+            out.clear();
+            cp.on_reply(now, &reply, &mut out);
+            // Fire the wake timer to start the next cycle.
+            let wake = out
+                .iter()
+                .find_map(|a| match a {
+                    CpAction::StartTimer { token, .. } => Some(*token),
+                    _ => None,
+                })
+                .expect("wake timer");
+            now = now + cp.delay();
+            out.clear();
+            cp.on_timer(now, wake, &mut out);
+            black_box(&out);
+        });
+    });
+
+    group.bench_function("dcpp", |b| {
+        let mut cp = DcppCp::new(CpId(1), DcppConfig::paper_default());
+        let mut dev = DcppDevice::new(DeviceId(0), DcppConfig::paper_default());
+        let mut out: Vec<CpAction> = Vec::with_capacity(4);
+        let mut now = SimTime::ZERO;
+        cp.start(now, &mut out);
+        b.iter(|| {
+            let probe = out
+                .iter()
+                .find_map(|a| match a {
+                    CpAction::SendProbe(p) => Some(*p),
+                    _ => None,
+                })
+                .expect("probe in flight");
+            now = now + presence_des::SimDuration::from_millis(1);
+            let reply = dev.on_probe(now, probe);
+            out.clear();
+            cp.on_reply(now, &reply, &mut out);
+            let wake = out
+                .iter()
+                .find_map(|a| match a {
+                    CpAction::StartTimer { token, .. } => Some(*token),
+                    _ => None,
+                })
+                .expect("wake timer");
+            now = now + cp.current_delay().expect("assigned wait");
+            out.clear();
+            cp.on_timer(now, wake, &mut out);
+            black_box(&out);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_devices, bench_cp_full_cycle);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! End-to-end simulation throughput: virtual seconds per wall second for
+//! the paper's two headline scenarios. This is the "how long does
+//! regenerating the evaluation take" number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presence_sim::{ChurnModel, Protocol, Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+
+    group.bench_function("sapp_20cps_100s", |b| {
+        b.iter(|| {
+            let cfg =
+                ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 100.0, 3);
+            let mut s = Scenario::build(cfg);
+            s.run();
+            black_box(s.collect().device_probes)
+        });
+    });
+
+    group.bench_function("dcpp_churn_100s", |b| {
+        b.iter(|| {
+            let mut cfg =
+                ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 60, 100.0, 3);
+            cfg.initially_active = 20;
+            cfg.churn = ChurnModel::paper_fig5();
+            let mut s = Scenario::build(cfg);
+            s.run();
+            black_box(s.collect().device_probes)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

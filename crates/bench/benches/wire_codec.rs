@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the binary wire codec: the per-datagram cost paid
+//! on the paper's "small computing devices".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use presence_core::{CpId, DeviceId, Probe, Reply, ReplyBody, WireMessage};
+use presence_des::SimDuration;
+use presence_runtime::codec::{decode, encode};
+use std::hint::black_box;
+
+fn messages() -> Vec<(&'static str, WireMessage)> {
+    vec![
+        (
+            "probe",
+            WireMessage::Probe(Probe { cp: CpId(7), seq: 123_456 }),
+        ),
+        (
+            "reply_sapp",
+            WireMessage::Reply(Reply {
+                probe: Probe { cp: CpId(7), seq: 123_456 },
+                device: DeviceId(0),
+                body: ReplyBody::Sapp {
+                    pc: 1_700_000,
+                    last_probers: [Some(CpId(3)), Some(CpId(9))],
+                },
+            }),
+        ),
+        (
+            "reply_dcpp",
+            WireMessage::Reply(Reply {
+                probe: Probe { cp: CpId(7), seq: 123_456 },
+                device: DeviceId(0),
+                body: ReplyBody::Dcpp {
+                    wait: SimDuration::from_millis(500),
+                },
+            }),
+        ),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Elements(1));
+    for (name, msg) in messages() {
+        group.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| black_box(encode(black_box(&msg))));
+        });
+        let bytes = encode(&msg);
+        group.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| black_box(decode(black_box(&bytes)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! A1 — SAPP adaptation-constant sensitivity sweep.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a1_sapp_param_sweep;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(2_000.0);
+    let report = a1_sapp_param_sweep(20, duration, opts.seed);
+    emit(&report, &opts);
+}

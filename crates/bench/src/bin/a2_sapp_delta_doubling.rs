@@ -1,0 +1,11 @@
+//! A2 — §2 device-side Δ-doubling load control.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a2_delta_doubling;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(10_000.0);
+    let report = a2_delta_doubling(20, duration, opts.seed);
+    emit(&report, &opts);
+}

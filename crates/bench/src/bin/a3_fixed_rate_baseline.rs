@@ -1,0 +1,11 @@
+//! A3 — naive fixed-rate probing vs SAPP vs DCPP device load.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a3_fixed_rate_baseline;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(1_000.0);
+    let report = a3_fixed_rate_baseline(&[1, 2, 5, 10, 20, 40, 60], duration, opts.seed);
+    emit(&report, &opts);
+}

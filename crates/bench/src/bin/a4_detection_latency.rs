@@ -1,0 +1,11 @@
+//! A4 — absence-detection latency across protocols and baselines.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a4_detection_latency;
+
+fn main() {
+    let opts = parse_args();
+    let crash_at = opts.duration.unwrap_or(300.0);
+    let report = a4_detection_latency(20, crash_at, opts.seed);
+    emit(&report, &opts);
+}

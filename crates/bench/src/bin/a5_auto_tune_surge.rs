@@ -1,0 +1,11 @@
+//! A5 — device-side Δ auto-tuner under a population surge (extension).
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a5_auto_tune_surge;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(3_000.0);
+    let report = a5_auto_tune_surge(duration, opts.seed);
+    emit(&report, &opts);
+}

@@ -1,0 +1,11 @@
+//! A6 — leave-notice dissemination over the SAPP overlay (extension).
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a6_dissemination;
+
+fn main() {
+    let opts = parse_args();
+    let crash_at = opts.duration.unwrap_or(2_000.0);
+    let report = a6_dissemination(20, crash_at, opts.seed);
+    emit(&report, &opts);
+}

@@ -1,0 +1,11 @@
+//! A7 — SAPP's sensitivity to its (unstated) initial probing delay.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a7_initial_delay;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(20_000.0);
+    let report = a7_initial_delay(20, duration, opts.seed);
+    emit(&report, &opts);
+}

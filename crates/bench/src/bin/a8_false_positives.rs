@@ -1,0 +1,11 @@
+//! A8 — false absence verdicts under loss, measured vs the closed form.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::a8_false_positives;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(5_000.0);
+    let report = a8_false_positives(20, duration, opts.seed);
+    emit(&report, &opts);
+}

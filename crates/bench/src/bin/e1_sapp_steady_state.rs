@@ -1,0 +1,12 @@
+//! E1 — §3 steady-state study of SAPP (see `presence-sim`'s experiment
+//! docs for the paper mapping).
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::e1_sapp_steady_state;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(20_000.0);
+    let report = e1_sapp_steady_state(duration, opts.seed);
+    emit(&report, &opts);
+}

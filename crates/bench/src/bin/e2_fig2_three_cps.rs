@@ -1,0 +1,18 @@
+//! E2 — Figure 2: probe frequencies of 3 SAPP CPs over 20 000 s.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::e2_fig2_three_cps;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(20_000.0);
+    let report = e2_fig2_three_cps(duration, opts.seed);
+    if opts.csv {
+        print!("{}", report.to_csv());
+        return;
+    }
+    emit(&report, &opts);
+    if !opts.json {
+        print!("{}", report.to_ascii());
+    }
+}

@@ -1,0 +1,19 @@
+//! E3 — Figure 3: 7 of 20 SAPP CPs over the minute starting at t = 12 300 s.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::e3_fig3_twenty_cps_minute;
+
+fn main() {
+    let opts = parse_args();
+    // `--duration` here sets the window START (paper: 12 300 s).
+    let window_start = opts.duration.unwrap_or(12_300.0);
+    let report = e3_fig3_twenty_cps_minute(window_start, opts.seed);
+    if opts.csv {
+        print!("{}", report.to_csv());
+        return;
+    }
+    emit(&report, &opts);
+    if !opts.json {
+        print!("{}", report.to_ascii());
+    }
+}

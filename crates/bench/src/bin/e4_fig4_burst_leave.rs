@@ -1,0 +1,18 @@
+//! E4 — Figure 4: 18 of 20 SAPP CPs leave simultaneously.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::e4_fig4_burst_leave;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(20_000.0);
+    let report = e4_fig4_burst_leave(duration, duration / 10.0, opts.seed);
+    if opts.csv {
+        print!("{}", report.to_csv());
+        return;
+    }
+    emit(&report, &opts);
+    if !opts.json {
+        print!("{}", report.to_ascii());
+    }
+}

@@ -1,0 +1,14 @@
+//! E5 — Figure 5: DCPP device load and population under U{1..60} churn.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::e5_fig5_dcpp_churn;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(3_000.0);
+    let report = e5_fig5_dcpp_churn(duration, opts.seed);
+    emit(&report, &opts);
+    if !opts.json {
+        print!("{}", report.to_ascii());
+    }
+}

@@ -1,0 +1,11 @@
+//! E6 — §5 static-case claim: DCPP load cap and fairness across k.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::e6_dcpp_static_fairness;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(2_000.0);
+    let report = e6_dcpp_static_fairness(&[1, 2, 5, 10, 20, 40, 60], duration, opts.seed);
+    emit(&report, &opts);
+}

@@ -1,0 +1,11 @@
+//! E7 — §5 conjecture: packet loss spreads DCPP's join spikes.
+
+use presence_bench::{emit, parse_args};
+use presence_sim::experiments::e7_dcpp_loss_spread;
+
+fn main() {
+    let opts = parse_args();
+    let duration = opts.duration.unwrap_or(3_000.0);
+    let report = e7_dcpp_loss_spread(duration, opts.seed);
+    emit(&report, &opts);
+}

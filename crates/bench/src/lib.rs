@@ -1,0 +1,119 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every `e*`/`a*` binary accepts the same optional flags:
+//!
+//! ```text
+//! --seed <u64>        root seed (default 3)
+//! --duration <secs>   virtual run length where applicable
+//! --json              emit the report as JSON instead of text
+//! --csv               emit the figure's data series as CSV (figure bins)
+//! ```
+
+use std::env;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Root seed for the run.
+    pub seed: u64,
+    /// Virtual duration override, if given.
+    pub duration: Option<f64>,
+    /// Emit JSON.
+    pub json: bool,
+    /// Emit CSV series.
+    pub csv: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            seed: 3,
+            duration: None,
+            json: false,
+            csv: false,
+        }
+    }
+}
+
+/// Parses `std::env::args`. Unknown flags abort with a usage message.
+#[must_use]
+pub fn parse_args() -> Options {
+    parse_from(env::args().skip(1))
+}
+
+/// Parses an explicit argument list (testable core of [`parse_args`]).
+///
+/// # Panics
+///
+/// Panics on malformed or unknown arguments, printing usage — acceptable
+/// for experiment binaries whose only user is the harness.
+#[must_use]
+pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Options {
+    let mut opts = Options::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = iter.next().expect("--seed needs a value");
+                opts.seed = v.parse().expect("--seed must be a u64");
+            }
+            "--duration" => {
+                let v = iter.next().expect("--duration needs a value");
+                opts.duration = Some(v.parse().expect("--duration must be a number"));
+            }
+            "--json" => opts.json = true,
+            "--csv" => opts.csv = true,
+            other => panic!(
+                "unknown argument {other}; supported: --seed N --duration SECS --json --csv"
+            ),
+        }
+    }
+    opts
+}
+
+/// Prints a report either as text (`Display`) or JSON (`Serialize`).
+pub fn emit<R: std::fmt::Display + serde::Serialize>(report: &R, opts: &Options) {
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(report).expect("report serialises")
+        );
+    } else {
+        println!("{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_from(args(&[]));
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn full_parse() {
+        let o = parse_from(args(&["--seed", "42", "--duration", "123.5", "--json", "--csv"]));
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.duration, Some(123.5));
+        assert!(o.json && o.csv);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        let _ = parse_from(args(&["--frobnicate"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed needs a value")]
+    fn missing_value_panics() {
+        let _ = parse_from(args(&["--seed"]));
+    }
+}

@@ -1,0 +1,245 @@
+//! The naive baseline: probe at a fixed rate.
+//!
+//! This is the "simplest scheme one could consider" that the paper's
+//! introduction dismisses because it "easily leads to over- or underloading
+//! of devices": with `k` CPs probing a device at period `T`, the device
+//! load is `k/T` regardless of what the device can sustain. Experiment A3
+//! measures exactly that against SAPP and DCPP.
+
+use crate::config::ProbeCycleConfig;
+use crate::cycle::{ReplyDisposition, Retransmitter, TimerDisposition};
+use crate::prober::Prober;
+use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, TimerToken};
+use presence_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    NotStarted,
+    Probing,
+    Sleeping,
+    Stopped,
+}
+
+/// A control point that probes with a fixed inter-cycle period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedRateCp {
+    retx: Retransmitter,
+    period: SimDuration,
+    phase: Phase,
+    wake: Option<TimerToken>,
+}
+
+impl FixedRateCp {
+    /// Creates a CP probing every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or the cycle configuration is invalid.
+    #[must_use]
+    pub fn new(cp: CpId, cycle: ProbeCycleConfig, period: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        Self {
+            retx: Retransmitter::new(cp, cycle),
+            period,
+            phase: Phase::NotStarted,
+            wake: None,
+        }
+    }
+
+    /// The fixed probing period.
+    #[must_use]
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn declare_absent(&mut self, now: SimTime, reason: AbsenceReason, out: &mut Vec<CpAction>) {
+        self.phase = Phase::Stopped;
+        if let Some(token) = self.wake.take() {
+            out.push(CpAction::CancelTimer { token });
+        }
+        self.retx.abort(out);
+        out.push(CpAction::DeviceAbsent { at: now, reason });
+    }
+}
+
+impl Prober for FixedRateCp {
+    fn cp(&self) -> CpId {
+        self.retx.cp()
+    }
+
+    fn start(&mut self, now: SimTime, out: &mut Vec<CpAction>) {
+        assert!(
+            self.phase == Phase::NotStarted,
+            "start called twice on FixedRateCp"
+        );
+        self.phase = Phase::Probing;
+        self.retx.begin_cycle(now, out);
+    }
+
+    fn on_reply(&mut self, now: SimTime, reply: &Reply, out: &mut Vec<CpAction>) {
+        if self.phase == Phase::Stopped || reply.probe.cp != self.retx.cp() {
+            return;
+        }
+        // Any reply body is acceptable: the baseline ignores payloads.
+        match self.retx.on_reply(now, reply.probe.seq, now, out) {
+            ReplyDisposition::Accepted { .. } => {
+                let token = self.retx.mint_token();
+                self.wake = Some(token);
+                self.phase = Phase::Sleeping;
+                out.push(CpAction::StartTimer {
+                    token,
+                    after: self.period,
+                });
+            }
+            ReplyDisposition::Stale => {}
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: TimerToken, out: &mut Vec<CpAction>) {
+        if self.phase == Phase::Stopped {
+            return;
+        }
+        if self.wake == Some(token) {
+            self.wake = None;
+            self.phase = Phase::Probing;
+            self.retx.begin_cycle(now, out);
+            return;
+        }
+        match self.retx.on_timer(now, token, out) {
+            TimerDisposition::CycleFailed => {
+                self.declare_absent(now, AbsenceReason::ProbeTimeout, out);
+            }
+            TimerDisposition::Retransmitted | TimerDisposition::NotMine => {}
+        }
+    }
+
+    fn on_bye(&mut self, now: SimTime, out: &mut Vec<CpAction>) {
+        if self.phase != Phase::Stopped {
+            self.declare_absent(now, AbsenceReason::ByeReceived, out);
+        }
+    }
+
+    fn on_leave_notice(&mut self, now: SimTime, out: &mut Vec<CpAction>) {
+        if self.phase != Phase::Stopped {
+            self.declare_absent(now, AbsenceReason::NoticeReceived, out);
+        }
+    }
+
+    fn stats(&self) -> &CpStats {
+        self.retx.stats()
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.phase == Phase::Stopped
+    }
+
+    fn current_delay(&self) -> Option<SimDuration> {
+        Some(self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DeviceId, ReplyBody};
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn cp(period_ms: u64) -> FixedRateCp {
+        FixedRateCp::new(
+            CpId(0),
+            ProbeCycleConfig::paper_default(),
+            SimDuration::from_millis(period_ms),
+        )
+    }
+
+    fn reply_to(out: &[CpAction]) -> Reply {
+        let probe = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::SendProbe(p) => Some(*p),
+                _ => None,
+            })
+            .expect("no probe");
+        Reply {
+            probe,
+            device: DeviceId(0),
+            body: ReplyBody::Dcpp {
+                wait: SimDuration::from_millis(999), // ignored by baseline
+            },
+        }
+    }
+
+    #[test]
+    fn fixed_period_regardless_of_payload() {
+        let mut c = cp(250);
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let r = reply_to(&out);
+        out.clear();
+        c.on_reply(t(0.001), &r, &mut out);
+        let after = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { after, .. } => Some(*after),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(after, SimDuration::from_millis(250), "ignores the reply's wait");
+        assert_eq!(c.current_delay(), Some(SimDuration::from_millis(250)));
+    }
+
+    #[test]
+    fn probes_again_after_wake() {
+        let mut c = cp(100);
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let r = reply_to(&out);
+        out.clear();
+        c.on_reply(t(0.001), &r, &mut out);
+        let wake = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        out.clear();
+        c.on_timer(t(0.101), wake, &mut out);
+        assert_eq!(c.stats().cycles_started, 2);
+    }
+
+    #[test]
+    fn absence_detection_works() {
+        let mut c = cp(100);
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let mut now = 0.022;
+        for _ in 0..4 {
+            let timer = out
+                .iter()
+                .find_map(|a| match a {
+                    CpAction::StartTimer { token, .. } => Some(*token),
+                    _ => None,
+                })
+                .unwrap();
+            out.clear();
+            c.on_timer(t(now), timer, &mut out);
+            now += 0.021;
+        }
+        assert!(c.is_stopped());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = FixedRateCp::new(
+            CpId(0),
+            ProbeCycleConfig::paper_default(),
+            SimDuration::ZERO,
+        );
+    }
+}

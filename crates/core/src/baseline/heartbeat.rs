@@ -1,0 +1,223 @@
+//! Push-style heartbeat detection, for contrast with the paper's
+//! pull-style probing.
+//!
+//! The paper's related work (failure detectors, group membership) includes
+//! the classic push design: the monitored node periodically *announces*
+//! itself and a monitor suspects it after a silence longer than a timeout.
+//! Implementing it lets the benches compare message cost and detection
+//! latency against SAPP/DCPP on the same scenarios.
+
+use crate::types::DeviceId;
+use presence_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The emitting side: a device that sends a heartbeat every `interval`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatDevice {
+    id: DeviceId,
+    interval: SimDuration,
+    next_at: SimTime,
+    sent: u64,
+}
+
+impl HeartbeatDevice {
+    /// Creates a device heartbeating every `interval`, first beat at
+    /// `start + interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn new(id: DeviceId, start: SimTime, interval: SimDuration) -> Self {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        Self {
+            id,
+            interval,
+            next_at: start + interval,
+            sent: 0,
+        }
+    }
+
+    /// The device's identity.
+    #[must_use]
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// When the next heartbeat is due.
+    #[must_use]
+    pub fn next_heartbeat_at(&self) -> SimTime {
+        self.next_at
+    }
+
+    /// Emits the heartbeat due at `now` (the driver calls this when its
+    /// timer fires) and schedules the next one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the heartbeat is due (a driver bug).
+    pub fn emit(&mut self, now: SimTime) -> Heartbeat {
+        assert!(now >= self.next_at, "heartbeat emitted early");
+        self.sent += 1;
+        self.next_at = now + self.interval;
+        Heartbeat {
+            device: self.id,
+            seq: self.sent,
+        }
+    }
+
+    /// Heartbeats sent so far.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+/// One heartbeat announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// The announcing device.
+    pub device: DeviceId,
+    /// Monotone per-device sequence number.
+    pub seq: u64,
+}
+
+/// The monitoring side: suspects the device after `timeout` of silence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatMonitor {
+    device: DeviceId,
+    timeout: SimDuration,
+    last_seen: Option<SimTime>,
+    received: u64,
+    /// Highest sequence seen, for duplicate/duplicate-path suppression.
+    last_seq: u64,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor that suspects `device` after `timeout` of silence.
+    ///
+    /// A common choice is `timeout = k · interval` for small `k` (e.g. 3):
+    /// tolerate `k − 1` lost heartbeats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    #[must_use]
+    pub fn new(device: DeviceId, timeout: SimDuration) -> Self {
+        assert!(timeout > SimDuration::ZERO, "timeout must be positive");
+        Self {
+            device,
+            timeout,
+            last_seen: None,
+            received: 0,
+            last_seq: 0,
+        }
+    }
+
+    /// Records a heartbeat arrival. Heartbeats from other devices or with
+    /// stale sequence numbers are ignored (returns `false`).
+    pub fn on_heartbeat(&mut self, now: SimTime, hb: Heartbeat) -> bool {
+        if hb.device != self.device || hb.seq <= self.last_seq {
+            return false;
+        }
+        self.last_seq = hb.seq;
+        self.last_seen = Some(now);
+        self.received += 1;
+        true
+    }
+
+    /// Whether the device is currently suspected (no heartbeat within the
+    /// timeout). Before the first heartbeat the device is *not* suspected —
+    /// the monitor is still synchronising.
+    #[must_use]
+    pub fn is_suspected(&self, now: SimTime) -> bool {
+        match self.last_seen {
+            None => false,
+            Some(seen) => now.saturating_since(seen) > self.timeout,
+        }
+    }
+
+    /// The earliest instant at which the device becomes suspected if no
+    /// further heartbeat arrives; `None` before the first heartbeat.
+    #[must_use]
+    pub fn suspicion_deadline(&self) -> Option<SimTime> {
+        self.last_seen.map(|seen| seen + self.timeout)
+    }
+
+    /// Heartbeats accepted so far.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn device_emits_on_schedule() {
+        let mut d = HeartbeatDevice::new(DeviceId(0), t(0.0), SimDuration::from_secs(1));
+        assert_eq!(d.next_heartbeat_at(), t(1.0));
+        let hb = d.emit(t(1.0));
+        assert_eq!(hb.seq, 1);
+        assert_eq!(d.next_heartbeat_at(), t(2.0));
+        assert_eq!(d.sent(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "early")]
+    fn early_emit_panics() {
+        let mut d = HeartbeatDevice::new(DeviceId(0), t(0.0), SimDuration::from_secs(1));
+        d.emit(t(0.5));
+    }
+
+    #[test]
+    fn monitor_suspects_after_silence() {
+        let mut m = HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs(3));
+        assert!(!m.is_suspected(t(100.0)), "no suspicion before first beat");
+        assert!(m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(0), seq: 1 }));
+        assert!(!m.is_suspected(t(3.9)));
+        assert!(m.is_suspected(t(4.1)));
+        assert_eq!(m.suspicion_deadline(), Some(t(4.0)));
+    }
+
+    #[test]
+    fn heartbeat_refreshes_deadline() {
+        let mut m = HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs(3));
+        m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(0), seq: 1 });
+        m.on_heartbeat(t(2.0), Heartbeat { device: DeviceId(0), seq: 2 });
+        assert!(!m.is_suspected(t(4.5)));
+        assert_eq!(m.suspicion_deadline(), Some(t(5.0)));
+        assert_eq!(m.received(), 2);
+    }
+
+    #[test]
+    fn ignores_foreign_and_stale_beats() {
+        let mut m = HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs(3));
+        assert!(!m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(9), seq: 1 }));
+        assert!(m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(0), seq: 5 }));
+        // Replayed/reordered older beat.
+        assert!(!m.on_heartbeat(t(2.0), Heartbeat { device: DeviceId(0), seq: 4 }));
+        assert_eq!(m.received(), 1);
+    }
+
+    #[test]
+    fn tolerates_k_minus_one_losses() {
+        // interval 1 s, timeout 3 s → up to 2 consecutive losses survive.
+        let mut d = HeartbeatDevice::new(DeviceId(0), t(0.0), SimDuration::from_secs(1));
+        let mut m = HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs(3));
+        let hb = d.emit(t(1.0));
+        m.on_heartbeat(t(1.0), hb);
+        let _lost1 = d.emit(t(2.0));
+        let _lost2 = d.emit(t(3.0));
+        assert!(!m.is_suspected(t(3.9)));
+        let hb = d.emit(t(4.0));
+        m.on_heartbeat(t(4.0), hb);
+        assert!(!m.is_suspected(t(6.9)));
+    }
+}

@@ -1,0 +1,9 @@
+//! Baseline presence/failure detectors the evaluation compares against.
+
+mod fixed_rate;
+mod heartbeat;
+mod phi;
+
+pub use fixed_rate::FixedRateCp;
+pub use heartbeat::{Heartbeat, HeartbeatDevice, HeartbeatMonitor};
+pub use phi::{PhiAccrualDetector, PhiConfig};

@@ -1,0 +1,488 @@
+//! The bounded-retransmission probe cycle (Fig. 1 of the paper).
+//!
+//! Both protocols share this mechanism: a probe cycle starts with a probe
+//! and ends with either a reply (successful) or a timeout after three
+//! retransmissions (unsuccessful). The first timeout is `TOF`, subsequent
+//! ones `TOS < TOF` — once the first probe goes unanswered the device is
+//! probably gone, so the remaining probes are sent in rapid succession to
+//! shorten detection time.
+//!
+//! [`Retransmitter`] owns exactly this cycle and nothing else; the
+//! protocol-specific delay policy (SAPP's Eq. 1 adaptation, DCPP's
+//! device-dictated wait) lives in the CP machines that embed it.
+
+use crate::config::ProbeCycleConfig;
+use crate::types::{CpAction, CpId, CpStats, Probe, TimerToken};
+use presence_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What a reply meant to the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplyDisposition {
+    /// The reply answers the in-flight cycle; the cycle is complete.
+    Accepted {
+        /// The paper's anchor time `t` for the `L_exp` estimate: the reply
+        /// arrival time for a first-attempt success, or the send time of the
+        /// last retransmission when the cycle needed retransmitting.
+        anchor: SimTime,
+        /// How many transmissions the cycle used (1 = no retransmission).
+        transmissions: u32,
+    },
+    /// The reply refers to an older cycle (or none is in flight) and must
+    /// be ignored.
+    Stale,
+}
+
+/// What a timer firing meant to the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimerDisposition {
+    /// A retransmission was sent; the cycle continues.
+    Retransmitted,
+    /// The cycle exhausted all transmissions; the device should be declared
+    /// absent.
+    CycleFailed,
+    /// The token does not belong to the cycle's current timer (stale timer
+    /// or a wake timer owned by the embedding machine).
+    NotMine,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum State {
+    /// No probe in flight.
+    Idle,
+    /// A probe (or retransmission) is awaiting a reply.
+    Awaiting {
+        seq: u64,
+        /// Transmissions so far (1 after the initial probe).
+        transmissions: u32,
+        last_send: SimTime,
+        timer: TimerToken,
+    },
+    /// The last cycle failed; the machine will not probe again.
+    Failed,
+}
+
+/// The bounded-retransmission engine embedded in every CP machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Retransmitter {
+    cfg: ProbeCycleConfig,
+    cp: CpId,
+    state: State,
+    next_seq: u64,
+    next_token: u64,
+    stats: CpStats,
+}
+
+impl Retransmitter {
+    /// Creates an engine for control point `cp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — validate configs at the
+    /// boundary with [`ProbeCycleConfig::validate`] for a recoverable error.
+    #[must_use]
+    pub fn new(cp: CpId, cfg: ProbeCycleConfig) -> Self {
+        cfg.validate().expect("invalid probe-cycle configuration");
+        Self {
+            cfg,
+            cp,
+            state: State::Idle,
+            next_seq: 0,
+            next_token: 0,
+            stats: CpStats::default(),
+        }
+    }
+
+    /// The owning control point.
+    #[must_use]
+    pub fn cp(&self) -> CpId {
+        self.cp
+    }
+
+    /// The cycle configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProbeCycleConfig {
+        &self.cfg
+    }
+
+    /// Running statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CpStats {
+        &self.stats
+    }
+
+    /// Whether a probe is currently awaiting a reply.
+    #[must_use]
+    pub fn is_awaiting(&self) -> bool {
+        matches!(self.state, State::Awaiting { .. })
+    }
+
+    /// Whether the engine reached the failed (device-absent) state.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, State::Failed)
+    }
+
+    /// Mints a fresh timer token. The embedding machine uses this for its
+    /// own timers (e.g. the inter-cycle wake timer) so tokens never collide
+    /// with the cycle's timeout timers.
+    #[must_use]
+    pub fn mint_token(&mut self) -> TimerToken {
+        let t = TimerToken(self.next_token);
+        self.next_token += 1;
+        t
+    }
+
+    /// Starts a new probe cycle at `now`: emits the probe and arms the
+    /// first-probe timeout (`TOF`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cycle is already in flight or the engine has failed —
+    /// both indicate a driver bug.
+    pub fn begin_cycle(&mut self, now: SimTime, out: &mut Vec<CpAction>) {
+        assert!(
+            matches!(self.state, State::Idle),
+            "begin_cycle while {:?}",
+            self.state
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let timer = self.mint_token();
+        self.stats.cycles_started += 1;
+        self.stats.probes_sent += 1;
+        out.push(CpAction::SendProbe(Probe { cp: self.cp, seq }));
+        out.push(CpAction::StartTimer {
+            token: timer,
+            after: self.cfg.tof,
+        });
+        self.state = State::Awaiting {
+            seq,
+            transmissions: 1,
+            last_send: now,
+            timer,
+        };
+    }
+
+    /// Processes a reply carrying cycle sequence `seq`.
+    pub fn on_reply(
+        &mut self,
+        _now: SimTime,
+        seq: u64,
+        reply_time: SimTime,
+        out: &mut Vec<CpAction>,
+    ) -> ReplyDisposition {
+        match self.state {
+            State::Awaiting {
+                seq: cur,
+                transmissions,
+                last_send,
+                timer,
+            } if cur == seq => {
+                out.push(CpAction::CancelTimer { token: timer });
+                self.state = State::Idle;
+                self.stats.cycles_succeeded += 1;
+                // The paper: "Assume the CP receives a reply on a probe with
+                // probe-count pc at time t. (In case of a failed probe, the
+                // time at which the retransmitted probe has been sent is
+                // taken.)"
+                let anchor = if transmissions == 1 {
+                    reply_time
+                } else {
+                    last_send
+                };
+                ReplyDisposition::Accepted {
+                    anchor,
+                    transmissions,
+                }
+            }
+            _ => {
+                self.stats.stale_replies += 1;
+                ReplyDisposition::Stale
+            }
+        }
+    }
+
+    /// Processes a timer firing with the given token.
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        token: TimerToken,
+        out: &mut Vec<CpAction>,
+    ) -> TimerDisposition {
+        match self.state {
+            State::Awaiting {
+                seq,
+                transmissions,
+                timer,
+                ..
+            } if timer == token => {
+                if transmissions > self.cfg.max_retransmissions {
+                    self.state = State::Failed;
+                    self.stats.cycles_failed += 1;
+                    TimerDisposition::CycleFailed
+                } else {
+                    let new_timer = self.mint_token();
+                    self.stats.probes_sent += 1;
+                    self.stats.retransmissions += 1;
+                    out.push(CpAction::SendProbe(Probe { cp: self.cp, seq }));
+                    out.push(CpAction::StartTimer {
+                        token: new_timer,
+                        after: self.cfg.tos,
+                    });
+                    self.state = State::Awaiting {
+                        seq,
+                        transmissions: transmissions + 1,
+                        last_send: now,
+                        timer: new_timer,
+                    };
+                    TimerDisposition::Retransmitted
+                }
+            }
+            _ => TimerDisposition::NotMine,
+        }
+    }
+
+    /// Abandons any in-flight cycle (used when a Bye or leave notice makes
+    /// further probing pointless). Emits the timer cancellation if needed.
+    pub fn abort(&mut self, out: &mut Vec<CpAction>) {
+        if let State::Awaiting { timer, .. } = self.state {
+            out.push(CpAction::CancelTimer { token: timer });
+        }
+        self.state = State::Failed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presence_des::SimDuration;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn engine() -> Retransmitter {
+        Retransmitter::new(CpId(1), ProbeCycleConfig::paper_default())
+    }
+
+    fn find_probe(out: &[CpAction]) -> Probe {
+        out.iter()
+            .find_map(|a| match a {
+                CpAction::SendProbe(p) => Some(*p),
+                _ => None,
+            })
+            .expect("no probe emitted")
+    }
+
+    fn find_timer(out: &[CpAction]) -> (TimerToken, SimDuration) {
+        out.iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { token, after } => Some((*token, *after)),
+                _ => None,
+            })
+            .expect("no timer armed")
+    }
+
+    #[test]
+    fn successful_first_probe() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let probe = find_probe(&out);
+        let (_, after) = find_timer(&out);
+        assert_eq!(after, SimDuration::from_millis(22), "first timeout is TOF");
+        assert!(e.is_awaiting());
+
+        out.clear();
+        let disp = e.on_reply(t(0.005), probe.seq, t(0.005), &mut out);
+        match disp {
+            ReplyDisposition::Accepted {
+                anchor,
+                transmissions,
+            } => {
+                assert_eq!(anchor, t(0.005), "first-attempt anchor is reply time");
+                assert_eq!(transmissions, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(out[0], CpAction::CancelTimer { .. }));
+        assert!(!e.is_awaiting());
+        assert_eq!(e.stats().cycles_succeeded, 1);
+        assert_eq!(e.stats().probes_sent, 1);
+    }
+
+    #[test]
+    fn retransmission_uses_tos_and_same_seq() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let probe = find_probe(&out);
+        let (tok, _) = find_timer(&out);
+
+        out.clear();
+        let disp = e.on_timer(t(0.022), tok, &mut out);
+        assert_eq!(disp, TimerDisposition::Retransmitted);
+        let re = find_probe(&out);
+        assert_eq!(re.seq, probe.seq, "retransmission reuses the cycle seq");
+        let (_, after) = find_timer(&out);
+        assert_eq!(after, SimDuration::from_millis(21), "retry timeout is TOS");
+        assert_eq!(e.stats().retransmissions, 1);
+    }
+
+    #[test]
+    fn anchor_after_retransmission_is_send_time() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let probe = find_probe(&out);
+        let (tok, _) = find_timer(&out);
+        out.clear();
+        e.on_timer(t(0.022), tok, &mut out); // retransmit at 0.022
+        out.clear();
+        let disp = e.on_reply(t(0.030), probe.seq, t(0.030), &mut out);
+        match disp {
+            ReplyDisposition::Accepted {
+                anchor,
+                transmissions,
+            } => {
+                assert_eq!(anchor, t(0.022), "anchor is the retransmission send time");
+                assert_eq!(transmissions, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn four_unanswered_probes_fail_the_cycle() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let mut now = 0.022;
+        // Three retransmissions succeed in being sent…
+        for i in 0..3 {
+            let (tok, _) = find_timer(&out);
+            out.clear();
+            let disp = e.on_timer(t(now), tok, &mut out);
+            assert_eq!(disp, TimerDisposition::Retransmitted, "retry {i}");
+            now += 0.021;
+        }
+        // …the fourth timeout fails the cycle.
+        let (tok, _) = find_timer(&out);
+        out.clear();
+        let disp = e.on_timer(t(now), tok, &mut out);
+        assert_eq!(disp, TimerDisposition::CycleFailed);
+        assert!(e.is_failed());
+        assert_eq!(e.stats().probes_sent, 4);
+        assert_eq!(e.stats().cycles_failed, 1);
+        // Total detection time: TOF + 3 TOS = 0.085 s.
+        assert!((now - 0.085).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_reply_ignored() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let probe = find_probe(&out);
+        out.clear();
+        // Reply to a different (older) seq.
+        let disp = e.on_reply(t(0.01), probe.seq + 100, t(0.01), &mut out);
+        assert_eq!(disp, ReplyDisposition::Stale);
+        assert!(e.is_awaiting(), "cycle still in flight");
+        assert!(out.is_empty());
+        assert_eq!(e.stats().stale_replies, 1);
+    }
+
+    #[test]
+    fn duplicate_reply_is_stale() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let probe = find_probe(&out);
+        out.clear();
+        let first = e.on_reply(t(0.01), probe.seq, t(0.01), &mut out);
+        assert!(matches!(first, ReplyDisposition::Accepted { .. }));
+        out.clear();
+        // The duplicate (e.g. the reply to a retransmission) must not
+        // complete a second cycle.
+        let dup = e.on_reply(t(0.011), probe.seq, t(0.011), &mut out);
+        assert_eq!(dup, ReplyDisposition::Stale);
+    }
+
+    #[test]
+    fn stale_timer_ignored() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let probe = find_probe(&out);
+        let (tok, _) = find_timer(&out);
+        out.clear();
+        e.on_reply(t(0.01), probe.seq, t(0.01), &mut out);
+        out.clear();
+        // The cancelled timeout fires anyway (drivers may race) — ignored.
+        let disp = e.on_timer(t(0.022), tok, &mut out);
+        assert_eq!(disp, TimerDisposition::NotMine);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_cycle while")]
+    fn begin_while_awaiting_panics() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        e.begin_cycle(t(0.1), &mut out);
+    }
+
+    #[test]
+    fn abort_cancels_inflight_timer() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let (tok, _) = find_timer(&out);
+        out.clear();
+        e.abort(&mut out);
+        assert_eq!(out, vec![CpAction::CancelTimer { token: tok }]);
+        assert!(e.is_failed());
+    }
+
+    #[test]
+    fn seqs_increase_per_cycle() {
+        let mut e = engine();
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let p1 = find_probe(&out);
+        out.clear();
+        e.on_reply(t(0.01), p1.seq, t(0.01), &mut out);
+        out.clear();
+        e.begin_cycle(t(1.0), &mut out);
+        let p2 = find_probe(&out);
+        assert_eq!(p2.seq, p1.seq + 1);
+    }
+
+    #[test]
+    fn minted_tokens_unique() {
+        let mut e = engine();
+        let a = e.mint_token();
+        let b = e.mint_token();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn custom_retransmission_count() {
+        let cfg = ProbeCycleConfig {
+            max_retransmissions: 1,
+            ..ProbeCycleConfig::paper_default()
+        };
+        let mut e = Retransmitter::new(CpId(0), cfg);
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let (tok, _) = find_timer(&out);
+        out.clear();
+        assert_eq!(e.on_timer(t(0.022), tok, &mut out), TimerDisposition::Retransmitted);
+        let (tok, _) = find_timer(&out);
+        out.clear();
+        assert_eq!(e.on_timer(t(0.043), tok, &mut out), TimerDisposition::CycleFailed);
+    }
+}

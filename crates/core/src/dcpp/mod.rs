@@ -1,0 +1,7 @@
+//! The device-controlled probe protocol (DCPP), §4 of the paper.
+
+mod cp;
+mod device;
+
+pub use cp::DcppCp;
+pub use device::DcppDevice;

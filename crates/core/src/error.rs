@@ -1,0 +1,52 @@
+//! Error types for protocol configuration and state-machine misuse.
+
+use std::error::Error;
+use std::fmt;
+
+/// A configuration was rejected by validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given description.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_message() {
+        let e = ConfigError::new("beta must exceed 1");
+        assert_eq!(e.to_string(), "invalid configuration: beta must exceed 1");
+        assert_eq!(e.message(), "beta must exceed 1");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&ConfigError::new("x"));
+    }
+}

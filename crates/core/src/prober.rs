@@ -1,0 +1,50 @@
+//! The common interface of all CP-side (probing) state machines.
+//!
+//! Drivers — the discrete-event simulator in `presence-sim` and the
+//! wall-clock hosts in `presence-runtime` — program against this trait, so
+//! SAPP, DCPP, and the baseline probers are interchangeable in every
+//! scenario and experiment.
+
+use crate::types::{CpAction, CpId, CpStats, Reply, TimerToken};
+use presence_des::{SimDuration, SimTime};
+
+/// A sans-io probing state machine (the CP side of a probe protocol).
+///
+/// Lifecycle: `start` once, then feed `on_reply` / `on_timer` / `on_bye` /
+/// `on_leave_notice` as the environment observes them. Every call may emit
+/// [`CpAction`]s that the driver must execute (send a probe, arm or cancel
+/// a timer, surface an absence verdict).
+pub trait Prober {
+    /// The identity of this control point.
+    fn cp(&self) -> CpId;
+
+    /// Begins probing. Must be called exactly once.
+    fn start(&mut self, now: SimTime, out: &mut Vec<CpAction>);
+
+    /// Delivers a reply received from the device.
+    fn on_reply(&mut self, now: SimTime, reply: &Reply, out: &mut Vec<CpAction>);
+
+    /// Delivers a timer firing previously requested via
+    /// [`CpAction::StartTimer`]. Stale timers (already cancelled or
+    /// superseded) must be tolerated.
+    fn on_timer(&mut self, now: SimTime, token: TimerToken, out: &mut Vec<CpAction>);
+
+    /// The device announced a graceful leave.
+    fn on_bye(&mut self, now: SimTime, out: &mut Vec<CpAction>);
+
+    /// Another CP disseminated a leave notice for the device.
+    fn on_leave_notice(&mut self, now: SimTime, out: &mut Vec<CpAction>);
+
+    /// Probe-cycle statistics.
+    fn stats(&self) -> &CpStats;
+
+    /// Whether the machine has reached a terminal state (device declared
+    /// absent).
+    fn is_stopped(&self) -> bool;
+
+    /// The current inter-probe-cycle delay, when the machine knows one
+    /// (SAPP: the adapted `δ`; DCPP: the last device-assigned wait;
+    /// fixed-rate: the period). `None` before the first assignment for
+    /// device-controlled protocols.
+    fn current_delay(&self) -> Option<SimDuration>;
+}

@@ -1,0 +1,64 @@
+//! The common interface of device-side (probed) state machines.
+
+use crate::types::{DeviceId, Probe, Reply};
+use presence_des::SimTime;
+
+/// A sans-io device: answers probes, nothing more.
+///
+/// Both [`crate::SappDevice`] and [`crate::DcppDevice`] implement this, so
+/// drivers and scenarios can switch protocol by swapping one value.
+pub trait Responder {
+    /// The device's identity.
+    fn id(&self) -> DeviceId;
+
+    /// Handles a probe arriving at `now`, producing the reply to send back.
+    fn on_probe(&mut self, now: SimTime, probe: Probe) -> Reply;
+
+    /// Total probes answered so far (the device-load numerator).
+    fn probes_received(&self) -> u64;
+}
+
+impl Responder for crate::SappDevice {
+    fn id(&self) -> DeviceId {
+        Self::id(self)
+    }
+    fn on_probe(&mut self, now: SimTime, probe: Probe) -> Reply {
+        Self::on_probe(self, now, probe)
+    }
+    fn probes_received(&self) -> u64 {
+        Self::probes_received(self)
+    }
+}
+
+impl Responder for crate::DcppDevice {
+    fn id(&self) -> DeviceId {
+        Self::id(self)
+    }
+    fn on_probe(&mut self, now: SimTime, probe: Probe) -> Reply {
+        Self::on_probe(self, now, probe)
+    }
+    fn probes_received(&self) -> u64 {
+        Self::probes_received(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpId, DcppConfig, DcppDevice, SappDevice, SappDeviceConfig};
+
+    #[test]
+    fn devices_are_interchangeable_behind_the_trait() {
+        let mut devices: Vec<Box<dyn Responder>> = vec![
+            Box::new(SappDevice::new(DeviceId(0), SappDeviceConfig::paper_default())),
+            Box::new(DcppDevice::new(DeviceId(1), DcppConfig::paper_default())),
+        ];
+        for d in &mut devices {
+            let probe = Probe { cp: CpId(1), seq: 0 };
+            let reply = d.on_probe(SimTime::ZERO, probe);
+            assert_eq!(reply.probe, probe);
+            assert_eq!(reply.device, d.id());
+            assert_eq!(d.probes_received(), 1);
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! SAPP control-point behaviour (§2, "CP behavior" and "Adapting the
+//! probing frequency").
+//!
+//! A CP runs probe cycles through the shared [`Retransmitter`] and adapts
+//! its inter-cycle delay `δ` from the *experienced probe load*
+//!
+//! ```text
+//! L_exp = (pc' − pc) / (t' − t)
+//! ```
+//!
+//! computed over two consecutive successful probes, per Eq. (1):
+//!
+//! ```text
+//! δ' = min(α_inc · δ, δ_max)   if L_exp > β · L_ideal
+//! δ' = max(δ / α_dec, δ_min)   if L_exp < L_ideal / β
+//! δ' = δ                        otherwise
+//! ```
+//!
+//! This is the protocol the paper shows to be **unfair**: the experienced
+//! load cannot distinguish "many CPs at medium rate" from "few CPs at high
+//! rate", and greedy fast CPs grab freed bandwidth before slow CPs notice,
+//! so some CPs starve at `δ_max` while others oscillate near `δ_min`.
+
+use crate::config::SappConfig;
+use crate::cycle::{ReplyDisposition, Retransmitter, TimerDisposition};
+use crate::prober::Prober;
+use crate::types::{
+    AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken,
+};
+use presence_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Adaptation decisions taken so far (for analysis and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdaptationStats {
+    /// Times the delay was lengthened (load too high).
+    pub increases: u64,
+    /// Times the delay was shortened (load too low).
+    pub decreases: u64,
+    /// Times the load was inside the dead band.
+    pub holds: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    /// `start` not called yet.
+    NotStarted,
+    /// A probe cycle is in flight.
+    Probing,
+    /// Waiting out the inter-cycle delay.
+    Sleeping,
+    /// The device was declared absent; the machine is inert.
+    Stopped,
+}
+
+/// The control-point side of the self-adaptive probe protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SappCp {
+    cfg: SappConfig,
+    retx: Retransmitter,
+    phase: Phase,
+    /// Current inter-probe-cycle delay `δ`.
+    delay: SimDuration,
+    /// `(t, pc)` of the last successful probe — the anchor for `L_exp`.
+    anchor: Option<(SimTime, u64)>,
+    /// Outstanding wake timer, if sleeping.
+    wake: Option<TimerToken>,
+    /// Most recent experienced load estimate.
+    last_lexp: Option<f64>,
+    adaptation: AdaptationStats,
+    /// Overlay peers gleaned from the last reply.
+    peers: [Option<CpId>; 2],
+}
+
+impl SappCp {
+    /// Creates a CP that will probe one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; validate at the boundary with
+    /// [`SappConfig::validate`] for a recoverable error.
+    #[must_use]
+    pub fn new(cp: CpId, cfg: SappConfig) -> Self {
+        cfg.validate().expect("invalid SAPP configuration");
+        Self {
+            retx: Retransmitter::new(cp, cfg.cycle),
+            cfg,
+            phase: Phase::NotStarted,
+            delay: cfg.initial_delay,
+            anchor: None,
+            wake: None,
+            last_lexp: None,
+            adaptation: AdaptationStats::default(),
+            peers: [None, None],
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SappConfig {
+        &self.cfg
+    }
+
+    /// Current inter-cycle delay `δ`.
+    #[must_use]
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Current probe frequency `1/δ` in probes per second.
+    #[must_use]
+    pub fn frequency(&self) -> f64 {
+        1.0 / self.delay.as_secs_f64()
+    }
+
+    /// The most recent `L_exp` estimate, if two successful probes have
+    /// completed.
+    #[must_use]
+    pub fn last_experienced_load(&self) -> Option<f64> {
+        self.last_lexp
+    }
+
+    /// Adaptation decision counters.
+    #[must_use]
+    pub fn adaptation_stats(&self) -> AdaptationStats {
+        self.adaptation
+    }
+
+    /// Overlay peers (last two distinct probers) learned from the most
+    /// recent reply.
+    #[must_use]
+    pub fn peers(&self) -> [Option<CpId>; 2] {
+        self.peers
+    }
+
+    /// Applies Eq. (1) to the current delay given an experienced load.
+    fn adapt(&mut self, l_exp: f64) {
+        self.last_lexp = Some(l_exp);
+        if l_exp > self.cfg.beta * self.cfg.l_ideal {
+            self.adaptation.increases += 1;
+            let widened = self.delay.mul_f64(self.cfg.alpha_inc);
+            self.delay = if widened > self.cfg.delta_max {
+                self.cfg.delta_max
+            } else {
+                widened
+            };
+        } else if l_exp < self.cfg.l_ideal / self.cfg.beta {
+            self.adaptation.decreases += 1;
+            let shortened = self.delay.mul_f64(1.0 / self.cfg.alpha_dec);
+            self.delay = if shortened < self.cfg.delta_min {
+                self.cfg.delta_min
+            } else {
+                shortened
+            };
+        } else {
+            self.adaptation.holds += 1;
+        }
+    }
+
+    fn go_to_sleep(&mut self, out: &mut Vec<CpAction>) {
+        let token = self.retx.mint_token();
+        self.wake = Some(token);
+        self.phase = Phase::Sleeping;
+        out.push(CpAction::StartTimer {
+            token,
+            after: self.delay,
+        });
+    }
+
+    fn declare_absent(&mut self, now: SimTime, reason: AbsenceReason, out: &mut Vec<CpAction>) {
+        self.phase = Phase::Stopped;
+        if let Some(token) = self.wake.take() {
+            out.push(CpAction::CancelTimer { token });
+        }
+        self.retx.abort(out);
+        out.push(CpAction::DeviceAbsent { at: now, reason });
+    }
+}
+
+impl Prober for SappCp {
+    fn cp(&self) -> CpId {
+        self.retx.cp()
+    }
+
+    fn start(&mut self, now: SimTime, out: &mut Vec<CpAction>) {
+        assert!(
+            self.phase == Phase::NotStarted,
+            "start called twice on SappCp"
+        );
+        self.phase = Phase::Probing;
+        self.retx.begin_cycle(now, out);
+    }
+
+    fn on_reply(&mut self, now: SimTime, reply: &Reply, out: &mut Vec<CpAction>) {
+        if self.phase == Phase::Stopped || reply.probe.cp != self.retx.cp() {
+            return;
+        }
+        let ReplyBody::Sapp { pc, last_probers } = reply.body else {
+            debug_assert!(false, "SAPP CP received a non-SAPP reply");
+            return;
+        };
+        match self.retx.on_reply(now, reply.probe.seq, now, out) {
+            ReplyDisposition::Accepted { anchor, .. } => {
+                self.peers = last_probers;
+                if let Some((prev_t, prev_pc)) = self.anchor {
+                    let dt = anchor.saturating_since(prev_t).as_secs_f64();
+                    if dt > 0.0 {
+                        let l_exp = (pc.saturating_sub(prev_pc)) as f64 / dt;
+                        self.adapt(l_exp);
+                    }
+                }
+                self.anchor = Some((anchor, pc));
+                self.go_to_sleep(out);
+            }
+            ReplyDisposition::Stale => {}
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, token: TimerToken, out: &mut Vec<CpAction>) {
+        if self.phase == Phase::Stopped {
+            return;
+        }
+        if self.wake == Some(token) {
+            self.wake = None;
+            self.phase = Phase::Probing;
+            self.retx.begin_cycle(now, out);
+            return;
+        }
+        match self.retx.on_timer(now, token, out) {
+            TimerDisposition::CycleFailed => {
+                self.declare_absent(now, AbsenceReason::ProbeTimeout, out);
+            }
+            TimerDisposition::Retransmitted | TimerDisposition::NotMine => {}
+        }
+    }
+
+    fn on_bye(&mut self, now: SimTime, out: &mut Vec<CpAction>) {
+        if self.phase == Phase::Stopped {
+            return;
+        }
+        self.declare_absent(now, AbsenceReason::ByeReceived, out);
+    }
+
+    fn on_leave_notice(&mut self, now: SimTime, out: &mut Vec<CpAction>) {
+        if self.phase == Phase::Stopped {
+            return;
+        }
+        self.declare_absent(now, AbsenceReason::NoticeReceived, out);
+    }
+
+    fn stats(&self) -> &CpStats {
+        self.retx.stats()
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.phase == Phase::Stopped
+    }
+
+    fn current_delay(&self) -> Option<SimDuration> {
+        Some(self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DeviceId, Probe};
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn cp() -> SappCp {
+        SappCp::new(CpId(1), SappConfig::paper_default())
+    }
+
+    fn sapp_reply(probe: Probe, pc: u64) -> Reply {
+        Reply {
+            probe,
+            device: DeviceId(0),
+            body: ReplyBody::Sapp {
+                pc,
+                last_probers: [None, None],
+            },
+        }
+    }
+
+    fn sent_probe(out: &[CpAction]) -> Probe {
+        out.iter()
+            .find_map(|a| match a {
+                CpAction::SendProbe(p) => Some(*p),
+                _ => None,
+            })
+            .expect("no probe in actions")
+    }
+
+    fn wake_delay(out: &[CpAction]) -> SimDuration {
+        out.iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { after, .. } => Some(*after),
+                _ => None,
+            })
+            .expect("no timer in actions")
+    }
+
+    /// Drives one successful probe cycle: start (or wake) has already sent
+    /// the probe in `out`; feeds a reply with the given pc at `reply_t`.
+    fn complete_cycle(
+        cp: &mut SappCp,
+        out: &mut Vec<CpAction>,
+        pc: u64,
+        reply_t: f64,
+    ) -> SimDuration {
+        let probe = sent_probe(out);
+        out.clear();
+        cp.on_reply(t(reply_t), &sapp_reply(probe, pc), out);
+        wake_delay(out)
+    }
+
+    #[test]
+    fn starts_by_probing_immediately() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let p = sent_probe(&out);
+        assert_eq!(p.cp, CpId(1));
+        assert_eq!(c.stats().cycles_started, 1);
+    }
+
+    #[test]
+    fn first_reply_sets_anchor_without_adapting() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let d = complete_cycle(&mut c, &mut out, 100_000, 0.001);
+        assert_eq!(d, c.config().initial_delay, "no adaptation on first reply");
+        assert!(c.last_experienced_load().is_none());
+    }
+
+    #[test]
+    fn overload_increases_delay() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        complete_cycle(&mut c, &mut out, 100_000, 0.001);
+        // Wake and run a second cycle. Make pc jump so hard that
+        // L_exp > beta * L_ideal = 1.5e6.
+        let wake = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        out.clear();
+        c.on_timer(t(0.021), wake, &mut out);
+        // 1.0 s later: Δpc = 2_000_000 over ~1.02 s → ~1.96e6 > 1.5e6.
+        let d = complete_cycle(&mut c, &mut out, 2_100_000, 1.021);
+        let expected = c.config().initial_delay.mul_f64(c.config().alpha_inc);
+        assert_eq!(d, expected, "delay doubled by alpha_inc");
+        assert_eq!(c.adaptation_stats().increases, 1);
+        assert!(c.last_experienced_load().unwrap() > 1.5e6);
+    }
+
+    #[test]
+    fn underload_decreases_delay() {
+        let mut cfg = SappConfig::paper_default();
+        cfg.initial_delay = SimDuration::from_secs(1);
+        let mut c = SappCp::new(CpId(1), cfg);
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        complete_cycle(&mut c, &mut out, 100_000, 0.001);
+        let wake = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        out.clear();
+        c.on_timer(t(1.001), wake, &mut out);
+        // Δpc = 100_000 over ~1 s → 1e5 < L_ideal/beta ≈ 6.67e5 → shorten.
+        let d = complete_cycle(&mut c, &mut out, 200_000, 2.002);
+        let expected = SimDuration::from_secs(1).mul_f64(1.0 / 1.5);
+        assert_eq!(d, expected);
+        assert_eq!(c.adaptation_stats().decreases, 1);
+    }
+
+    #[test]
+    fn dead_band_holds_delay() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        complete_cycle(&mut c, &mut out, 100_000, 0.001);
+        let wake = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        out.clear();
+        c.on_timer(t(0.021), wake, &mut out);
+        // Δpc = 1_000_000 over ~1.0 s → 1e6 = L_ideal: inside dead band.
+        let d = complete_cycle(&mut c, &mut out, 1_100_000, 1.001);
+        assert_eq!(d, c.config().initial_delay);
+        assert_eq!(c.adaptation_stats().holds, 1);
+    }
+
+    #[test]
+    fn delay_clamped_at_delta_max() {
+        let mut cfg = SappConfig::paper_default();
+        cfg.initial_delay = SimDuration::from_secs(8);
+        let mut c = SappCp::new(CpId(1), cfg);
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        complete_cycle(&mut c, &mut out, 100_000, 0.001);
+        let wake = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        out.clear();
+        c.on_timer(t(8.001), wake, &mut out);
+        // Overload: would double 8 → 16, clamped at δ_max = 10.
+        let d = complete_cycle(&mut c, &mut out, 100_000_000, 9.0);
+        assert_eq!(d, cfg.delta_max);
+    }
+
+    #[test]
+    fn delay_clamped_at_delta_min() {
+        let mut c = cp(); // initial = δ_min already
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        complete_cycle(&mut c, &mut out, 100_000, 0.001);
+        let wake = out
+            .iter()
+            .find_map(|a| match a {
+                CpAction::StartTimer { token, .. } => Some(*token),
+                _ => None,
+            })
+            .unwrap();
+        out.clear();
+        c.on_timer(t(10.0), wake, &mut out);
+        // Underload over 10 s → would shorten below δ_min, clamped.
+        let d = complete_cycle(&mut c, &mut out, 200_000, 20.0);
+        assert_eq!(d, c.config().delta_min);
+    }
+
+    #[test]
+    fn four_timeouts_declare_absent() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let mut now = 0.022;
+        for _ in 0..4 {
+            let timer = out
+                .iter()
+                .find_map(|a| match a {
+                    CpAction::StartTimer { token, .. } => Some(*token),
+                    _ => None,
+                })
+                .unwrap();
+            out.clear();
+            c.on_timer(t(now), timer, &mut out);
+            now += 0.021;
+        }
+        assert!(c.is_stopped());
+        assert!(out.iter().any(|a| matches!(
+            a,
+            CpAction::DeviceAbsent {
+                reason: AbsenceReason::ProbeTimeout,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn bye_stops_probing() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        out.clear();
+        c.on_bye(t(0.5), &mut out);
+        assert!(c.is_stopped());
+        assert!(out.iter().any(|a| matches!(
+            a,
+            CpAction::DeviceAbsent {
+                reason: AbsenceReason::ByeReceived,
+                ..
+            }
+        )));
+        // Further events are inert.
+        out.clear();
+        c.on_timer(t(1.0), TimerToken(0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn leave_notice_stops_probing() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        out.clear();
+        c.on_leave_notice(t(0.5), &mut out);
+        assert!(c.is_stopped());
+    }
+
+    #[test]
+    fn reply_for_other_cp_ignored() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let probe = sent_probe(&out);
+        out.clear();
+        let foreign = Reply {
+            probe: Probe {
+                cp: CpId(99),
+                seq: probe.seq,
+            },
+            device: DeviceId(0),
+            body: ReplyBody::Sapp {
+                pc: 100_000,
+                last_probers: [None, None],
+            },
+        };
+        c.on_reply(t(0.001), &foreign, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn peers_learned_from_reply() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        let probe = sent_probe(&out);
+        out.clear();
+        let reply = Reply {
+            probe,
+            device: DeviceId(0),
+            body: ReplyBody::Sapp {
+                pc: 100_000,
+                last_probers: [Some(CpId(4)), Some(CpId(9))],
+            },
+        };
+        c.on_reply(t(0.001), &reply, &mut out);
+        assert_eq!(c.peers(), [Some(CpId(4)), Some(CpId(9))]);
+    }
+
+    #[test]
+    fn frequency_is_delay_inverse() {
+        let c = cp();
+        assert!((c.frequency() - 50.0).abs() < 1e-9, "1/0.02 = 50");
+    }
+
+    #[test]
+    #[should_panic(expected = "start called twice")]
+    fn double_start_panics() {
+        let mut c = cp();
+        let mut out = Vec::new();
+        c.start(t(0.0), &mut out);
+        c.start(t(1.0), &mut out);
+    }
+}

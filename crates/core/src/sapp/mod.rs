@@ -1,0 +1,9 @@
+//! The self-adaptive probe protocol (SAPP), §2 of the paper.
+
+mod cp;
+mod device;
+mod tuner;
+
+pub use cp::{AdaptationStats, SappCp};
+pub use device::SappDevice;
+pub use tuner::{AutoTuneConfig, AutoTuner, TuneDecision};

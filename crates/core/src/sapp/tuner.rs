@@ -1,0 +1,314 @@
+//! Automatic device-side load control for SAPP.
+//!
+//! §2 of the paper says a device's Δ "may change during execution" and
+//! sketches the mechanism: "If the device finds that it is getting too
+//! many probes, it can, say, double its value of Δ." The paper never
+//! specifies *when* a device should decide that; this module supplies the
+//! natural closed loop — measure the recent probe rate, double Δ when it
+//! exceeds the nominal budget by a margin, and halve Δ back toward its
+//! base value when the load falls well below budget.
+//!
+//! Hysteresis (distinct up/down thresholds and a cool-down between
+//! adjustments) prevents the tuner from chattering against the CPs' own
+//! adaptation loop — two controllers fighting over the same signal is the
+//! classic instability, and the cool-down gives the CP side (which reacts
+//! within a few probe cycles) time to settle first.
+
+use presence_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of the device-side [`AutoTuner`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoTuneConfig {
+    /// Window over which the probe rate is measured (seconds).
+    pub window: SimDuration,
+    /// Double Δ when the measured rate exceeds `overload_factor · L_nom`.
+    pub overload_factor: f64,
+    /// Halve Δ (not below the base Δ) when the measured rate falls below
+    /// `underload_factor · L_nom`.
+    pub underload_factor: f64,
+    /// Minimum time between two adjustments.
+    pub cooldown: SimDuration,
+    /// Upper bound on the Δ multiplier (2^k steps), limiting how far the
+    /// device may throttle its probers.
+    pub max_doublings: u32,
+}
+
+impl Default for AutoTuneConfig {
+    fn default() -> Self {
+        Self {
+            window: SimDuration::from_secs(10),
+            overload_factor: 1.5,
+            underload_factor: 0.5,
+            cooldown: SimDuration::from_secs(30),
+            max_doublings: 6,
+        }
+    }
+}
+
+impl AutoTuneConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), crate::error::ConfigError> {
+        use crate::error::ConfigError;
+        if self.window == SimDuration::ZERO {
+            return Err(ConfigError::new("window must be positive"));
+        }
+        if !(self.overload_factor > 1.0) {
+            return Err(ConfigError::new("overload_factor must exceed 1"));
+        }
+        if !(self.underload_factor > 0.0 && self.underload_factor < 1.0) {
+            return Err(ConfigError::new("underload_factor must be in (0, 1)"));
+        }
+        if self.overload_factor <= self.underload_factor {
+            return Err(ConfigError::new(
+                "overload_factor must exceed underload_factor",
+            ));
+        }
+        if self.max_doublings == 0 {
+            return Err(ConfigError::new("max_doublings must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// The tuner's decision for one observation instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuneDecision {
+    /// Δ was doubled (load too high).
+    Doubled,
+    /// Δ was halved (load comfortably low, multiplier above 1).
+    Halved,
+    /// No change.
+    Hold,
+}
+
+/// Device-side load controller. Feed it every probe arrival; it tells the
+/// device when to retune Δ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoTuner {
+    cfg: AutoTuneConfig,
+    l_nom: f64,
+    arrivals: VecDeque<SimTime>,
+    /// Current multiplier as a power of two (0 ⇒ base Δ).
+    doublings: u32,
+    last_adjust: Option<SimTime>,
+    adjustments: u64,
+}
+
+impl AutoTuner {
+    /// Creates a tuner for a device with nominal load `l_nom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or non-positive `l_nom`;
+    /// validate with [`AutoTuneConfig::validate`] for a recoverable error.
+    #[must_use]
+    pub fn new(cfg: AutoTuneConfig, l_nom: f64) -> Self {
+        cfg.validate().expect("invalid auto-tune configuration");
+        assert!(l_nom > 0.0 && l_nom.is_finite(), "l_nom must be positive");
+        Self {
+            cfg,
+            l_nom,
+            arrivals: VecDeque::new(),
+            doublings: 0,
+            last_adjust: None,
+            adjustments: 0,
+        }
+    }
+
+    /// The current Δ multiplier (`2^doublings`).
+    #[must_use]
+    pub fn multiplier(&self) -> u64 {
+        1u64 << self.doublings
+    }
+
+    /// Total adjustments made.
+    #[must_use]
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Measured probe rate over the trailing window ending at `now`.
+    #[must_use]
+    pub fn measured_rate(&self, now: SimTime) -> f64 {
+        let cutoff = now.saturating_since(SimTime::ZERO); // avoid underflow at start
+        let _ = cutoff;
+        let horizon = self.cfg.window.as_secs_f64();
+        let from = now.as_secs_f64() - horizon;
+        let n = self
+            .arrivals
+            .iter()
+            .filter(|t| t.as_secs_f64() > from)
+            .count();
+        n as f64 / horizon
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let from = now.as_secs_f64() - self.cfg.window.as_secs_f64();
+        while let Some(front) = self.arrivals.front() {
+            if front.as_secs_f64() <= from {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn in_cooldown(&self, now: SimTime) -> bool {
+        match self.last_adjust {
+            Some(at) => now.saturating_since(at) < self.cfg.cooldown,
+            None => false,
+        }
+    }
+
+    /// Records a probe arrival and returns the retuning decision. The
+    /// caller applies [`TuneDecision::Doubled`]/[`TuneDecision::Halved`] to
+    /// its device (e.g. [`crate::SappDevice::double_delta`]).
+    pub fn on_probe(&mut self, now: SimTime) -> TuneDecision {
+        self.arrivals.push_back(now);
+        self.evict(now);
+        if self.in_cooldown(now) {
+            return TuneDecision::Hold;
+        }
+        // Require a full window of history before the first decision.
+        if now.as_secs_f64() < self.cfg.window.as_secs_f64() {
+            return TuneDecision::Hold;
+        }
+        let rate = self.measured_rate(now);
+        if rate > self.cfg.overload_factor * self.l_nom && self.doublings < self.cfg.max_doublings
+        {
+            self.doublings += 1;
+            self.last_adjust = Some(now);
+            self.adjustments += 1;
+            TuneDecision::Doubled
+        } else if rate < self.cfg.underload_factor * self.l_nom && self.doublings > 0 {
+            self.doublings -= 1;
+            self.last_adjust = Some(now);
+            self.adjustments += 1;
+            TuneDecision::Halved
+        } else {
+            TuneDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn tuner() -> AutoTuner {
+        AutoTuner::new(AutoTuneConfig::default(), 10.0)
+    }
+
+    /// Feeds probes at `rate` for `secs` starting at `from`; returns the
+    /// decisions taken.
+    fn feed(tu: &mut AutoTuner, from: f64, secs: f64, rate: f64) -> Vec<TuneDecision> {
+        let mut decisions = Vec::new();
+        let dt = 1.0 / rate;
+        let mut now = from;
+        while now < from + secs {
+            decisions.push(tu.on_probe(t(now)));
+            now += dt;
+        }
+        decisions
+    }
+
+    #[test]
+    fn holds_at_nominal_load() {
+        let mut tu = tuner();
+        let ds = feed(&mut tu, 0.0, 120.0, 10.0);
+        assert!(ds.iter().all(|&d| d == TuneDecision::Hold));
+        assert_eq!(tu.multiplier(), 1);
+    }
+
+    #[test]
+    fn doubles_under_overload() {
+        let mut tu = tuner();
+        let ds = feed(&mut tu, 0.0, 60.0, 40.0); // 4× budget
+        assert!(
+            ds.contains(&TuneDecision::Doubled),
+            "no doubling under 4× overload"
+        );
+        assert!(tu.multiplier() >= 2);
+    }
+
+    #[test]
+    fn cooldown_limits_adjustment_rate() {
+        let mut tu = tuner();
+        feed(&mut tu, 0.0, 120.0, 40.0);
+        // 120 s of overload with a 30 s cool-down allows at most 4 steps
+        // (plus one for the initial decision boundary).
+        assert!(tu.adjustments() <= 5, "{} adjustments", tu.adjustments());
+    }
+
+    #[test]
+    fn halves_back_when_load_drops() {
+        let mut tu = tuner();
+        feed(&mut tu, 0.0, 60.0, 40.0);
+        let up = tu.multiplier();
+        assert!(up > 1);
+        // Quiet period: well under half budget.
+        feed(&mut tu, 60.0, 300.0, 1.0);
+        assert!(
+            tu.multiplier() < up,
+            "multiplier never came back down from {up}"
+        );
+    }
+
+    #[test]
+    fn never_exceeds_max_doublings() {
+        let cfg = AutoTuneConfig {
+            cooldown: SimDuration::from_secs(1),
+            max_doublings: 3,
+            ..AutoTuneConfig::default()
+        };
+        let mut tu = AutoTuner::new(cfg, 10.0);
+        feed(&mut tu, 0.0, 600.0, 100.0);
+        assert_eq!(tu.multiplier(), 8, "capped at 2^3");
+    }
+
+    #[test]
+    fn never_halves_below_base() {
+        let mut tu = tuner();
+        let ds = feed(&mut tu, 0.0, 300.0, 0.5); // deep underload, base Δ
+        assert!(ds.iter().all(|&d| d != TuneDecision::Halved));
+        assert_eq!(tu.multiplier(), 1);
+    }
+
+    #[test]
+    fn no_decision_before_first_window() {
+        let mut tu = tuner();
+        let ds = feed(&mut tu, 0.0, 9.0, 100.0); // heavy, but window is 10 s
+        assert!(ds.iter().all(|&d| d == TuneDecision::Hold));
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = AutoTuneConfig::default();
+        c.overload_factor = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = AutoTuneConfig::default();
+        c.underload_factor = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = AutoTuneConfig::default();
+        c.window = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = AutoTuneConfig::default();
+        c.max_doublings = 0;
+        assert!(c.validate().is_err());
+        assert!(AutoTuneConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn measured_rate_tracks_input() {
+        let mut tu = tuner();
+        feed(&mut tu, 0.0, 20.0, 25.0);
+        let r = tu.measured_rate(t(20.0));
+        assert!((r - 25.0).abs() < 3.0, "measured {r}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the protocol state machines.
+//!
+//! These drive the sans-io machines with adversarial event sequences and
+//! check the paper's stated invariants:
+//!
+//! * SAPP's delay always stays inside `[δ_min, δ_max]` (Eq. 1 clamps);
+//! * DCPP's device never schedules two probes closer than `δ_min` and never
+//!   asks a CP to wait less than `d_min` (§4 constraints (i) and (ii));
+//! * the probe cycle never sends more than `1 + max_retransmissions`
+//!   transmissions per cycle.
+
+use presence_core::{
+    CpAction, CpId, DcppConfig, DcppCp, DcppDevice, DeviceId, Probe, Prober, ProbeCycleConfig,
+    Reply, ReplyBody, Retransmitter, SappConfig, SappCp, TimerDisposition,
+};
+use presence_des::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn t(secs: f64) -> SimTime {
+    SimTime::from_secs_f64(secs)
+}
+
+/// Extracts every timer-start token from an action batch.
+fn timers(out: &[CpAction]) -> Vec<presence_core::TimerToken> {
+    out.iter()
+        .filter_map(|a| match a {
+            CpAction::StartTimer { token, .. } => Some(*token),
+            _ => None,
+        })
+        .collect()
+}
+
+fn probes(out: &[CpAction]) -> Vec<Probe> {
+    out.iter()
+        .filter_map(|a| match a {
+            CpAction::SendProbe(p) => Some(*p),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    /// DCPP device invariants (i) and (ii) hold under arbitrary arrival
+    /// patterns: scheduled slots are >= delta_min apart and every assigned
+    /// wait is >= d_min.
+    #[test]
+    fn dcpp_device_constraints(arrival_gaps in prop::collection::vec(0.0..2.0f64, 1..200)) {
+        let cfg = DcppConfig::paper_default();
+        let mut device = DcppDevice::new(DeviceId(0), cfg);
+        let mut now = 0.0;
+        let mut prev_slot: Option<SimTime> = None;
+        for (i, gap) in arrival_gaps.iter().enumerate() {
+            now += gap;
+            let reply = device.on_probe(t(now), Probe { cp: CpId(i as u32), seq: 0 });
+            let ReplyBody::Dcpp { wait } = reply.body else { panic!("wrong body") };
+            // (ii) no CP asked to probe sooner than d_min.
+            prop_assert!(wait >= cfg.d_min, "wait {wait} below d_min");
+            let slot = t(now) + wait;
+            // (i) consecutive scheduled slots at least delta_min apart.
+            if let Some(prev) = prev_slot {
+                prop_assert!(
+                    slot.saturating_since(prev) >= cfg.delta_min
+                        || slot == prev, // identical CPs cannot collide; distinct slots must be spaced
+                    "slots {prev} and {slot} closer than delta_min"
+                );
+                prop_assert!(slot > prev, "schedule must be strictly increasing");
+            }
+            prev_slot = Some(slot);
+        }
+    }
+
+    /// The DCPP schedule admits at most 1/δ_min probes per second in any
+    /// window once the d_min floor is excluded: count slots in a window.
+    #[test]
+    fn dcpp_load_cap(n_cps in 1usize..80) {
+        let cfg = DcppConfig::paper_default();
+        let mut device = DcppDevice::new(DeviceId(0), cfg);
+        // All CPs probe at t=0 (a worst-case join burst).
+        let slots: Vec<f64> = (0..n_cps)
+            .map(|i| {
+                let r = device.on_probe(t(0.0), Probe { cp: CpId(i as u32), seq: 0 });
+                let ReplyBody::Dcpp { wait } = r.body else { panic!() };
+                wait.as_secs_f64()
+            })
+            .collect();
+        // In any 1-second window of scheduled slots there are at most
+        // L_nom = 10 slots (+1 for the window-edge slot).
+        let mut sorted = slots.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, &s) in sorted.iter().enumerate() {
+            let in_window = sorted[i..].iter().take_while(|&&x| x < s + 1.0).count();
+            prop_assert!(in_window <= 11, "{in_window} slots within 1s of {s}");
+        }
+    }
+
+    /// SAPP's adapted delay stays inside [δ_min, δ_max] whatever pc values
+    /// the device reports.
+    #[test]
+    fn sapp_delay_stays_clamped(pcs in prop::collection::vec(1u64..10_000_000_000, 2..100)) {
+        let cfg = SappConfig::paper_default();
+        let mut cp = SappCp::new(CpId(0), cfg);
+        let mut out = Vec::new();
+        cp.start(t(0.0), &mut out);
+        let mut now = 0.0;
+        let mut pc_acc = 0u64;
+        for pc_jump in pcs {
+            let probe = probes(&out).last().copied().expect("probe in flight");
+            pc_acc = pc_acc.saturating_add(pc_jump);
+            now += 0.001;
+            out.clear();
+            cp.on_reply(
+                t(now),
+                &Reply {
+                    probe,
+                    device: DeviceId(0),
+                    body: ReplyBody::Sapp { pc: pc_acc, last_probers: [None, None] },
+                },
+                &mut out,
+            );
+            prop_assert!(cp.delay() >= cfg.delta_min, "delay below delta_min");
+            prop_assert!(cp.delay() <= cfg.delta_max, "delay above delta_max");
+            // Wake up for the next cycle.
+            let wake = *timers(&out).last().expect("wake timer");
+            now += cp.delay().as_secs_f64();
+            out.clear();
+            cp.on_timer(t(now), wake, &mut out);
+        }
+    }
+
+    /// A probe cycle sends at most 1 + max_retransmissions transmissions,
+    /// then fails — under any retransmission limit.
+    #[test]
+    fn cycle_transmission_budget(max_retx in 0u32..10) {
+        let cfg = ProbeCycleConfig {
+            max_retransmissions: max_retx,
+            ..ProbeCycleConfig::paper_default()
+        };
+        let mut e = Retransmitter::new(CpId(0), cfg);
+        let mut out = Vec::new();
+        e.begin_cycle(t(0.0), &mut out);
+        let mut transmissions = probes(&out).len() as u32;
+        let mut now = 0.1;
+        loop {
+            let tok = *timers(&out).last().expect("timer armed");
+            out.clear();
+            match e.on_timer(t(now), tok, &mut out) {
+                TimerDisposition::Retransmitted => {
+                    transmissions += probes(&out).len() as u32;
+                    now += 0.1;
+                }
+                TimerDisposition::CycleFailed => break,
+                TimerDisposition::NotMine => prop_assert!(false, "live timer not recognised"),
+            }
+        }
+        prop_assert_eq!(transmissions, 1 + max_retx);
+        prop_assert_eq!(e.stats().probes_sent, (1 + max_retx) as u64);
+    }
+
+    /// Replies with arbitrary wrong sequence numbers never complete a DCPP
+    /// cycle or schedule a wake timer.
+    #[test]
+    fn dcpp_cp_ignores_wrong_seqs(wrong_seqs in prop::collection::vec(1u64..1000, 1..50)) {
+        let mut cp = DcppCp::new(CpId(3), DcppConfig::paper_default());
+        let mut out = Vec::new();
+        cp.start(t(0.0), &mut out);
+        let real = probes(&out)[0];
+        for (i, &seq) in wrong_seqs.iter().enumerate() {
+            if seq == real.seq {
+                continue;
+            }
+            out.clear();
+            cp.on_reply(
+                t(0.001 + i as f64 * 1e-6),
+                &Reply {
+                    probe: Probe { cp: CpId(3), seq },
+                    device: DeviceId(0),
+                    body: ReplyBody::Dcpp { wait: SimDuration::from_millis(100) },
+                },
+                &mut out,
+            );
+            prop_assert!(out.is_empty(), "stale reply produced actions");
+        }
+        prop_assert_eq!(cp.stats().cycles_succeeded, 0);
+        prop_assert!(!cp.is_stopped());
+    }
+
+    /// SAPP adaptation is monotone in the right direction: a higher
+    /// experienced load never yields a *shorter* next delay than a lower
+    /// one, starting from the same state.
+    #[test]
+    fn sapp_adaptation_monotone(l_low in 1.0..5e6f64, l_high in 1.0..5e6f64) {
+        prop_assume!(l_low <= l_high);
+        let run = |l_exp: f64| -> f64 {
+            let mut cfg = SappConfig::paper_default();
+            cfg.initial_delay = SimDuration::from_secs(1);
+            let mut cp = SappCp::new(CpId(0), cfg);
+            let mut out = Vec::new();
+            cp.start(t(0.0), &mut out);
+            let p1 = probes(&out)[0];
+            out.clear();
+            // First reply sets the anchor at pc=0-ish.
+            cp.on_reply(t(1.0), &Reply {
+                probe: p1,
+                device: DeviceId(0),
+                body: ReplyBody::Sapp { pc: 1, last_probers: [None, None] },
+            }, &mut out);
+            let wake = *timers(&out).last().unwrap();
+            out.clear();
+            cp.on_timer(t(2.0), wake, &mut out);
+            let p2 = probes(&out)[0];
+            out.clear();
+            // Second reply exactly 1 s after the first: Δpc = l_exp.
+            cp.on_reply(t(2.0), &Reply {
+                probe: p2,
+                device: DeviceId(0),
+                body: ReplyBody::Sapp { pc: 1 + l_exp as u64, last_probers: [None, None] },
+            }, &mut out);
+            cp.delay().as_secs_f64()
+        };
+        prop_assert!(run(l_high) >= run(l_low) - 1e-12);
+    }
+}

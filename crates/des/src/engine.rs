@@ -1,0 +1,831 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a set of actors, a virtual clock, and a stable
+//! time-ordered event queue. Determinism guarantees:
+//!
+//! * Events fire in `(time, sequence-number)` order — two events scheduled
+//!   for the same instant fire in the order they were scheduled, regardless
+//!   of heap internals.
+//! * Each actor draws randomness only from its own [`StreamRng`], derived
+//!   from the root seed and the actor's id, so runs replay exactly and
+//!   actors don't perturb each other's streams.
+//!
+//! This is the stand-in for the paper's MODEST/MÖBIUS tool chain: a small,
+//! auditable kernel whose event semantics are plain enough to validate by
+//! inspection (the paper stresses that simulation results are only
+//! trustworthy when the simulator's semantics are).
+
+use crate::rng::StreamRng;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies an actor within one [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// The raw index (stable for the lifetime of the simulation).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a scheduled event, usable to [cancel](Context::cancel) it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    seq: u64,
+}
+
+/// A simulation participant.
+///
+/// Actors are passive: they only run when an event addressed to them fires.
+/// All interaction with the world — scheduling future events, sending to
+/// other actors, randomness, stopping the run — goes through the
+/// [`Context`].
+pub trait Actor<E>: 'static {
+    /// Called once when the simulation starts (or, for actors spawned
+    /// mid-run, when they are absorbed into the actor table).
+    fn on_start(&mut self, _ctx: &mut Context<'_, E>) {}
+
+    /// Called for every event addressed to this actor.
+    fn on_event(&mut self, ctx: &mut Context<'_, E>, event: E);
+}
+
+/// Object-safe supertrait adding downcasting, implemented for every actor.
+trait AnyActor<E>: Actor<E> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<E: 'static, T: Actor<E>> AnyActor<E> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    target: ActorId,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first with
+        // FIFO tie-breaking on the sequence number.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A record handed to the trace hook for every processed event.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// Virtual time at which the event fired.
+    pub time: SimTime,
+    /// The actor that received it.
+    pub target: ActorId,
+    /// The event's global sequence number.
+    pub seq: u64,
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The requested end time was reached (queue may still hold events).
+    ReachedTime,
+    /// The event queue drained completely.
+    Idle,
+    /// An actor called [`Context::stop`].
+    Stopped,
+    /// The event budget was exhausted.
+    EventBudget,
+}
+
+/// Mutable scheduler state shared between the engine loop and [`Context`].
+struct Core<E> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    stop_requested: bool,
+    actor_count: usize,
+}
+
+impl<E> Core<E> {
+    fn push(&mut self, time: SimTime, target: ActorId, payload: E) -> EventHandle {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            time,
+            seq,
+            target,
+            payload,
+        });
+        EventHandle { seq }
+    }
+}
+
+/// The API an actor uses to interact with the simulation while handling an
+/// event.
+pub struct Context<'a, E> {
+    core: &'a mut Core<E>,
+    rng: &'a mut StreamRng,
+    pending_spawns: &'a mut Vec<Box<dyn AnyActor<E>>>,
+    me: ActorId,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the actor currently handling an event.
+    #[must_use]
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// This actor's private random stream.
+    pub fn rng(&mut self) -> &mut StreamRng {
+        self.rng
+    }
+
+    /// Schedules `payload` for `target` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or `target` does not exist (yet).
+    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, payload: E) -> EventHandle {
+        assert!(
+            target.0 < self.core.actor_count,
+            "scheduling for unknown actor {target:?}"
+        );
+        self.core.push(at, target, payload)
+    }
+
+    /// Schedules `payload` for `target` after a delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, target: ActorId, payload: E) -> EventHandle {
+        let at = self.core.now + delay;
+        self.schedule_at(at, target, payload)
+    }
+
+    /// Schedules `payload` for this actor after a delay (a timer).
+    pub fn set_timer(&mut self, delay: SimDuration, payload: E) -> EventHandle {
+        let me = self.me;
+        self.schedule_in(delay, me, payload)
+    }
+
+    /// Sends `payload` to `target` at the current instant (it fires after
+    /// all events already scheduled for this instant).
+    pub fn send_now(&mut self, target: ActorId, payload: E) -> EventHandle {
+        let now = self.core.now;
+        self.schedule_at(now, target, payload)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.core.cancelled.insert(handle.seq);
+    }
+
+    /// Requests the run loop to stop after the current event completes.
+    pub fn stop(&mut self) {
+        self.core.stop_requested = true;
+    }
+
+    /// Adds a new actor mid-run. The actor's `on_start` runs after the
+    /// current event handler returns, at the current virtual time.
+    pub fn spawn<A: Actor<E>>(&mut self, actor: A) -> ActorId
+    where
+        E: 'static,
+    {
+        let id = ActorId(self.core.actor_count);
+        self.core.actor_count += 1;
+        self.pending_spawns.push(Box::new(actor));
+        id
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use presence_des::{Actor, Context, SimDuration, SimTime, Simulation};
+///
+/// struct Counter {
+///     fired: u32,
+/// }
+///
+/// impl Actor<&'static str> for Counter {
+///     fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+///         ctx.set_timer(SimDuration::from_secs(1), "tick");
+///     }
+///     fn on_event(&mut self, ctx: &mut Context<'_, &'static str>, ev: &'static str) {
+///         assert_eq!(ev, "tick");
+///         self.fired += 1;
+///         if self.fired < 3 {
+///             ctx.set_timer(SimDuration::from_secs(1), "tick");
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(42);
+/// let id = sim.add_actor(Counter { fired: 0 });
+/// sim.run_until_idle();
+/// assert_eq!(sim.now(), SimTime::from_secs_f64(3.0));
+/// assert_eq!(sim.actor::<Counter>(id).unwrap().fired, 3);
+/// ```
+pub struct Simulation<E> {
+    core: Core<E>,
+    actors: Vec<Option<Box<dyn AnyActor<E>>>>,
+    rngs: Vec<StreamRng>,
+    root_seed: u64,
+    started: Vec<bool>,
+    events_processed: u64,
+    trace: Option<Box<dyn FnMut(&TraceRecord)>>,
+}
+
+impl<E: 'static> Simulation<E> {
+    /// Creates an empty simulation with the given root seed.
+    #[must_use]
+    pub fn new(root_seed: u64) -> Self {
+        Self {
+            core: Core {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                next_seq: 0,
+                stop_requested: false,
+                actor_count: 0,
+            },
+            actors: Vec::new(),
+            rngs: Vec::new(),
+            root_seed,
+            started: Vec::new(),
+            events_processed: 0,
+            trace: None,
+        }
+    }
+
+    /// The root seed of this run.
+    #[must_use]
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// Installs a trace hook invoked for every processed event.
+    pub fn set_trace<F: FnMut(&TraceRecord) + 'static>(&mut self, hook: F) {
+        self.trace = Some(Box::new(hook));
+    }
+
+    /// Registers an actor and returns its id. Its `on_start` runs when the
+    /// first run method is called (or immediately if the run has begun).
+    pub fn add_actor<A: Actor<E>>(&mut self, actor: A) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Some(Box::new(actor)));
+        self.started.push(false);
+        self.core.actor_count = self.actors.len();
+        id
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently queued (including cancelled tombstones).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Number of registered actors.
+    #[must_use]
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Immutable access to an actor, downcast to its concrete type.
+    ///
+    /// Returns `None` if the id is unknown or the type does not match.
+    #[must_use]
+    pub fn actor<A: Actor<E>>(&self, id: ActorId) -> Option<&A> {
+        self.actors
+            .get(id.0)?
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<A>()
+    }
+
+    /// Mutable access to an actor, downcast to its concrete type.
+    #[must_use]
+    pub fn actor_mut<A: Actor<E>>(&mut self, id: ActorId) -> Option<&mut A> {
+        self.actors
+            .get_mut(id.0)?
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<A>()
+    }
+
+    /// Schedules an event from outside the simulation (e.g. initial stimuli
+    /// or experiment-driven interventions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past or the target is unknown.
+    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, payload: E) -> EventHandle {
+        assert!(target.0 < self.core.actor_count, "unknown actor {target:?}");
+        self.core.push(at, target, payload)
+    }
+
+    /// Cancels an event scheduled with [`Simulation::schedule_at`] or from a
+    /// context.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.core.cancelled.insert(handle.seq);
+    }
+
+    fn rng_for(&mut self, idx: usize) -> &mut StreamRng {
+        while self.rngs.len() <= idx {
+            let stream = self.rngs.len() as u64;
+            self.rngs.push(StreamRng::new(self.root_seed, stream));
+        }
+        &mut self.rngs[idx]
+    }
+
+    /// Runs `on_start` for any actor that has not started yet.
+    fn flush_starts(&mut self) {
+        // New spawns during on_start are appended and handled by the loop.
+        let mut idx = 0;
+        while idx < self.actors.len() {
+            if !self.started[idx] {
+                self.started[idx] = true;
+                self.dispatch(idx, None);
+            }
+            idx += 1;
+        }
+    }
+
+    /// Dispatches either `on_start` (payload `None`) or `on_event` to the
+    /// actor at `idx`, then absorbs any spawned actors.
+    fn dispatch(&mut self, idx: usize, payload: Option<E>) {
+        let mut actor = match self.actors[idx].take() {
+            Some(a) => a,
+            // The slot is empty only if an actor somehow dispatched to
+            // itself re-entrantly, which the engine never does.
+            None => unreachable!("actor slot {idx} empty during dispatch"),
+        };
+        let mut pending: Vec<Box<dyn AnyActor<E>>> = Vec::new();
+        self.rng_for(idx);
+        {
+            let mut ctx = Context {
+                core: &mut self.core,
+                rng: &mut self.rngs[idx],
+                pending_spawns: &mut pending,
+                me: ActorId(idx),
+            };
+            match payload {
+                Some(ev) => actor.on_event(&mut ctx, ev),
+                None => actor.on_start(&mut ctx),
+            }
+        }
+        self.actors[idx] = Some(actor);
+        for spawned in pending {
+            self.actors.push(Some(spawned));
+            self.started.push(false);
+        }
+        debug_assert_eq!(self.core.actor_count, self.actors.len());
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    /// Cancelled events are skipped silently (but still drain).
+    pub fn step(&mut self) -> bool {
+        self.flush_starts();
+        loop {
+            let Some(ev) = self.core.queue.pop() else {
+                return false;
+            };
+            if self.core.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.core.now, "event queue went backwards");
+            self.core.now = ev.time;
+            self.events_processed += 1;
+            if let Some(hook) = self.trace.as_mut() {
+                hook(&TraceRecord {
+                    time: ev.time,
+                    target: ev.target,
+                    seq: ev.seq,
+                });
+            }
+            self.dispatch(ev.target.0, Some(ev.payload));
+            self.flush_starts();
+            return true;
+        }
+    }
+
+    /// Runs until the queue drains, an actor stops the run, or `max_events`
+    /// have been processed.
+    pub fn run(&mut self, max_events: u64) -> RunOutcome {
+        self.flush_starts();
+        for _ in 0..max_events {
+            if self.core.stop_requested {
+                self.core.stop_requested = false;
+                return RunOutcome::Stopped;
+            }
+            if !self.step() {
+                return RunOutcome::Idle;
+            }
+        }
+        if self.core.stop_requested {
+            self.core.stop_requested = false;
+            RunOutcome::Stopped
+        } else {
+            RunOutcome::EventBudget
+        }
+    }
+
+    /// Runs until the virtual clock reaches `end` (processing every event
+    /// with `time ≤ end`), the queue drains, or an actor stops the run.
+    /// On [`RunOutcome::ReachedTime`] the clock is left exactly at `end`.
+    pub fn run_until(&mut self, end: SimTime) -> RunOutcome {
+        self.flush_starts();
+        loop {
+            if self.core.stop_requested {
+                self.core.stop_requested = false;
+                return RunOutcome::Stopped;
+            }
+            // Skip cancelled tombstones at the head so peeking sees a live event.
+            while let Some(head) = self.core.queue.peek() {
+                if self.core.cancelled.contains(&head.seq) {
+                    let seq = head.seq;
+                    self.core.queue.pop();
+                    self.core.cancelled.remove(&seq);
+                } else {
+                    break;
+                }
+            }
+            match self.core.queue.peek() {
+                None => {
+                    self.core.now = self.core.now.max(end);
+                    return RunOutcome::Idle;
+                }
+                Some(head) if head.time > end => {
+                    self.core.now = end;
+                    return RunOutcome::ReachedTime;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty or an actor stops the run.
+    pub fn run_until_idle(&mut self) -> RunOutcome {
+        self.flush_starts();
+        loop {
+            if self.core.stop_requested {
+                self.core.stop_requested = false;
+                return RunOutcome::Stopped;
+            }
+            if !self.step() {
+                return RunOutcome::Idle;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Ev = u32;
+
+    /// Records the order in which its events fire.
+    struct Recorder {
+        log: Vec<(f64, Ev)>,
+    }
+
+    impl Actor<Ev> for Recorder {
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            self.log.push((ctx.now().as_secs_f64(), ev));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_secs_f64(3.0), id, 3);
+        sim.schedule_at(SimTime::from_secs_f64(1.0), id, 1);
+        sim.schedule_at(SimTime::from_secs_f64(2.0), id, 2);
+        assert_eq!(sim.run_until_idle(), RunOutcome::Idle);
+        let events: Vec<Ev> = sim.actor::<Recorder>(id).unwrap().log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(events, vec![1, 2, 3]);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        let t = SimTime::from_secs_f64(1.0);
+        for i in 0..100 {
+            sim.schedule_at(t, id, i);
+        }
+        sim.run_until_idle();
+        let events: Vec<Ev> = sim.actor::<Recorder>(id).unwrap().log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(events, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_secs_f64(1.0), id, 1);
+        sim.schedule_at(SimTime::from_secs_f64(5.0), id, 5);
+        let outcome = sim.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(outcome, RunOutcome::ReachedTime);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+        assert_eq!(sim.actor::<Recorder>(id).unwrap().log.len(), 1);
+        // Continue to the rest.
+        assert_eq!(sim.run_until_idle(), RunOutcome::Idle);
+        assert_eq!(sim.actor::<Recorder>(id).unwrap().log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_inclusive_of_end_instant() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_secs_f64(2.0), id, 7);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(sim.actor::<Recorder>(id).unwrap().log.len(), 1);
+    }
+
+    #[test]
+    fn idle_run_until_advances_clock() {
+        let mut sim: Simulation<Ev> = Simulation::new(1);
+        let _ = sim.add_actor(Recorder { log: vec![] });
+        assert_eq!(sim.run_until(SimTime::from_secs_f64(10.0)), RunOutcome::Idle);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl Actor<Ev> for Bad {
+            fn on_event(&mut self, _: &mut Context<'_, Ev>, _: Ev) {}
+        }
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Bad);
+        sim.schedule_at(SimTime::from_secs_f64(5.0), id, 0);
+        sim.run_until_idle();
+        // now == 5.0; scheduling at 1.0 must panic.
+        sim.schedule_at(SimTime::from_secs_f64(1.0), id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown actor")]
+    fn scheduling_for_unknown_actor_panics() {
+        let mut sim: Simulation<Ev> = Simulation::new(1);
+        sim.schedule_at(SimTime::ZERO, ActorId(3), 0);
+    }
+
+    /// An actor that sets a timer and cancels it before it fires.
+    struct Canceller {
+        fired: bool,
+    }
+
+    impl Actor<Ev> for Canceller {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+            let h = ctx.set_timer(SimDuration::from_secs(1), 1);
+            ctx.cancel(h);
+            ctx.set_timer(SimDuration::from_secs(2), 2);
+        }
+        fn on_event(&mut self, _ctx: &mut Context<'_, Ev>, ev: Ev) {
+            assert_eq!(ev, 2, "cancelled timer fired");
+            self.fired = true;
+        }
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Canceller { fired: false });
+        sim.run_until_idle();
+        assert!(sim.actor::<Canceller>(id).unwrap().fired);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        let h = sim.schedule_at(SimTime::from_secs_f64(1.0), id, 1);
+        sim.run_until_idle();
+        sim.cancel(h); // already fired — must not disturb anything
+        sim.schedule_at(SimTime::from_secs_f64(2.0), id, 2);
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Recorder>(id).unwrap().log.len(), 2);
+    }
+
+    /// Ping-pong pair demonstrating actor-to-actor messaging.
+    struct Ping {
+        peer: Option<ActorId>,
+        rounds: u32,
+        max: u32,
+    }
+
+    impl Actor<Ev> for Ping {
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _ev: Ev) {
+            self.rounds += 1;
+            if self.rounds < self.max {
+                let peer = self.peer.expect("peer set");
+                ctx.schedule_in(SimDuration::from_millis(10), peer, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_actor(Ping { peer: None, rounds: 0, max: 10 });
+        let b = sim.add_actor(Ping { peer: None, rounds: 0, max: 10 });
+        sim.actor_mut::<Ping>(a).unwrap().peer = Some(b);
+        sim.actor_mut::<Ping>(b).unwrap().peer = Some(a);
+        sim.schedule_at(SimTime::ZERO, a, 0);
+        sim.run_until_idle();
+        let ra = sim.actor::<Ping>(a).unwrap().rounds;
+        let rb = sim.actor::<Ping>(b).unwrap().rounds;
+        assert_eq!(ra + rb, 19); // a fires 10 times, b 9 (b's 10th never sent)
+    }
+
+    #[test]
+    fn stop_from_actor() {
+        struct Stopper;
+        impl Actor<Ev> for Stopper {
+            fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+                if ev == 3 {
+                    ctx.stop();
+                }
+                ctx.set_timer(SimDuration::from_secs(1), ev + 1);
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Stopper);
+        sim.schedule_at(SimTime::ZERO, id, 0);
+        let outcome = sim.run_until_idle();
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(sim.events_processed(), 4); // events 0,1,2,3
+    }
+
+    #[test]
+    fn event_budget() {
+        struct Endless;
+        impl Actor<Ev> for Endless {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
+                ctx.set_timer(SimDuration::from_secs(1), 0);
+            }
+        }
+        let mut sim = Simulation::new(1);
+        sim.add_actor(Endless);
+        assert_eq!(sim.run(100), RunOutcome::EventBudget);
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    /// Spawner creates a child mid-run; the child must receive on_start and
+    /// be addressable.
+    struct Spawner {
+        child: Option<ActorId>,
+    }
+    struct Child {
+        started: bool,
+        got: u32,
+    }
+    impl Actor<Ev> for Child {
+        fn on_start(&mut self, _ctx: &mut Context<'_, Ev>) {
+            self.started = true;
+        }
+        fn on_event(&mut self, _ctx: &mut Context<'_, Ev>, ev: Ev) {
+            self.got = ev;
+        }
+    }
+    impl Actor<Ev> for Spawner {
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
+            let child = ctx.spawn(Child { started: false, got: 0 });
+            self.child = Some(child);
+            ctx.schedule_in(SimDuration::from_secs(1), child, 99);
+        }
+    }
+
+    #[test]
+    fn mid_run_spawn() {
+        let mut sim = Simulation::new(1);
+        let s = sim.add_actor(Spawner { child: None });
+        sim.schedule_at(SimTime::from_secs_f64(1.0), s, 0);
+        sim.run_until_idle();
+        let child = sim.actor::<Spawner>(s).unwrap().child.unwrap();
+        let c = sim.actor::<Child>(child).unwrap();
+        assert!(c.started);
+        assert_eq!(c.got, 99);
+    }
+
+    #[test]
+    fn downcast_type_mismatch_is_none() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        assert!(sim.actor::<Child>(id).is_none());
+        assert!(sim.actor::<Recorder>(ActorId(99)).is_none());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<u64> {
+            struct Jitter;
+            impl Actor<Ev> for Jitter {
+                fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+                    ctx.set_timer(SimDuration::from_secs(1), 0);
+                }
+                fn on_event(&mut self, ctx: &mut Context<'_, Ev>, n: Ev) {
+                    if n < 50 {
+                        let d = ctx.rng().uniform(0.1, 2.0);
+                        ctx.set_timer(SimDuration::from_secs_f64(d), n + 1);
+                    }
+                }
+            }
+            let mut sim = Simulation::new(seed);
+            sim.add_actor(Jitter);
+            let mut times = Vec::new();
+            // Collect event times via trace hook into a shared Vec.
+            use std::cell::RefCell;
+            use std::rc::Rc;
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let log2 = Rc::clone(&log);
+            sim.set_trace(move |rec| log2.borrow_mut().push(rec.time.as_nanos()));
+            sim.run_until_idle();
+            times.extend(log.borrow().iter().copied());
+            times
+        }
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn trace_hook_sees_every_event() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        let count = Rc::new(RefCell::new(0u32));
+        let c2 = Rc::clone(&count);
+        sim.set_trace(move |_| *c2.borrow_mut() += 1);
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs_f64(i as f64), id, i);
+        }
+        sim.run_until_idle();
+        assert_eq!(*count.borrow(), 5);
+    }
+}

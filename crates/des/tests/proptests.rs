@@ -1,0 +1,138 @@
+//! Property-based tests for the DES engine: ordering, determinism,
+//! cancellation, and clock monotonicity under arbitrary schedules.
+
+use presence_des::{Actor, Context, RunOutcome, SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+/// Actor that records (time, tag) for every event it receives.
+struct Sink {
+    log: Vec<(u64, u32)>,
+}
+
+impl Actor<u32> for Sink {
+    fn on_event(&mut self, ctx: &mut Context<'_, u32>, ev: u32) {
+        self.log.push((ctx.now().as_nanos(), ev));
+    }
+}
+
+proptest! {
+    /// Events always fire in non-decreasing time order, FIFO within a time.
+    #[test]
+    fn firing_order_is_total(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new(0);
+        let id = sim.add_actor(Sink { log: vec![] });
+        for (tag, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), id, tag as u32);
+        }
+        sim.run_until_idle();
+        let log = &sim.actor::<Sink>(id).unwrap().log;
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated for simultaneous events");
+            }
+        }
+    }
+
+    /// Same seed + same schedule ⇒ identical event log.
+    #[test]
+    fn deterministic_under_seed(seed in any::<u64>(), times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(seed);
+            let id = sim.add_actor(Sink { log: vec![] });
+            for (tag, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(t), id, tag as u32);
+            }
+            sim.run_until_idle();
+            sim.actor::<Sink>(id).unwrap().log.clone()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Cancelling a subset of events fires exactly the complement.
+    #[test]
+    fn cancellation_fires_complement(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut sim = Simulation::new(0);
+        let id = sim.add_actor(Sink { log: vec![] });
+        let mut expected = Vec::new();
+        for (tag, &t) in times.iter().enumerate() {
+            let h = sim.schedule_at(SimTime::from_nanos(t), id, tag as u32);
+            if *cancel_mask.get(tag).unwrap_or(&false) {
+                sim.cancel(h);
+            } else {
+                expected.push(tag as u32);
+            }
+        }
+        sim.run_until_idle();
+        let mut fired: Vec<u32> = sim.actor::<Sink>(id).unwrap().log.iter().map(|&(_, e)| e).collect();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// run_until(t) processes exactly the events with time <= t.
+    #[test]
+    fn run_until_boundary(times in prop::collection::vec(0u64..1_000_000, 1..100), cut in 0u64..1_000_000) {
+        let mut sim = Simulation::new(0);
+        let id = sim.add_actor(Sink { log: vec![] });
+        for (tag, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), id, tag as u32);
+        }
+        sim.run_until(SimTime::from_nanos(cut));
+        let fired = sim.actor::<Sink>(id).unwrap().log.len();
+        let expected = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(fired, expected);
+        prop_assert!(sim.now() >= SimTime::from_nanos(cut));
+    }
+
+    /// Chained timers advance the clock by exactly the sum of delays.
+    #[test]
+    fn timer_chain_sums_delays(delays in prop::collection::vec(1u64..10_000_000, 1..50)) {
+        struct Chain {
+            delays: Vec<u64>,
+            next: usize,
+        }
+        impl Actor<u32> for Chain {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if let Some(&d) = self.delays.first() {
+                    self.next = 1;
+                    ctx.set_timer(SimDuration::from_nanos(d), 0);
+                }
+            }
+            fn on_event(&mut self, ctx: &mut Context<'_, u32>, _: u32) {
+                if let Some(&d) = self.delays.get(self.next) {
+                    self.next += 1;
+                    ctx.set_timer(SimDuration::from_nanos(d), 0);
+                }
+            }
+        }
+        let total: u64 = delays.iter().sum();
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Chain { delays, next: 0 });
+        let outcome = sim.run_until_idle();
+        prop_assert_eq!(outcome, RunOutcome::Idle);
+        prop_assert_eq!(sim.now().as_nanos(), total);
+    }
+
+    /// The event budget is honoured exactly.
+    #[test]
+    fn event_budget_exact(budget in 1u64..500) {
+        struct Endless;
+        impl Actor<u32> for Endless {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+            fn on_event(&mut self, ctx: &mut Context<'_, u32>, _: u32) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+        }
+        let mut sim = Simulation::new(0);
+        sim.add_actor(Endless);
+        prop_assert_eq!(sim.run(budget), RunOutcome::EventBudget);
+        prop_assert_eq!(sim.events_processed(), budget);
+    }
+}

@@ -1,0 +1,263 @@
+//! The network fabric: in-flight message accounting, delay and loss
+//! application, and overflow behaviour.
+//!
+//! The paper models the network as a single process with a bounded buffer
+//! (20 000 elements) through which all probes and replies travel. The
+//! fabric reproduces that: each message admitted occupies one buffer slot
+//! from send until delivery; a full buffer drops the message (a "buffer
+//! overrun"); the loss model may also discard it. The fabric is clockless —
+//! it *decides* when a message would arrive, and the caller (the simulation
+//! glue or a test harness) performs the actual delivery.
+
+use crate::delay::DelayModel;
+use crate::loss::LossModel;
+use presence_des::{SimTime, StreamRng};
+use presence_stats::TimeWeighted;
+
+/// Counters describing everything a fabric did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStats {
+    /// Messages offered to the fabric.
+    pub offered: u64,
+    /// Messages admitted and scheduled for delivery.
+    pub admitted: u64,
+    /// Messages dropped because the buffer was full.
+    pub dropped_overflow: u64,
+    /// Messages dropped by the loss model.
+    pub dropped_loss: u64,
+    /// Messages handed back as delivered.
+    pub delivered: u64,
+    /// Highest in-flight count observed.
+    pub peak_in_flight: usize,
+}
+
+/// The fabric's verdict on one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message is admitted and should be delivered at the given time.
+    Deliver(SimTime),
+    /// The message was dropped by the loss model.
+    DroppedLoss,
+    /// The message was dropped because the buffer was full.
+    DroppedOverflow,
+}
+
+/// A bounded, lossy, delaying message fabric.
+pub struct Fabric {
+    capacity: usize,
+    in_flight: usize,
+    delay: Box<dyn DelayModel>,
+    loss: Box<dyn LossModel>,
+    stats: FabricStats,
+    occupancy: TimeWeighted,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("capacity", &self.capacity)
+            .field("in_flight", &self.in_flight)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fabric {
+    /// Creates a fabric with the given buffer capacity, delay model, and
+    /// loss model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(
+        capacity: usize,
+        delay: Box<dyn DelayModel>,
+        loss: Box<dyn LossModel>,
+    ) -> Self {
+        assert!(capacity > 0, "fabric capacity must be positive");
+        Self {
+            capacity,
+            in_flight: 0,
+            delay,
+            loss,
+            stats: FabricStats::default(),
+            occupancy: TimeWeighted::new(),
+        }
+    }
+
+    /// The paper's configuration: 20 000-element buffer, three-mode delay,
+    /// no loss.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(
+            20_000,
+            Box::new(crate::delay::ThreeMode::paper_default()),
+            Box::new(crate::loss::NoLoss),
+        )
+    }
+
+    /// Offers a message to the fabric at time `now`. On
+    /// [`SendOutcome::Deliver`], the caller must later call
+    /// [`Fabric::on_delivered`] at the returned delivery time.
+    pub fn send(&mut self, now: SimTime, rng: &mut StreamRng) -> SendOutcome {
+        self.stats.offered += 1;
+        if self.in_flight >= self.capacity {
+            self.stats.dropped_overflow += 1;
+            return SendOutcome::DroppedOverflow;
+        }
+        if self.loss.should_drop(rng) {
+            self.stats.dropped_loss += 1;
+            return SendOutcome::DroppedLoss;
+        }
+        self.in_flight += 1;
+        self.stats.admitted += 1;
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
+        self.occupancy.set(now.as_secs_f64(), self.in_flight as f64);
+        let delay = self.delay.sample(rng);
+        SendOutcome::Deliver(now + delay)
+    }
+
+    /// Acknowledges that a previously admitted message reached its
+    /// destination at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times than messages were admitted — that is a
+    /// harness bug (double delivery).
+    pub fn on_delivered(&mut self, now: SimTime) {
+        assert!(self.in_flight > 0, "delivery without an in-flight message");
+        self.in_flight -= 1;
+        self.stats.delivered += 1;
+        self.occupancy.set(now.as_secs_f64(), self.in_flight as f64);
+    }
+
+    /// Messages currently in flight (the paper's "buffer length").
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The buffer capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Time-weighted mean in-flight count up to `now` — the paper's
+    /// "average buffer length" (≈ 0.004 in its steady-state study).
+    #[must_use]
+    pub fn mean_occupancy(&self, now: SimTime) -> Option<f64> {
+        self.occupancy.mean_until(now.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::ConstantDelay;
+    use crate::loss::{BernoulliLoss, NoLoss};
+    use presence_des::SimDuration;
+
+    fn rng() -> StreamRng {
+        StreamRng::new(0x5eed, 0)
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn delivers_with_delay() {
+        let mut f = Fabric::new(
+            10,
+            Box::new(ConstantDelay(SimDuration::from_millis(5))),
+            Box::new(NoLoss),
+        );
+        let mut r = rng();
+        match f.send(t(1.0), &mut r) {
+            SendOutcome::Deliver(at) => assert_eq!(at, t(1.005)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(f.in_flight(), 1);
+        f.on_delivered(t(1.005));
+        assert_eq!(f.in_flight(), 0);
+        assert_eq!(f.stats().delivered, 1);
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut f = Fabric::new(
+            2,
+            Box::new(ConstantDelay(SimDuration::from_secs(1))),
+            Box::new(NoLoss),
+        );
+        let mut r = rng();
+        assert!(matches!(f.send(t(0.0), &mut r), SendOutcome::Deliver(_)));
+        assert!(matches!(f.send(t(0.0), &mut r), SendOutcome::Deliver(_)));
+        assert_eq!(f.send(t(0.0), &mut r), SendOutcome::DroppedOverflow);
+        assert_eq!(f.stats().dropped_overflow, 1);
+        // Delivering frees a slot.
+        f.on_delivered(t(1.0));
+        assert!(matches!(f.send(t(1.0), &mut r), SendOutcome::Deliver(_)));
+    }
+
+    #[test]
+    fn loss_model_applies() {
+        let mut f = Fabric::new(
+            1_000_000,
+            Box::new(ConstantDelay(SimDuration::from_millis(1))),
+            Box::new(BernoulliLoss::new(0.5)),
+        );
+        let mut r = rng();
+        let mut lost = 0;
+        for i in 0..10_000 {
+            match f.send(t(i as f64 * 0.01), &mut r) {
+                SendOutcome::DroppedLoss => lost += 1,
+                SendOutcome::Deliver(at) => f.on_delivered(at),
+                SendOutcome::DroppedOverflow => panic!("no overflow expected"),
+            }
+        }
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery without")]
+    fn double_delivery_panics() {
+        let mut f = Fabric::paper_default();
+        f.on_delivered(t(0.0));
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut f = Fabric::new(
+            10,
+            Box::new(ConstantDelay(SimDuration::from_secs(1))),
+            Box::new(NoLoss),
+        );
+        let mut r = rng();
+        // One message in flight for 1s out of 100s → mean 0.01.
+        let at = match f.send(t(0.0), &mut r) {
+            SendOutcome::Deliver(at) => at,
+            other => panic!("{other:?}"),
+        };
+        f.on_delivered(at);
+        let mean = f.mean_occupancy(t(100.0)).unwrap();
+        assert!((mean - 0.01).abs() < 1e-9, "mean occupancy {mean}");
+        assert_eq!(f.stats().peak_in_flight, 1);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let f = Fabric::paper_default();
+        assert_eq!(f.capacity(), 20_000);
+        assert_eq!(f.in_flight(), 0);
+    }
+}

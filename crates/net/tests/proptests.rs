@@ -1,0 +1,142 @@
+//! Property-based tests for the network substrate.
+
+use presence_des::{SimDuration, SimTime, StreamRng};
+use presence_net::{
+    BernoulliLoss, BoundedFifo, ConstantDelay, DelayModel, ExponentialDelay, Fabric,
+    GilbertElliott, LossModel, NoLoss, SendOutcome, ThreeMode, UniformDelay,
+};
+use proptest::prelude::*;
+
+fn any_delay() -> impl Strategy<Value = (u8, u64, u64)> {
+    // (kind, a, b) with a <= b, in nanoseconds up to 10 ms.
+    (0u8..4, 0u64..10_000_000, 0u64..10_000_000)
+        .prop_map(|(k, a, b)| (k, a.min(b), a.max(b).max(1)))
+}
+
+fn build_delay(kind: u8, a: u64, b: u64) -> Box<dyn DelayModel> {
+    match kind {
+        0 => Box::new(ConstantDelay(SimDuration::from_nanos(a))),
+        1 => Box::new(UniformDelay::new(
+            SimDuration::from_nanos(a),
+            SimDuration::from_nanos(b),
+        )),
+        2 => Box::new(ThreeMode::new(
+            SimDuration::from_nanos(b),
+            SimDuration::from_nanos(a / 2 + b / 2),
+            SimDuration::from_nanos(a),
+        )),
+        _ => Box::new(ExponentialDelay::new(
+            (a.max(1)) as f64 / 1e9,
+            SimDuration::from_nanos(b.max(a) + 1),
+        )),
+    }
+}
+
+proptest! {
+    /// Every delay model respects its own stated maximum.
+    #[test]
+    fn delay_models_respect_max((kind, a, b) in any_delay(), seed in any::<u64>()) {
+        let mut model = build_delay(kind, a, b);
+        let mut rng = StreamRng::new(seed, 0);
+        if let Some(max) = model.max_delay() {
+            for _ in 0..500 {
+                let d = model.sample(&mut rng);
+                prop_assert!(d <= max, "sample {d} above stated max {max}");
+            }
+        }
+    }
+
+    /// Fabric conservation: offered = admitted + dropped, delivered never
+    /// exceeds admitted, and in-flight is admitted − delivered.
+    #[test]
+    fn fabric_conserves_messages(
+        capacity in 1usize..64,
+        loss_p in 0.0..0.5f64,
+        ops in prop::collection::vec(any::<bool>(), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut fabric = Fabric::new(
+            capacity,
+            Box::new(ConstantDelay(SimDuration::from_millis(1))),
+            Box::new(BernoulliLoss::new(loss_p)),
+        );
+        let mut rng = StreamRng::new(seed, 1);
+        let mut pending: Vec<SimTime> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for &send in &ops {
+            now = now + SimDuration::from_micros(100);
+            if send || pending.is_empty() {
+                match fabric.send(now, &mut rng) {
+                    SendOutcome::Deliver(at) => pending.push(at),
+                    SendOutcome::DroppedLoss | SendOutcome::DroppedOverflow => {}
+                }
+            } else {
+                let at = pending.remove(0);
+                fabric.on_delivered(at.max(now));
+                now = at.max(now);
+            }
+        }
+        let s = fabric.stats();
+        prop_assert_eq!(s.offered, s.admitted + s.dropped_loss + s.dropped_overflow);
+        prop_assert!(s.delivered <= s.admitted);
+        prop_assert_eq!(fabric.in_flight() as u64, s.admitted - s.delivered);
+        prop_assert!(s.peak_in_flight <= capacity);
+    }
+
+    /// The fabric never admits beyond capacity.
+    #[test]
+    fn fabric_capacity_is_hard(capacity in 1usize..32, extra in 1usize..32, seed in any::<u64>()) {
+        let mut fabric = Fabric::new(
+            capacity,
+            Box::new(ConstantDelay(SimDuration::from_secs(1))),
+            Box::new(NoLoss),
+        );
+        let mut rng = StreamRng::new(seed, 2);
+        let mut admitted = 0;
+        for _ in 0..capacity + extra {
+            match fabric.send(SimTime::ZERO, &mut rng) {
+                SendOutcome::Deliver(_) => admitted += 1,
+                SendOutcome::DroppedOverflow => {}
+                SendOutcome::DroppedLoss => unreachable!("no loss configured"),
+            }
+        }
+        prop_assert_eq!(admitted, capacity);
+        prop_assert_eq!(fabric.stats().dropped_overflow as usize, extra);
+    }
+
+    /// Bounded FIFO: pop order equals push order; counts conserved.
+    #[test]
+    fn fifo_order_and_conservation(items in prop::collection::vec(any::<u32>(), 1..200), cap in 1usize..64) {
+        let mut fifo = BoundedFifo::new(cap);
+        let mut accepted = Vec::new();
+        let mut t = 0.0;
+        for &x in &items {
+            t += 0.001;
+            if fifo.push(SimTime::from_secs_f64(t), x).is_ok() {
+                accepted.push(x);
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some(x) = fifo.pop(SimTime::from_secs_f64(t + 1.0)) {
+            popped.push(x);
+        }
+        prop_assert_eq!(&popped, &accepted);
+        let s = fifo.stats();
+        prop_assert_eq!(s.accepted as usize + s.rejected as usize, items.len());
+        prop_assert_eq!(s.popped as usize, accepted.len());
+    }
+
+    /// Gilbert–Elliott long-run loss rate lands near its target.
+    #[test]
+    fn gilbert_elliott_rate_targets(target in 0.02..0.4f64, seed in any::<u64>()) {
+        let mut model = GilbertElliott::bursty(target);
+        let mut rng = StreamRng::new(seed, 3);
+        let n = 200_000;
+        let drops = (0..n).filter(|_| model.should_drop(&mut rng)).count();
+        let rate = drops as f64 / n as f64;
+        prop_assert!(
+            (rate - target).abs() < 0.05 + target * 0.3,
+            "target {target}, measured {rate}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Wall-clock time mapped onto the protocol time axis.
+//!
+//! The sans-io machines in `presence-core` speak [`SimTime`] — nanoseconds
+//! since an epoch. Under the simulator that epoch is virtual; here it is
+//! the moment the runtime started. A trait keeps hosts testable with a
+//! hand-cranked clock.
+
+use parking_lot::Mutex;
+use presence_des::SimTime;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of protocol time.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this runtime's epoch.
+    fn now(&self) -> SimTime;
+}
+
+/// The real wall clock, anchored at construction.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose epoch is *now*.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> SimTime {
+        let elapsed = self.origin.elapsed();
+        SimTime::from_nanos(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// A manually advanced clock for tests.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<Mutex<SimTime>>,
+}
+
+impl ManualClock {
+    /// Creates a clock at `t = 0`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn set(&self, t: SimTime) {
+        let mut now = self.now.lock();
+        assert!(t >= *now, "manual clock moved backwards");
+        *now = t;
+    }
+
+    /// Advances the clock by `secs` seconds.
+    pub fn advance_secs(&self, secs: f64) {
+        let mut now = self.now.lock();
+        *now = *now + presence_des::SimDuration::from_secs_f64(secs);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        *self.now.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_secs(1.5);
+        assert_eq!(c.now(), SimTime::from_secs_f64(1.5));
+        c.set(SimTime::from_secs_f64(2.0));
+        assert_eq!(c.now(), SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::new();
+        c.set(SimTime::from_secs_f64(5.0));
+        c.set(SimTime::from_secs_f64(1.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Binary wire codec for [`WireMessage`].
+//!
+//! A compact, explicit little-endian format (no serde reflection on the
+//! wire): every datagram starts with a one-byte message tag, followed by
+//! fixed-width fields. Probes are 13 bytes, replies at most 32 — small
+//! enough that even the paper's PDAs-and-mobile-phones deployment target
+//! would not blink.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! Probe        = 0x01 cp:u32 seq:u64
+//! Reply(SAPP)  = 0x02 cp:u32 seq:u64 device:u32 pc:u64 p0:u32 p1:u32
+//!                 (p0/p1 = last probers + 1; 0 encodes None)
+//! Reply(DCPP)  = 0x03 cp:u32 seq:u64 device:u32 wait_nanos:u64
+//! Bye          = 0x04 device:u32
+//! LeaveNotice  = 0x05 device:u32 reporter:u32
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use presence_core::{
+    Bye, CpId, DeviceId, LeaveNotice, Probe, Reply, ReplyBody, WireMessage,
+};
+use presence_des::SimDuration;
+use std::error::Error;
+use std::fmt;
+
+const TAG_PROBE: u8 = 0x01;
+const TAG_REPLY_SAPP: u8 = 0x02;
+const TAG_REPLY_DCPP: u8 = 0x03;
+const TAG_BYE: u8 = 0x04;
+const TAG_NOTICE: u8 = 0x05;
+
+/// A datagram could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer was shorter than the message layout requires.
+    Truncated,
+    /// The leading tag byte is not a known message type.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "datagram truncated"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag 0x{t:02x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn put_prober(buf: &mut BytesMut, p: Option<CpId>) {
+    buf.put_u32_le(p.map_or(0, |c| c.0 + 1));
+}
+
+fn get_prober(v: u32) -> Option<CpId> {
+    v.checked_sub(1).map(CpId)
+}
+
+/// Encodes a message into a fresh buffer.
+#[must_use]
+pub fn encode(msg: &WireMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(33);
+    match msg {
+        WireMessage::Probe(p) => {
+            buf.put_u8(TAG_PROBE);
+            buf.put_u32_le(p.cp.0);
+            buf.put_u64_le(p.seq);
+        }
+        WireMessage::Reply(r) => match r.body {
+            ReplyBody::Sapp { pc, last_probers } => {
+                buf.put_u8(TAG_REPLY_SAPP);
+                buf.put_u32_le(r.probe.cp.0);
+                buf.put_u64_le(r.probe.seq);
+                buf.put_u32_le(r.device.0);
+                buf.put_u64_le(pc);
+                put_prober(&mut buf, last_probers[0]);
+                put_prober(&mut buf, last_probers[1]);
+            }
+            ReplyBody::Dcpp { wait } => {
+                buf.put_u8(TAG_REPLY_DCPP);
+                buf.put_u32_le(r.probe.cp.0);
+                buf.put_u64_le(r.probe.seq);
+                buf.put_u32_le(r.device.0);
+                buf.put_u64_le(wait.as_nanos());
+            }
+        },
+        WireMessage::Bye(b) => {
+            buf.put_u8(TAG_BYE);
+            buf.put_u32_le(b.device.0);
+        }
+        WireMessage::LeaveNotice(n) => {
+            buf.put_u8(TAG_NOTICE);
+            buf.put_u32_le(n.device.0);
+            buf.put_u32_le(n.reporter.0);
+        }
+    }
+    buf.freeze()
+}
+
+macro_rules! need {
+    ($buf:expr, $n:expr) => {
+        if $buf.remaining() < $n {
+            return Err(DecodeError::Truncated);
+        }
+    };
+}
+
+/// Decodes one datagram.
+pub fn decode(mut buf: &[u8]) -> Result<WireMessage, DecodeError> {
+    need!(buf, 1);
+    let tag = buf.get_u8();
+    match tag {
+        TAG_PROBE => {
+            need!(buf, 12);
+            Ok(WireMessage::Probe(Probe {
+                cp: CpId(buf.get_u32_le()),
+                seq: buf.get_u64_le(),
+            }))
+        }
+        TAG_REPLY_SAPP => {
+            need!(buf, 32);
+            let cp = CpId(buf.get_u32_le());
+            let seq = buf.get_u64_le();
+            let device = DeviceId(buf.get_u32_le());
+            let pc = buf.get_u64_le();
+            let p0 = get_prober(buf.get_u32_le());
+            let p1 = get_prober(buf.get_u32_le());
+            Ok(WireMessage::Reply(Reply {
+                probe: Probe { cp, seq },
+                device,
+                body: ReplyBody::Sapp {
+                    pc,
+                    last_probers: [p0, p1],
+                },
+            }))
+        }
+        TAG_REPLY_DCPP => {
+            need!(buf, 24);
+            let cp = CpId(buf.get_u32_le());
+            let seq = buf.get_u64_le();
+            let device = DeviceId(buf.get_u32_le());
+            let wait = SimDuration::from_nanos(buf.get_u64_le());
+            Ok(WireMessage::Reply(Reply {
+                probe: Probe { cp, seq },
+                device,
+                body: ReplyBody::Dcpp { wait },
+            }))
+        }
+        TAG_BYE => {
+            need!(buf, 4);
+            Ok(WireMessage::Bye(Bye {
+                device: DeviceId(buf.get_u32_le()),
+            }))
+        }
+        TAG_NOTICE => {
+            need!(buf, 8);
+            Ok(WireMessage::LeaveNotice(LeaveNotice {
+                device: DeviceId(buf.get_u32_le()),
+                reporter: CpId(buf.get_u32_le()),
+            }))
+        }
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMessage) {
+        let bytes = encode(&msg);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(back, msg, "roundtrip mismatch");
+    }
+
+    #[test]
+    fn probe_roundtrip() {
+        roundtrip(WireMessage::Probe(Probe {
+            cp: CpId(7),
+            seq: u64::MAX,
+        }));
+    }
+
+    #[test]
+    fn sapp_reply_roundtrip() {
+        roundtrip(WireMessage::Reply(Reply {
+            probe: Probe { cp: CpId(0), seq: 42 },
+            device: DeviceId(3),
+            body: ReplyBody::Sapp {
+                pc: 123_456_789_000,
+                last_probers: [Some(CpId(0)), None],
+            },
+        }));
+        roundtrip(WireMessage::Reply(Reply {
+            probe: Probe { cp: CpId(9), seq: 0 },
+            device: DeviceId(0),
+            body: ReplyBody::Sapp {
+                pc: 0,
+                last_probers: [None, None],
+            },
+        }));
+    }
+
+    #[test]
+    fn dcpp_reply_roundtrip() {
+        roundtrip(WireMessage::Reply(Reply {
+            probe: Probe { cp: CpId(1), seq: 2 },
+            device: DeviceId(0),
+            body: ReplyBody::Dcpp {
+                wait: SimDuration::from_millis(500),
+            },
+        }));
+    }
+
+    #[test]
+    fn bye_and_notice_roundtrip() {
+        roundtrip(WireMessage::Bye(Bye { device: DeviceId(5) }));
+        roundtrip(WireMessage::LeaveNotice(LeaveNotice {
+            device: DeviceId(5),
+            reporter: CpId(2),
+        }));
+    }
+
+    #[test]
+    fn prober_zero_id_distinct_from_none() {
+        // CpId(0) must decode as Some(CpId(0)), not None.
+        let msg = WireMessage::Reply(Reply {
+            probe: Probe { cp: CpId(1), seq: 1 },
+            device: DeviceId(0),
+            body: ReplyBody::Sapp {
+                pc: 1,
+                last_probers: [Some(CpId(0)), Some(CpId(0))],
+            },
+        });
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = encode(&WireMessage::Probe(Probe { cp: CpId(1), seq: 1 }));
+        for n in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..n]),
+                Err(DecodeError::Truncated),
+                "prefix of {n} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode(&[0xff, 0, 0, 0]), Err(DecodeError::UnknownTag(0xff)));
+    }
+
+    #[test]
+    fn probe_is_13_bytes() {
+        let bytes = encode(&WireMessage::Probe(Probe { cp: CpId(1), seq: 1 }));
+        assert_eq!(bytes.len(), 13);
+    }
+
+    #[test]
+    fn error_displays() {
+        assert_eq!(DecodeError::Truncated.to_string(), "datagram truncated");
+        assert!(DecodeError::UnknownTag(0xab).to_string().contains("0xab"));
+    }
+}

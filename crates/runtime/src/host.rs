@@ -1,0 +1,286 @@
+//! Threaded hosts that drive the sans-io machines against a [`Transport`]
+//! and a [`Clock`].
+//!
+//! The device host is a serve loop: receive probe → answer. The CP host is
+//! an event loop with a timer wheel: it executes every [`CpAction`] the
+//! prober emits, sleeping no longer than the next timer deadline. Both
+//! respect a shared stop flag for graceful shutdown.
+
+use crate::clock::Clock;
+use crate::transport::Transport;
+use presence_core::{
+    AbsenceReason, CpAction, DcppConfig, DcppDevice, DeviceId, Prober, TimerToken, WireMessage,
+};
+use presence_core::{SappDevice, SappDeviceConfig};
+use presence_des::SimTime;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cooperative shutdown flag shared between hosts and their controller.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// Creates an unset flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests shutdown.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The device machine a [`run_device`] host serves.
+pub enum DeviceHost {
+    /// A SAPP device.
+    Sapp(SappDevice),
+    /// A DCPP device.
+    Dcpp(DcppDevice),
+}
+
+impl DeviceHost {
+    /// A DCPP device with paper-default configuration.
+    #[must_use]
+    pub fn dcpp_paper(id: DeviceId) -> Self {
+        DeviceHost::Dcpp(DcppDevice::new(id, DcppConfig::paper_default()))
+    }
+
+    /// A SAPP device with paper-default configuration.
+    #[must_use]
+    pub fn sapp_paper(id: DeviceId) -> Self {
+        DeviceHost::Sapp(SappDevice::new(id, SappDeviceConfig::paper_default()))
+    }
+
+    /// Probes answered so far.
+    #[must_use]
+    pub fn probes_received(&self) -> u64 {
+        match self {
+            DeviceHost::Sapp(d) => d.probes_received(),
+            DeviceHost::Dcpp(d) => d.probes_received(),
+        }
+    }
+}
+
+/// Serves probes until the stop flag is raised. Returns the device (with
+/// its final state) for inspection.
+pub fn run_device<T: Transport>(
+    mut device: DeviceHost,
+    mut transport: T,
+    clock: &dyn Clock,
+    stop: &StopFlag,
+) -> DeviceHost {
+    while !stop.is_stopped() {
+        match transport.recv(Duration::from_millis(50)) {
+            Ok(Some(WireMessage::Probe(probe))) => {
+                let now = clock.now();
+                let reply = match &mut device {
+                    DeviceHost::Sapp(d) => d.on_probe(now, probe),
+                    DeviceHost::Dcpp(d) => d.on_probe(now, probe),
+                };
+                // Best-effort: a vanished peer is the prober's problem.
+                let _ = transport.send(&WireMessage::Reply(reply));
+            }
+            Ok(Some(_)) | Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+    device
+}
+
+/// What happened during a CP host run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpOutcome {
+    /// Whether (and when, on the runtime clock) the device was declared
+    /// absent.
+    pub device_absent_at: Option<SimTime>,
+    /// Why, if it was.
+    pub reason: Option<AbsenceReason>,
+    /// Successful probe cycles completed.
+    pub cycles_succeeded: u64,
+    /// Probes sent (including retransmissions).
+    pub probes_sent: u64,
+}
+
+/// Drives a [`Prober`] until it stops (device declared absent) or the stop
+/// flag is raised.
+pub fn run_cp<T: Transport, P: Prober>(
+    mut prober: P,
+    mut transport: T,
+    clock: &dyn Clock,
+    stop: &StopFlag,
+) -> CpOutcome {
+    let mut timers: BTreeMap<TimerToken, SimTime> = BTreeMap::new();
+    let mut outcome = CpOutcome {
+        device_absent_at: None,
+        reason: None,
+        cycles_succeeded: 0,
+        probes_sent: 0,
+    };
+    let mut actions = Vec::new();
+    prober.start(clock.now(), &mut actions);
+
+    loop {
+        // Execute pending actions.
+        for action in actions.drain(..) {
+            match action {
+                CpAction::SendProbe(p) => {
+                    let _ = transport.send(&WireMessage::Probe(p));
+                }
+                CpAction::StartTimer { token, after } => {
+                    timers.insert(token, clock.now() + after);
+                }
+                CpAction::CancelTimer { token } => {
+                    timers.remove(&token);
+                }
+                CpAction::DeviceAbsent { at, reason } => {
+                    outcome.device_absent_at = Some(at);
+                    outcome.reason = Some(reason);
+                }
+            }
+        }
+        if outcome.device_absent_at.is_some() || stop.is_stopped() {
+            break;
+        }
+
+        // Fire due timers.
+        let now = clock.now();
+        let due: Vec<TimerToken> = timers
+            .iter()
+            .filter(|&(_, &at)| at <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut fired = false;
+        for token in due {
+            timers.remove(&token);
+            prober.on_timer(now, token, &mut actions);
+            fired = true;
+        }
+        if fired {
+            continue; // execute the new actions before sleeping
+        }
+
+        // Sleep until the next deadline (bounded so the stop flag is
+        // observed promptly) while listening for messages.
+        let next_deadline = timers.values().min().copied();
+        let wait = match next_deadline {
+            Some(at) => {
+                let gap = at.saturating_since(now).as_secs_f64();
+                Duration::from_secs_f64(gap.clamp(0.0, 0.05))
+            }
+            None => Duration::from_millis(50),
+        };
+        match transport.recv(wait) {
+            Ok(Some(WireMessage::Reply(reply))) => {
+                prober.on_reply(clock.now(), &reply, &mut actions);
+            }
+            Ok(Some(WireMessage::Bye(_))) => {
+                prober.on_bye(clock.now(), &mut actions);
+            }
+            Ok(Some(WireMessage::LeaveNotice(_))) => {
+                prober.on_leave_notice(clock.now(), &mut actions);
+            }
+            Ok(Some(WireMessage::Probe(_))) | Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+
+    let stats = prober.stats();
+    outcome.cycles_succeeded = stats.cycles_succeeded;
+    outcome.probes_sent = stats.probes_sent;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SystemClock;
+    use crate::transport::InMemoryTransport;
+    use presence_core::{CpId, DcppCp};
+    use std::thread;
+
+    #[test]
+    fn dcpp_over_in_memory_transport() {
+        let (cp_side, dev_side) = InMemoryTransport::pair();
+        let stop = StopFlag::new();
+        let clock = SystemClock::new();
+
+        // The wait is DEVICE-controlled, so both sides need the tightened
+        // config for the test to run many cycles in little wall time.
+        let mut cfg = DcppConfig::paper_default();
+        cfg.delta_min = presence_des::SimDuration::from_millis(5);
+        cfg.d_min = presence_des::SimDuration::from_millis(20);
+
+        let dev_stop = stop.clone();
+        let dev_clock = clock.clone();
+        let device = thread::spawn(move || {
+            run_device(
+                DeviceHost::Dcpp(presence_core::DcppDevice::new(DeviceId(0), cfg)),
+                dev_side,
+                &dev_clock,
+                &dev_stop,
+            )
+        });
+
+        let prober = DcppCp::new(CpId(1), cfg);
+
+        let cp_stop = stop.clone();
+        let cp_clock = clock.clone();
+        let cp = thread::spawn(move || run_cp(prober, cp_side, &cp_clock, &cp_stop));
+
+        thread::sleep(Duration::from_millis(400));
+        stop.stop();
+        let outcome = cp.join().unwrap();
+        let device = device.join().unwrap();
+
+        assert!(
+            outcome.cycles_succeeded >= 3,
+            "only {} cycles in 400 ms",
+            outcome.cycles_succeeded
+        );
+        assert!(outcome.device_absent_at.is_none(), "false absence verdict");
+        assert_eq!(device.probes_received(), outcome.probes_sent);
+    }
+
+    #[test]
+    fn cp_declares_absent_when_device_silent() {
+        // No device at all: the CP must reach the verdict in TOF + 3 TOS.
+        let (cp_side, _dev_side) = InMemoryTransport::pair();
+        let stop = StopFlag::new();
+        let clock = SystemClock::new();
+        let prober = DcppCp::new(CpId(1), DcppConfig::paper_default());
+        let outcome = run_cp(prober, cp_side, &clock, &stop);
+        assert!(outcome.device_absent_at.is_some());
+        assert_eq!(outcome.reason, Some(AbsenceReason::ProbeTimeout));
+        assert_eq!(outcome.probes_sent, 4, "initial probe + 3 retransmissions");
+        let at = outcome.device_absent_at.unwrap().as_secs_f64();
+        assert!(
+            at >= 0.085 && at < 0.5,
+            "verdict at {at}s, expected shortly after 85 ms"
+        );
+    }
+
+    #[test]
+    fn stop_flag_interrupts_cp() {
+        let (cp_side, dev_side) = InMemoryTransport::pair();
+        let stop = StopFlag::new();
+        let clock = SystemClock::new();
+        // Keep the device silent but alive so no verdict occurs… actually
+        // without replies the CP would conclude absence; stop it first.
+        stop.stop();
+        let prober = DcppCp::new(CpId(1), DcppConfig::paper_default());
+        let outcome = run_cp(prober, cp_side, &clock, &stop);
+        assert!(outcome.device_absent_at.is_none());
+        drop(dev_side);
+    }
+}

@@ -1,0 +1,212 @@
+//! Message transports: real UDP and an in-memory channel pair.
+//!
+//! Hosts are generic over [`Transport`], so the same device/CP loops run on
+//! loopback UDP (the `udp_live_demo` example), across real networks, or
+//! entirely in memory (tests).
+
+use crate::codec::{decode, encode};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use presence_core::WireMessage;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// A way to exchange wire messages with one peer (or a set of peers, for
+/// the device side).
+pub trait Transport: Send {
+    /// Sends a message. For UDP this is a single datagram.
+    fn send(&mut self, msg: &WireMessage) -> io::Result<()>;
+
+    /// Waits up to `timeout` for the next message. `Ok(None)` means the
+    /// timeout elapsed; undecodable datagrams are skipped silently (a real
+    /// network may deliver garbage).
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<WireMessage>>;
+}
+
+/// UDP transport bound to a local socket, sending to a fixed peer unless
+/// the message itself implies a destination (device replies go back to the
+/// probe's source address).
+pub struct UdpTransport {
+    socket: UdpSocket,
+    /// Destination for outgoing messages.
+    peer: Option<SocketAddr>,
+    /// Remember the source of the last received datagram so a device can
+    /// answer whoever probed it.
+    reply_to_last_sender: bool,
+    last_sender: Option<SocketAddr>,
+    buf: [u8; 256],
+}
+
+impl UdpTransport {
+    /// Binds a CP-style transport: talks to exactly one device at `peer`.
+    pub fn client(bind: &str, peer: SocketAddr) -> io::Result<Self> {
+        let socket = UdpSocket::bind(bind)?;
+        Ok(Self {
+            socket,
+            peer: Some(peer),
+            reply_to_last_sender: false,
+            last_sender: None,
+            buf: [0; 256],
+        })
+    }
+
+    /// Binds a device-style transport: replies to whoever sent the last
+    /// datagram.
+    pub fn server(bind: &str) -> io::Result<Self> {
+        let socket = UdpSocket::bind(bind)?;
+        Ok(Self {
+            socket,
+            peer: None,
+            reply_to_last_sender: true,
+            last_sender: None,
+            buf: [0; 256],
+        })
+    }
+
+    /// The local address the socket bound to (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&mut self, msg: &WireMessage) -> io::Result<()> {
+        let dest = if self.reply_to_last_sender {
+            self.last_sender.or(self.peer)
+        } else {
+            self.peer
+        };
+        let Some(dest) = dest else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "no destination known yet",
+            ));
+        };
+        let bytes = encode(msg);
+        self.socket.send_to(&bytes, dest)?;
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<WireMessage>> {
+        self.socket.set_read_timeout(Some(timeout.max(Duration::from_micros(1))))?;
+        match self.socket.recv_from(&mut self.buf) {
+            Ok((n, from)) => {
+                self.last_sender = Some(from);
+                match decode(&self.buf[..n]) {
+                    Ok(msg) => Ok(Some(msg)),
+                    Err(_) => Ok(None), // garbage datagram: drop
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// One end of an in-memory duplex link.
+pub struct InMemoryTransport {
+    tx: Sender<WireMessage>,
+    rx: Receiver<WireMessage>,
+}
+
+impl InMemoryTransport {
+    /// Creates a connected pair of transports.
+    #[must_use]
+    pub fn pair() -> (InMemoryTransport, InMemoryTransport) {
+        let (a_tx, a_rx) = unbounded();
+        let (b_tx, b_rx) = unbounded();
+        (
+            InMemoryTransport { tx: a_tx, rx: b_rx },
+            InMemoryTransport { tx: b_tx, rx: a_rx },
+        )
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&mut self, msg: &WireMessage) -> io::Result<()> {
+        self.tx
+            .send(*msg)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<WireMessage>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer dropped",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presence_core::{CpId, Probe};
+
+    fn probe(seq: u64) -> WireMessage {
+        WireMessage::Probe(Probe { cp: CpId(1), seq })
+    }
+
+    #[test]
+    fn in_memory_roundtrip() {
+        let (mut a, mut b) = InMemoryTransport::pair();
+        a.send(&probe(1)).unwrap();
+        let got = b.recv(Duration::from_millis(100)).unwrap();
+        assert_eq!(got, Some(probe(1)));
+        // And the other direction.
+        b.send(&probe(2)).unwrap();
+        assert_eq!(a.recv(Duration::from_millis(100)).unwrap(), Some(probe(2)));
+    }
+
+    #[test]
+    fn in_memory_timeout() {
+        let (mut a, _b) = InMemoryTransport::pair();
+        let got = a.recv(Duration::from_millis(10)).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn in_memory_peer_drop_is_error() {
+        let (mut a, b) = InMemoryTransport::pair();
+        drop(b);
+        assert!(a.recv(Duration::from_millis(1)).is_err());
+    }
+
+    #[test]
+    fn udp_loopback_roundtrip() {
+        let mut server = UdpTransport::server("127.0.0.1:0").unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let mut client = UdpTransport::client("127.0.0.1:0", server_addr).unwrap();
+
+        client.send(&probe(7)).unwrap();
+        let got = server.recv(Duration::from_millis(500)).unwrap();
+        assert_eq!(got, Some(probe(7)));
+
+        // The server replies to the last sender without knowing its address
+        // in advance.
+        server.send(&probe(8)).unwrap();
+        let back = client.recv(Duration::from_millis(500)).unwrap();
+        assert_eq!(back, Some(probe(8)));
+    }
+
+    #[test]
+    fn udp_server_without_sender_cannot_send() {
+        let mut server = UdpTransport::server("127.0.0.1:0").unwrap();
+        assert!(server.send(&probe(1)).is_err());
+    }
+
+    #[test]
+    fn udp_recv_times_out() {
+        let mut server = UdpTransport::server("127.0.0.1:0").unwrap();
+        let got = server.recv(Duration::from_millis(20)).unwrap();
+        assert_eq!(got, None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the wire codec: every representable message
+//! round-trips, and no byte mangling can cause a panic (only an error or a
+//! wrong-but-well-formed message).
+
+use presence_core::{Bye, CpId, DeviceId, LeaveNotice, Probe, Reply, ReplyBody, WireMessage};
+use presence_des::SimDuration;
+use presence_runtime::codec::{decode, encode};
+use proptest::prelude::*;
+
+fn any_prober() -> impl Strategy<Value = Option<CpId>> {
+    prop_oneof![
+        Just(None),
+        // u32::MAX would collide with the +1 encoding; the protocol never
+        // allocates it (CP ids are small), and the codec documents the
+        // reserved value implicitly via this bound.
+        (0u32..u32::MAX - 1).prop_map(|v| Some(CpId(v))),
+    ]
+}
+
+fn any_message() -> impl Strategy<Value = WireMessage> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>()).prop_map(|(cp, seq)| {
+            WireMessage::Probe(Probe { cp: CpId(cp), seq })
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any_prober(),
+            any_prober(),
+        )
+            .prop_map(|(cp, seq, dev, pc, p0, p1)| {
+                WireMessage::Reply(Reply {
+                    probe: Probe { cp: CpId(cp), seq },
+                    device: DeviceId(dev),
+                    body: ReplyBody::Sapp {
+                        pc,
+                        last_probers: [p0, p1],
+                    },
+                })
+            }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(
+            |(cp, seq, dev, wait)| {
+                WireMessage::Reply(Reply {
+                    probe: Probe { cp: CpId(cp), seq },
+                    device: DeviceId(dev),
+                    body: ReplyBody::Dcpp {
+                        wait: SimDuration::from_nanos(wait),
+                    },
+                })
+            }
+        ),
+        any::<u32>().prop_map(|d| WireMessage::Bye(Bye { device: DeviceId(d) })),
+        (any::<u32>(), any::<u32>()).prop_map(|(d, r)| {
+            WireMessage::LeaveNotice(LeaveNotice {
+                device: DeviceId(d),
+                reporter: CpId(r),
+            })
+        }),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity for every representable message.
+    #[test]
+    fn roundtrip(msg in any_message()) {
+        let bytes = encode(&msg);
+        let back = decode(&bytes).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Every strict prefix of a valid encoding is rejected as truncated
+    /// (no partial message is ever accepted as complete).
+    #[test]
+    fn prefixes_rejected(msg in any_message()) {
+        let bytes = encode(&msg);
+        for n in 0..bytes.len() {
+            prop_assert!(decode(&bytes[..n]).is_err(), "prefix {n} accepted");
+        }
+    }
+
+    /// Trailing garbage after a complete message is ignored (datagram
+    /// framing supplies the length; extra bytes must not corrupt the
+    /// decoded value).
+    #[test]
+    fn trailing_bytes_ignored(msg in any_message(), extra in prop::collection::vec(any::<u8>(), 1..16)) {
+        let mut bytes = encode(&msg).to_vec();
+        bytes.extend(extra);
+        let back = decode(&bytes).expect("decode with trailing bytes");
+        prop_assert_eq!(back, msg);
+    }
+}

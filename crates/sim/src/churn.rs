@@ -1,0 +1,209 @@
+//! Churn workloads: how the CP population evolves over a run.
+//!
+//! The paper's scenarios map onto these models:
+//!
+//! * §3 steady-state and Figures 2–3: [`ChurnModel::Static`] — `k` CPs
+//!   present throughout.
+//! * Figure 4: [`ChurnModel::BurstLeave`] — 18 of 20 CPs leave at once.
+//! * Figure 5 / §5: [`ChurnModel::UniformResample`] — the active population
+//!   is redrawn from `U{min..max}` at exponentially distributed intervals
+//!   ("this choice is repeated every X time-units, where X is exponentially
+//!   distributed with rate 0.05").
+
+use crate::event::SimEvent;
+use presence_des::{Actor, ActorId, Context, SimDuration, SimTime};
+use presence_stats::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// A population workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnModel {
+    /// All initially active CPs stay for the whole run.
+    Static,
+    /// At time `at`, `leavers` CPs (the highest-indexed active ones) leave
+    /// simultaneously — the Figure 4 workload with `leavers = 18`.
+    BurstLeave {
+        /// When the burst happens (seconds).
+        at: f64,
+        /// How many CPs leave.
+        leavers: u32,
+    },
+    /// Redraw the target population uniformly from `[min, max]` at
+    /// exponentially distributed intervals with the given `rate` — the
+    /// Figure 5 workload with `min = 1`, `max = 60`, `rate = 0.05`.
+    UniformResample {
+        /// Smallest population.
+        min: u32,
+        /// Largest population.
+        max: u32,
+        /// Rate of the exponential inter-resample time (1/mean).
+        rate: f64,
+    },
+}
+
+impl ChurnModel {
+    /// The Figure 5 workload.
+    #[must_use]
+    pub fn paper_fig5() -> Self {
+        ChurnModel::UniformResample {
+            min: 1,
+            max: 60,
+            rate: 0.05,
+        }
+    }
+
+    /// The Figure 4 workload (given 20 CPs initially active).
+    #[must_use]
+    pub fn paper_fig4() -> Self {
+        // The paper shows the leave within the first half of the run; the
+        // exact instant is immaterial as the CPs never recover regardless.
+        ChurnModel::BurstLeave {
+            at: 2_000.0,
+            leavers: 18,
+        }
+    }
+}
+
+/// The actor that drives joins and leaves according to a [`ChurnModel`].
+pub struct ChurnActor {
+    model: ChurnModel,
+    cps: Vec<ActorId>,
+    active: Vec<bool>,
+    /// `(t, population)` step series — Figure 5's second curve.
+    population: TimeSeries,
+    /// How far to stagger the initial joins (avoids the artificial
+    /// lock-step of all CPs starting at exactly t = 0).
+    join_stagger: SimDuration,
+    initially_active: u32,
+}
+
+impl ChurnActor {
+    /// Creates the churn driver for `cps`, of which the first
+    /// `initially_active` join at start (staggered uniformly over
+    /// `join_stagger`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initially_active` exceeds the CP pool.
+    #[must_use]
+    pub fn new(
+        model: ChurnModel,
+        cps: Vec<ActorId>,
+        initially_active: u32,
+        join_stagger: SimDuration,
+    ) -> Self {
+        assert!(
+            (initially_active as usize) <= cps.len(),
+            "more initially active CPs than the pool holds"
+        );
+        let active = vec![false; cps.len()];
+        Self {
+            model,
+            cps,
+            active,
+            population: TimeSeries::new(),
+            join_stagger,
+            initially_active,
+        }
+    }
+
+    /// The `(t, population)` series recorded so far.
+    #[must_use]
+    pub fn population_series(&self) -> &TimeSeries {
+        &self.population
+    }
+
+    fn active_count(&self) -> u32 {
+        self.active.iter().filter(|&&a| a).count() as u32
+    }
+
+    fn record_population(&mut self, now: SimTime) {
+        self.population
+            .push(now.as_secs_f64(), f64::from(self.active_count()));
+    }
+
+    /// Moves the active population to `target` by joining inactive CPs (in
+    /// index order) or leaving active ones (highest index first — matching
+    /// the "18 of 20 leave, CPs 1–2 stay" reading of Figure 4).
+    fn drive_to(&mut self, ctx: &mut Context<'_, SimEvent>, target: u32) {
+        let mut current = self.active_count();
+        while current < target {
+            let Some(idx) = self.active.iter().position(|&a| !a) else {
+                break;
+            };
+            self.active[idx] = true;
+            ctx.send_now(self.cps[idx], SimEvent::Join);
+            current += 1;
+        }
+        while current > target {
+            let Some(idx) = self.active.iter().rposition(|&a| a) else {
+                break;
+            };
+            self.active[idx] = false;
+            ctx.send_now(self.cps[idx], SimEvent::Leave);
+            current -= 1;
+        }
+        self.record_population(ctx.now());
+    }
+}
+
+impl Actor<SimEvent> for ChurnActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, SimEvent>) {
+        // Stagger the initial joins.
+        let n = self.initially_active;
+        for i in 0..n {
+            let idx = i as usize;
+            let offset = if self.join_stagger == SimDuration::ZERO {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(
+                    ctx.rng()
+                        .uniform(0.0, self.join_stagger.as_nanos() as f64) as u64,
+                )
+            };
+            self.active[idx] = true;
+            ctx.schedule_in(offset, self.cps[idx], SimEvent::Join);
+        }
+        self.record_population(ctx.now());
+
+        match self.model {
+            ChurnModel::Static => {}
+            ChurnModel::BurstLeave { at, .. } => {
+                let me = ctx.me();
+                ctx.schedule_at(SimTime::from_secs_f64(at), me, SimEvent::ResampleChurn);
+            }
+            ChurnModel::UniformResample { rate, .. } => {
+                let wait = ctx.rng().exponential(rate);
+                let me = ctx.me();
+                ctx.schedule_in(SimDuration::from_secs_f64(wait), me, SimEvent::ResampleChurn);
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
+        match event {
+            SimEvent::ResampleChurn => match self.model {
+                ChurnModel::Static => {}
+                ChurnModel::BurstLeave { leavers, .. } => {
+                    let target = self.active_count().saturating_sub(leavers);
+                    self.drive_to(ctx, target);
+                }
+                ChurnModel::UniformResample { min, max, rate } => {
+                    let target = ctx.rng().uniform_inclusive_u64(u64::from(min), u64::from(max))
+                        as u32;
+                    self.drive_to(ctx, target.min(self.cps.len() as u32));
+                    let wait = ctx.rng().exponential(rate);
+                    let me = ctx.me();
+                    ctx.schedule_in(
+                        SimDuration::from_secs_f64(wait),
+                        me,
+                        SimEvent::ResampleChurn,
+                    );
+                }
+            },
+            other => {
+                debug_assert!(false, "churn actor got unexpected event {other:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The control-point actor: wraps a [`Prober`] state machine, executes its
+//! actions against the simulated network and timer service, records the
+//! per-CP delay/frequency series behind Figures 2–4, and (optionally) runs
+//! the overlay dissemination of leave notices.
+
+use crate::event::{Addr, SimEvent};
+use presence_core::{
+    CpAction, CpId, CpStats, DcppConfig, DcppCp, Disseminator, FixedRateCp, LeaveNotice,
+    NoticeDisposition, OverlayView, Prober, ProbeCycleConfig, Reply, ReplyBody, SappConfig,
+    SappCp, TimerToken, WireMessage,
+};
+use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime};
+use presence_stats::{TimeSeries, Welford};
+use std::collections::HashMap;
+
+/// Factory for the prober machine a CP (re-)creates each time it joins.
+#[derive(Debug, Clone)]
+pub enum ProberFactory {
+    /// Build SAPP CPs with this configuration.
+    Sapp(SappConfig),
+    /// Build DCPP CPs with this configuration.
+    Dcpp(DcppConfig),
+    /// Build fixed-rate baseline CPs with this cycle config and period.
+    FixedRate(ProbeCycleConfig, SimDuration),
+}
+
+impl ProberFactory {
+    fn build(&self, id: CpId) -> Box<dyn Prober + Send> {
+        match self {
+            ProberFactory::Sapp(cfg) => Box::new(SappCp::new(id, *cfg)),
+            ProberFactory::Dcpp(cfg) => Box::new(DcppCp::new(id, *cfg)),
+            ProberFactory::FixedRate(cycle, period) => {
+                Box::new(FixedRateCp::new(id, *cycle, *period))
+            }
+        }
+    }
+}
+
+/// Everything a finished run wants to know about one CP.
+#[derive(Debug, Clone)]
+pub struct CpRecord {
+    /// The CP's identity.
+    pub id: CpId,
+    /// `(t, 1/δ)` samples — one per completed probe cycle (the exact series
+    /// plotted in Figures 2–4).
+    pub frequency_series: TimeSeries,
+    /// Welford accumulator over the per-cycle delay δ (seconds).
+    pub delay_stats: Welford,
+    /// Probe-cycle statistics accumulated over all sessions.
+    pub stats: CpStats,
+    /// When this CP declared the device absent, if it did.
+    pub detected_absent_at: Option<SimTime>,
+    /// Number of times this CP joined the network.
+    pub joins: u64,
+    /// Leave notices forwarded by this CP.
+    pub notices_forwarded: u64,
+}
+
+/// The simulated control-point node.
+pub struct CpActor {
+    id: CpId,
+    factory: ProberFactory,
+    network: ActorId,
+    device: presence_core::DeviceId,
+    prober: Option<Box<dyn Prober + Send>>,
+    timers: HashMap<TimerToken, EventHandle>,
+    /// Dissemination state (only consulted when `disseminate` is set).
+    disseminate: bool,
+    overlay: OverlayView,
+    gossip: Disseminator,
+    record: CpRecord,
+    active: bool,
+}
+
+impl CpActor {
+    /// Creates an (initially inactive) CP actor. Send it [`SimEvent::Join`]
+    /// to bring it online.
+    #[must_use]
+    pub fn new(
+        id: CpId,
+        factory: ProberFactory,
+        network: ActorId,
+        device: presence_core::DeviceId,
+        disseminate: bool,
+    ) -> Self {
+        Self {
+            id,
+            factory,
+            network,
+            device,
+            prober: None,
+            timers: HashMap::new(),
+            disseminate,
+            overlay: OverlayView::new(id),
+            gossip: Disseminator::new(id),
+            record: CpRecord {
+                id,
+                frequency_series: TimeSeries::new(),
+                delay_stats: Welford::new(),
+                stats: CpStats::default(),
+                detected_absent_at: None,
+                joins: 0,
+                notices_forwarded: 0,
+            },
+            active: false,
+        }
+    }
+
+    /// The CP's identity.
+    #[must_use]
+    pub fn id(&self) -> CpId {
+        self.id
+    }
+
+    /// Whether the CP is currently probing.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// A snapshot of the per-CP record, including the statistics of the
+    /// session currently in progress (if any).
+    #[must_use]
+    pub fn record_snapshot(&self) -> CpRecord {
+        let mut rec = self.record.clone();
+        if let Some(p) = &self.prober {
+            let s = p.stats();
+            rec.stats.probes_sent += s.probes_sent;
+            rec.stats.cycles_started += s.cycles_started;
+            rec.stats.cycles_succeeded += s.cycles_succeeded;
+            rec.stats.cycles_failed += s.cycles_failed;
+            rec.stats.stale_replies += s.stale_replies;
+            rec.stats.retransmissions += s.retransmissions;
+        }
+        rec
+    }
+
+    /// The overlay view (peers learned from replies).
+    #[must_use]
+    pub fn overlay(&self) -> &OverlayView {
+        &self.overlay
+    }
+
+    fn accumulate_session_stats(&mut self) {
+        if let Some(p) = &self.prober {
+            let s = p.stats();
+            self.record.stats.probes_sent += s.probes_sent;
+            self.record.stats.cycles_started += s.cycles_started;
+            self.record.stats.cycles_succeeded += s.cycles_succeeded;
+            self.record.stats.cycles_failed += s.cycles_failed;
+            self.record.stats.stale_replies += s.stale_replies;
+            self.record.stats.retransmissions += s.retransmissions;
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Context<'_, SimEvent>, actions: Vec<CpAction>) {
+        for action in actions {
+            match action {
+                CpAction::SendProbe(probe) => {
+                    let device = self.device;
+                    ctx.send_now(
+                        self.network,
+                        SimEvent::Send {
+                            to: Addr::Device(device),
+                            msg: WireMessage::Probe(probe),
+                        },
+                    );
+                }
+                CpAction::StartTimer { token, after } => {
+                    let me = ctx.me();
+                    let handle = ctx.schedule_in(after, me, SimEvent::Timer(token));
+                    self.timers.insert(token, handle);
+                }
+                CpAction::CancelTimer { token } => {
+                    if let Some(handle) = self.timers.remove(&token) {
+                        ctx.cancel(handle);
+                    }
+                }
+                CpAction::DeviceAbsent { at, .. } => {
+                    if self.record.detected_absent_at.is_none() {
+                        self.record.detected_absent_at = Some(at);
+                    }
+                    if self.disseminate {
+                        let device = self.device;
+                        let notices = self.gossip.on_local_detection(device, &self.overlay);
+                        self.record.notices_forwarded += notices.len() as u64;
+                        for (peer, notice) in notices {
+                            ctx.send_now(
+                                self.network,
+                                SimEvent::Send {
+                                    to: Addr::Cp(peer),
+                                    msg: WireMessage::LeaveNotice(notice),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn sample_delay(&mut self, now: SimTime) {
+        if let Some(p) = &self.prober {
+            if let Some(delay) = p.current_delay() {
+                let d = delay.as_secs_f64();
+                self.record
+                    .frequency_series
+                    .push(now.as_secs_f64(), 1.0 / d);
+                self.record.delay_stats.push(d);
+            }
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut Context<'_, SimEvent>, reply: Reply) {
+        let Some(prober) = self.prober.as_mut() else {
+            return;
+        };
+        if let ReplyBody::Sapp { last_probers, .. } = reply.body {
+            self.overlay.observe(last_probers);
+        }
+        let mut out = Vec::new();
+        let before = prober.stats().cycles_succeeded;
+        prober.on_reply(ctx.now(), &reply, &mut out);
+        let completed = prober.stats().cycles_succeeded > before;
+        self.execute(ctx, out);
+        if completed {
+            self.sample_delay(ctx.now());
+        }
+    }
+
+    fn on_notice(&mut self, ctx: &mut Context<'_, SimEvent>, notice: LeaveNotice) {
+        let disposition = self.gossip.on_notice(notice, &self.overlay);
+        if let NoticeDisposition::Fresh { forward_to } = disposition {
+            if let Some(prober) = self.prober.as_mut() {
+                let mut out = Vec::new();
+                prober.on_leave_notice(ctx.now(), &mut out);
+                self.execute(ctx, out);
+            }
+            if self.disseminate {
+                let restamped = LeaveNotice {
+                    device: notice.device,
+                    reporter: self.id,
+                };
+                self.record.notices_forwarded += forward_to.len() as u64;
+                for peer in forward_to {
+                    ctx.send_now(
+                        self.network,
+                        SimEvent::Send {
+                            to: Addr::Cp(peer),
+                            msg: WireMessage::LeaveNotice(restamped),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn leave(&mut self, ctx: &mut Context<'_, SimEvent>) {
+        self.accumulate_session_stats();
+        self.prober = None;
+        self.active = false;
+        for (_, handle) in self.timers.drain() {
+            ctx.cancel(handle);
+        }
+    }
+}
+
+impl Actor<SimEvent> for CpActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
+        match event {
+            SimEvent::Join => {
+                if self.active {
+                    return;
+                }
+                self.active = true;
+                self.record.joins += 1;
+                let mut prober = self.factory.build(self.id);
+                let mut out = Vec::new();
+                prober.start(ctx.now(), &mut out);
+                self.prober = Some(prober);
+                self.execute(ctx, out);
+                // SAPP and fixed-rate CPs know their delay from the start;
+                // record it so the frequency series covers the whole session.
+                self.sample_delay(ctx.now());
+            }
+            SimEvent::Leave => {
+                if self.active {
+                    self.leave(ctx);
+                }
+            }
+            SimEvent::Timer(token) => {
+                // A timer for a past session may fire after a leave/join;
+                // only current-session timers are in the map.
+                if self.timers.remove(&token).is_none() {
+                    return;
+                }
+                let Some(prober) = self.prober.as_mut() else {
+                    return;
+                };
+                let mut out = Vec::new();
+                prober.on_timer(ctx.now(), token, &mut out);
+                self.execute(ctx, out);
+            }
+            SimEvent::Deliver(WireMessage::Reply(reply)) => {
+                self.on_reply(ctx, reply);
+            }
+            SimEvent::Deliver(WireMessage::Bye(_)) => {
+                if let Some(prober) = self.prober.as_mut() {
+                    let mut out = Vec::new();
+                    prober.on_bye(ctx.now(), &mut out);
+                    self.execute(ctx, out);
+                }
+            }
+            SimEvent::Deliver(WireMessage::LeaveNotice(notice)) => {
+                self.on_notice(ctx, notice);
+            }
+            SimEvent::Deliver(WireMessage::Probe(_)) => {
+                // CPs are not probed; ignore.
+            }
+            other => {
+                debug_assert!(false, "cp actor got unexpected event {other:?}");
+            }
+        }
+    }
+}

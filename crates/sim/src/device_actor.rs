@@ -1,0 +1,257 @@
+//! The device actor: wraps a device state machine (SAPP or DCPP), models
+//! the device's computation time, and records the load series the paper
+//! plots.
+
+use crate::event::{Addr, SimEvent};
+use presence_core::{
+    AutoTuner, Bye, DcppDevice, DeviceId, Probe, Reply, SappDevice, TuneDecision, WireMessage,
+};
+use presence_des::{Actor, ActorId, Context, SimDuration, SimTime, StreamRng};
+use presence_stats::{JumpingWindowRate, TimeSeries};
+
+/// How long the device takes to process a probe before the reply leaves.
+///
+/// The paper's timeout derivation assumes a maximal computation time
+/// `C_max = 20 ms`; we default to a uniform draw over `[1 ms, 20 ms]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessingModel {
+    /// Minimum processing time.
+    pub min: SimDuration,
+    /// Maximum processing time.
+    pub max: SimDuration,
+}
+
+impl ProcessingModel {
+    /// The default consistent with the paper's `TOF`/`TOS` constants.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            min: SimDuration::from_millis(1),
+            max: SimDuration::from_millis(20),
+        }
+    }
+
+    /// A fixed processing time.
+    #[must_use]
+    pub fn constant(d: SimDuration) -> Self {
+        Self { min: d, max: d }
+    }
+
+    fn sample(&self, rng: &mut StreamRng) -> SimDuration {
+        if self.min == self.max {
+            self.min
+        } else {
+            SimDuration::from_nanos(
+                rng.uniform(self.min.as_nanos() as f64, self.max.as_nanos() as f64) as u64,
+            )
+        }
+    }
+}
+
+/// The concrete device state machine a [`DeviceActor`] hosts.
+#[derive(Debug, Clone)]
+pub enum DeviceMachine {
+    /// A self-adaptive-protocol device.
+    Sapp(SappDevice),
+    /// A device-controlled-protocol device.
+    Dcpp(DcppDevice),
+}
+
+impl DeviceMachine {
+    fn on_probe(&mut self, now: SimTime, probe: Probe) -> Reply {
+        match self {
+            DeviceMachine::Sapp(d) => d.on_probe(now, probe),
+            DeviceMachine::Dcpp(d) => d.on_probe(now, probe),
+        }
+    }
+
+    /// The device identity.
+    #[must_use]
+    pub fn id(&self) -> DeviceId {
+        match self {
+            DeviceMachine::Sapp(d) => d.id(),
+            DeviceMachine::Dcpp(d) => d.id(),
+        }
+    }
+
+    /// Total probes answered.
+    #[must_use]
+    pub fn probes_received(&self) -> u64 {
+        match self {
+            DeviceMachine::Sapp(d) => d.probes_received(),
+            DeviceMachine::Dcpp(d) => d.probes_received(),
+        }
+    }
+}
+
+/// The simulated device node.
+pub struct DeviceActor {
+    machine: DeviceMachine,
+    network: ActorId,
+    processing: ProcessingModel,
+    /// Optional device-side Δ auto-tuner (SAPP only; see
+    /// [`presence_core::AutoTuner`]).
+    tuner: Option<AutoTuner>,
+    alive: bool,
+    /// Probes-per-second series in jumping windows (Figure 5's load curve).
+    load: JumpingWindowRate,
+    /// Probe arrival timestamps (seconds) — kept for summary statistics.
+    arrivals: TimeSeries,
+    stopped_at: Option<SimTime>,
+}
+
+impl DeviceActor {
+    /// Creates a device actor.
+    ///
+    /// `load_window` is the width (seconds) of the jumping windows used for
+    /// the load series; the paper's Figure 5 resolution is a few seconds.
+    #[must_use]
+    pub fn new(
+        machine: DeviceMachine,
+        network: ActorId,
+        processing: ProcessingModel,
+        load_window: f64,
+    ) -> Self {
+        Self {
+            machine,
+            network,
+            processing,
+            tuner: None,
+            alive: true,
+            load: JumpingWindowRate::new(0.0, load_window),
+            arrivals: TimeSeries::new(),
+            stopped_at: None,
+        }
+    }
+
+    /// Installs a device-side Δ auto-tuner (meaningful for SAPP devices;
+    /// ignored by DCPP, whose load control is inherent).
+    pub fn set_tuner(&mut self, tuner: AutoTuner) {
+        self.tuner = Some(tuner);
+    }
+
+    /// The installed tuner, if any.
+    #[must_use]
+    pub fn tuner(&self) -> Option<&AutoTuner> {
+        self.tuner.as_ref()
+    }
+
+    /// Whether the device is still answering probes.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// When the device crashed or left, if it did.
+    #[must_use]
+    pub fn stopped_at(&self) -> Option<SimTime> {
+        self.stopped_at
+    }
+
+    /// Total probes answered.
+    #[must_use]
+    pub fn probes_received(&self) -> u64 {
+        self.machine.probes_received()
+    }
+
+    /// The hosted state machine (for protocol-specific inspection).
+    #[must_use]
+    pub fn machine(&self) -> &DeviceMachine {
+        &self.machine
+    }
+
+    /// Flushes load windows up to `now` and returns the full series of
+    /// `(window_start, probes_per_second)` points.
+    #[must_use]
+    pub fn load_series_until(&mut self, now: SimTime) -> Vec<(f64, f64)> {
+        self.load.advance_to(now.as_secs_f64());
+        self.load.series().to_vec()
+    }
+
+    /// Probe arrival timestamps.
+    #[must_use]
+    pub fn arrivals(&self) -> &TimeSeries {
+        &self.arrivals
+    }
+}
+
+impl Actor<SimEvent> for DeviceActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
+        match event {
+            SimEvent::Deliver(WireMessage::Probe(probe)) => {
+                if !self.alive {
+                    return;
+                }
+                let now = ctx.now();
+                self.load.record(now.as_secs_f64());
+                self.arrivals.push(now.as_secs_f64(), 1.0);
+                if let (Some(tuner), DeviceMachine::Sapp(dev)) =
+                    (self.tuner.as_mut(), &mut self.machine)
+                {
+                    match tuner.on_probe(now) {
+                        TuneDecision::Doubled => dev.double_delta(),
+                        TuneDecision::Halved => {
+                            // Halve by retuning l_nom back toward base:
+                            // Δ = base Δ · multiplier.
+                            let base = dev.l_nom();
+                            dev.set_l_nom(base); // recompute Δ from l_nom…
+                            for _ in 1..tuner.multiplier() {
+                                dev.double_delta();
+                            }
+                        }
+                        TuneDecision::Hold => {}
+                    }
+                }
+                let reply = self.machine.on_probe(now, probe);
+                let delay = self.processing.sample(ctx.rng());
+                let me = ctx.me();
+                ctx.schedule_in(delay, me, SimEvent::EmitReply(WireMessage::Reply(reply)));
+            }
+            SimEvent::EmitReply(msg) => {
+                if !self.alive {
+                    return;
+                }
+                if let WireMessage::Reply(reply) = msg {
+                    ctx.send_now(
+                        self.network,
+                        SimEvent::Send {
+                            to: Addr::Cp(reply.probe.cp),
+                            msg,
+                        },
+                    );
+                }
+            }
+            SimEvent::Crash => {
+                if self.alive {
+                    self.alive = false;
+                    self.stopped_at = Some(ctx.now());
+                }
+            }
+            SimEvent::GracefulLeave => {
+                if self.alive {
+                    self.alive = false;
+                    self.stopped_at = Some(ctx.now());
+                    ctx.send_now(
+                        self.network,
+                        SimEvent::Broadcast {
+                            msg: WireMessage::Bye(Bye {
+                                device: self.machine.id(),
+                            }),
+                        },
+                    );
+                }
+            }
+            SimEvent::DoubleDelta => {
+                if let DeviceMachine::Sapp(d) = &mut self.machine {
+                    d.double_delta();
+                }
+            }
+            SimEvent::Deliver(_) => {
+                // Devices ignore non-probe traffic.
+            }
+            other => {
+                debug_assert!(false, "device actor got unexpected event {other:?}");
+            }
+        }
+    }
+}

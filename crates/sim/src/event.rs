@@ -1,0 +1,58 @@
+//! The event vocabulary shared by all simulation actors.
+
+use presence_core::{CpId, DeviceId, TimerToken, WireMessage};
+
+/// Network-level address of a node actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Addr {
+    /// A control point.
+    Cp(CpId),
+    /// A device.
+    Device(DeviceId),
+}
+
+/// Everything that can be scheduled in a presence simulation.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// (to the network actor) Admit `msg` for unicast delivery to `to`.
+    Send {
+        /// Destination address.
+        to: Addr,
+        /// The message.
+        msg: WireMessage,
+    },
+    /// (to the network actor) Admit `msg` for delivery to every registered
+    /// CP (a device's Bye multicast).
+    Broadcast {
+        /// The message.
+        msg: WireMessage,
+    },
+    /// (network actor to itself) A previously admitted message completes
+    /// its transit and must now be handed to `to`.
+    InTransit {
+        /// Destination address.
+        to: Addr,
+        /// The message.
+        msg: WireMessage,
+    },
+    /// (to a node actor) A message arrives from the network.
+    Deliver(WireMessage),
+    /// (to a device actor, from itself) Processing of a probe finished;
+    /// emit the prepared reply.
+    EmitReply(WireMessage),
+    /// (to a node actor) A protocol timer fired.
+    Timer(TimerToken),
+    /// (to a CP actor) Join the network and start probing.
+    Join,
+    /// (to a CP actor) Leave the network silently (stop probing).
+    Leave,
+    /// (to a device actor) Crash: stop answering, without a Bye.
+    Crash,
+    /// (to a device actor) Leave gracefully: broadcast a Bye, stop
+    /// answering.
+    GracefulLeave,
+    /// (to the churn actor) Resample the target CP population.
+    ResampleChurn,
+    /// (to a device actor, SAPP Δ-retuning ablation) Multiply Δ by two.
+    DoubleDelta,
+}

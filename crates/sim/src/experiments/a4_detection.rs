@@ -1,0 +1,262 @@
+//! A4 — absence-detection latency across designs.
+//!
+//! The paper's requirement: "the absence of nodes should be detected
+//! quickly (e.g., in the order of one second) while avoiding to overload
+//! nodes". This preset crashes the device mid-run and measures, per CP,
+//! the time from crash to verdict under SAPP and DCPP (with and without
+//! loss), and contrasts the pull-probe designs with the push baselines
+//! (plain heartbeat timeout and φ-accrual).
+//!
+//! Probe protocols pay `δ` (the probing interval in force) plus the
+//! `TOF + 3·TOS = 85 ms` verdict; push designs pay a multiple of the
+//! heartbeat interval.
+
+use crate::{LossKind, Protocol, Scenario, ScenarioConfig};
+use presence_core::{
+    DeviceId, HeartbeatDevice, HeartbeatMonitor, PhiAccrualDetector, PhiConfig,
+};
+use presence_des::{SimDuration, SimTime, StreamRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Latency statistics for one detector configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A4Row {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Mean detection latency (seconds) across monitors.
+    pub mean_latency: f64,
+    /// Worst detection latency.
+    pub max_latency: f64,
+    /// Best detection latency.
+    pub min_latency: f64,
+    /// Monitors that detected / total monitors.
+    pub detected: (usize, usize),
+}
+
+/// The detection-latency comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A4Report {
+    /// One row per configuration.
+    pub rows: Vec<A4Row>,
+    /// When the device crashed (seconds into the run).
+    pub crash_at: f64,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl fmt::Display for A4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "A4 — detection latency after a silent crash at t = {:.0} s (seed {})", self.crash_at, self.seed)?;
+        writeln!(
+            f,
+            "  {:<34} {:>8} {:>8} {:>8} {:>9}",
+            "configuration", "mean", "min", "max", "detected"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<34} {:>7.3}s {:>7.3}s {:>7.3}s {:>5}/{:<3}",
+                r.label, r.mean_latency, r.min_latency, r.max_latency, r.detected.0, r.detected.1
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn probe_latencies(
+    protocol: Protocol,
+    loss: LossKind,
+    label: &str,
+    k: u32,
+    crash_at: f64,
+    seed: u64,
+) -> A4Row {
+    let mut cfg = ScenarioConfig::paper_defaults(protocol, k, crash_at + 60.0, seed);
+    cfg.loss = loss;
+    let mut scenario = Scenario::build(cfg);
+    scenario.crash_device_at(crash_at);
+    scenario.run();
+    let result = scenario.collect();
+
+    let latencies: Vec<f64> = result
+        .cps
+        .iter()
+        .filter_map(|c| c.detected_absent_at)
+        .map(|t| t - crash_at)
+        .collect();
+    summarize(label, &latencies, result.cps.len())
+}
+
+fn summarize(label: &str, latencies: &[f64], total: usize) -> A4Row {
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let min = latencies.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    A4Row {
+        label: label.to_string(),
+        mean_latency: mean,
+        max_latency: max,
+        min_latency: min,
+        detected: (latencies.len(), total),
+    }
+}
+
+/// Simulates `k` independent heartbeat monitors (interval `hb_interval`,
+/// timeout 3×interval) against a device that crashes at `crash_at`.
+fn heartbeat_latencies(k: u32, hb_interval: f64, crash_at: f64, seed: u64) -> A4Row {
+    let mut latencies = Vec::new();
+    let mut rng = StreamRng::new(seed, 0xbea7);
+    for m in 0..k {
+        // Each monitor's stream starts at a random phase.
+        let phase = rng.uniform(0.0, hb_interval);
+        let mut device = HeartbeatDevice::new(
+            DeviceId(0),
+            SimTime::from_secs_f64(phase),
+            SimDuration::from_secs_f64(hb_interval),
+        );
+        let mut monitor = HeartbeatMonitor::new(
+            DeviceId(0),
+            SimDuration::from_secs_f64(3.0 * hb_interval),
+        );
+        // Deliver beats until the crash.
+        loop {
+            let at = device.next_heartbeat_at();
+            if at.as_secs_f64() > crash_at {
+                break;
+            }
+            let hb = device.emit(at);
+            monitor.on_heartbeat(at, hb);
+        }
+        let deadline = monitor
+            .suspicion_deadline()
+            .unwrap_or_else(|| panic!("monitor {m} never synchronised"));
+        latencies.push(deadline.as_secs_f64() - crash_at);
+    }
+    summarize(
+        &format!("heartbeat (T = {hb_interval}s, 3T timeout)"),
+        &latencies,
+        k as usize,
+    )
+}
+
+/// Simulates `k` φ-accrual detectors fed with slightly jittered heartbeats.
+fn phi_latencies(k: u32, hb_interval: f64, crash_at: f64, seed: u64) -> A4Row {
+    let mut latencies = Vec::new();
+    let mut rng = StreamRng::new(seed, 0x9a11);
+    for _ in 0..k {
+        let mut det = PhiAccrualDetector::new(DeviceId(0), PhiConfig::default());
+        let mut t = rng.uniform(0.0, hb_interval);
+        while t <= crash_at {
+            det.on_arrival(SimTime::from_secs_f64(t));
+            t += hb_interval * rng.uniform(0.9, 1.1);
+        }
+        // Scan forward for the phi threshold crossing.
+        let mut probe_t = crash_at;
+        let latency = loop {
+            probe_t += 0.01;
+            if det.is_suspected(SimTime::from_secs_f64(probe_t)) {
+                break probe_t - crash_at;
+            }
+            if probe_t > crash_at + 100.0 {
+                break f64::NAN;
+            }
+        };
+        if latency.is_finite() {
+            latencies.push(latency);
+        }
+    }
+    summarize(
+        &format!("phi-accrual (T = {hb_interval}s, phi > 8)"),
+        &latencies,
+        k as usize,
+    )
+}
+
+/// Runs the full detection-latency comparison with `k` monitors per
+/// configuration.
+#[must_use]
+pub fn a4_detection_latency(k: u32, crash_at: f64, seed: u64) -> A4Report {
+    let rows = vec![
+        probe_latencies(
+            Protocol::dcpp_paper(),
+            LossKind::None,
+            "DCPP probe (lossless)",
+            k,
+            crash_at,
+            seed,
+        ),
+        probe_latencies(
+            Protocol::dcpp_paper(),
+            LossKind::Bernoulli(0.05),
+            "DCPP probe (5% loss)",
+            k,
+            crash_at,
+            seed,
+        ),
+        probe_latencies(
+            Protocol::sapp_paper(),
+            LossKind::None,
+            "SAPP probe (lossless)",
+            k,
+            crash_at,
+            seed,
+        ),
+        heartbeat_latencies(k, 1.0, crash_at, seed),
+        phi_latencies(k, 1.0, crash_at, seed),
+    ];
+    A4Report {
+        rows,
+        crash_at,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a4_all_configs_detect() {
+        let r = a4_detection_latency(5, 120.0, 3);
+        for row in &r.rows {
+            assert_eq!(
+                row.detected.0, row.detected.1,
+                "{}: only {}/{} detected",
+                row.label, row.detected.0, row.detected.1
+            );
+            assert!(row.mean_latency > 0.0, "{}", row.label);
+        }
+    }
+
+    #[test]
+    fn a4_dcpp_latency_bounded_by_wait_plus_verdict() {
+        let r = a4_detection_latency(5, 120.0, 3);
+        let dcpp = &r.rows[0];
+        // Worst case: the CP just started its d_min..(k·δ_min) wait when the
+        // crash hit, plus the 85 ms verdict. With 5 CPs the assigned wait is
+        // ~max(d_min, 5·δ_min) = 0.5 s.
+        assert!(
+            dcpp.max_latency < 2.0,
+            "DCPP max latency {}",
+            dcpp.max_latency
+        );
+    }
+
+    #[test]
+    fn a4_probe_beats_heartbeat() {
+        let r = a4_detection_latency(5, 120.0, 3);
+        let dcpp = r.rows[0].mean_latency;
+        let hb = r.rows[3].mean_latency;
+        assert!(
+            dcpp < hb,
+            "probe protocols should detect faster than 3T heartbeats: {dcpp} vs {hb}"
+        );
+    }
+
+    #[test]
+    fn a4_renders() {
+        let r = a4_detection_latency(2, 60.0, 1);
+        assert!(r.to_string().contains("A4"));
+        assert_eq!(r.rows.len(), 5);
+    }
+}

@@ -1,0 +1,137 @@
+//! A6 — the dissemination phase the paper defers (extension).
+//!
+//! SAPP builds a CP overlay from the device's last-two-probers field so
+//! that "on detecting the absence of a device, the CP uses this overlay
+//! network to inform all CPs about the leave of the device rapidly. This
+//! information dissemination phase of the protocol is not considered in
+//! this paper." We implement it (gossip flood with duplicate suppression,
+//! `presence-core::Disseminator`) and measure what the paper left open:
+//! how much faster does the *last* CP learn of a departure with gossip
+//! than by waiting for its own probe cycle to fail?
+
+use crate::{Protocol, Scenario, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One arm (gossip on/off) of the dissemination comparison.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct A6Arm {
+    /// Whether dissemination was enabled.
+    pub disseminate: bool,
+    /// Mean detection latency across CPs (seconds after the crash).
+    pub mean_latency: f64,
+    /// Worst (last-CP) detection latency.
+    pub max_latency: f64,
+    /// CPs that learned of the departure.
+    pub detected: usize,
+    /// Total leave notices sent over the overlay.
+    pub notices_sent: u64,
+}
+
+/// The dissemination comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A6Report {
+    /// Without gossip: every CP waits for its own probe failure.
+    pub plain: A6Arm,
+    /// With gossip over the last-two-probers overlay.
+    pub gossip: A6Arm,
+    /// CP population.
+    pub k: u32,
+    /// When the device crashed.
+    pub crash_at: f64,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl fmt::Display for A6Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "A6 — leave-notice dissemination over the SAPP overlay (k = {}, crash at {:.0} s, seed {})",
+            self.k, self.crash_at, self.seed
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>10} {:>10} {:>9} {:>9}",
+            "arm", "mean", "worst", "detected", "notices"
+        )?;
+        for arm in [&self.plain, &self.gossip] {
+            writeln!(
+                f,
+                "  {:<22} {:>9.3}s {:>9.3}s {:>6}/{:<2} {:>9}",
+                if arm.disseminate { "gossip (overlay)" } else { "probe-timeout only" },
+                arm.mean_latency,
+                arm.max_latency,
+                arm.detected,
+                self.k,
+                arm.notices_sent
+            )?;
+        }
+        writeln!(
+            f,
+            "  worst-case speed-up: {:.1}×",
+            self.plain.max_latency / self.gossip.max_latency.max(1e-9)
+        )
+    }
+}
+
+fn arm(disseminate: bool, k: u32, crash_at: f64, seed: u64) -> A6Arm {
+    let mut cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), k, crash_at + 60.0, seed);
+    cfg.disseminate = disseminate;
+    let mut scenario = Scenario::build(cfg);
+    scenario.crash_device_at(crash_at);
+    scenario.run();
+    let result = scenario.collect();
+    let latencies: Vec<f64> = result
+        .cps
+        .iter()
+        .filter_map(|c| c.detected_absent_at)
+        .map(|t| t - crash_at)
+        .collect();
+    A6Arm {
+        disseminate,
+        mean_latency: latencies.iter().sum::<f64>() / latencies.len().max(1) as f64,
+        max_latency: latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        detected: latencies.len(),
+        notices_sent: result.cps.iter().map(|c| c.notices_forwarded).sum(),
+    }
+}
+
+/// Runs the dissemination comparison: `k` SAPP CPs, device crashes at
+/// `crash_at` (late enough that the CPs' δ values have spread out).
+#[must_use]
+pub fn a6_dissemination(k: u32, crash_at: f64, seed: u64) -> A6Report {
+    A6Report {
+        plain: arm(false, k, crash_at, seed),
+        gossip: arm(true, k, crash_at, seed),
+        k,
+        crash_at,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a6_gossip_never_hurts_and_sends_notices() {
+        let r = a6_dissemination(20, 2_000.0, 13);
+        assert_eq!(r.plain.detected, 20);
+        assert_eq!(r.gossip.detected, 20);
+        assert!(r.gossip.notices_sent > 0, "gossip arm sent no notices");
+        assert_eq!(r.plain.notices_sent, 0, "plain arm must not gossip");
+        assert!(
+            r.gossip.max_latency <= r.plain.max_latency + 1e-9,
+            "gossip regressed worst-case latency: {} vs {}",
+            r.gossip.max_latency,
+            r.plain.max_latency
+        );
+    }
+
+    #[test]
+    fn a6_renders() {
+        let r = a6_dissemination(5, 200.0, 1);
+        assert!(r.to_string().contains("A6"));
+    }
+}

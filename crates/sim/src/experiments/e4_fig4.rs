@@ -1,0 +1,72 @@
+//! E4 — Figure 4: 18 of 20 CPs leave simultaneously.
+//!
+//! The paper: "Whereas in a static scenario with just two CPs, their
+//! frequencies are equal, we see that in this dynamic scenario, there is
+//! neither a load balance between the CPs nor a low variance." The two
+//! survivors inherit the δ values the 20-CP melee drove them to, and SAPP's
+//! deadband lets the inequality persist.
+
+use super::e2_fig2::{figure_from_result, FigureReport};
+use crate::{ChurnModel, Protocol, Scenario, ScenarioConfig};
+
+/// Runs the Figure 4 workload: 20 CPs, of which 18 leave at `leave_at`;
+/// CPs 0 and 1 (the paper's cp_01/cp_02) remain until `duration`.
+#[must_use]
+pub fn e4_fig4_burst_leave(duration: f64, leave_at: f64, seed: u64) -> FigureReport {
+    assert!(leave_at < duration, "the burst must happen within the run");
+    let mut cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, duration, seed);
+    cfg.churn = ChurnModel::BurstLeave {
+        at: leave_at,
+        leavers: 18,
+    };
+    let mut scenario = Scenario::build(cfg);
+    scenario.run();
+    let result = scenario.collect();
+    // The churn driver removes the highest-indexed CPs, so 0 and 1 survive.
+    figure_from_result("Figure 4 (SAPP, 18 of 20 CPs leave)", &result, &[0, 1], seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survivors_keep_probing_after_burst() {
+        let r = e4_fig4_burst_leave(4_000.0, 1_000.0, 3);
+        for (id, series) in &r.series {
+            let after: usize = series.iter().filter(|&&(t, _)| t > 1_000.0).count();
+            assert!(after > 0, "cp{id} stopped probing after the burst");
+        }
+    }
+
+    #[test]
+    fn survivors_speed_up_after_burst() {
+        // With 18 CPs gone the device is underloaded, so the survivors'
+        // adapted frequency must rise above their crowded-era frequency.
+        let r = e4_fig4_burst_leave(8_000.0, 1_000.0, 3);
+        let (_, series) = &r.series[0];
+        let before: Vec<f64> = series
+            .iter()
+            .filter(|&&(t, _)| t > 500.0 && t < 1_000.0)
+            .map(|&(_, v)| v)
+            .collect();
+        let after: Vec<f64> = series
+            .iter()
+            .filter(|&&(t, _)| t > 6_000.0)
+            .map(|&(_, v)| v)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&after) > mean(&before),
+            "survivor did not speed up: before {} after {}",
+            mean(&before),
+            mean(&after)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "within the run")]
+    fn rejects_burst_after_end() {
+        let _ = e4_fig4_burst_leave(100.0, 200.0, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Experiment presets — one per paper artifact.
+//!
+//! The paper has no numbered tables; its quantitative evaluation consists of
+//! in-text steady-state numbers (§3, §5) and Figures 2–5. Each preset here
+//! regenerates one of those artifacts (E1–E7) or probes a design choice the
+//! paper discusses qualitatively (A1–A4). The `presence-bench` binaries are
+//! thin wrappers that run a preset and print its report.
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | E1 | §3 steady-state: bimodal CP delays, device load ≈ `L_nom`, buffer ≈ 0.004 |
+//! | E2 | Fig. 2: probe frequencies of 3 CPs over 20 000 s (starvation) |
+//! | E3 | Fig. 3: 7 of 20 CPs over one minute (oscillation) |
+//! | E4 | Fig. 4: 18 of 20 CPs leave at once |
+//! | E5 | Fig. 5 + §5: DCPP under uniform-resample churn (load 9.7, var 20) |
+//! | E6 | §5 claim: DCPP static fairness and load cap |
+//! | E7 | §5 conjecture: packet loss widens DCPP join spikes |
+//! | A1 | SAPP `α_inc`/`α_dec`/`β` sensitivity sweep |
+//! | A2 | §2 device-side Δ-doubling load control |
+//! | A3 | naive fixed-rate baseline over/underload |
+//! | A4 | detection latency across protocols and baselines |
+//! | A5 | (extension) device-side Δ auto-tuner under a population surge |
+//! | A6 | (extension) the overlay dissemination phase the paper defers |
+//! | A7 | (extension) sensitivity to SAPP's unstated initial δ |
+//! | A8 | (extension) false absence verdicts under i.i.d. vs bursty loss |
+
+mod a1_sapp_sweep;
+mod a2_delta_double;
+mod a3_baseline;
+mod a4_detection;
+mod a5_auto_tune;
+mod a6_dissemination;
+mod a7_initial_delay;
+mod a8_false_positives;
+mod e1_steady_state;
+mod e2_fig2;
+mod e3_fig3;
+mod e4_fig4;
+mod e5_fig5;
+mod e6_dcpp_static;
+mod e7_loss;
+
+pub use a1_sapp_sweep::{a1_sapp_param_sweep, A1Cell, A1Report};
+pub use a2_delta_double::{a2_delta_doubling, A2Report};
+pub use a3_baseline::{a3_fixed_rate_baseline, A3Report, A3Row};
+pub use a4_detection::{a4_detection_latency, A4Report, A4Row};
+pub use a5_auto_tune::{a5_auto_tune_surge, A5Report};
+pub use a6_dissemination::{a6_dissemination, A6Arm, A6Report};
+pub use a7_initial_delay::{a7_initial_delay, A7Report, A7Row};
+pub use a8_false_positives::{a8_false_positives, A8Report, A8Row};
+pub use e1_steady_state::{e1_sapp_steady_state, E1Report};
+pub use e2_fig2::{e2_fig2_three_cps, FigureReport};
+pub use e3_fig3::e3_fig3_twenty_cps_minute;
+pub use e4_fig4::e4_fig4_burst_leave;
+pub use e5_fig5::{e5_fig5_dcpp_churn, E5Report};
+pub use e6_dcpp_static::{e6_dcpp_static_fairness, E6Report, E6Row};
+pub use e7_loss::{e7_dcpp_loss_spread, E7Report, E7Row};

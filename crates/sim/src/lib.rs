@@ -1,0 +1,49 @@
+//! # presence-sim
+//!
+//! The simulation harness that reproduces the paper's evaluation: it runs
+//! the sans-io protocol machines from `presence-core` over the
+//! deterministic DES engine (`presence-des`) and the simulated network
+//! (`presence-net`), under the workloads the paper studies.
+//!
+//! * [`Scenario`] / [`ScenarioConfig`] — build and run one experiment
+//!   (protocol, population, network, churn, seed, duration).
+//! * [`ChurnModel`] — static populations, the Figure 4 burst-leave, and the
+//!   Figure 5 uniform-resample churn.
+//! * [`ScenarioResult`] — device load series, per-CP frequency series
+//!   (Figures 2–4), buffer occupancy, fairness indices.
+//! * [`experiments`] — one preset per paper artifact (E1–E7) and ablation
+//!   (A1–A4); the `presence-bench` binaries are thin wrappers over these.
+//!
+//! ```
+//! use presence_sim::{Protocol, Scenario, ScenarioConfig};
+//!
+//! let cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 5, 60.0, 42);
+//! let mut scenario = Scenario::build(cfg);
+//! scenario.run();
+//! let result = scenario.collect();
+//! assert!(result.device_probes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod churn;
+mod cp_actor;
+mod device_actor;
+mod event;
+pub mod experiments;
+mod metrics;
+mod network_actor;
+mod output;
+mod replication;
+mod scenario;
+
+pub use churn::{ChurnActor, ChurnModel};
+pub use cp_actor::{CpActor, CpRecord, ProberFactory};
+pub use device_actor::{DeviceActor, DeviceMachine, ProcessingModel};
+pub use event::{Addr, SimEvent};
+pub use metrics::{CpSummary, ScenarioResult};
+pub use network_actor::NetworkActor;
+pub use replication::{replicate, ReplicationPoint, ReplicationSummary};
+pub use output::{ascii_chart, kv_table, series_to_columns, series_to_csv};
+pub use scenario::{DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};

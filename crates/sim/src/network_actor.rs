@@ -1,0 +1,91 @@
+//! The network actor: one [`Fabric`] serving all nodes (the paper models
+//! the network as a single process with one bounded buffer).
+
+use crate::event::{Addr, SimEvent};
+use presence_des::{Actor, ActorId, Context, SimTime};
+use presence_net::{Fabric, FabricStats, SendOutcome};
+use std::collections::HashMap;
+
+/// Routes wire messages between node actors through a [`Fabric`].
+pub struct NetworkActor {
+    fabric: Fabric,
+    routes: HashMap<Addr, ActorId>,
+}
+
+impl NetworkActor {
+    /// Creates a network actor over the given fabric. Routes are registered
+    /// afterwards with [`NetworkActor::register`].
+    #[must_use]
+    pub fn new(fabric: Fabric) -> Self {
+        Self {
+            fabric,
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Registers (or re-registers) the actor behind a network address.
+    pub fn register(&mut self, addr: Addr, actor: ActorId) {
+        self.routes.insert(addr, actor);
+    }
+
+    /// Fabric counters (offered/admitted/dropped/delivered).
+    #[must_use]
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// The paper's "average buffer length": time-weighted mean in-flight
+    /// count up to `now`.
+    #[must_use]
+    pub fn mean_occupancy(&self, now: SimTime) -> Option<f64> {
+        self.fabric.mean_occupancy(now)
+    }
+
+    fn admit(
+        &mut self,
+        ctx: &mut Context<'_, SimEvent>,
+        to: Addr,
+        msg: presence_core::WireMessage,
+    ) {
+        let me = ctx.me();
+        match self.fabric.send(ctx.now(), ctx.rng()) {
+            SendOutcome::Deliver(at) => {
+                ctx.schedule_at(at, me, SimEvent::InTransit { to, msg });
+            }
+            SendOutcome::DroppedLoss | SendOutcome::DroppedOverflow => {
+                // The message vanishes; the protocols' retransmission layer
+                // is responsible for recovery.
+            }
+        }
+    }
+}
+
+impl Actor<SimEvent> for NetworkActor {
+    fn on_event(&mut self, ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
+        match event {
+            SimEvent::Send { to, msg } => self.admit(ctx, to, msg),
+            SimEvent::Broadcast { msg } => {
+                let cps: Vec<Addr> = self
+                    .routes
+                    .keys()
+                    .filter(|a| matches!(a, Addr::Cp(_)))
+                    .copied()
+                    .collect();
+                for to in cps {
+                    self.admit(ctx, to, msg);
+                }
+            }
+            SimEvent::InTransit { to, msg } => {
+                self.fabric.on_delivered(ctx.now());
+                if let Some(&actor) = self.routes.get(&to) {
+                    ctx.send_now(actor, SimEvent::Deliver(msg));
+                }
+                // Unroutable addresses (e.g. a CP that was never registered)
+                // silently drop, like a real network.
+            }
+            other => {
+                debug_assert!(false, "network actor got unexpected event {other:?}");
+            }
+        }
+    }
+}

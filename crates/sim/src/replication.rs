@@ -1,0 +1,143 @@
+//! Independent replications across seeds.
+//!
+//! Single simulation runs — the paper's and ours — are one draw from a
+//! random process; SAPP's outcomes in particular are seed-sensitive (which
+//! frozen unfair configuration a run lands in). This module runs the same
+//! scenario under several seeds and reports Student-t confidence intervals
+//! over the replication means, the standard methodology the paper's
+//! batch-means machinery approximates within a single long run.
+
+use crate::{Scenario, ScenarioConfig, ScenarioResult};
+use presence_stats::{ConfidenceInterval, Welford};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-seed observations retained by a replication study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationPoint {
+    /// Seed of this replication.
+    pub seed: u64,
+    /// Mean device load.
+    pub load_mean: f64,
+    /// Jain fairness index.
+    pub fairness_jain: f64,
+    /// Max/min per-CP frequency ratio.
+    pub frequency_spread: f64,
+}
+
+/// Cross-seed summary with confidence intervals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicationSummary {
+    /// One point per seed.
+    pub points: Vec<ReplicationPoint>,
+    /// CI over the per-seed load means.
+    pub load: ConfidenceInterval,
+    /// CI over the per-seed fairness indices.
+    pub fairness: ConfidenceInterval,
+    /// CI over the per-seed frequency spreads.
+    pub spread: ConfidenceInterval,
+}
+
+impl fmt::Display for ReplicationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "replications: n = {}", self.points.len())?;
+        writeln!(
+            f,
+            "  device load  {:.2} ± {:.2} probes/s",
+            self.load.mean, self.load.half_width
+        )?;
+        writeln!(
+            f,
+            "  fairness     {:.3} ± {:.3}",
+            self.fairness.mean, self.fairness.half_width
+        )?;
+        writeln!(
+            f,
+            "  freq spread  {:.2} ± {:.2}×",
+            self.spread.mean, self.spread.half_width
+        )
+    }
+}
+
+/// Runs `base` under each seed (overriding `base.seed`) and summarises.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+#[must_use]
+pub fn replicate(base: &ScenarioConfig, seeds: &[u64], level: f64) -> ReplicationSummary {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut points = Vec::with_capacity(seeds.len());
+    let mut load = Welford::new();
+    let mut fairness = Welford::new();
+    let mut spread = Welford::new();
+    for &seed in seeds {
+        let mut cfg = base.clone();
+        cfg.seed = seed;
+        let mut scenario = Scenario::build(cfg);
+        scenario.run();
+        let result: ScenarioResult = scenario.collect();
+        let point = ReplicationPoint {
+            seed,
+            load_mean: result.load_mean,
+            fairness_jain: result.fairness_jain,
+            frequency_spread: result.frequency_spread(),
+        };
+        load.push(point.load_mean);
+        fairness.push(point.fairness_jain);
+        spread.push(point.frequency_spread);
+        points.push(point);
+    }
+    let ci = |w: &Welford| {
+        ConfidenceInterval::from_stats(w.mean(), w.sample_std_dev(), w.count(), level)
+    };
+    ReplicationSummary {
+        load: ci(&load),
+        fairness: ci(&fairness),
+        spread: ci(&spread),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protocol;
+
+    #[test]
+    fn dcpp_replications_are_tight() {
+        let base = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 10, 200.0, 0);
+        let summary = replicate(&base, &[1, 2, 3, 4, 5], 0.95);
+        assert_eq!(summary.points.len(), 5);
+        // DCPP is deterministic-by-design: seed-to-seed variation is tiny.
+        assert!(
+            summary.load.half_width < 0.5,
+            "DCPP load CI ± {}",
+            summary.load.half_width
+        );
+        assert!(summary.fairness.mean > 0.99);
+    }
+
+    #[test]
+    fn sapp_replications_show_spread_above_one() {
+        let base = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 5, 3_000.0, 0);
+        let summary = replicate(&base, &[1, 3, 7], 0.95);
+        assert!(summary.spread.mean >= 1.0);
+        assert!(summary.load.mean > 3.0 && summary.load.mean < 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_rejected() {
+        let base = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 2, 10.0, 0);
+        let _ = replicate(&base, &[], 0.95);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let base = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 3, 50.0, 0);
+        let summary = replicate(&base, &[1, 2], 0.95);
+        let text = summary.to_string();
+        assert!(text.contains("replications: n = 2"));
+    }
+}

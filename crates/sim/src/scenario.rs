@@ -1,0 +1,620 @@
+//! Scenario configuration and construction.
+//!
+//! A [`ScenarioConfig`] is a complete, serialisable description of one
+//! simulation run: protocol, population, network, churn, and seed.
+//! [`Scenario::build`] wires the actors together; [`Scenario::run_for`]
+//! executes and [`Scenario::collect`] extracts a [`ScenarioResult`].
+
+use crate::churn::{ChurnActor, ChurnModel};
+use crate::cp_actor::{CpActor, ProberFactory};
+use crate::device_actor::{DeviceActor, DeviceMachine, ProcessingModel};
+use crate::event::{Addr, SimEvent};
+use crate::metrics::{CpSummary, ScenarioResult};
+use crate::network_actor::NetworkActor;
+use presence_core::{
+    AutoTuneConfig, AutoTuner, CpId, DcppConfig, DcppDevice, DeviceId, ProbeCycleConfig,
+    SappConfig, SappDevice, SappDeviceConfig,
+};
+use presence_des::{ActorId, SimDuration, SimTime, Simulation};
+use presence_net::{
+    BernoulliLoss, ConstantDelay, DelayModel, ExponentialDelay, Fabric, GilbertElliott,
+    LossModel, NoLoss, ThreeMode, UniformDelay,
+};
+use presence_stats::jain_index;
+use serde::{Deserialize, Serialize};
+
+/// Serialisable choice of one-way network delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayKind {
+    /// Fixed delay (seconds).
+    Constant(f64),
+    /// Uniform over `[low, high]` seconds.
+    Uniform(f64, f64),
+    /// The paper's three-mode model with its default constants.
+    ThreeModePaper,
+    /// Exponential with the given mean, truncated at `cap` (seconds).
+    Exponential {
+        /// Mean one-way delay.
+        mean: f64,
+        /// Hard cap.
+        cap: f64,
+    },
+}
+
+impl DelayKind {
+    fn build(self) -> Box<dyn DelayModel> {
+        match self {
+            DelayKind::Constant(s) => Box::new(ConstantDelay(SimDuration::from_secs_f64(s))),
+            DelayKind::Uniform(lo, hi) => Box::new(UniformDelay::new(
+                SimDuration::from_secs_f64(lo),
+                SimDuration::from_secs_f64(hi),
+            )),
+            DelayKind::ThreeModePaper => Box::new(ThreeMode::paper_default()),
+            DelayKind::Exponential { mean, cap } => {
+                Box::new(ExponentialDelay::new(mean, SimDuration::from_secs_f64(cap)))
+            }
+        }
+    }
+}
+
+/// Serialisable choice of loss model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// No loss (the paper's Figure 5 assumption).
+    None,
+    /// Independent loss with this probability.
+    Bernoulli(f64),
+    /// Bursty (Gilbert–Elliott) loss with this long-run average rate.
+    Bursty(f64),
+}
+
+impl LossKind {
+    fn build(self) -> Box<dyn LossModel> {
+        match self {
+            LossKind::None => Box::new(NoLoss),
+            LossKind::Bernoulli(p) => Box::new(BernoulliLoss::new(p)),
+            LossKind::Bursty(r) => Box::new(GilbertElliott::bursty(r)),
+        }
+    }
+}
+
+/// Which protocol the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// SAPP with the given CP and device configurations.
+    Sapp {
+        /// CP-side configuration.
+        cp: SappConfig,
+        /// Device-side configuration.
+        device: SappDeviceConfig,
+    },
+    /// DCPP with the given (shared) configuration.
+    Dcpp {
+        /// Protocol configuration.
+        cfg: DcppConfig,
+    },
+    /// The naive fixed-rate baseline.
+    FixedRate {
+        /// Probe-cycle timing.
+        cycle: ProbeCycleConfig,
+        /// Fixed inter-cycle period (seconds).
+        period: f64,
+    },
+}
+
+impl Protocol {
+    /// SAPP with all paper-default constants.
+    #[must_use]
+    pub fn sapp_paper() -> Self {
+        Protocol::Sapp {
+            cp: SappConfig::paper_default(),
+            device: SappDeviceConfig::paper_default(),
+        }
+    }
+
+    /// DCPP with all paper-default constants.
+    #[must_use]
+    pub fn dcpp_paper() -> Self {
+        Protocol::Dcpp {
+            cfg: DcppConfig::paper_default(),
+        }
+    }
+}
+
+/// A complete description of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Size of the CP pool (upper bound on the population).
+    pub cp_pool: u32,
+    /// How many CPs are active from the start.
+    pub initially_active: u32,
+    /// Network buffer capacity (the paper: 20 000).
+    pub buffer_capacity: usize,
+    /// One-way delay model.
+    pub delay: DelayKind,
+    /// Loss model.
+    pub loss: LossKind,
+    /// Churn workload.
+    pub churn: ChurnModel,
+    /// Device processing time bounds (seconds): `(min, max)`.
+    pub processing: (f64, f64),
+    /// Stagger window for initial joins (seconds).
+    pub join_stagger: f64,
+    /// Width of the device-load measurement windows (seconds).
+    pub load_window: f64,
+    /// Run SAPP's overlay dissemination of leave notices.
+    pub disseminate: bool,
+    /// Install the device-side Δ auto-tuner (SAPP protocol only).
+    pub sapp_auto_tune: Option<AutoTuneConfig>,
+    /// Root seed.
+    pub seed: u64,
+    /// Virtual run length (seconds).
+    pub duration: f64,
+}
+
+impl ScenarioConfig {
+    /// A paper-faithful configuration: three-mode network, 20 000-element
+    /// buffer, no loss, 1–20 ms device processing, 1 s join stagger.
+    #[must_use]
+    pub fn paper_defaults(protocol: Protocol, cps: u32, duration: f64, seed: u64) -> Self {
+        Self {
+            protocol,
+            cp_pool: cps,
+            initially_active: cps,
+            buffer_capacity: 20_000,
+            delay: DelayKind::ThreeModePaper,
+            loss: LossKind::None,
+            churn: ChurnModel::Static,
+            processing: (0.001, 0.020),
+            join_stagger: 1.0,
+            load_window: 5.0,
+            disseminate: false,
+            sapp_auto_tune: None,
+            seed,
+            duration,
+        }
+    }
+}
+
+/// A built, runnable scenario.
+pub struct Scenario {
+    sim: Simulation<SimEvent>,
+    cfg: ScenarioConfig,
+    device: ActorId,
+    network: ActorId,
+    churn: ActorId,
+    cps: Vec<ActorId>,
+}
+
+impl Scenario {
+    /// Wires up all actors for `cfg`.
+    #[must_use]
+    pub fn build(cfg: ScenarioConfig) -> Self {
+        assert!(cfg.cp_pool > 0, "need at least one CP");
+        assert!(
+            cfg.initially_active <= cfg.cp_pool,
+            "initially_active exceeds the pool"
+        );
+        assert!(cfg.duration > 0.0, "duration must be positive");
+
+        let mut sim = Simulation::new(cfg.seed);
+
+        let fabric = Fabric::new(cfg.buffer_capacity, cfg.delay.build(), cfg.loss.build());
+        let network = sim.add_actor(NetworkActor::new(fabric));
+
+        let device_id = DeviceId(0);
+        let machine = match cfg.protocol {
+            Protocol::Sapp { device, .. } => {
+                DeviceMachine::Sapp(SappDevice::new(device_id, device))
+            }
+            Protocol::Dcpp { cfg: c } => DeviceMachine::Dcpp(DcppDevice::new(device_id, c)),
+            // The fixed-rate baseline probes a DCPP device (any responder
+            // works; the baseline ignores reply payloads).
+            Protocol::FixedRate { .. } => {
+                DeviceMachine::Dcpp(DcppDevice::new(device_id, DcppConfig::paper_default()))
+            }
+        };
+        let processing = ProcessingModel {
+            min: SimDuration::from_secs_f64(cfg.processing.0),
+            max: SimDuration::from_secs_f64(cfg.processing.1),
+        };
+        let mut device_actor = DeviceActor::new(machine, network, processing, cfg.load_window);
+        if let (Some(tune), Protocol::Sapp { device: dev_cfg, .. }) =
+            (cfg.sapp_auto_tune, cfg.protocol)
+        {
+            device_actor.set_tuner(AutoTuner::new(tune, dev_cfg.l_nom));
+        }
+        let device = sim.add_actor(device_actor);
+
+        let factory = match cfg.protocol {
+            Protocol::Sapp { cp, .. } => ProberFactory::Sapp(cp),
+            Protocol::Dcpp { cfg: c } => ProberFactory::Dcpp(c),
+            Protocol::FixedRate { cycle, period } => {
+                ProberFactory::FixedRate(cycle, SimDuration::from_secs_f64(period))
+            }
+        };
+
+        let mut cps = Vec::with_capacity(cfg.cp_pool as usize);
+        for i in 0..cfg.cp_pool {
+            let id = CpId(i);
+            let actor = sim.add_actor(CpActor::new(
+                id,
+                factory.clone(),
+                network,
+                device_id,
+                cfg.disseminate,
+            ));
+            cps.push(actor);
+        }
+
+        // Register routes.
+        {
+            let net = sim
+                .actor_mut::<NetworkActor>(network)
+                .expect("network actor");
+            net.register(Addr::Device(device_id), device);
+            for (i, &actor) in cps.iter().enumerate() {
+                net.register(Addr::Cp(CpId(i as u32)), actor);
+            }
+        }
+
+        let churn = sim.add_actor(ChurnActor::new(
+            cfg.churn,
+            cps.clone(),
+            cfg.initially_active,
+            SimDuration::from_secs_f64(cfg.join_stagger),
+        ));
+
+        Self {
+            sim,
+            cfg,
+            device,
+            network,
+            churn,
+            cps,
+        }
+    }
+
+    /// The configuration this scenario was built from.
+    #[must_use]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The underlying simulation (for custom interventions: crashes,
+    /// Δ-retuning, extra probes).
+    pub fn sim_mut(&mut self) -> &mut Simulation<SimEvent> {
+        &mut self.sim
+    }
+
+    /// Actor id of the device.
+    #[must_use]
+    pub fn device_actor(&self) -> ActorId {
+        self.device
+    }
+
+    /// Actor ids of the CP pool.
+    #[must_use]
+    pub fn cp_actors(&self) -> &[ActorId] {
+        &self.cps
+    }
+
+    /// Schedules a device crash (silent leave) at `at` seconds.
+    pub fn crash_device_at(&mut self, at: f64) {
+        let device = self.device;
+        self.sim
+            .schedule_at(SimTime::from_secs_f64(at), device, SimEvent::Crash);
+    }
+
+    /// Schedules a graceful device leave (Bye broadcast) at `at` seconds.
+    pub fn device_bye_at(&mut self, at: f64) {
+        let device = self.device;
+        self.sim
+            .schedule_at(SimTime::from_secs_f64(at), device, SimEvent::GracefulLeave);
+    }
+
+    /// Schedules a SAPP device Δ-doubling at `at` seconds (A2 ablation).
+    pub fn double_delta_at(&mut self, at: f64) {
+        let device = self.device;
+        self.sim
+            .schedule_at(SimTime::from_secs_f64(at), device, SimEvent::DoubleDelta);
+    }
+
+    /// Runs the scenario for its configured duration.
+    pub fn run(&mut self) {
+        let end = SimTime::from_secs_f64(self.cfg.duration);
+        self.sim.run_until(end);
+    }
+
+    /// Runs until the given virtual time (may be called repeatedly for
+    /// checkpointed collection).
+    pub fn run_until(&mut self, at: f64) {
+        self.sim.run_until(SimTime::from_secs_f64(at));
+    }
+
+    /// Extracts the results accumulated so far.
+    #[must_use]
+    pub fn collect(&mut self) -> ScenarioResult {
+        let now = self.sim.now();
+
+        let load_series = {
+            let dev = self
+                .sim
+                .actor_mut::<DeviceActor>(self.device)
+                .expect("device actor");
+            dev.load_series_until(now)
+        };
+
+        let device_probes = self
+            .sim
+            .actor::<DeviceActor>(self.device)
+            .expect("device actor")
+            .probes_received();
+
+        let (fabric_stats, mean_buffer_occupancy) = {
+            let net = self
+                .sim
+                .actor::<NetworkActor>(self.network)
+                .expect("network actor");
+            (net.fabric_stats(), net.mean_occupancy(now))
+        };
+
+        let population_series: Vec<(f64, f64)> = self
+            .sim
+            .actor::<ChurnActor>(self.churn)
+            .expect("churn actor")
+            .population_series()
+            .samples()
+            .iter()
+            .map(|s| (s.t, s.value))
+            .collect();
+
+        let mut cps = Vec::with_capacity(self.cps.len());
+        for &actor in &self.cps {
+            let cp = self.sim.actor::<CpActor>(actor).expect("cp actor");
+            let rec = cp.record_snapshot();
+            cps.push(CpSummary::from_record(&rec, now.as_secs_f64()));
+        }
+
+        // Fairness over CPs that ever probed.
+        let freqs: Vec<f64> = cps
+            .iter()
+            .filter(|c| c.cycles_succeeded > 0)
+            .map(|c| c.mean_frequency)
+            .collect();
+        let fairness = jain_index(&freqs);
+
+        // Load over the steady part (skip the first load window).
+        let mut load_acc = presence_stats::Welford::new();
+        for &(_, rate) in load_series.iter().skip(1) {
+            load_acc.push(rate);
+        }
+
+        ScenarioResult {
+            duration: now.as_secs_f64(),
+            events_processed: self.sim.events_processed(),
+            device_probes,
+            load_series,
+            load_mean: load_acc.mean(),
+            load_variance: load_acc.sample_variance(),
+            mean_buffer_occupancy,
+            messages_offered: fabric_stats.offered,
+            messages_dropped_overflow: fabric_stats.dropped_overflow,
+            messages_dropped_loss: fabric_stats.dropped_loss,
+            population_series,
+            cps,
+            fairness_jain: fairness,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(protocol: Protocol, cps: u32, secs: f64, seed: u64) -> ScenarioResult {
+        let mut cfg = ScenarioConfig::paper_defaults(protocol, cps, secs, seed);
+        cfg.load_window = 2.0;
+        let mut sc = Scenario::build(cfg);
+        sc.run();
+        sc.collect()
+    }
+
+    #[test]
+    fn dcpp_static_two_cps_probes_flow() {
+        let r = quick(Protocol::dcpp_paper(), 2, 100.0, 7);
+        assert!(r.device_probes > 50, "only {} probes in 100 s", r.device_probes);
+        assert!(r.cps.iter().all(|c| c.cycles_succeeded > 10));
+        // Nobody declared the device absent.
+        assert!(r.cps.iter().all(|c| c.detected_absent_at.is_none()));
+    }
+
+    #[test]
+    fn dcpp_static_load_near_l_nom() {
+        // 30 CPs want 2/s each = 60/s demand; DCPP caps at L_nom = 10/s.
+        let r = quick(Protocol::dcpp_paper(), 30, 300.0, 11);
+        assert!(
+            (r.load_mean - 10.0).abs() < 1.5,
+            "DCPP load {} should be near 10",
+            r.load_mean
+        );
+        assert!(r.fairness_jain > 0.95, "DCPP fairness {}", r.fairness_jain);
+    }
+
+    #[test]
+    fn sapp_static_load_near_l_nom_but_unfair() {
+        // 3 CPs over the paper's 20 000 s horizon (Figure 2's setup): the
+        // population diverges — one CP ends up probing several times slower
+        // than the others and never recovers.
+        let r = quick(Protocol::sapp_paper(), 3, 20_000.0, 3);
+        // The paper: device load is "quite good (near to L_nom = 10)".
+        assert!(
+            r.load_mean > 4.0 && r.load_mean < 25.0,
+            "SAPP load {} out of plausible band",
+            r.load_mean
+        );
+        // And the CPs are unfair (Jain below DCPP's ~1.0, wide spread).
+        assert!(
+            r.fairness_jain < 0.95,
+            "SAPP fairness {} unexpectedly high",
+            r.fairness_jain
+        );
+        assert!(
+            r.frequency_spread() > 1.5,
+            "SAPP frequency spread {} unexpectedly tight",
+            r.frequency_spread()
+        );
+    }
+
+    #[test]
+    fn fixed_rate_overloads_device() {
+        // 50 CPs at 2/s each = 100/s at the device: the naive baseline
+        // has no defence.
+        let r = quick(
+            Protocol::FixedRate {
+                cycle: ProbeCycleConfig::paper_default(),
+                period: 0.5,
+            },
+            50,
+            100.0,
+            5,
+        );
+        assert!(
+            r.load_mean > 50.0,
+            "fixed-rate load {} should vastly exceed L_nom",
+            r.load_mean
+        );
+    }
+
+    #[test]
+    fn crash_is_detected_quickly() {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 5, 120.0, 9);
+        cfg.load_window = 2.0;
+        let mut sc = Scenario::build(cfg);
+        sc.crash_device_at(60.0);
+        sc.run();
+        let r = sc.collect();
+        for c in &r.cps {
+            let at = c
+                .detected_absent_at
+                .unwrap_or_else(|| panic!("cp{} never detected the crash", c.id.0));
+            assert!(at >= 60.0, "detection before the crash?");
+            // Worst case: wait out the assigned delay (≤ ~d_min + backlog)
+            // plus the 85 ms verdict; generous bound of 5 s.
+            assert!(at < 65.0, "cp{} took {}s to notice", c.id.0, at - 60.0);
+        }
+    }
+
+    #[test]
+    fn bye_stops_all_cps_immediately() {
+        let cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 5, 120.0, 13);
+        let mut sc = Scenario::build(cfg);
+        sc.device_bye_at(60.0);
+        sc.run();
+        let r = sc.collect();
+        for c in &r.cps {
+            let at = c.detected_absent_at.expect("bye must be seen");
+            assert!(at >= 60.0 && at < 60.5, "bye detection at {at}");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = quick(Protocol::sapp_paper(), 10, 50.0, 42);
+        let b = quick(Protocol::sapp_paper(), 10, 50.0, 42);
+        assert_eq!(a.device_probes, b.device_probes);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.load_series, b.load_series);
+        // A different seed shifts the join stagger and the processing
+        // jitter, which SAPP's reply-timed load estimates are sensitive to.
+        let c = quick(Protocol::sapp_paper(), 10, 50.0, 43);
+        let freq = |r: &ScenarioResult| {
+            r.cps
+                .iter()
+                .flat_map(|cp| cp.frequency_series.iter().map(|&(t, f)| (t.to_bits(), f.to_bits())))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(freq(&a), freq(&c), "different seeds must diverge");
+    }
+
+    #[test]
+    fn churn_population_tracks_model() {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 60, 600.0, 21);
+        cfg.initially_active = 20;
+        cfg.churn = ChurnModel::paper_fig5();
+        let mut sc = Scenario::build(cfg);
+        sc.run();
+        let r = sc.collect();
+        assert!(
+            r.population_series.len() > 10,
+            "population resampled only {} times in 600 s",
+            r.population_series.len()
+        );
+        for &(_, p) in &r.population_series {
+            assert!((0.0..=60.0).contains(&p), "population {p} out of range");
+        }
+    }
+
+    #[test]
+    fn burst_leave_reduces_population() {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 100.0, 2);
+        cfg.churn = ChurnModel::BurstLeave {
+            at: 50.0,
+            leavers: 18,
+        };
+        let mut sc = Scenario::build(cfg);
+        sc.run();
+        let r = sc.collect();
+        let last = r.population_series.last().unwrap();
+        assert_eq!(last.1, 2.0, "2 CPs must remain");
+    }
+
+    #[test]
+    fn cp_rejoin_accumulates_sessions() {
+        // A CP leaves and rejoins: its record must count both sessions.
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 3, 120.0, 31);
+        cfg.join_stagger = 0.0;
+        let mut sc = Scenario::build(cfg);
+        let cp0 = sc.cp_actors()[0];
+        {
+            let sim = sc.sim_mut();
+            sim.schedule_at(SimTime::from_secs_f64(40.0), cp0, crate::SimEvent::Leave);
+            sim.schedule_at(SimTime::from_secs_f64(80.0), cp0, crate::SimEvent::Join);
+        }
+        sc.run();
+        let r = sc.collect();
+        let cp = &r.cps[0];
+        assert_eq!(cp.joins, 2, "rejoin not counted");
+        // It probed in both sessions: cycles roughly double a single
+        // 40-second session's worth.
+        assert!(cp.cycles_succeeded > 30, "cycles {}", cp.cycles_succeeded);
+        // Frequency series spans both sessions.
+        let first = cp.frequency_series.first().unwrap().0;
+        let last = cp.frequency_series.last().unwrap().0;
+        assert!(first < 40.0 && last > 80.0);
+    }
+
+    #[test]
+    fn sapp_overlay_peers_learned_through_replies() {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 5, 60.0, 3);
+        cfg.disseminate = true;
+        let mut sc = Scenario::build(cfg);
+        sc.run();
+        let cp0 = sc.cp_actors()[0];
+        let actor = sc.sim_mut().actor::<CpActor>(cp0).expect("cp actor");
+        assert!(
+            !actor.overlay().is_empty(),
+            "cp00 learned no overlay peers from 60 s of SAPP replies"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "initially_active exceeds the pool")]
+    fn rejects_oversized_active_set() {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 5, 10.0, 0);
+        cfg.initially_active = 6;
+        let _ = Scenario::build(cfg);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests over randomly generated scenarios: the invariants
+//! that must hold for *any* configuration, not just the paper's points.
+
+use presence_sim::{ChurnModel, LossKind, Protocol, Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+/// Small scenario space that stays fast enough for property testing.
+fn any_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::sapp_paper()),
+        Just(Protocol::dcpp_paper()),
+        Just(Protocol::FixedRate {
+            cycle: presence_core::ProbeCycleConfig::paper_default(),
+            period: 0.5,
+        }),
+    ]
+}
+
+fn any_loss() -> impl Strategy<Value = LossKind> {
+    prop_oneof![
+        Just(LossKind::None),
+        (0.001..0.1f64).prop_map(LossKind::Bernoulli),
+        (0.01..0.1f64).prop_map(LossKind::Bursty),
+    ]
+}
+
+fn any_churn(max_pool: u32) -> impl Strategy<Value = ChurnModel> {
+    prop_oneof![
+        Just(ChurnModel::Static),
+        (10.0..40.0f64, 1..max_pool).prop_map(|(at, leavers)| ChurnModel::BurstLeave {
+            at,
+            leavers,
+        }),
+        (0.02..0.2f64).prop_map(move |rate| ChurnModel::UniformResample {
+            min: 1,
+            max: max_pool,
+            rate,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No scenario configuration panics, and basic accounting invariants
+    /// hold: cycles succeeded ≤ probes sent; the device answers at most
+    /// the number of probes admitted to the network.
+    #[test]
+    fn scenario_accounting_invariants(
+        protocol in any_protocol(),
+        loss in any_loss(),
+        pool in 2u32..12,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = ScenarioConfig::paper_defaults(protocol, pool, 60.0, seed);
+        cfg.loss = loss;
+        let mut scenario = Scenario::build(cfg);
+        scenario.run();
+        let r = scenario.collect();
+
+        let probes_sent: u64 = r.cps.iter().map(|c| c.probes_sent).sum();
+        let cycles: u64 = r.cps.iter().map(|c| c.cycles_succeeded).sum();
+        prop_assert!(cycles <= probes_sent, "more successes than probes");
+        prop_assert!(
+            r.device_probes <= probes_sent,
+            "device answered {} of {} probes sent",
+            r.device_probes,
+            probes_sent
+        );
+        prop_assert!(r.messages_offered >= probes_sent);
+        // Load series values are non-negative and finite.
+        for &(_, v) in &r.load_series {
+            prop_assert!(v >= 0.0 && v.is_finite());
+        }
+    }
+
+    /// DCPP's device budget holds under ANY churn and loss: no settled
+    /// measurement window may exceed L_nom by more than the join-burst
+    /// allowance the paper describes.
+    #[test]
+    fn dcpp_load_cap_universal(
+        loss in any_loss(),
+        churn in any_churn(12),
+        pool in 2u32..12,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), pool, 120.0, seed);
+        cfg.loss = loss;
+        cfg.churn = churn;
+        cfg.load_window = 5.0;
+        let mut scenario = Scenario::build(cfg);
+        scenario.run();
+        let r = scenario.collect();
+        // A 5 s window can absorb one join burst of ≤ pool first-probes on
+        // top of the L_nom budget.
+        let cap = 10.0 + f64::from(pool) / 5.0 + 1.0;
+        for &(t, v) in &r.load_series {
+            if t < 5.0 {
+                continue; // initial joins
+            }
+            prop_assert!(
+                v <= cap,
+                "window at t={t} carried {v} probes/s (cap {cap})"
+            );
+        }
+    }
+
+    /// Determinism holds for every configuration: same seed, same result.
+    #[test]
+    fn any_scenario_is_deterministic(
+        protocol in any_protocol(),
+        loss in any_loss(),
+        pool in 2u32..8,
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            let mut cfg = ScenarioConfig::paper_defaults(protocol, pool, 30.0, seed);
+            cfg.loss = loss;
+            let mut scenario = Scenario::build(cfg);
+            scenario.run();
+            let r = scenario.collect();
+            (r.events_processed, r.device_probes, r.load_series)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A device crash is detected by every CP active at the time, under
+    /// lossless networks, for every protocol.
+    #[test]
+    fn crash_always_detected_lossless(
+        protocol in any_protocol(),
+        pool in 2u32..8,
+        seed in 0u64..1_000,
+        crash_at in 20.0..40.0f64,
+    ) {
+        let cfg = ScenarioConfig::paper_defaults(protocol, pool, crash_at + 60.0, seed);
+        let mut scenario = Scenario::build(cfg);
+        scenario.crash_device_at(crash_at);
+        scenario.run();
+        let r = scenario.collect();
+        for cp in r.active_cps() {
+            let at = cp.detected_absent_at;
+            prop_assert!(
+                at.is_some(),
+                "cp{:02} never detected the crash at {crash_at}",
+                cp.id.0
+            );
+            let at = at.unwrap();
+            prop_assert!(at >= crash_at, "verdict {at} precedes crash {crash_at}");
+            // Generous universal bound: one maximal probing interval
+            // (δ_max = 10 for SAPP) + verdict time + slack.
+            prop_assert!(at - crash_at < 12.0, "detection took {}", at - crash_at);
+        }
+    }
+
+    /// The fabric conserves messages: offered = admitted + dropped, and
+    /// under no loss, nothing is dropped unless the buffer overflows
+    /// (which the paper-sized buffer never does at these scales).
+    #[test]
+    fn lossless_network_drops_nothing(
+        protocol in any_protocol(),
+        pool in 2u32..10,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = ScenarioConfig::paper_defaults(protocol, pool, 60.0, seed);
+        let mut scenario = Scenario::build(cfg);
+        scenario.run();
+        let r = scenario.collect();
+        prop_assert_eq!(r.messages_dropped_loss, 0);
+        prop_assert_eq!(r.messages_dropped_overflow, 0);
+    }
+}

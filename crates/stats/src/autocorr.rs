@@ -1,0 +1,164 @@
+//! Autocorrelation diagnostics for batch-size selection.
+//!
+//! The batch-means method assumes batch means are (approximately)
+//! independent. Choosing the batch size requires knowing how correlated
+//! consecutive observations are; these helpers estimate lag autocorrelation
+//! and suggest a batch count following the usual rule of thumb (grow batches
+//! until lag-1 autocorrelation of the batch means is negligible).
+
+/// Sample autocorrelation of `xs` at the given `lag`.
+///
+/// Uses the biased (1/n) normalisation, which is standard for stationarity
+/// diagnostics. Returns `NaN` when `lag >= xs.len()`, fewer than two samples
+/// remain, or the series has zero variance.
+#[must_use]
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    let n = xs.len();
+    if lag >= n || n < 2 {
+        return f64::NAN;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return f64::NAN;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// Convenience wrapper: lag-1 autocorrelation.
+#[must_use]
+pub fn lag1_autocorrelation(xs: &[f64]) -> f64 {
+    autocorrelation(xs, 1)
+}
+
+/// Von Neumann ratio of successive differences, `Σ(xᵢ₊₁−xᵢ)² / Σ(xᵢ−x̄)²`.
+///
+/// For i.i.d. samples its expected value is ≈ 2; values well below 2 signal
+/// positive serial correlation (batches too small), values above 2 signal
+/// negative correlation. Returns `NaN` for fewer than two samples or zero
+/// variance.
+#[must_use]
+pub fn von_neumann_ratio(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return f64::NAN;
+    }
+    let num: f64 = xs.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum();
+    num / denom
+}
+
+/// Suggests how many batches to split `n` observations into so that batch
+/// means are near-independent, given the observations' lag-1 autocorrelation
+/// `rho1`.
+///
+/// Heuristic: with autocorrelation time `τ ≈ (1 + ρ)/(1 − ρ)`, a batch
+/// should span at least `10 τ` observations; the result is clamped to
+/// `[2, 64]` batches (more batches than 64 buys little for a t interval, and
+/// fewer than 2 is meaningless).
+#[must_use]
+pub fn suggest_batch_count(n: u64, rho1: f64) -> u64 {
+    if n < 4 {
+        return 2;
+    }
+    let rho = if rho1.is_finite() {
+        rho1.clamp(0.0, 0.99)
+    } else {
+        0.0
+    };
+    let tau = (1.0 + rho) / (1.0 - rho);
+    let min_batch = (10.0 * tau).ceil().max(1.0) as u64;
+    (n / min_batch).clamp(2, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_like_series_low_autocorr() {
+        // A full-period LCG stream behaves like white noise at lag 1.
+        let mut s: u64 = 0x4d595df4d0f33173;
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let r = lag1_autocorrelation(&xs);
+        assert!(r.abs() < 0.05, "lag-1 autocorr {r}");
+        let vn = von_neumann_ratio(&xs);
+        assert!((vn - 2.0).abs() < 0.3, "von Neumann ratio {vn}");
+    }
+
+    #[test]
+    fn ar1_series_high_autocorr() {
+        let mut xs = Vec::with_capacity(10_000);
+        let mut x = 0.0f64;
+        let mut s: u64 = 88172645463325252;
+        for _ in 0..10_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            x = 0.95 * x + noise;
+            xs.push(x);
+        }
+        let r = lag1_autocorrelation(&xs);
+        assert!(r > 0.85, "lag-1 autocorr of AR(1) 0.95: {r}");
+        assert!(von_neumann_ratio(&xs) < 1.0);
+    }
+
+    #[test]
+    fn alternating_series_negative_autocorr() {
+        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = lag1_autocorrelation(&xs);
+        assert!(r < -0.9, "alternating lag-1 autocorr {r}");
+        assert!(von_neumann_ratio(&xs) > 3.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(autocorrelation(&[], 1).is_nan());
+        assert!(autocorrelation(&[1.0], 0).is_nan());
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_nan());
+        assert!(autocorrelation(&[3.0, 3.0, 3.0], 1).is_nan());
+        assert!(von_neumann_ratio(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_count_suggestions() {
+        // Uncorrelated data: batch of ~10 observations.
+        assert_eq!(suggest_batch_count(1_000, 0.0), 64);
+        // Strong correlation shrinks the batch count.
+        let heavy = suggest_batch_count(1_000, 0.9);
+        assert!(heavy < 10, "got {heavy}");
+        // Tiny run still returns the minimum.
+        assert_eq!(suggest_batch_count(3, 0.0), 2);
+        // NaN tolerated.
+        assert!(suggest_batch_count(100, f64::NAN) >= 2);
+    }
+
+    #[test]
+    fn batch_count_bounds() {
+        for n in [10u64, 100, 10_000] {
+            for rho in [-0.5, 0.0, 0.5, 0.99, 2.0] {
+                let b = suggest_batch_count(n, rho);
+                assert!((2..=64).contains(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Statistics substrate for the `presence` workspace.
+//!
+//! The paper ("Are You Still There?", DSN 2005) evaluates its probe protocols
+//! with discrete-event simulation analysed through two lenses:
+//!
+//! * **steady-state** estimation using the *batch means* technique with a
+//!   relative confidence-interval stopping rule (confidence interval width
+//!   0.1 at level 0.95), and
+//! * **transient** plots of per-control-point probe frequencies and device
+//!   load over (virtual) time.
+//!
+//! This crate provides exactly those tools, implemented from first
+//! principles so that the whole analysis chain is auditable:
+//!
+//! * [`Welford`] — numerically stable online mean/variance (and
+//!   [`Covariance`] for paired samples),
+//! * [`BatchMeans`] — steady-state point estimates with Student-t
+//!   confidence intervals and a relative-half-width stopping rule,
+//! * [`ConfidenceInterval`] and Student-t quantiles ([`t_quantile`]),
+//! * [`Histogram`] — fixed-width binning with quantile queries,
+//! * [`P2Quantile`] — constant-memory online quantile estimation,
+//! * [`TimeSeries`] — timestamped samples with windowed queries and
+//!   resampling (the substrate for reproducing Figures 2–5),
+//! * [`TimeWeighted`] — time-weighted averages (e.g. mean buffer
+//!   occupancy ≈ 0.004 in the paper's steady-state study),
+//! * [`RateMeter`] — event rates over sliding/jumping windows (device
+//!   load in probes/second, Figure 5),
+//! * fairness metrics ([`jain_index`], [`coefficient_of_variation`]) used to
+//!   quantify the unfairness the paper demonstrates graphically,
+//! * [`autocorrelation`] and batch-size selection helpers.
+//!
+//! All estimators are plain `f64` state machines with no dependencies, so
+//! they can run inside the simulator, inside benches, or inside the
+//! wall-clock runtime unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autocorr;
+mod batch_means;
+mod ci;
+mod fairness;
+mod histogram;
+mod quantile;
+mod rate;
+mod summary;
+mod timeseries;
+mod welford;
+
+pub use autocorr::{autocorrelation, lag1_autocorrelation, suggest_batch_count, von_neumann_ratio};
+pub use batch_means::{BatchMeans, BatchMeansConfig, SteadyStateVerdict};
+pub use ci::{t_quantile, z_quantile, ConfidenceInterval};
+pub use fairness::{coefficient_of_variation, jain_index, max_min_ratio};
+pub use histogram::{Histogram, HistogramBin};
+pub use quantile::P2Quantile;
+pub use rate::{JumpingWindowRate, RateMeter};
+pub use summary::{describe, Summary};
+pub use timeseries::{Sample, TimeSeries, TimeSeriesSummary, TimeWeighted};
+pub use welford::{Covariance, Welford};

@@ -1,0 +1,257 @@
+//! Event-rate measurement over time windows.
+//!
+//! The central quantity in both protocols is a *load* measured in probes per
+//! second: the device's nominal load `L_nom` is 10 probes/s in every paper
+//! experiment, and Figure 5 plots the DCPP device's observed load over time.
+//! [`RateMeter`] measures such rates with a sliding window; [`JumpingWindowRate`]
+//! produces the per-interval series used for plotting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sliding-window event-rate meter.
+///
+/// Records event timestamps and reports the rate over the trailing window.
+/// Memory is bounded by the number of events inside the window.
+///
+/// # Examples
+///
+/// ```
+/// use presence_stats::RateMeter;
+///
+/// let mut m = RateMeter::new(1.0); // 1-second window
+/// for i in 0..10 {
+///     m.record(i as f64 * 0.1); // 10 events spread over [0, 0.9]
+/// }
+/// assert!((m.rate_at(0.9) - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateMeter {
+    window: f64,
+    events: VecDeque<f64>,
+    total: u64,
+    last_t: f64,
+}
+
+impl RateMeter {
+    /// Creates a meter with the given trailing window length (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive and finite.
+    #[must_use]
+    pub fn new(window: f64) -> Self {
+        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        Self {
+            window,
+            events: VecDeque::new(),
+            total: 0,
+            last_t: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one event at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards.
+    pub fn record(&mut self, t: f64) {
+        assert!(t >= self.last_t, "time must not move backwards");
+        self.last_t = t;
+        self.events.push_back(t);
+        self.total += 1;
+        self.evict(t);
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&front) = self.events.front() {
+            if front <= now - self.window {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second over the window ending at `now`.
+    pub fn rate_at(&mut self, now: f64) -> f64 {
+        self.evict(now);
+        self.events.len() as f64 / self.window
+    }
+
+    /// Total events ever recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The window length in seconds.
+    #[must_use]
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+}
+
+/// Jumping (non-overlapping) window rate series.
+///
+/// Closes a window every `width` seconds and reports `(window_start, rate)`
+/// pairs — exactly the series plotted as "Device Load" in Figure 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JumpingWindowRate {
+    width: f64,
+    origin: f64,
+    current_index: u64,
+    current_count: u64,
+    closed: Vec<(f64, f64)>,
+}
+
+impl JumpingWindowRate {
+    /// Creates a series with windows `[origin + k·width, origin + (k+1)·width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive and finite.
+    #[must_use]
+    pub fn new(origin: f64, width: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "width must be positive");
+        Self {
+            width,
+            origin,
+            current_index: 0,
+            current_count: 0,
+            closed: Vec::new(),
+        }
+    }
+
+    /// Records one event at time `t ≥ origin`; closes any windows that ended
+    /// before `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the origin or moves backwards past an already
+    /// closed window.
+    pub fn record(&mut self, t: f64) {
+        let idx = self.index_of(t);
+        assert!(
+            idx >= self.current_index,
+            "event at {t} falls in an already-closed window"
+        );
+        self.close_until(idx);
+        self.current_count += 1;
+    }
+
+    fn index_of(&self, t: f64) -> u64 {
+        assert!(t >= self.origin, "event precedes origin");
+        ((t - self.origin) / self.width) as u64
+    }
+
+    fn close_until(&mut self, idx: u64) {
+        while self.current_index < idx {
+            let start = self.origin + self.current_index as f64 * self.width;
+            self.closed
+                .push((start, self.current_count as f64 / self.width));
+            self.current_count = 0;
+            self.current_index += 1;
+        }
+    }
+
+    /// Flushes windows up to (not including) the one containing `t`.
+    pub fn advance_to(&mut self, t: f64) {
+        let idx = self.index_of(t);
+        self.close_until(idx);
+    }
+
+    /// Closed `(window_start, events_per_second)` pairs, in time order.
+    #[must_use]
+    pub fn series(&self) -> &[(f64, f64)] {
+        &self.closed
+    }
+
+    /// Consumes the meter, closing the current window at `end` first.
+    #[must_use]
+    pub fn finish(mut self, end: f64) -> Vec<(f64, f64)> {
+        let idx = self.index_of(end);
+        self.close_until(idx.saturating_add(1));
+        self.closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_rate_basic() {
+        let mut m = RateMeter::new(2.0);
+        m.record(0.0);
+        m.record(0.5);
+        m.record(1.0);
+        assert!((m.rate_at(1.0) - 1.5).abs() < 1e-12);
+        // At t=2.9, only the event at t=1.0 is within (0.9, 2.9].
+        assert!((m.rate_at(2.9) - 0.5).abs() < 1e-12);
+        // At t=3.0 the event at 1.0 sits exactly on the (excluded) boundary.
+        assert_eq!(m.rate_at(3.0), 0.0);
+        // Far in the future everything expired.
+        assert_eq!(m.rate_at(100.0), 0.0);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn sliding_rejects_backwards_time() {
+        let mut m = RateMeter::new(1.0);
+        m.record(2.0);
+        m.record(1.0);
+    }
+
+    #[test]
+    fn sliding_rate_eviction_boundary() {
+        let mut m = RateMeter::new(1.0);
+        m.record(0.0);
+        // An event exactly window-old is evicted (half-open window).
+        assert_eq!(m.rate_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn jumping_windows_close_in_order() {
+        let mut j = JumpingWindowRate::new(0.0, 1.0);
+        j.record(0.1);
+        j.record(0.9);
+        j.record(2.5); // skips window [1,2): closed with rate 0
+        let s = j.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (0.0, 2.0));
+        assert_eq!(s[1], (1.0, 0.0));
+        let all = j.finish(2.5);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2], (2.0, 1.0));
+    }
+
+    #[test]
+    fn jumping_window_advance_flushes_empties() {
+        let mut j = JumpingWindowRate::new(10.0, 2.0);
+        j.advance_to(16.0);
+        assert_eq!(j.series().len(), 3);
+        assert!(j.series().iter().all(|&(_, r)| r == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes origin")]
+    fn jumping_rejects_pre_origin() {
+        let mut j = JumpingWindowRate::new(5.0, 1.0);
+        j.record(4.0);
+    }
+
+    #[test]
+    fn jumping_rate_values() {
+        let mut j = JumpingWindowRate::new(0.0, 0.5);
+        for i in 0..10 {
+            j.record(i as f64 * 0.1); // 10 events in [0, 1)
+        }
+        let s = j.finish(1.0);
+        // Two windows of width 0.5 with 5 events each → rate 10/s.
+        assert_eq!(s.len(), 3);
+        assert!((s[0].1 - 10.0).abs() < 1e-12);
+        assert!((s[1].1 - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,389 @@
+//! Numerically stable online moment accumulation.
+//!
+//! Welford's algorithm avoids the catastrophic cancellation of the naive
+//! `E[X²] − E[X]²` formula, which matters here because simulation runs push
+//! tens of millions of samples whose magnitudes differ wildly (probe delays
+//! range from 0.02 s to 10 s in the paper's SAPP configuration).
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use presence_stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 8);
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// Non-finite samples are ignored (and not counted); simulation code can
+    /// therefore push raw ratios without pre-filtering division-by-zero
+    /// artefacts.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Number of (finite) observations pushed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no observation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean; `NaN` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator); `NaN` for fewer than
+    /// two observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); `NaN` when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation; `NaN` for fewer than two observations.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / √n`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        self.sample_std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford / Chan's
+    /// method). The result is identical (up to rounding) to having pushed all
+    /// samples into a single accumulator.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Online covariance accumulator for paired samples `(x, y)`.
+///
+/// Used by the analysis code to check, e.g., whether a control point's probe
+/// delay correlates with its join order (one of the hypotheses raised while
+/// reproducing the paper's fairness findings).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Covariance {
+    count: u64,
+    mean_x: f64,
+    mean_y: f64,
+    c: f64,
+    wx: Welford,
+    wy: Welford,
+}
+
+impl Covariance {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one paired observation. Pairs with any non-finite coordinate are
+    /// ignored.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if !x.is_finite() || !y.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let dx = x - self.mean_x;
+        self.mean_x += dx / self.count as f64;
+        self.mean_y += (y - self.mean_y) / self.count as f64;
+        self.c += dx * (y - self.mean_y);
+        self.wx.push(x);
+        self.wy.push(y);
+    }
+
+    /// Number of pairs recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Unbiased sample covariance; `NaN` for fewer than two pairs.
+    #[must_use]
+    pub fn sample_covariance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.c / (self.count - 1) as f64
+        }
+    }
+
+    /// Pearson correlation coefficient in `[-1, 1]`; `NaN` when undefined
+    /// (fewer than two pairs or zero variance in either coordinate).
+    #[must_use]
+    pub fn correlation(&self) -> f64 {
+        let sx = self.wx.sample_std_dev();
+        let sy = self.wy.sample_std_dev();
+        if sx == 0.0 || sy == 0.0 {
+            return f64::NAN;
+        }
+        self.sample_covariance() / (sx * sy)
+    }
+
+    /// Marginal accumulator over the `x` coordinates.
+    #[must_use]
+    pub fn x(&self) -> &Welford {
+        &self.wx
+    }
+
+    /// Marginal accumulator over the `y` coordinates.
+    #[must_use]
+    pub fn y(&self) -> &Welford {
+        &self.wy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        assert!(w.sample_variance().is_nan());
+        assert!(w.population_variance().is_nan());
+        assert!(w.is_empty());
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.count(), 1);
+        assert_close(w.mean(), 42.0, 1e-12);
+        assert_close(w.population_variance(), 0.0, 1e-12);
+        assert!(w.sample_variance().is_nan());
+        assert_eq!(w.min(), 42.0);
+        assert_eq!(w.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut w = Welford::new();
+        w.extend(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert_close(w.mean(), mean, 1e-9);
+        assert_close(w.sample_variance(), var, 1e-9);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(f64::NAN);
+        w.push(f64::INFINITY);
+        w.push(3.0);
+        assert_eq!(w.count(), 2);
+        assert_close(w.mean(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).cos() * 5.0).collect();
+        let (a, b) = xs.split_at(137);
+        let mut wa = Welford::new();
+        wa.extend(a.iter().copied());
+        let mut wb = Welford::new();
+        wb.extend(b.iter().copied());
+        let mut whole = Welford::new();
+        whole.extend(xs.iter().copied());
+        wa.merge(&wb);
+        assert_eq!(wa.count(), whole.count());
+        assert_close(wa.mean(), whole.mean(), 1e-9);
+        assert_close(wa.sample_variance(), whole.sample_variance(), 1e-9);
+        assert_eq!(wa.min(), whole.min());
+        assert_eq!(wa.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.extend([1.0, 2.0, 3.0]);
+        let snapshot = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, snapshot);
+
+        let mut e = Welford::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Naive E[X^2]-E[X]^2 fails catastrophically here.
+        let offset = 1e9;
+        let mut w = Welford::new();
+        for i in 0..10_000 {
+            w.push(offset + (i % 2) as f64);
+        }
+        assert_close(w.mean(), offset + 0.5, 1e-3);
+        assert_close(w.sample_variance(), 0.25, 1e-3);
+    }
+
+    #[test]
+    fn covariance_perfect_linear() {
+        let mut c = Covariance::new();
+        for i in 0..100 {
+            let x = i as f64;
+            c.push(x, 3.0 * x + 1.0);
+        }
+        assert_close(c.correlation(), 1.0, 1e-12);
+        assert!(c.sample_covariance() > 0.0);
+    }
+
+    #[test]
+    fn covariance_anticorrelated() {
+        let mut c = Covariance::new();
+        for i in 0..100 {
+            let x = i as f64;
+            c.push(x, -2.0 * x);
+        }
+        assert_close(c.correlation(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn covariance_independent_is_near_zero() {
+        let mut c = Covariance::new();
+        for i in 0..1000 {
+            // x cycles fast, y cycles slow: empirically near-uncorrelated.
+            c.push((i % 7) as f64, ((i / 7) % 5) as f64);
+        }
+        assert!(c.correlation().abs() < 0.05, "corr = {}", c.correlation());
+    }
+
+    #[test]
+    fn covariance_skips_non_finite_pairs() {
+        let mut c = Covariance::new();
+        c.push(1.0, 1.0);
+        c.push(f64::NAN, 2.0);
+        c.push(2.0, f64::INFINITY);
+        c.push(2.0, 2.0);
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn sum_tracks_total() {
+        let mut w = Welford::new();
+        w.extend([1.5, 2.5, 6.0]);
+        assert_close(w.sum(), 10.0, 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's steady-state methodology, end to end: batch means with a
+//! relative-confidence-interval stopping rule driving a live simulation.
+//!
+//! Instead of simulating a fixed horizon and hoping it was long enough,
+//! this example extends the run in slices until the batch-means estimator
+//! declares the device-load estimate converged at the paper's setting
+//! (confidence interval 0.1 at level 0.95) — exactly how the MÖBIUS
+//! steady-state solver drove the authors' study. Run with:
+//!
+//! ```text
+//! cargo run --release --example steady_state_analysis
+//! ```
+
+use presence::sim::{Protocol, Scenario, ScenarioConfig};
+use presence::stats::{BatchMeans, BatchMeansConfig, SteadyStateVerdict};
+
+fn main() {
+    let cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, f64::MAX, 3);
+    // `duration` above is unused: we drive the clock ourselves in slices.
+    let mut scenario = Scenario::build(ScenarioConfig {
+        duration: 1e9, // effectively unbounded; run_until controls time
+        load_window: 5.0,
+        ..cfg
+    });
+
+    let bm_cfg = BatchMeansConfig {
+        warmup: 20,     // discard 100 s of 5 s windows (join transient)
+        batch_size: 20, // 100 s per batch
+        min_batches: 10,
+        level: 0.95,
+        target_relative_half_width: 0.1, // the paper's "CI 0.1"
+    };
+    let mut estimator = BatchMeans::new(bm_cfg).expect("valid config");
+
+    println!("SAPP k = 20 — device load, batch means @ CI 0.1 / 0.95\n");
+    println!("{:>10} {:>9} {:>12} {:>16}", "sim time", "batches", "estimate", "rel. half-width");
+
+    let slice = 500.0; // virtual seconds per extension
+    let mut t = 0.0;
+    let mut consumed = 0usize;
+    loop {
+        t += slice;
+        scenario.run_until(t);
+        // Feed only the windows the estimator has not seen yet.
+        let result = scenario.collect();
+        for &(_, rate) in result.load_series.iter().skip(consumed) {
+            estimator.push(rate);
+        }
+        consumed = result.load_series.len();
+
+        let ci = estimator.interval();
+        println!(
+            "{:>9.0}s {:>9} {:>9.3}/s {:>15.3}%",
+            t,
+            estimator.batches(),
+            estimator.mean(),
+            ci.relative_half_width() * 100.0
+        );
+
+        match estimator.verdict() {
+            SteadyStateVerdict::Converged => break,
+            _ if t > 100_000.0 => {
+                println!("giving up after 100k virtual seconds");
+                break;
+            }
+            _ => {}
+        }
+    }
+
+    let ci = estimator.interval();
+    println!(
+        "\nconverged: device load = {:.2} ± {:.2} probes/s after {:.0} virtual seconds",
+        ci.mean, ci.half_width, t
+    );
+    println!(
+        "(paper: load near L_nom = 10; the dead band [L_nom/β, β·L_nom] admits {:.1}…{:.1})",
+        10.0 / 1.5,
+        10.0 * 1.5
+    );
+    assert!(ci.mean > 10.0 / 1.5 - 1.0 && ci.mean < 10.0 * 1.5 + 1.0);
+}

@@ -1,0 +1,195 @@
+//! One test per claim the paper makes in prose — the executable version of
+//! the paper's Conclusions (§6) and the protocol-design assertions of
+//! §2/§4/§5. Each test cites the sentence it checks.
+
+use presence::core::{
+    CpId, DcppConfig, DcppDevice, DeviceId, Probe, ProbeCycleConfig, ReplyBody,
+};
+use presence::des::SimTime;
+use presence::sim::{ChurnModel, Protocol, Scenario, ScenarioConfig};
+
+/// §6: "Our analysis has shown that the self-adaptive probe protocol SAPP
+/// suffers from a fairness problem. Some CPs can have low probing
+/// frequencies, whereas other CPs probe very fast."
+#[test]
+fn claim_sapp_fairness_problem() {
+    let cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 20_000.0, 3);
+    let mut scenario = Scenario::build(cfg);
+    scenario.run();
+    let r = scenario.collect();
+    assert!(
+        r.frequency_spread() > 2.0,
+        "no fast/slow split: spread {}",
+        r.frequency_spread()
+    );
+    assert!(r.fairness_jain < 0.95, "jain {}", r.fairness_jain);
+}
+
+/// §3: "Despite this abnormal behavior of the CPs, the device load is
+/// quite good (i.e., it is near to L_nom = 10, and has a low variance)."
+#[test]
+fn claim_sapp_device_load_is_controlled_anyway() {
+    let cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 10_000.0, 3);
+    let mut scenario = Scenario::build(cfg);
+    scenario.run();
+    let r = scenario.collect();
+    // "near L_nom": within the protocol's dead band [L_nom/β, β·L_nom].
+    assert!(
+        r.load_mean > 10.0 / 1.5 - 1.0 && r.load_mean < 10.0 * 1.5 + 1.0,
+        "load {} outside the dead band",
+        r.load_mean
+    );
+    assert!(r.load_variance < 5.0, "load variance {}", r.load_variance);
+}
+
+/// §3: "network buffer overflow is a seldom phenomenon as the average
+/// buffer length is very small (≈ 0.004)".
+#[test]
+fn claim_buffer_rarely_occupied() {
+    let cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 5_000.0, 3);
+    let mut scenario = Scenario::build(cfg);
+    scenario.run();
+    let r = scenario.collect();
+    let occ = r.mean_buffer_occupancy.expect("occupancy measured");
+    assert!(occ < 0.05, "mean buffer occupancy {occ}");
+    assert_eq!(r.messages_dropped_overflow, 0, "buffer overflowed");
+}
+
+/// §5: "once a situation is reached where the number of probing CPs does
+/// not change, the device has a probe load of L_nom, and the probe
+/// frequency is nearly the same for all CPs."
+#[test]
+fn claim_dcpp_static_guarantee() {
+    for k in [7u32, 25] {
+        let cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), k, 500.0, 5);
+        let mut scenario = Scenario::build(cfg);
+        scenario.run();
+        let r = scenario.collect();
+        assert!(
+            (r.load_mean - 10.0).abs() < 1.0,
+            "k={k}: load {}",
+            r.load_mean
+        );
+        assert!(r.fairness_jain > 0.99, "k={k}: jain {}", r.fairness_jain);
+    }
+}
+
+/// §5: "the probability of exceeding the nominal probe load is low" and
+/// "the load falls off very quickly again towards L_nom" after join
+/// bursts.
+#[test]
+fn claim_dcpp_churn_spikes_decay() {
+    let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 60, 3_000.0, 11);
+    cfg.initially_active = 20;
+    cfg.churn = ChurnModel::paper_fig5();
+    cfg.load_window = 2.0;
+    let mut scenario = Scenario::build(cfg);
+    scenario.run();
+    let r = scenario.collect();
+    let over: usize = r
+        .load_series
+        .iter()
+        .filter(|&&(_, v)| v > 15.0)
+        .count();
+    let frac = over as f64 / r.load_series.len().max(1) as f64;
+    assert!(frac < 0.15, "{:.0}% of windows above 1.5·L_nom", frac * 100.0);
+    // No sustained overload: never two consecutive minutes above 1.5·L_nom.
+    let mut consecutive = 0usize;
+    let mut max_consecutive = 0usize;
+    for &(_, v) in &r.load_series {
+        if v > 15.0 {
+            consecutive += 1;
+            max_consecutive = max_consecutive.max(consecutive);
+        } else {
+            consecutive = 0;
+        }
+    }
+    assert!(
+        max_consecutive * 2 < 60,
+        "overload persisted for {} consecutive windows",
+        max_consecutive
+    );
+}
+
+/// §2/§4: the absence requirement — "the absence of nodes should be
+/// detected quickly (e.g., in the order of one second)".
+#[test]
+fn claim_detection_within_the_order_of_one_second() {
+    for protocol in [Protocol::dcpp_paper(), Protocol::sapp_paper()] {
+        let cfg = ScenarioConfig::paper_defaults(protocol, 5, 200.0, 7);
+        let mut scenario = Scenario::build(cfg);
+        scenario.crash_device_at(150.0);
+        scenario.run();
+        let r = scenario.collect();
+        for cp in r.active_cps() {
+            let latency = cp.detected_absent_at.expect("detected") - 150.0;
+            // "Order of one second": strictly bounded by the probing
+            // interval in force + 85 ms; assert single-digit seconds.
+            assert!(latency < 10.0, "latency {latency}");
+        }
+    }
+}
+
+/// §4 constraint (i): "two consecutive probes are at least δ_min time
+/// units apart" — verified directly on the device state machine under a
+/// randomised assault (complements the proptest in presence-core).
+#[test]
+fn claim_dcpp_slot_spacing() {
+    let cfg = DcppConfig::paper_default();
+    let mut device = DcppDevice::new(DeviceId(0), cfg);
+    let mut slots: Vec<f64> = Vec::new();
+    for i in 0..200u32 {
+        let now = SimTime::from_secs_f64(f64::from(i % 7) * 0.013);
+        // Times are intentionally non-monotone per CP but the device only
+        // sees "a probe arrives"; feed monotone arrivals.
+        let now = SimTime::from_secs_f64(now.as_secs_f64() + f64::from(i) * 0.01);
+        let reply = device.on_probe(now, Probe { cp: CpId(i % 9), seq: u64::from(i) });
+        let ReplyBody::Dcpp { wait } = reply.body else {
+            panic!("wrong body")
+        };
+        slots.push(now.as_secs_f64() + wait.as_secs_f64());
+    }
+    slots.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    for w in slots.windows(2) {
+        assert!(
+            w[1] - w[0] > cfg.delta_min.as_secs_f64() - 1e-9,
+            "slots {} and {} closer than δ_min",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// §6: DCPP "is even computationally simpler" — the state per device is a
+/// single register (nt), versus SAPP's counter + prober list; and the CP
+/// does no estimation. We check the observable consequence: a DCPP cycle
+/// emits no more actions than a SAPP cycle.
+#[test]
+fn claim_dcpp_simplicity_observable() {
+    use presence::core::{DcppCp, Prober, SappConfig, SappCp};
+    let mut sapp = SappCp::new(CpId(0), SappConfig::paper_default());
+    let mut dcpp = DcppCp::new(CpId(0), DcppConfig::paper_default());
+    let mut out_s = Vec::new();
+    let mut out_d = Vec::new();
+    sapp.start(SimTime::ZERO, &mut out_s);
+    dcpp.start(SimTime::ZERO, &mut out_d);
+    assert_eq!(out_s.len(), out_d.len(), "same probe cycle skeleton");
+
+    // The probe-cycle engine is shared; the difference is the adaptation
+    // bookkeeping, which Rust sizes make concrete:
+    assert!(
+        std::mem::size_of::<DcppDevice>() <= std::mem::size_of::<presence::core::SappDevice>(),
+        "DCPP device state should not exceed SAPP's"
+    );
+}
+
+/// Fig. 1 timing: with the paper's constants, a failed cycle concludes in
+/// exactly TOF + 3·TOS = 85 ms.
+#[test]
+fn claim_verdict_timing_fig1() {
+    let c = ProbeCycleConfig::paper_default();
+    assert_eq!(
+        c.worst_case_detection(),
+        presence::des::SimDuration::from_millis(85)
+    );
+}

@@ -1,0 +1,152 @@
+//! End-to-end tests over real loopback UDP sockets: both protocols, real
+//! threads, real timers — the deployment configuration, not the simulator.
+
+use presence::core::{
+    CpId, DcppConfig, DcppCp, DeviceId, ProbeCycleConfig, SappConfig, SappCp,
+    SappDeviceConfig,
+};
+use presence::des::SimDuration;
+use presence::runtime::{
+    run_cp, run_device, CpOutcome, DeviceHost, StopFlag, SystemClock, UdpTransport,
+};
+use std::thread;
+use std::time::Duration;
+
+fn spawn_device(host: DeviceHost, stop: &StopFlag) -> (std::net::SocketAddr, thread::JoinHandle<DeviceHost>) {
+    let transport = UdpTransport::server("127.0.0.1:0").expect("bind device");
+    let addr = transport.local_addr().expect("addr");
+    let stop = stop.clone();
+    let handle = thread::spawn(move || {
+        let clock = SystemClock::new();
+        run_device(host, transport, &clock, &stop)
+    });
+    (addr, handle)
+}
+
+#[test]
+fn dcpp_over_udp_many_cps() {
+    // Scaled-down timing: device takes 100 probes/s, CPs wait ≥ 40 ms.
+    let mut cfg = DcppConfig::paper_default();
+    cfg.delta_min = SimDuration::from_millis(10);
+    cfg.d_min = SimDuration::from_millis(40);
+
+    let stop = StopFlag::new();
+    let (addr, device) = spawn_device(
+        DeviceHost::Dcpp(presence::core::DcppDevice::new(DeviceId(0), cfg)),
+        &stop,
+    );
+
+    let mut cps: Vec<thread::JoinHandle<CpOutcome>> = Vec::new();
+    for i in 0..5u32 {
+        let transport = UdpTransport::client("127.0.0.1:0", addr).expect("bind cp");
+        let prober = DcppCp::new(CpId(i), cfg);
+        let stop = stop.clone();
+        cps.push(thread::spawn(move || {
+            let clock = SystemClock::new();
+            run_cp(prober, transport, &clock, &stop)
+        }));
+    }
+
+    thread::sleep(Duration::from_millis(800));
+    stop.stop();
+    let device = device.join().expect("device thread");
+
+    let mut total_cycles = 0;
+    for cp in cps {
+        let outcome = cp.join().expect("cp thread");
+        assert!(outcome.device_absent_at.is_none(), "false verdict over UDP");
+        total_cycles += outcome.cycles_succeeded;
+    }
+    assert!(
+        total_cycles >= 20,
+        "only {total_cycles} cycles across 5 CPs in 800 ms"
+    );
+    assert!(device.probes_received() >= total_cycles);
+}
+
+#[test]
+fn sapp_over_udp_adapts_and_detects_crash() {
+    // SAPP CP against a SAPP device; after 500 ms the device dies and the
+    // CP must detect within δ + TOF + 3·TOS.
+    let cp_cfg = SappConfig {
+        // Slow the greedy start slightly so the wall-clock run is gentle.
+        initial_delay: SimDuration::from_millis(30),
+        delta_min: SimDuration::from_millis(30),
+        ..SappConfig::paper_default()
+    };
+    let dev_cfg = SappDeviceConfig::paper_default();
+
+    let stop = StopFlag::new();
+    let (addr, device) = spawn_device(
+        DeviceHost::Sapp(presence::core::SappDevice::new(DeviceId(0), dev_cfg)),
+        &stop,
+    );
+
+    let transport = UdpTransport::client("127.0.0.1:0", addr).expect("bind cp");
+    let prober = SappCp::new(CpId(0), cp_cfg);
+    let cp_stop = StopFlag::new();
+    let cp = thread::spawn(move || {
+        let clock = SystemClock::new();
+        run_cp(prober, transport, &clock, &cp_stop)
+    });
+
+    thread::sleep(Duration::from_millis(500));
+    stop.stop(); // kill the device only; the CP keeps probing
+    let device = device.join().expect("device thread");
+    assert!(device.probes_received() > 3, "device barely probed");
+
+    let outcome = cp.join().expect("cp thread");
+    assert!(
+        outcome.device_absent_at.is_some(),
+        "CP never noticed the crash"
+    );
+    assert!(outcome.cycles_succeeded > 3);
+}
+
+#[test]
+fn udp_cp_survives_garbage_datagrams() {
+    // A hostile or buggy peer sprays garbage at the CP's socket; the codec
+    // must drop it and the protocol proceed unharmed.
+    let mut cfg = DcppConfig::paper_default();
+    cfg.delta_min = SimDuration::from_millis(10);
+    cfg.d_min = SimDuration::from_millis(30);
+    cfg.cycle = ProbeCycleConfig::paper_default();
+
+    let stop = StopFlag::new();
+    let (addr, device) = spawn_device(
+        DeviceHost::Dcpp(presence::core::DcppDevice::new(DeviceId(0), cfg)),
+        &stop,
+    );
+
+    let transport = UdpTransport::client("127.0.0.1:0", addr).expect("bind cp");
+    let cp_local = transport.local_addr().expect("local");
+    let prober = DcppCp::new(CpId(0), cfg);
+    let cp_stop = stop.clone();
+    let cp = thread::spawn(move || {
+        let clock = SystemClock::new();
+        run_cp(prober, transport, &clock, &cp_stop)
+    });
+
+    // Garbage sprayer.
+    let noise = std::net::UdpSocket::bind("127.0.0.1:0").expect("noise socket");
+    for i in 0..200u8 {
+        let _ = noise.send_to(&[0xff, i, i, i, i, i], cp_local);
+        if i % 50 == 0 {
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    thread::sleep(Duration::from_millis(400));
+    stop.stop();
+    let outcome = cp.join().expect("cp thread");
+    let _ = device.join().expect("device thread");
+    assert!(
+        outcome.device_absent_at.is_none(),
+        "garbage datagrams tricked the CP into a verdict"
+    );
+    assert!(
+        outcome.cycles_succeeded >= 5,
+        "garbage stalled the protocol: {} cycles",
+        outcome.cycles_succeeded
+    );
+}
