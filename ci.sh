@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, lints, then the ROADMAP tier-1 verify line.
+#
+#   ./ci.sh          full profile
+#   ./ci.sh --fast   reduced property-test case counts + CI scenario horizons
+set -euo pipefail
+cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--fast" ]]; then
+    export PROPTEST_CASES="${PROPTEST_CASES:-32}"
+    export PRESENCE_TEST_PROFILE="${PRESENCE_TEST_PROFILE:-ci}"
+    shift
+else
+    # The default gate validates the paper-exact horizons; the in-process
+    # default (Profile::Ci) is for quick local `cargo test` loops.
+    export PRESENCE_TEST_PROFILE="${PRESENCE_TEST_PROFILE:-full}"
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> ci.sh: all green"

@@ -2,11 +2,11 @@
 //! each delay/loss model.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use presence_des::SimDuration;
 use presence_des::{SimTime, StreamRng};
 use presence_net::{
     BernoulliLoss, ConstantDelay, Fabric, GilbertElliott, NoLoss, SendOutcome, ThreeMode,
 };
-use presence_des::SimDuration;
 use std::hint::black_box;
 
 fn run_fabric(mut fabric: Fabric, n: u64) -> u64 {
@@ -14,12 +14,9 @@ fn run_fabric(mut fabric: Fabric, n: u64) -> u64 {
     let mut delivered = 0;
     for i in 0..n {
         let now = SimTime::from_nanos(i * 1_000_000); // spacing > max delay keeps delivery order monotone
-        match fabric.send(now, &mut rng) {
-            SendOutcome::Deliver(at) => {
-                fabric.on_delivered(at.max(now));
-                delivered += 1;
-            }
-            _ => {}
+        if let SendOutcome::Deliver(at) = fabric.send(now, &mut rng) {
+            fabric.on_delivered(at.max(now));
+            delivered += 1;
         }
     }
     delivered

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use presence_core::{
-    CpAction, CpId, DcppConfig, DcppCp, DcppDevice, DeviceId, Probe, Prober, SappConfig,
-    SappCp, SappDevice, SappDeviceConfig,
+    CpAction, CpId, DcppConfig, DcppCp, DcppDevice, DeviceId, Probe, Prober, SappConfig, SappCp,
+    SappDevice, SappDeviceConfig,
 };
 use presence_des::SimTime;
 use std::hint::black_box;
@@ -19,7 +19,10 @@ fn bench_devices(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1_000_000;
-            let probe = Probe { cp: CpId((t % 20) as u32), seq: t };
+            let probe = Probe {
+                cp: CpId((t % 20) as u32),
+                seq: t,
+            };
             black_box(dev.on_probe(SimTime::from_nanos(t), black_box(probe)))
         });
     });
@@ -29,7 +32,10 @@ fn bench_devices(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1_000_000;
-            let probe = Probe { cp: CpId((t % 20) as u32), seq: t };
+            let probe = Probe {
+                cp: CpId((t % 20) as u32),
+                seq: t,
+            };
             black_box(dev.on_probe(SimTime::from_nanos(t), black_box(probe)))
         });
     });
@@ -56,7 +62,7 @@ fn bench_cp_full_cycle(c: &mut Criterion) {
                     _ => None,
                 })
                 .expect("probe in flight");
-            now = now + presence_des::SimDuration::from_millis(1);
+            now += presence_des::SimDuration::from_millis(1);
             let reply = dev.on_probe(now, probe);
             out.clear();
             cp.on_reply(now, &reply, &mut out);
@@ -68,7 +74,7 @@ fn bench_cp_full_cycle(c: &mut Criterion) {
                     _ => None,
                 })
                 .expect("wake timer");
-            now = now + cp.delay();
+            now += cp.delay();
             out.clear();
             cp.on_timer(now, wake, &mut out);
             black_box(&out);
@@ -89,7 +95,7 @@ fn bench_cp_full_cycle(c: &mut Criterion) {
                     _ => None,
                 })
                 .expect("probe in flight");
-            now = now + presence_des::SimDuration::from_millis(1);
+            now += presence_des::SimDuration::from_millis(1);
             let reply = dev.on_probe(now, probe);
             out.clear();
             cp.on_reply(now, &reply, &mut out);
@@ -100,7 +106,7 @@ fn bench_cp_full_cycle(c: &mut Criterion) {
                     _ => None,
                 })
                 .expect("wake timer");
-            now = now + cp.current_delay().expect("assigned wait");
+            now += cp.current_delay().expect("assigned wait");
             out.clear();
             cp.on_timer(now, wake, &mut out);
             black_box(&out);

@@ -12,8 +12,7 @@ fn bench_scenarios(c: &mut Criterion) {
 
     group.bench_function("sapp_20cps_100s", |b| {
         b.iter(|| {
-            let cfg =
-                ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 100.0, 3);
+            let cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 100.0, 3);
             let mut s = Scenario::build(cfg);
             s.run();
             black_box(s.collect().device_probes)
@@ -22,8 +21,7 @@ fn bench_scenarios(c: &mut Criterion) {
 
     group.bench_function("dcpp_churn_100s", |b| {
         b.iter(|| {
-            let mut cfg =
-                ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 60, 100.0, 3);
+            let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 60, 100.0, 3);
             cfg.initially_active = 20;
             cfg.churn = ChurnModel::paper_fig5();
             let mut s = Scenario::build(cfg);

@@ -11,12 +11,18 @@ fn messages() -> Vec<(&'static str, WireMessage)> {
     vec![
         (
             "probe",
-            WireMessage::Probe(Probe { cp: CpId(7), seq: 123_456 }),
+            WireMessage::Probe(Probe {
+                cp: CpId(7),
+                seq: 123_456,
+            }),
         ),
         (
             "reply_sapp",
             WireMessage::Reply(Reply {
-                probe: Probe { cp: CpId(7), seq: 123_456 },
+                probe: Probe {
+                    cp: CpId(7),
+                    seq: 123_456,
+                },
                 device: DeviceId(0),
                 body: ReplyBody::Sapp {
                     pc: 1_700_000,
@@ -27,7 +33,10 @@ fn messages() -> Vec<(&'static str, WireMessage)> {
         (
             "reply_dcpp",
             WireMessage::Reply(Reply {
-                probe: Probe { cp: CpId(7), seq: 123_456 },
+                probe: Probe {
+                    cp: CpId(7),
+                    seq: 123_456,
+                },
                 device: DeviceId(0),
                 body: ReplyBody::Dcpp {
                     wait: SimDuration::from_millis(500),

@@ -9,7 +9,9 @@ use presence_sim::{replicate, Protocol, ScenarioConfig};
 fn main() {
     let opts = parse_args();
     let duration = opts.duration.unwrap_or(5_000.0);
-    let seeds: Vec<u64> = (1..=10).map(|i| opts.seed.wrapping_mul(31).wrapping_add(i)).collect();
+    let seeds: Vec<u64> = (1..=10)
+        .map(|i| opts.seed.wrapping_mul(31).wrapping_add(i))
+        .collect();
 
     for (name, protocol) in [
         ("SAPP", Protocol::sapp_paper()),

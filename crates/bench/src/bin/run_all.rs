@@ -12,13 +12,22 @@ fn main() {
     println!("{}\n", e1_sapp_steady_state(5_000.0 * scale, seed));
     println!("{}\n", e2_fig2_three_cps(5_000.0 * scale, seed));
     println!("{}\n", e3_fig3_twenty_cps_minute(1_200.0 * scale, seed));
-    println!("{}\n", e4_fig4_burst_leave(5_000.0 * scale, 500.0 * scale, seed));
+    println!(
+        "{}\n",
+        e4_fig4_burst_leave(5_000.0 * scale, 500.0 * scale, seed)
+    );
     println!("{}\n", e5_fig5_dcpp_churn(1_800.0 * scale, seed));
-    println!("{}\n", e6_dcpp_static_fairness(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed));
+    println!(
+        "{}\n",
+        e6_dcpp_static_fairness(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed)
+    );
     println!("{}\n", e7_dcpp_loss_spread(1_000.0 * scale, seed));
     println!("{}\n", a1_sapp_param_sweep(20, 500.0 * scale, seed));
     println!("{}\n", a2_delta_doubling(20, 8_000.0 * scale, seed));
-    println!("{}\n", a3_fixed_rate_baseline(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed));
+    println!(
+        "{}\n",
+        a3_fixed_rate_baseline(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed)
+    );
     println!("{}\n", a4_detection_latency(20, 300.0 * scale, seed));
     println!("{}\n", a5_auto_tune_surge(1_500.0 * scale, seed));
     println!("{}\n", a6_dissemination(20, 1_000.0 * scale, seed));

@@ -63,9 +63,9 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Options {
             }
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
-            other => panic!(
-                "unknown argument {other}; supported: --seed N --duration SECS --json --csv"
-            ),
+            other => {
+                panic!("unknown argument {other}; supported: --seed N --duration SECS --json --csv")
+            }
         }
     }
     opts
@@ -99,7 +99,14 @@ mod tests {
 
     #[test]
     fn full_parse() {
-        let o = parse_from(args(&["--seed", "42", "--duration", "123.5", "--json", "--csv"]));
+        let o = parse_from(args(&[
+            "--seed",
+            "42",
+            "--duration",
+            "123.5",
+            "--json",
+            "--csv",
+        ]));
         assert_eq!(o.seed, 42);
         assert_eq!(o.duration, Some(123.5));
         assert!(o.json && o.csv);

@@ -188,7 +188,11 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_eq!(after, SimDuration::from_millis(250), "ignores the reply's wait");
+        assert_eq!(
+            after,
+            SimDuration::from_millis(250),
+            "ignores the reply's wait"
+        );
         assert_eq!(c.current_delay(), Some(SimDuration::from_millis(250)));
     }
 

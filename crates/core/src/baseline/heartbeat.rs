@@ -180,7 +180,13 @@ mod tests {
     fn monitor_suspects_after_silence() {
         let mut m = HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs(3));
         assert!(!m.is_suspected(t(100.0)), "no suspicion before first beat");
-        assert!(m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(0), seq: 1 }));
+        assert!(m.on_heartbeat(
+            t(1.0),
+            Heartbeat {
+                device: DeviceId(0),
+                seq: 1
+            }
+        ));
         assert!(!m.is_suspected(t(3.9)));
         assert!(m.is_suspected(t(4.1)));
         assert_eq!(m.suspicion_deadline(), Some(t(4.0)));
@@ -189,8 +195,20 @@ mod tests {
     #[test]
     fn heartbeat_refreshes_deadline() {
         let mut m = HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs(3));
-        m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(0), seq: 1 });
-        m.on_heartbeat(t(2.0), Heartbeat { device: DeviceId(0), seq: 2 });
+        m.on_heartbeat(
+            t(1.0),
+            Heartbeat {
+                device: DeviceId(0),
+                seq: 1,
+            },
+        );
+        m.on_heartbeat(
+            t(2.0),
+            Heartbeat {
+                device: DeviceId(0),
+                seq: 2,
+            },
+        );
         assert!(!m.is_suspected(t(4.5)));
         assert_eq!(m.suspicion_deadline(), Some(t(5.0)));
         assert_eq!(m.received(), 2);
@@ -199,10 +217,28 @@ mod tests {
     #[test]
     fn ignores_foreign_and_stale_beats() {
         let mut m = HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs(3));
-        assert!(!m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(9), seq: 1 }));
-        assert!(m.on_heartbeat(t(1.0), Heartbeat { device: DeviceId(0), seq: 5 }));
+        assert!(!m.on_heartbeat(
+            t(1.0),
+            Heartbeat {
+                device: DeviceId(9),
+                seq: 1
+            }
+        ));
+        assert!(m.on_heartbeat(
+            t(1.0),
+            Heartbeat {
+                device: DeviceId(0),
+                seq: 5
+            }
+        ));
         // Replayed/reordered older beat.
-        assert!(!m.on_heartbeat(t(2.0), Heartbeat { device: DeviceId(0), seq: 4 }));
+        assert!(!m.on_heartbeat(
+            t(2.0),
+            Heartbeat {
+                device: DeviceId(0),
+                seq: 4
+            }
+        ));
         assert_eq!(m.received(), 1);
     }
 

@@ -255,7 +255,7 @@ mod tests {
     fn min_std_dev_guards_degenerate_history() {
         let mut d = detector();
         feed_regular(&mut d, 100); // perfectly regular
-        // Even with zero empirical variance, phi must stay finite.
+                                   // Even with zero empirical variance, phi must stay finite.
         let phi = d.phi(t(101.0));
         assert!(phi.is_finite(), "phi must be finite, got {phi}");
     }

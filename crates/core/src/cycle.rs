@@ -480,9 +480,15 @@ mod tests {
         e.begin_cycle(t(0.0), &mut out);
         let (tok, _) = find_timer(&out);
         out.clear();
-        assert_eq!(e.on_timer(t(0.022), tok, &mut out), TimerDisposition::Retransmitted);
+        assert_eq!(
+            e.on_timer(t(0.022), tok, &mut out),
+            TimerDisposition::Retransmitted
+        );
         let (tok, _) = find_timer(&out);
         out.clear();
-        assert_eq!(e.on_timer(t(0.043), tok, &mut out), TimerDisposition::CycleFailed);
+        assert_eq!(
+            e.on_timer(t(0.043), tok, &mut out),
+            TimerDisposition::CycleFailed
+        );
     }
 }

@@ -9,9 +9,7 @@
 use crate::config::DcppConfig;
 use crate::cycle::{ReplyDisposition, Retransmitter, TimerDisposition};
 use crate::prober::Prober;
-use crate::types::{
-    AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken,
-};
+use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken};
 use presence_des::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -331,7 +329,10 @@ mod tests {
         c.start(t(0.0), &mut out);
         out.clear();
         let foreign = Reply {
-            probe: Probe { cp: CpId(55), seq: 0 },
+            probe: Probe {
+                cp: CpId(55),
+                seq: 0,
+            },
             device: DeviceId(0),
             body: ReplyBody::Dcpp {
                 wait: SimDuration::from_millis(100),

@@ -224,7 +224,7 @@ mod tests {
         let mut d = device();
         d.on_probe(t(0.0), probe(1, 0)); // nt = 0.5
         d.on_probe(t(0.0), probe(2, 0)); // nt = 0.6
-        // A third CP arrives later but before the backlog clears.
+                                         // A third CP arrives later but before the backlog clears.
         let r = d.on_probe(t(0.55), probe(3, 0));
         // max(nt, t) + δ_min = 0.6 + 0.1 = 0.7; floor t + d_min = 1.05 wins.
         assert!((wait_of(&r).as_secs_f64() - 0.5).abs() < 1e-9);

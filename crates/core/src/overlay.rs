@@ -140,7 +140,11 @@ impl Disseminator {
             device,
             reporter: self.me,
         };
-        let out: Vec<_> = view.neighbors().iter().map(|&peer| (peer, notice)).collect();
+        let out: Vec<_> = view
+            .neighbors()
+            .iter()
+            .map(|&peer| (peer, notice))
+            .collect();
         self.forwarded += out.len() as u64;
         out
     }
@@ -264,8 +268,7 @@ mod tests {
         }
         let mut dss: Vec<Disseminator> = (0..n).map(|i| Disseminator::new(CpId(i))).collect();
 
-        let mut queue: Vec<(CpId, LeaveNotice)> =
-            dss[0].on_local_detection(DeviceId(5), &views[0]);
+        let mut queue: Vec<(CpId, LeaveNotice)> = dss[0].on_local_detection(DeviceId(5), &views[0]);
         let mut messages = queue.len();
         while let Some((to, notice)) = queue.pop() {
             let idx = to.0 as usize;
@@ -281,8 +284,14 @@ mod tests {
                 }
             }
         }
-        assert!(dss.iter().all(|d| d.knows(DeviceId(5))), "flood must cover the ring");
-        assert!(messages <= (2 * n) as usize + 2, "flood of {messages} messages too chatty");
+        assert!(
+            dss.iter().all(|d| d.knows(DeviceId(5))),
+            "flood must cover the ring"
+        );
+        assert!(
+            messages <= (2 * n) as usize + 2,
+            "flood of {messages} messages too chatty"
+        );
     }
 
     #[test]

@@ -50,11 +50,17 @@ mod tests {
     #[test]
     fn devices_are_interchangeable_behind_the_trait() {
         let mut devices: Vec<Box<dyn Responder>> = vec![
-            Box::new(SappDevice::new(DeviceId(0), SappDeviceConfig::paper_default())),
+            Box::new(SappDevice::new(
+                DeviceId(0),
+                SappDeviceConfig::paper_default(),
+            )),
             Box::new(DcppDevice::new(DeviceId(1), DcppConfig::paper_default())),
         ];
         for d in &mut devices {
-            let probe = Probe { cp: CpId(1), seq: 0 };
+            let probe = Probe {
+                cp: CpId(1),
+                seq: 0,
+            };
             let reply = d.on_probe(SimTime::ZERO, probe);
             assert_eq!(reply.probe, probe);
             assert_eq!(reply.device, d.id());

@@ -24,9 +24,7 @@
 use crate::config::SappConfig;
 use crate::cycle::{ReplyDisposition, Retransmitter, TimerDisposition};
 use crate::prober::Prober;
-use crate::types::{
-    AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken,
-};
+use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken};
 use presence_des::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 

@@ -120,10 +120,7 @@ impl SappDevice {
     /// Panics if `l_nom` is not strictly positive and finite or exceeds
     /// `L_ideal`.
     pub fn set_l_nom(&mut self, l_nom: f64) {
-        let cfg = SappDeviceConfig {
-            l_nom,
-            ..self.cfg
-        };
+        let cfg = SappDeviceConfig { l_nom, ..self.cfg };
         cfg.validate().expect("invalid retuned l_nom");
         self.cfg = cfg;
         self.delta = cfg.delta();

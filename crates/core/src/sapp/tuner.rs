@@ -54,7 +54,7 @@ impl AutoTuneConfig {
         if self.window == SimDuration::ZERO {
             return Err(ConfigError::new("window must be positive"));
         }
-        if !(self.overload_factor > 1.0) {
+        if self.overload_factor <= 1.0 || self.overload_factor.is_nan() {
             return Err(ConfigError::new("overload_factor must exceed 1"));
         }
         if !(self.underload_factor > 0.0 && self.underload_factor < 1.0) {
@@ -176,8 +176,7 @@ impl AutoTuner {
             return TuneDecision::Hold;
         }
         let rate = self.measured_rate(now);
-        if rate > self.cfg.overload_factor * self.l_nom && self.doublings < self.cfg.max_doublings
-        {
+        if rate > self.cfg.overload_factor * self.l_nom && self.doublings < self.cfg.max_doublings {
             self.doublings += 1;
             self.last_adjust = Some(now);
             self.adjustments += 1;
@@ -289,17 +288,25 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut c = AutoTuneConfig::default();
-        c.overload_factor = 1.0;
+        let c = AutoTuneConfig {
+            overload_factor: 1.0,
+            ..AutoTuneConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AutoTuneConfig::default();
-        c.underload_factor = 1.5;
+        let c = AutoTuneConfig {
+            underload_factor: 1.5,
+            ..AutoTuneConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AutoTuneConfig::default();
-        c.window = SimDuration::ZERO;
+        let c = AutoTuneConfig {
+            window: SimDuration::ZERO,
+            ..AutoTuneConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = AutoTuneConfig::default();
-        c.max_doublings = 0;
+        let c = AutoTuneConfig {
+            max_doublings: 0,
+            ..AutoTuneConfig::default()
+        };
         assert!(c.validate().is_err());
         assert!(AutoTuneConfig::default().validate().is_ok());
     }

@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a control point (CP) — the probing role.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CpId(pub u32);
 
 impl fmt::Display for CpId {
@@ -23,9 +21,7 @@ impl fmt::Display for CpId {
 }
 
 /// Identity of a device — the probed role.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DeviceId(pub u32);
 
 impl fmt::Display for DeviceId {
@@ -196,7 +192,10 @@ mod tests {
     #[test]
     fn wire_message_roundtrips_through_serde() {
         let msg = WireMessage::Reply(Reply {
-            probe: Probe { cp: CpId(4), seq: 17 },
+            probe: Probe {
+                cp: CpId(4),
+                seq: 17,
+            },
             device: DeviceId(0),
             body: ReplyBody::Sapp {
                 pc: 1_700_000,
@@ -211,7 +210,10 @@ mod tests {
     #[test]
     fn dcpp_reply_roundtrip() {
         let msg = WireMessage::Reply(Reply {
-            probe: Probe { cp: CpId(1), seq: 2 },
+            probe: Probe {
+                cp: CpId(1),
+                seq: 2,
+            },
             device: DeviceId(7),
             body: ReplyBody::Dcpp {
                 wait: SimDuration::from_millis(500),

@@ -56,11 +56,20 @@ fn delta_formula_and_paper_value() {
 #[test]
 fn pc_reply_carries_post_increment_value() {
     let mut dev = SappDevice::new(DeviceId(0), SappDeviceConfig::paper_default());
-    let r = dev.on_probe(t(0.0), Probe { cp: CpId(1), seq: 0 });
+    let r = dev.on_probe(
+        t(0.0),
+        Probe {
+            cp: CpId(1),
+            seq: 0,
+        },
+    );
     let ReplyBody::Sapp { pc, .. } = r.body else {
         panic!()
     };
-    assert_eq!(pc, 100_000, "pc must be the just-updated value, not the old one");
+    assert_eq!(
+        pc, 100_000,
+        "pc must be the just-updated value, not the old one"
+    );
 }
 
 /// §3: "In all simulation studies in this paper TOF equals 0.022 […] and
@@ -104,7 +113,10 @@ fn eq1_boundary_is_strict() {
         &Reply {
             probe: p1,
             device: DeviceId(0),
-            body: ReplyBody::Sapp { pc: 0, last_probers: [None, None] },
+            body: ReplyBody::Sapp {
+                pc: 0,
+                last_probers: [None, None],
+            },
         },
         &mut out,
     );
@@ -177,19 +189,43 @@ fn dcpp_paper_constants() {
 fn dcpp_nt_recurrence_trace() {
     let mut dev = DcppDevice::new(DeviceId(0), DcppConfig::paper_default());
     // Probe 1 at t = 0: nt' = max(floor) = 0.5; wait = 0.5.
-    let r1 = dev.on_probe(t(0.0), Probe { cp: CpId(1), seq: 0 });
-    let ReplyBody::Dcpp { wait } = r1.body else { panic!() };
+    let r1 = dev.on_probe(
+        t(0.0),
+        Probe {
+            cp: CpId(1),
+            seq: 0,
+        },
+    );
+    let ReplyBody::Dcpp { wait } = r1.body else {
+        panic!()
+    };
     assert_eq!(wait.as_secs_f64(), 0.5);
     assert_eq!(dev.next_slot(), t(0.5));
     // Probe 2 at t = 0.2: serialised slot = 0.5 + 0.1 = 0.6; floor 0.7
     // wins: nt' = 0.7, wait = 0.5.
-    let r2 = dev.on_probe(t(0.2), Probe { cp: CpId(2), seq: 0 });
-    let ReplyBody::Dcpp { wait } = r2.body else { panic!() };
+    let r2 = dev.on_probe(
+        t(0.2),
+        Probe {
+            cp: CpId(2),
+            seq: 0,
+        },
+    );
+    let ReplyBody::Dcpp { wait } = r2.body else {
+        panic!()
+    };
     assert_eq!(wait.as_secs_f64(), 0.5);
     assert_eq!(dev.next_slot(), t(0.7));
     // Probe 3 at t = 0.21: serialised 0.8 > floor 0.71: wait = 0.59.
-    let r3 = dev.on_probe(t(0.21), Probe { cp: CpId(3), seq: 0 });
-    let ReplyBody::Dcpp { wait } = r3.body else { panic!() };
+    let r3 = dev.on_probe(
+        t(0.21),
+        Probe {
+            cp: CpId(3),
+            seq: 0,
+        },
+    );
+    let ReplyBody::Dcpp { wait } = r3.body else {
+        panic!()
+    };
     assert!((wait.as_secs_f64() - 0.59).abs() < 1e-9);
     assert_eq!(dev.next_slot(), t(0.8));
 }
@@ -222,10 +258,34 @@ fn dcpp_cp_obeys_wait_verbatim() {
 #[test]
 fn overlay_field_is_last_two_distinct() {
     let mut dev = SappDevice::new(DeviceId(0), SappDeviceConfig::paper_default());
-    dev.on_probe(t(0.0), Probe { cp: CpId(5), seq: 0 });
-    dev.on_probe(t(0.1), Probe { cp: CpId(5), seq: 1 }); // repeat: not distinct
-    dev.on_probe(t(0.2), Probe { cp: CpId(6), seq: 0 });
-    let r = dev.on_probe(t(0.3), Probe { cp: CpId(7), seq: 0 });
+    dev.on_probe(
+        t(0.0),
+        Probe {
+            cp: CpId(5),
+            seq: 0,
+        },
+    );
+    dev.on_probe(
+        t(0.1),
+        Probe {
+            cp: CpId(5),
+            seq: 1,
+        },
+    ); // repeat: not distinct
+    dev.on_probe(
+        t(0.2),
+        Probe {
+            cp: CpId(6),
+            seq: 0,
+        },
+    );
+    let r = dev.on_probe(
+        t(0.3),
+        Probe {
+            cp: CpId(7),
+            seq: 0,
+        },
+    );
     let ReplyBody::Sapp { last_probers, .. } = r.body else {
         panic!()
     };

@@ -10,7 +10,7 @@
 //!   transmissions per cycle.
 
 use presence_core::{
-    CpAction, CpId, DcppConfig, DcppCp, DcppDevice, DeviceId, Probe, Prober, ProbeCycleConfig,
+    CpAction, CpId, DcppConfig, DcppCp, DcppDevice, DeviceId, Probe, ProbeCycleConfig, Prober,
     Reply, ReplyBody, Retransmitter, SappConfig, SappCp, TimerDisposition,
 };
 use presence_des::{SimDuration, SimTime};

@@ -271,8 +271,11 @@ pub struct Simulation<E> {
     root_seed: u64,
     started: Vec<bool>,
     events_processed: u64,
-    trace: Option<Box<dyn FnMut(&TraceRecord)>>,
+    trace: Option<TraceHook>,
 }
+
+/// Observer hook invoked for every processed event when tracing is on.
+type TraceHook = Box<dyn FnMut(&TraceRecord)>;
 
 impl<E: 'static> Simulation<E> {
     /// Creates an empty simulation with the given root seed.
@@ -556,7 +559,13 @@ mod tests {
         sim.schedule_at(SimTime::from_secs_f64(1.0), id, 1);
         sim.schedule_at(SimTime::from_secs_f64(2.0), id, 2);
         assert_eq!(sim.run_until_idle(), RunOutcome::Idle);
-        let events: Vec<Ev> = sim.actor::<Recorder>(id).unwrap().log.iter().map(|&(_, e)| e).collect();
+        let events: Vec<Ev> = sim
+            .actor::<Recorder>(id)
+            .unwrap()
+            .log
+            .iter()
+            .map(|&(_, e)| e)
+            .collect();
         assert_eq!(events, vec![1, 2, 3]);
         assert_eq!(sim.events_processed(), 3);
     }
@@ -570,7 +579,13 @@ mod tests {
             sim.schedule_at(t, id, i);
         }
         sim.run_until_idle();
-        let events: Vec<Ev> = sim.actor::<Recorder>(id).unwrap().log.iter().map(|&(_, e)| e).collect();
+        let events: Vec<Ev> = sim
+            .actor::<Recorder>(id)
+            .unwrap()
+            .log
+            .iter()
+            .map(|&(_, e)| e)
+            .collect();
         assert_eq!(events, (0..100).collect::<Vec<_>>());
     }
 
@@ -602,7 +617,10 @@ mod tests {
     fn idle_run_until_advances_clock() {
         let mut sim: Simulation<Ev> = Simulation::new(1);
         let _ = sim.add_actor(Recorder { log: vec![] });
-        assert_eq!(sim.run_until(SimTime::from_secs_f64(10.0)), RunOutcome::Idle);
+        assert_eq!(
+            sim.run_until(SimTime::from_secs_f64(10.0)),
+            RunOutcome::Idle
+        );
         assert_eq!(sim.now(), SimTime::from_secs_f64(10.0));
     }
 
@@ -686,8 +704,16 @@ mod tests {
     #[test]
     fn ping_pong() {
         let mut sim = Simulation::new(1);
-        let a = sim.add_actor(Ping { peer: None, rounds: 0, max: 10 });
-        let b = sim.add_actor(Ping { peer: None, rounds: 0, max: 10 });
+        let a = sim.add_actor(Ping {
+            peer: None,
+            rounds: 0,
+            max: 10,
+        });
+        let b = sim.add_actor(Ping {
+            peer: None,
+            rounds: 0,
+            max: 10,
+        });
         sim.actor_mut::<Ping>(a).unwrap().peer = Some(b);
         sim.actor_mut::<Ping>(b).unwrap().peer = Some(a);
         sim.schedule_at(SimTime::ZERO, a, 0);
@@ -752,7 +778,10 @@ mod tests {
     }
     impl Actor<Ev> for Spawner {
         fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
-            let child = ctx.spawn(Child { started: false, got: 0 });
+            let child = ctx.spawn(Child {
+                started: false,
+                got: 0,
+            });
             self.child = Some(child);
             ctx.schedule_in(SimDuration::from_secs(1), child, 99);
         }

@@ -11,9 +11,6 @@
 //!   which sharpens A/B comparisons such as SAPP vs. DCPP on "the same"
 //!   network weather).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// SplitMix64 mixing step — a high-quality 64-bit finalizer used to derive
 /// stream seeds from `(root, stream)` pairs.
 #[must_use]
@@ -33,11 +30,12 @@ pub fn derive_seed(root: u64, stream: u64) -> u64 {
     splitmix64(splitmix64(root ^ stream.rotate_left(32)).wrapping_add(stream))
 }
 
-/// A deterministic random stream (wrapper over [`SmallRng`]) with the
-/// distribution helpers the protocols and workloads need.
+/// A deterministic random stream — a self-contained xoshiro256++ generator
+/// (no external crates, so the bit stream is pinned by this file alone) with
+/// the distribution helpers the protocols and workloads need.
 #[derive(Debug, Clone)]
 pub struct StreamRng {
-    rng: SmallRng,
+    state: [u64; 4],
     root: u64,
     stream: u64,
 }
@@ -46,8 +44,18 @@ impl StreamRng {
     /// Creates stream `stream` of root seed `root`.
     #[must_use]
     pub fn new(root: u64, stream: u64) -> Self {
+        // Expand the derived 64-bit seed into the 256-bit xoshiro state with
+        // SplitMix64, exactly as the xoshiro authors recommend.
+        // splitmix64(z) computes mix(z + GOLDEN), so stepping z by GOLDEN
+        // between calls reproduces the sequential SplitMix64 stream.
+        let mut z = derive_seed(root, stream);
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = splitmix64(z);
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        }
         Self {
-            rng: SmallRng::seed_from_u64(derive_seed(root, stream)),
+            state,
             root,
             stream,
         }
@@ -65,9 +73,25 @@ impl StreamRng {
         self.stream
     }
 
+    /// Uniform `u64` in `[0, bound)` by rejection sampling (unbiased).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     pub fn uniform01(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits — the standard uniform-double recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[low, high)`.
@@ -76,8 +100,17 @@ impl StreamRng {
     ///
     /// Panics if the bounds are not finite or `low >= high`.
     pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
-        assert!(low.is_finite() && high.is_finite() && low < high, "bad uniform bounds");
-        self.rng.gen_range(low..high)
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "bad uniform bounds"
+        );
+        let x = low + self.uniform01() * (high - low);
+        // Guard the half-open contract against floating-point rounding.
+        if x >= high {
+            high.next_down().max(low)
+        } else {
+            x
+        }
     }
 
     /// Uniform integer in the **inclusive** range `[low, high]` — the paper's
@@ -88,7 +121,11 @@ impl StreamRng {
     /// Panics if `low > high`.
     pub fn uniform_inclusive_u64(&mut self, low: u64, high: u64) -> u64 {
         assert!(low <= high, "bad uniform integer bounds");
-        self.rng.gen_range(low..=high)
+        let span = high - low;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        low + self.below(span + 1)
     }
 
     /// Exponentially distributed sample with the given `rate` (λ), via
@@ -122,12 +159,21 @@ impl StreamRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot index an empty collection");
-        self.rng.gen_range(0..len)
+        self.below(len as u64) as usize
     }
 
-    /// Raw uniform `u64`.
+    /// Raw uniform `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 }
 
@@ -208,7 +254,10 @@ mod tests {
                 x => assert!((1..=60).contains(&x)),
             }
         }
-        assert!(saw_low && saw_high, "U{{1..60}} should reach both endpoints");
+        assert!(
+            saw_low && saw_high,
+            "U{{1..60}} should reach both endpoints"
+        );
     }
 
     #[test]

@@ -288,15 +288,14 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", SimTime::from_secs_f64(1.5)), "t=1.500000s");
-        assert_eq!(
-            format!("{}", SimDuration::from_millis(22)),
-            "0.022000000s"
-        );
+        assert_eq!(format!("{}", SimDuration::from_millis(22)), "0.022000000s");
     }
 
     #[test]
     fn checked_add_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimDuration::from_nanos(u64::MAX).saturating_add(SimDuration::from_nanos(1)),
             SimDuration::from_nanos(u64::MAX)

@@ -68,7 +68,8 @@ impl<T> BoundedFifo<T> {
         self.items.push_back(item);
         self.stats.accepted += 1;
         self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.items.len());
-        self.occupancy.set(now.as_secs_f64(), self.items.len() as f64);
+        self.occupancy
+            .set(now.as_secs_f64(), self.items.len() as f64);
         Ok(())
     }
 
@@ -76,7 +77,8 @@ impl<T> BoundedFifo<T> {
     pub fn pop(&mut self, now: SimTime) -> Option<T> {
         let item = self.items.pop_front()?;
         self.stats.popped += 1;
-        self.occupancy.set(now.as_secs_f64(), self.items.len() as f64);
+        self.occupancy
+            .set(now.as_secs_f64(), self.items.len() as f64);
         Some(item)
     }
 

@@ -58,7 +58,10 @@ impl DelayModel for UniformDelay {
         if self.low == self.high {
             return self.low;
         }
-        let nanos = rng.uniform(self.low.as_nanos() as f64, self.high.as_nanos() as f64 + 1.0);
+        let nanos = rng.uniform(
+            self.low.as_nanos() as f64,
+            self.high.as_nanos() as f64 + 1.0,
+        );
         SimDuration::from_nanos((nanos as u64).min(self.high.as_nanos()))
     }
     fn max_delay(&self) -> Option<SimDuration> {

@@ -70,11 +70,7 @@ impl Fabric {
     ///
     /// Panics if `capacity == 0`.
     #[must_use]
-    pub fn new(
-        capacity: usize,
-        delay: Box<dyn DelayModel>,
-        loss: Box<dyn LossModel>,
-    ) -> Self {
+    pub fn new(capacity: usize, delay: Box<dyn DelayModel>, loss: Box<dyn LossModel>) -> Self {
         assert!(capacity > 0, "fabric capacity must be positive");
         Self {
             capacity,

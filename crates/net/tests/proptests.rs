@@ -64,7 +64,7 @@ proptest! {
         let mut pending: Vec<SimTime> = Vec::new();
         let mut now = SimTime::ZERO;
         for &send in &ops {
-            now = now + SimDuration::from_micros(100);
+            now += SimDuration::from_micros(100);
             if send || pending.is_empty() {
                 match fabric.send(now, &mut rng) {
                     SendOutcome::Deliver(at) => pending.push(at),

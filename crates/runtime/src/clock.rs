@@ -5,9 +5,8 @@
 //! the moment the runtime started. A trait keeps hosts testable with a
 //! hand-cranked clock.
 
-use parking_lot::Mutex;
 use presence_des::SimTime;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A source of protocol time.
@@ -64,21 +63,21 @@ impl ManualClock {
     ///
     /// Panics if `t` is earlier than the current time.
     pub fn set(&self, t: SimTime) {
-        let mut now = self.now.lock();
+        let mut now = self.now.lock().expect("clock lock poisoned");
         assert!(t >= *now, "manual clock moved backwards");
         *now = t;
     }
 
     /// Advances the clock by `secs` seconds.
     pub fn advance_secs(&self, secs: f64) {
-        let mut now = self.now.lock();
-        *now = *now + presence_des::SimDuration::from_secs_f64(secs);
+        let mut now = self.now.lock().expect("clock lock poisoned");
+        *now += presence_des::SimDuration::from_secs_f64(secs);
     }
 }
 
 impl Clock for ManualClock {
     fn now(&self) -> SimTime {
-        *self.now.lock()
+        *self.now.lock().expect("clock lock poisoned")
     }
 }
 

@@ -17,10 +17,7 @@
 //! LeaveNotice  = 0x05 device:u32 reporter:u32
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use presence_core::{
-    Bye, CpId, DeviceId, LeaveNotice, Probe, Reply, ReplyBody, WireMessage,
-};
+use presence_core::{Bye, CpId, DeviceId, LeaveNotice, Probe, Reply, ReplyBody, WireMessage};
 use presence_des::SimDuration;
 use std::error::Error;
 use std::fmt;
@@ -51,8 +48,49 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
-fn put_prober(buf: &mut BytesMut, p: Option<CpId>) {
-    buf.put_u32_le(p.map_or(0, |c| c.0 + 1));
+/// Little-endian reader over a byte slice (replaces the `bytes` crate's
+/// `Buf` so the runtime stays dependency-free).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let (&b, rest) = self.buf.split_first().ok_or(DecodeError::Truncated)?;
+        self.buf = rest;
+        Ok(b)
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+        if self.buf.len() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
+        if self.buf.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+    }
+}
+
+fn put_prober(buf: &mut Vec<u8>, p: Option<CpId>) {
+    // The wire format shifts ids by one so 0 can mean "no prober", which
+    // reserves CpId(u32::MAX): the protocol never allocates it (CP ids are
+    // small). Encoding it anyway degrades to "none" in release builds, but
+    // is a caught invariant violation under test.
+    debug_assert!(
+        p.is_none_or(|c| c.0 != u32::MAX),
+        "CpId(u32::MAX) is reserved by the wire format"
+    );
+    let encoded = p.and_then(|c| c.0.checked_add(1)).unwrap_or(0);
+    buf.extend_from_slice(&encoded.to_le_bytes());
 }
 
 fn get_prober(v: u32) -> Option<CpId> {
@@ -61,73 +99,61 @@ fn get_prober(v: u32) -> Option<CpId> {
 
 /// Encodes a message into a fresh buffer.
 #[must_use]
-pub fn encode(msg: &WireMessage) -> Bytes {
-    let mut buf = BytesMut::with_capacity(33);
+pub fn encode(msg: &WireMessage) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(33);
     match msg {
         WireMessage::Probe(p) => {
-            buf.put_u8(TAG_PROBE);
-            buf.put_u32_le(p.cp.0);
-            buf.put_u64_le(p.seq);
+            buf.push(TAG_PROBE);
+            buf.extend_from_slice(&p.cp.0.to_le_bytes());
+            buf.extend_from_slice(&p.seq.to_le_bytes());
         }
         WireMessage::Reply(r) => match r.body {
             ReplyBody::Sapp { pc, last_probers } => {
-                buf.put_u8(TAG_REPLY_SAPP);
-                buf.put_u32_le(r.probe.cp.0);
-                buf.put_u64_le(r.probe.seq);
-                buf.put_u32_le(r.device.0);
-                buf.put_u64_le(pc);
+                buf.push(TAG_REPLY_SAPP);
+                buf.extend_from_slice(&r.probe.cp.0.to_le_bytes());
+                buf.extend_from_slice(&r.probe.seq.to_le_bytes());
+                buf.extend_from_slice(&r.device.0.to_le_bytes());
+                buf.extend_from_slice(&pc.to_le_bytes());
                 put_prober(&mut buf, last_probers[0]);
                 put_prober(&mut buf, last_probers[1]);
             }
             ReplyBody::Dcpp { wait } => {
-                buf.put_u8(TAG_REPLY_DCPP);
-                buf.put_u32_le(r.probe.cp.0);
-                buf.put_u64_le(r.probe.seq);
-                buf.put_u32_le(r.device.0);
-                buf.put_u64_le(wait.as_nanos());
+                buf.push(TAG_REPLY_DCPP);
+                buf.extend_from_slice(&r.probe.cp.0.to_le_bytes());
+                buf.extend_from_slice(&r.probe.seq.to_le_bytes());
+                buf.extend_from_slice(&r.device.0.to_le_bytes());
+                buf.extend_from_slice(&wait.as_nanos().to_le_bytes());
             }
         },
         WireMessage::Bye(b) => {
-            buf.put_u8(TAG_BYE);
-            buf.put_u32_le(b.device.0);
+            buf.push(TAG_BYE);
+            buf.extend_from_slice(&b.device.0.to_le_bytes());
         }
         WireMessage::LeaveNotice(n) => {
-            buf.put_u8(TAG_NOTICE);
-            buf.put_u32_le(n.device.0);
-            buf.put_u32_le(n.reporter.0);
+            buf.push(TAG_NOTICE);
+            buf.extend_from_slice(&n.device.0.to_le_bytes());
+            buf.extend_from_slice(&n.reporter.0.to_le_bytes());
         }
     }
-    buf.freeze()
-}
-
-macro_rules! need {
-    ($buf:expr, $n:expr) => {
-        if $buf.remaining() < $n {
-            return Err(DecodeError::Truncated);
-        }
-    };
+    buf
 }
 
 /// Decodes one datagram.
-pub fn decode(mut buf: &[u8]) -> Result<WireMessage, DecodeError> {
-    need!(buf, 1);
-    let tag = buf.get_u8();
+pub fn decode(buf: &[u8]) -> Result<WireMessage, DecodeError> {
+    let mut r = Reader { buf };
+    let tag = r.get_u8()?;
     match tag {
-        TAG_PROBE => {
-            need!(buf, 12);
-            Ok(WireMessage::Probe(Probe {
-                cp: CpId(buf.get_u32_le()),
-                seq: buf.get_u64_le(),
-            }))
-        }
+        TAG_PROBE => Ok(WireMessage::Probe(Probe {
+            cp: CpId(r.get_u32_le()?),
+            seq: r.get_u64_le()?,
+        })),
         TAG_REPLY_SAPP => {
-            need!(buf, 32);
-            let cp = CpId(buf.get_u32_le());
-            let seq = buf.get_u64_le();
-            let device = DeviceId(buf.get_u32_le());
-            let pc = buf.get_u64_le();
-            let p0 = get_prober(buf.get_u32_le());
-            let p1 = get_prober(buf.get_u32_le());
+            let cp = CpId(r.get_u32_le()?);
+            let seq = r.get_u64_le()?;
+            let device = DeviceId(r.get_u32_le()?);
+            let pc = r.get_u64_le()?;
+            let p0 = get_prober(r.get_u32_le()?);
+            let p1 = get_prober(r.get_u32_le()?);
             Ok(WireMessage::Reply(Reply {
                 probe: Probe { cp, seq },
                 device,
@@ -138,30 +164,23 @@ pub fn decode(mut buf: &[u8]) -> Result<WireMessage, DecodeError> {
             }))
         }
         TAG_REPLY_DCPP => {
-            need!(buf, 24);
-            let cp = CpId(buf.get_u32_le());
-            let seq = buf.get_u64_le();
-            let device = DeviceId(buf.get_u32_le());
-            let wait = SimDuration::from_nanos(buf.get_u64_le());
+            let cp = CpId(r.get_u32_le()?);
+            let seq = r.get_u64_le()?;
+            let device = DeviceId(r.get_u32_le()?);
+            let wait = SimDuration::from_nanos(r.get_u64_le()?);
             Ok(WireMessage::Reply(Reply {
                 probe: Probe { cp, seq },
                 device,
                 body: ReplyBody::Dcpp { wait },
             }))
         }
-        TAG_BYE => {
-            need!(buf, 4);
-            Ok(WireMessage::Bye(Bye {
-                device: DeviceId(buf.get_u32_le()),
-            }))
-        }
-        TAG_NOTICE => {
-            need!(buf, 8);
-            Ok(WireMessage::LeaveNotice(LeaveNotice {
-                device: DeviceId(buf.get_u32_le()),
-                reporter: CpId(buf.get_u32_le()),
-            }))
-        }
+        TAG_BYE => Ok(WireMessage::Bye(Bye {
+            device: DeviceId(r.get_u32_le()?),
+        })),
+        TAG_NOTICE => Ok(WireMessage::LeaveNotice(LeaveNotice {
+            device: DeviceId(r.get_u32_le()?),
+            reporter: CpId(r.get_u32_le()?),
+        })),
         other => Err(DecodeError::UnknownTag(other)),
     }
 }
@@ -187,7 +206,10 @@ mod tests {
     #[test]
     fn sapp_reply_roundtrip() {
         roundtrip(WireMessage::Reply(Reply {
-            probe: Probe { cp: CpId(0), seq: 42 },
+            probe: Probe {
+                cp: CpId(0),
+                seq: 42,
+            },
             device: DeviceId(3),
             body: ReplyBody::Sapp {
                 pc: 123_456_789_000,
@@ -195,7 +217,10 @@ mod tests {
             },
         }));
         roundtrip(WireMessage::Reply(Reply {
-            probe: Probe { cp: CpId(9), seq: 0 },
+            probe: Probe {
+                cp: CpId(9),
+                seq: 0,
+            },
             device: DeviceId(0),
             body: ReplyBody::Sapp {
                 pc: 0,
@@ -207,7 +232,10 @@ mod tests {
     #[test]
     fn dcpp_reply_roundtrip() {
         roundtrip(WireMessage::Reply(Reply {
-            probe: Probe { cp: CpId(1), seq: 2 },
+            probe: Probe {
+                cp: CpId(1),
+                seq: 2,
+            },
             device: DeviceId(0),
             body: ReplyBody::Dcpp {
                 wait: SimDuration::from_millis(500),
@@ -217,7 +245,9 @@ mod tests {
 
     #[test]
     fn bye_and_notice_roundtrip() {
-        roundtrip(WireMessage::Bye(Bye { device: DeviceId(5) }));
+        roundtrip(WireMessage::Bye(Bye {
+            device: DeviceId(5),
+        }));
         roundtrip(WireMessage::LeaveNotice(LeaveNotice {
             device: DeviceId(5),
             reporter: CpId(2),
@@ -228,7 +258,10 @@ mod tests {
     fn prober_zero_id_distinct_from_none() {
         // CpId(0) must decode as Some(CpId(0)), not None.
         let msg = WireMessage::Reply(Reply {
-            probe: Probe { cp: CpId(1), seq: 1 },
+            probe: Probe {
+                cp: CpId(1),
+                seq: 1,
+            },
             device: DeviceId(0),
             body: ReplyBody::Sapp {
                 pc: 1,
@@ -240,7 +273,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        let bytes = encode(&WireMessage::Probe(Probe { cp: CpId(1), seq: 1 }));
+        let bytes = encode(&WireMessage::Probe(Probe {
+            cp: CpId(1),
+            seq: 1,
+        }));
         for n in 0..bytes.len() {
             assert_eq!(
                 decode(&bytes[..n]),
@@ -257,7 +293,10 @@ mod tests {
 
     #[test]
     fn probe_is_13_bytes() {
-        let bytes = encode(&WireMessage::Probe(Probe { cp: CpId(1), seq: 1 }));
+        let bytes = encode(&WireMessage::Probe(Probe {
+            cp: CpId(1),
+            seq: 1,
+        }));
         assert_eq!(bytes.len(), 13);
     }
 

@@ -265,7 +265,7 @@ mod tests {
         assert_eq!(outcome.probes_sent, 4, "initial probe + 3 retransmissions");
         let at = outcome.device_absent_at.unwrap().as_secs_f64();
         assert!(
-            at >= 0.085 && at < 0.5,
+            (0.085..0.5).contains(&at),
             "verdict at {at}s, expected shortly after 85 ms"
         );
     }

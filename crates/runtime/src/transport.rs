@@ -5,10 +5,10 @@
 //! entirely in memory (tests).
 
 use crate::codec::{decode, encode};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use presence_core::WireMessage;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 /// A way to exchange wire messages with one peer (or a set of peers, for
@@ -88,7 +88,8 @@ impl Transport for UdpTransport {
     }
 
     fn recv(&mut self, timeout: Duration) -> io::Result<Option<WireMessage>> {
-        self.socket.set_read_timeout(Some(timeout.max(Duration::from_micros(1))))?;
+        self.socket
+            .set_read_timeout(Some(timeout.max(Duration::from_micros(1))))?;
         match self.socket.recv_from(&mut self.buf) {
             Ok((n, from)) => {
                 self.last_sender = Some(from);
@@ -98,8 +99,7 @@ impl Transport for UdpTransport {
                 }
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(None)
             }
@@ -118,8 +118,8 @@ impl InMemoryTransport {
     /// Creates a connected pair of transports.
     #[must_use]
     pub fn pair() -> (InMemoryTransport, InMemoryTransport) {
-        let (a_tx, a_rx) = unbounded();
-        let (b_tx, b_rx) = unbounded();
+        let (a_tx, a_rx) = channel();
+        let (b_tx, b_rx) = channel();
         (
             InMemoryTransport { tx: a_tx, rx: b_rx },
             InMemoryTransport { tx: b_tx, rx: a_rx },
@@ -138,10 +138,9 @@ impl Transport for InMemoryTransport {
         match self.rx.recv_timeout(timeout) {
             Ok(msg) => Ok(Some(msg)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
-                io::ErrorKind::BrokenPipe,
-                "peer dropped",
-            )),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+            }
         }
     }
 }

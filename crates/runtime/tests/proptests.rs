@@ -10,18 +10,18 @@ use proptest::prelude::*;
 fn any_prober() -> impl Strategy<Value = Option<CpId>> {
     prop_oneof![
         Just(None),
-        // u32::MAX would collide with the +1 encoding; the protocol never
-        // allocates it (CP ids are small), and the codec documents the
-        // reserved value implicitly via this bound.
-        (0u32..u32::MAX - 1).prop_map(|v| Some(CpId(v))),
+        // CpId(u32::MAX) is reserved: it would collide with the +1 "none"
+        // encoding (the codec encodes it as "no prober"). Every other id,
+        // including CpId(u32::MAX - 1) which encodes as u32::MAX, must
+        // round-trip.
+        (0u32..u32::MAX).prop_map(|v| Some(CpId(v))),
     ]
 }
 
 fn any_message() -> impl Strategy<Value = WireMessage> {
     prop_oneof![
-        (any::<u32>(), any::<u64>()).prop_map(|(cp, seq)| {
-            WireMessage::Probe(Probe { cp: CpId(cp), seq })
-        }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(cp, seq)| { WireMessage::Probe(Probe { cp: CpId(cp), seq }) }),
         (
             any::<u32>(),
             any::<u64>(),
@@ -51,7 +51,9 @@ fn any_message() -> impl Strategy<Value = WireMessage> {
                 })
             }
         ),
-        any::<u32>().prop_map(|d| WireMessage::Bye(Bye { device: DeviceId(d) })),
+        any::<u32>().prop_map(|d| WireMessage::Bye(Bye {
+            device: DeviceId(d)
+        })),
         (any::<u32>(), any::<u32>()).prop_map(|(d, r)| {
             WireMessage::LeaveNotice(LeaveNotice {
                 device: DeviceId(d),
@@ -95,5 +97,40 @@ proptest! {
         bytes.extend(extra);
         let back = decode(&bytes).expect("decode with trailing bytes");
         prop_assert_eq!(back, msg);
+    }
+
+    /// Encodings have exactly the documented fixed width per variant
+    /// (module docs: probes 13 bytes, replies at most 33).
+    #[test]
+    fn encoding_length_matches_layout(msg in any_message()) {
+        let expected = match &msg {
+            WireMessage::Probe(_) => 13,
+            WireMessage::Reply(r) => match r.body {
+                ReplyBody::Sapp { .. } => 33,
+                ReplyBody::Dcpp { .. } => 25,
+            },
+            WireMessage::Bye(_) => 5,
+            WireMessage::LeaveNotice(_) => 9,
+        };
+        prop_assert_eq!(encode(&msg).len(), expected);
+    }
+
+    /// Flipping any single byte of a valid encoding never panics the
+    /// decoder: the result is an error or a (possibly different) message.
+    #[test]
+    fn single_byte_corruption_never_panics(msg in any_message(), pos in any::<u64>(), flip in 1u8..=255) {
+        let mut bytes = encode(&msg).to_vec();
+        let idx = (pos % bytes.len() as u64) as usize;
+        bytes[idx] ^= flip;
+        let _ = decode(&bytes);
+    }
+
+    /// Encoding is injective: two messages that differ produce different
+    /// byte strings (otherwise decode could not be the identity).
+    #[test]
+    fn encode_is_injective(a in any_message(), b in any_message()) {
+        if a != b {
+            prop_assert_ne!(encode(&a), encode(&b));
+        }
     }
 }

@@ -157,8 +157,7 @@ impl Actor<SimEvent> for ChurnActor {
                 SimDuration::ZERO
             } else {
                 SimDuration::from_nanos(
-                    ctx.rng()
-                        .uniform(0.0, self.join_stagger.as_nanos() as f64) as u64,
+                    ctx.rng().uniform(0.0, self.join_stagger.as_nanos() as f64) as u64
                 )
             };
             self.active[idx] = true;
@@ -175,7 +174,11 @@ impl Actor<SimEvent> for ChurnActor {
             ChurnModel::UniformResample { rate, .. } => {
                 let wait = ctx.rng().exponential(rate);
                 let me = ctx.me();
-                ctx.schedule_in(SimDuration::from_secs_f64(wait), me, SimEvent::ResampleChurn);
+                ctx.schedule_in(
+                    SimDuration::from_secs_f64(wait),
+                    me,
+                    SimEvent::ResampleChurn,
+                );
             }
         }
     }
@@ -189,7 +192,9 @@ impl Actor<SimEvent> for ChurnActor {
                     self.drive_to(ctx, target);
                 }
                 ChurnModel::UniformResample { min, max, rate } => {
-                    let target = ctx.rng().uniform_inclusive_u64(u64::from(min), u64::from(max))
+                    let target = ctx
+                        .rng()
+                        .uniform_inclusive_u64(u64::from(min), u64::from(max))
                         as u32;
                     self.drive_to(ctx, target.min(self.cps.len() as u32));
                     let wait = ctx.rng().exponential(rate);

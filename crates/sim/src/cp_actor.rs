@@ -6,8 +6,8 @@
 use crate::event::{Addr, SimEvent};
 use presence_core::{
     CpAction, CpId, CpStats, DcppConfig, DcppCp, Disseminator, FixedRateCp, LeaveNotice,
-    NoticeDisposition, OverlayView, Prober, ProbeCycleConfig, Reply, ReplyBody, SappConfig,
-    SappCp, TimerToken, WireMessage,
+    NoticeDisposition, OverlayView, ProbeCycleConfig, Prober, Reply, ReplyBody, SappConfig, SappCp,
+    TimerToken, WireMessage,
 };
 use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime};
 use presence_stats::{TimeSeries, Welford};

@@ -37,10 +37,18 @@ pub struct A2Report {
 
 impl fmt::Display for A2Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "A2 — SAPP device Δ-doubling at t = {:.0} s (seed {})", self.double_at, self.seed)?;
+        writeln!(
+            f,
+            "A2 — SAPP device Δ-doubling at t = {:.0} s (seed {})",
+            self.double_at, self.seed
+        )?;
         writeln!(f, "  load before   {:.2} probes/s", self.load_before)?;
         writeln!(f, "  load after    {:.2} probes/s", self.load_after)?;
-        writeln!(f, "  ratio         {:.2} (paper: -> 0.5; dead band admits [0.5, 1))", self.ratio)
+        writeln!(
+            f,
+            "  ratio         {:.2} (paper: -> 0.5; dead band admits [0.5, 1))",
+            self.ratio
+        )
     }
 }
 

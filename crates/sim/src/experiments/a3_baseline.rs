@@ -44,7 +44,11 @@ impl fmt::Display for A3Report {
             "A3 — device load vs population: fixed-rate (T = {:.1} s) vs SAPP vs DCPP ({:.0} s per cell, seed {})",
             self.period, self.duration, self.seed
         )?;
-        writeln!(f, "  {:>4} {:>12} {:>10} {:>10}", "k", "fixed-rate", "SAPP", "DCPP")?;
+        writeln!(
+            f,
+            "  {:>4} {:>12} {:>10} {:>10}",
+            "k", "fixed-rate", "SAPP", "DCPP"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -52,7 +56,10 @@ impl fmt::Display for A3Report {
                 r.k, r.fixed_rate_load, r.sapp_load, r.dcpp_load
             )?;
         }
-        writeln!(f, "  (L_nom = 10 probes/s; fixed-rate grows as k/T, the adaptive protocols cap)")
+        writeln!(
+            f,
+            "  (L_nom = 10 probes/s; fixed-rate grows as k/T, the adaptive protocols cap)"
+        )
     }
 }
 
@@ -115,11 +122,7 @@ mod tests {
             large.dcpp_load
         );
         // SAPP keeps it the same order as L_nom (not k-proportional).
-        assert!(
-            large.sapp_load < 30.0,
-            "sapp k=40: {}",
-            large.sapp_load
-        );
+        assert!(large.sapp_load < 30.0, "sapp k=40: {}", large.sapp_load);
     }
 
     #[test]

@@ -12,9 +12,7 @@
 //! heartbeat interval.
 
 use crate::{LossKind, Protocol, Scenario, ScenarioConfig};
-use presence_core::{
-    DeviceId, HeartbeatDevice, HeartbeatMonitor, PhiAccrualDetector, PhiConfig,
-};
+use presence_core::{DeviceId, HeartbeatDevice, HeartbeatMonitor, PhiAccrualDetector, PhiConfig};
 use presence_des::{SimDuration, SimTime, StreamRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -30,8 +28,13 @@ pub struct A4Row {
     pub max_latency: f64,
     /// Best detection latency.
     pub min_latency: f64,
-    /// Monitors that detected / total monitors.
+    /// Monitors that detected the crash / monitors still watching at crash
+    /// time (monitors that had already issued a — necessarily false —
+    /// verdict before the crash are not eligible).
     pub detected: (usize, usize),
+    /// Verdicts issued *before* the crash (false positives, e.g. a run of
+    /// lost probes exhausting the retransmission budget).
+    pub false_verdicts: usize,
 }
 
 /// The detection-latency comparison.
@@ -47,18 +50,26 @@ pub struct A4Report {
 
 impl fmt::Display for A4Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "A4 — detection latency after a silent crash at t = {:.0} s (seed {})", self.crash_at, self.seed)?;
+        writeln!(
+            f,
+            "A4 — detection latency after a silent crash at t = {:.0} s (seed {})",
+            self.crash_at, self.seed
+        )?;
         writeln!(
             f,
             "  {:<34} {:>8} {:>8} {:>8} {:>9}",
             "configuration", "mean", "min", "max", "detected"
         )?;
         for r in &self.rows {
-            writeln!(
+            write!(
                 f,
                 "  {:<34} {:>7.3}s {:>7.3}s {:>7.3}s {:>5}/{:<3}",
                 r.label, r.mean_latency, r.min_latency, r.max_latency, r.detected.0, r.detected.1
             )?;
+            if r.false_verdicts > 0 {
+                write!(f, " ({} false verdict(s) pre-crash)", r.false_verdicts)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -79,25 +90,42 @@ fn probe_latencies(
     scenario.run();
     let result = scenario.collect();
 
-    let latencies: Vec<f64> = result
-        .cps
-        .iter()
-        .filter_map(|c| c.detected_absent_at)
-        .map(|t| t - crash_at)
-        .collect();
-    summarize(label, &latencies, result.cps.len())
+    // Partition verdicts around the crash: only verdicts at/after the crash
+    // measure *crash detection*; earlier ones are loss-induced false
+    // positives (the CP stopped probing, so it cannot witness the crash).
+    let mut latencies = Vec::new();
+    let mut false_verdicts = 0usize;
+    for cp in &result.cps {
+        match cp.detected_absent_at {
+            Some(t) if t >= crash_at => latencies.push(t - crash_at),
+            Some(_) => false_verdicts += 1,
+            None => {}
+        }
+    }
+    let eligible = result.cps.len() - false_verdicts;
+    summarize(label, &latencies, eligible, false_verdicts)
 }
 
-fn summarize(label: &str, latencies: &[f64], total: usize) -> A4Row {
-    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
-    let min = latencies.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+fn summarize(label: &str, latencies: &[f64], total: usize, false_verdicts: usize) -> A4Row {
+    // No detections (e.g. every CP false-verdicted pre-crash): report flat
+    // zeros rather than ±∞ from empty folds; `detected: (0, _)` carries the
+    // "nothing was measured" signal.
+    let (mean, min, max) = if latencies.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            latencies.iter().sum::<f64>() / latencies.len() as f64,
+            latencies.iter().copied().fold(f64::INFINITY, f64::min),
+            latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        )
+    };
     A4Row {
         label: label.to_string(),
         mean_latency: mean,
         max_latency: max,
         min_latency: min,
         detected: (latencies.len(), total),
+        false_verdicts,
     }
 }
 
@@ -114,10 +142,8 @@ fn heartbeat_latencies(k: u32, hb_interval: f64, crash_at: f64, seed: u64) -> A4
             SimTime::from_secs_f64(phase),
             SimDuration::from_secs_f64(hb_interval),
         );
-        let mut monitor = HeartbeatMonitor::new(
-            DeviceId(0),
-            SimDuration::from_secs_f64(3.0 * hb_interval),
-        );
+        let mut monitor =
+            HeartbeatMonitor::new(DeviceId(0), SimDuration::from_secs_f64(3.0 * hb_interval));
         // Deliver beats until the crash.
         loop {
             let at = device.next_heartbeat_at();
@@ -136,6 +162,7 @@ fn heartbeat_latencies(k: u32, hb_interval: f64, crash_at: f64, seed: u64) -> A4
         &format!("heartbeat (T = {hb_interval}s, 3T timeout)"),
         &latencies,
         k as usize,
+        0,
     )
 }
 
@@ -169,6 +196,7 @@ fn phi_latencies(k: u32, hb_interval: f64, crash_at: f64, seed: u64) -> A4Row {
         &format!("phi-accrual (T = {hb_interval}s, phi > 8)"),
         &latencies,
         k as usize,
+        0,
     )
 }
 

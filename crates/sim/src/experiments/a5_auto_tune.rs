@@ -34,10 +34,26 @@ pub struct A5Report {
 
 impl fmt::Display for A5Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "A5 — SAPP device auto-tuner under a population surge (seed {})", self.seed)?;
-        writeln!(f, "  surge load, no tuner    {:.2} probes/s", self.surge_load_untuned)?;
-        writeln!(f, "  surge load, tuner on    {:.2} probes/s", self.surge_load_tuned)?;
-        writeln!(f, "  post-surge load, tuned  {:.2} probes/s", self.post_surge_load_tuned)?;
+        writeln!(
+            f,
+            "A5 — SAPP device auto-tuner under a population surge (seed {})",
+            self.seed
+        )?;
+        writeln!(
+            f,
+            "  surge load, no tuner    {:.2} probes/s",
+            self.surge_load_untuned
+        )?;
+        writeln!(
+            f,
+            "  surge load, tuner on    {:.2} probes/s",
+            self.surge_load_tuned
+        )?;
+        writeln!(
+            f,
+            "  post-surge load, tuned  {:.2} probes/s",
+            self.post_surge_load_tuned
+        )?;
         writeln!(
             f,
             "  tuner: {} adjustments, final multiplier {}×",

@@ -59,7 +59,11 @@ impl fmt::Display for A6Report {
             writeln!(
                 f,
                 "  {:<22} {:>9.3}s {:>9.3}s {:>6}/{:<2} {:>9}",
-                if arm.disseminate { "gossip (overlay)" } else { "probe-timeout only" },
+                if arm.disseminate {
+                    "gossip (overlay)"
+                } else {
+                    "probe-timeout only"
+                },
                 arm.mean_latency,
                 arm.max_latency,
                 arm.detected,

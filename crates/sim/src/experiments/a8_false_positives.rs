@@ -78,7 +78,10 @@ impl fmt::Display for A8Report {
                 }
             )?;
         }
-        writeln!(f, "  (bursty loss voids the independence assumption — rates explode)")
+        writeln!(
+            f,
+            "  (bursty loss voids the independence assumption — rates explode)"
+        )
     }
 }
 
@@ -88,8 +91,7 @@ fn run_one(loss: LossKind, loss_p: f64, bursty: bool, k: u32, duration: f64, see
     let mut dcpp = presence_core::DcppConfig::paper_default();
     dcpp.delta_min = presence_des::SimDuration::from_millis(10);
     dcpp.d_min = presence_des::SimDuration::from_millis(100);
-    let mut cfg =
-        ScenarioConfig::paper_defaults(Protocol::Dcpp { cfg: dcpp }, k, duration, seed);
+    let mut cfg = ScenarioConfig::paper_defaults(Protocol::Dcpp { cfg: dcpp }, k, duration, seed);
     cfg.loss = loss;
     let mut scenario = Scenario::build(cfg);
     scenario.run();

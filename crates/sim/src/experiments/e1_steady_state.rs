@@ -48,13 +48,21 @@ pub struct E1Report {
 impl fmt::Display for E1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E1 — SAPP steady state (k = 20, paper constants)")?;
-        writeln!(f, "  simulated                {:.0} s (seed {})", self.duration, self.seed)?;
+        writeln!(
+            f,
+            "  simulated                {:.0} s (seed {})",
+            self.duration, self.seed
+        )?;
         writeln!(
             f,
             "  device load              {:.2} ± {:.2} probes/s (paper: ≈ L_nom = 10) {}",
             self.load_mean,
             self.load_ci_half_width,
-            if self.load_converged { "[converged]" } else { "[NOT converged]" }
+            if self.load_converged {
+                "[converged]"
+            } else {
+                "[NOT converged]"
+            }
         )?;
         writeln!(f, "  load variance            {:.3}", self.load_variance)?;
         writeln!(
@@ -76,7 +84,11 @@ impl fmt::Display for E1Report {
             "  fairness (Jain)          {:.3}   frequency spread {:.1}× (paper: strong inequality, ≈ 25×)",
             self.fairness_jain, self.frequency_spread
         )?;
-        writeln!(f, "  delay histogram modes    {} (paper: bimodal)", self.delay_modes)
+        writeln!(
+            f,
+            "  delay histogram modes    {} (paper: bimodal)",
+            self.delay_modes
+        )
     }
 }
 

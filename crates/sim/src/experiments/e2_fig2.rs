@@ -31,7 +31,11 @@ impl FigureReport {
     /// Renders every CP's series as CSV (columns `t, cp00, cp01, …`).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let names: Vec<String> = self.series.iter().map(|(id, _)| format!("cp{id:02}")).collect();
+        let names: Vec<String> = self
+            .series
+            .iter()
+            .map(|(id, _)| format!("cp{id:02}"))
+            .collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let series: Vec<Vec<(f64, f64)>> = self.series.iter().map(|(_, s)| s.clone()).collect();
         series_to_csv(&name_refs, &series)
@@ -55,11 +59,19 @@ impl FigureReport {
 
 impl fmt::Display for FigureReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} — per-CP probe frequency over {:.0} s (seed {})", self.figure, self.duration, self.seed)?;
+        writeln!(
+            f,
+            "{} — per-CP probe frequency over {:.0} s (seed {})",
+            self.figure, self.duration, self.seed
+        )?;
         for (id, freq) in &self.late_mean_frequencies {
             writeln!(f, "  cp{id:02} late mean frequency {freq:.3}/s")?;
         }
-        writeln!(f, "  late frequency spread {:.1}× (1.0 = fair)", self.late_spread)
+        writeln!(
+            f,
+            "  late frequency spread {:.1}× (1.0 = fair)",
+            self.late_spread
+        )
     }
 }
 

@@ -25,7 +25,12 @@ pub fn e3_fig3_twenty_cps_minute(window_start: f64, seed: u64) -> FigureReport {
     let mut scenario = Scenario::build(cfg);
     scenario.run();
     let result = scenario.collect();
-    let mut report = figure_from_result("Figure 3 (SAPP, 7 of 20 CPs, 1 min)", &result, &FIG3_CPS, seed);
+    let mut report = figure_from_result(
+        "Figure 3 (SAPP, 7 of 20 CPs, 1 min)",
+        &result,
+        &FIG3_CPS,
+        seed,
+    );
     // Cut each series to the window.
     for (_, series) in &mut report.series {
         series.retain(|&(t, _)| t >= window_start && t < window_start + 60.0);

@@ -23,7 +23,12 @@ pub fn e4_fig4_burst_leave(duration: f64, leave_at: f64, seed: u64) -> FigureRep
     scenario.run();
     let result = scenario.collect();
     // The churn driver removes the highest-indexed CPs, so 0 and 1 survive.
-    figure_from_result("Figure 4 (SAPP, 18 of 20 CPs leave)", &result, &[0, 1], seed)
+    figure_from_result(
+        "Figure 4 (SAPP, 18 of 20 CPs leave)",
+        &result,
+        &[0, 1],
+        seed,
+    )
 }
 
 #[cfg(test)]

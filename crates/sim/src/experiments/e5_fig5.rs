@@ -57,9 +57,21 @@ impl E5Report {
 
 impl fmt::Display for E5Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E5 — DCPP under U{{1..60}} churn @ exp(0.05) for {:.0} s (seed {})", self.duration, self.seed)?;
-        writeln!(f, "  mean load       {:.2} probes/s   (paper: 9.7)", self.load_mean)?;
-        writeln!(f, "  load variance   {:.1}            (paper: 20.0, σ ≈ ±4.5)", self.load_variance)?;
+        writeln!(
+            f,
+            "E5 — DCPP under U{{1..60}} churn @ exp(0.05) for {:.0} s (seed {})",
+            self.duration, self.seed
+        )?;
+        writeln!(
+            f,
+            "  mean load       {:.2} probes/s   (paper: 9.7)",
+            self.load_mean
+        )?;
+        writeln!(
+            f,
+            "  load variance   {:.1}            (paper: 20.0, σ ≈ ±4.5)",
+            self.load_variance
+        )?;
         writeln!(f, "  peak load       {:.1} probes/s", self.peak_load)?;
         writeln!(
             f,

@@ -43,13 +43,26 @@ pub struct E6Report {
 
 impl fmt::Display for E6Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E6 — DCPP static fairness & load cap ({:.0} s per point, seed {})", self.duration, self.seed)?;
-        writeln!(f, "  {:>4} {:>10} {:>10} {:>8} {:>8} {:>10}", "k", "load", "expected", "jain", "spread", "cp freq")?;
+        writeln!(
+            f,
+            "E6 — DCPP static fairness & load cap ({:.0} s per point, seed {})",
+            self.duration, self.seed
+        )?;
+        writeln!(
+            f,
+            "  {:>4} {:>10} {:>10} {:>8} {:>8} {:>10}",
+            "k", "load", "expected", "jain", "spread", "cp freq"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
                 "  {:>4} {:>10.2} {:>10.2} {:>8.3} {:>8.2} {:>10.3}",
-                r.k, r.load, r.expected_load, r.fairness_jain, r.frequency_spread, r.mean_cp_frequency
+                r.k,
+                r.load,
+                r.expected_load,
+                r.fairness_jain,
+                r.frequency_spread,
+                r.mean_cp_frequency
             )?;
         }
         Ok(())

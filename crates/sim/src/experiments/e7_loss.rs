@@ -48,7 +48,11 @@ pub struct E7Report {
 
 impl fmt::Display for E7Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E7 — DCPP join-spike spreading under loss ({:.0} s per point, seed {})", self.duration, self.seed)?;
+        writeln!(
+            f,
+            "E7 — DCPP join-spike spreading under loss ({:.0} s per point, seed {})",
+            self.duration, self.seed
+        )?;
         writeln!(
             f,
             "  {:>6} {:>7} {:>8} {:>9} {:>7} {:>10} {:>12}",

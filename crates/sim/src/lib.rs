@@ -37,6 +37,7 @@ mod network_actor;
 mod output;
 mod replication;
 mod scenario;
+pub mod test_profile;
 
 pub use churn::{ChurnActor, ChurnModel};
 pub use cp_actor::{CpActor, CpRecord, ProberFactory};
@@ -44,6 +45,6 @@ pub use device_actor::{DeviceActor, DeviceMachine, ProcessingModel};
 pub use event::{Addr, SimEvent};
 pub use metrics::{CpSummary, ScenarioResult};
 pub use network_actor::NetworkActor;
-pub use replication::{replicate, ReplicationPoint, ReplicationSummary};
 pub use output::{ascii_chart, kv_table, series_to_columns, series_to_csv};
+pub use replication::{replicate, ReplicationPoint, ReplicationSummary};
 pub use scenario::{DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};

@@ -126,11 +126,7 @@ impl ScenarioResult {
     /// completed a cycle.
     #[must_use]
     pub fn delay_summary(&self) -> Option<presence_stats::Summary> {
-        let delays: Vec<f64> = self
-            .active_cps()
-            .iter()
-            .map(|c| c.mean_delay)
-            .collect();
+        let delays: Vec<f64> = self.active_cps().iter().map(|c| c.mean_delay).collect();
         presence_stats::describe(&delays)
     }
 

@@ -140,7 +140,9 @@ mod tests {
 
     #[test]
     fn ascii_chart_renders() {
-        let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i as f64 * 0.2).sin())).collect();
+        let series: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64, (i as f64 * 0.2).sin()))
+            .collect();
         let chart = ascii_chart("sine", &series, 60, 10);
         assert!(chart.contains("sine"));
         assert!(chart.contains('*'));

@@ -27,10 +27,8 @@ fn any_loss() -> impl Strategy<Value = LossKind> {
 fn any_churn(max_pool: u32) -> impl Strategy<Value = ChurnModel> {
     prop_oneof![
         Just(ChurnModel::Static),
-        (10.0..40.0f64, 1..max_pool).prop_map(|(at, leavers)| ChurnModel::BurstLeave {
-            at,
-            leavers,
-        }),
+        (10.0..40.0f64, 1..max_pool)
+            .prop_map(|(at, leavers)| ChurnModel::BurstLeave { at, leavers }),
         (0.02..0.2f64).prop_map(move |rate| ChurnModel::UniformResample {
             min: 1,
             max: max_pool,

@@ -88,7 +88,9 @@ mod tests {
         let mut s: u64 = 0x4d595df4d0f33173;
         let xs: Vec<f64> = (0..10_000)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect();
@@ -118,7 +120,9 @@ mod tests {
 
     #[test]
     fn alternating_series_negative_autocorr() {
-        let xs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = lag1_autocorrelation(&xs);
         assert!(r < -0.9, "alternating lag-1 autocorr {r}");
         assert!(von_neumann_ratio(&xs) > 3.0);

@@ -54,7 +54,7 @@ impl BatchMeansConfig {
         if !(self.level > 0.0 && self.level < 1.0) {
             return Err(format!("level must be in (0, 1), got {}", self.level));
         }
-        if !(self.target_relative_half_width > 0.0) {
+        if self.target_relative_half_width <= 0.0 || self.target_relative_half_width.is_nan() {
             return Err("target_relative_half_width must be positive".into());
         }
         Ok(())
@@ -295,7 +295,9 @@ mod tests {
         let mut state: u64 = 0x9e3779b97f4a7c15;
         let mut n = 0u64;
         while !bm.is_converged() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64;
             bm.push(10.0 + (u - 0.5) * 4.0);
             n += 1;

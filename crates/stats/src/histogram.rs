@@ -127,11 +127,14 @@ impl Histogram {
     /// Iterates over the bins in ascending order.
     pub fn bins(&self) -> impl Iterator<Item = HistogramBin> + '_ {
         let width = self.bin_width();
-        self.counts.iter().enumerate().map(move |(i, &count)| HistogramBin {
-            low: self.low + i as f64 * width,
-            high: self.low + (i + 1) as f64 * width,
-            count,
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &count)| HistogramBin {
+                low: self.low + i as f64 * width,
+                high: self.low + (i + 1) as f64 * width,
+                count,
+            })
     }
 
     /// The bin with the most samples (ties broken towards the lower bin);
@@ -142,7 +145,9 @@ impl Histogram {
             return None;
         }
         self.bins().max_by(|a, b| {
-            a.count.cmp(&b.count).then(b.low.partial_cmp(&a.low).expect("finite"))
+            a.count
+                .cmp(&b.count)
+                .then(b.low.partial_cmp(&a.low).expect("finite"))
         })
     }
 
@@ -162,7 +167,11 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let next = acc + c as f64;
             if next >= target && c > 0 {
-                let frac = if c == 0 { 0.0 } else { (target - acc) / c as f64 };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - acc) / c as f64
+                };
                 return Some(self.low + (i as f64 + frac.clamp(0.0, 1.0)) * width);
             }
             acc = next;

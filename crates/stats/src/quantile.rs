@@ -76,7 +76,8 @@ impl P2Quantile {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             }
             return;
         }
@@ -115,13 +116,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.positions[i] += d;
             }
         }

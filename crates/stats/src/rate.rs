@@ -41,7 +41,10 @@ impl RateMeter {
     /// Panics if `window` is not positive and finite.
     #[must_use]
     pub fn new(window: f64) -> Self {
-        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
         Self {
             window,
             events: VecDeque::new(),

@@ -40,7 +40,14 @@ impl Summary {
     pub fn one_line(&self) -> String {
         format!(
             "n={} mean={:.3} sd={:.3} min={:.3} q25={:.3} med={:.3} q75={:.3} max={:.3}",
-            self.count, self.mean, self.std_dev, self.min, self.q25, self.median, self.q75, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.q25,
+            self.median,
+            self.q75,
+            self.max
         )
     }
 }

@@ -279,8 +279,7 @@ mod tests {
         let mut w = Welford::new();
         w.extend(xs.iter().copied());
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert_close(w.mean(), mean, 1e-9);
         assert_close(w.sample_variance(), var, 1e-9);
     }

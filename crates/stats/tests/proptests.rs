@@ -185,7 +185,7 @@ proptest! {
     fn autocorrelation_bounded(xs in prop::collection::vec(-100.0..100.0f64, 10..200), lag in 1usize..5) {
         let r = autocorrelation(&xs, lag);
         if r.is_finite() {
-            prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         }
     }
 
@@ -204,7 +204,7 @@ proptest! {
         }
         if bm.batches() > 0 {
             let m = bm.mean();
-            prop_assert!(m >= -1e-9 && m <= 100.0 + 1e-9);
+            prop_assert!((-1e-9..=100.0 + 1e-9).contains(&m));
         }
     }
 }

@@ -18,9 +18,18 @@ fn run(protocol: Protocol, label: &str, seconds: f64) -> ScenarioResult {
     scenario.run();
     let result = scenario.collect();
     println!("== {label}");
-    println!("   device load     {:.2} probes/s (budget L_nom = 10)", result.load_mean);
-    println!("   fairness (Jain) {:.3}   (1.000 = perfectly fair)", result.fairness_jain);
-    println!("   freq spread     {:.1}× between fastest and slowest CP", result.frequency_spread());
+    println!(
+        "   device load     {:.2} probes/s (budget L_nom = 10)",
+        result.load_mean
+    );
+    println!(
+        "   fairness (Jain) {:.3}   (1.000 = perfectly fair)",
+        result.fairness_jain
+    );
+    println!(
+        "   freq spread     {:.1}× between fastest and slowest CP",
+        result.frequency_spread()
+    );
     let mut delays = result.sorted_mean_delays();
     delays.reverse();
     println!(
@@ -41,19 +50,34 @@ fn main() {
     let seconds = 20_000.0;
     println!("SAPP vs DCPP — 20 CPs, one device, {seconds:.0} virtual seconds, same seed\n");
 
-    let sapp = run(Protocol::sapp_paper(), "SAPP (self-adaptive, analysed in §2–3)", seconds);
-    let dcpp = run(Protocol::dcpp_paper(), "DCPP (device-controlled, the paper's fix)", seconds);
+    let sapp = run(
+        Protocol::sapp_paper(),
+        "SAPP (self-adaptive, analysed in §2–3)",
+        seconds,
+    );
+    let dcpp = run(
+        Protocol::dcpp_paper(),
+        "DCPP (device-controlled, the paper's fix)",
+        seconds,
+    );
 
     // Show one starved SAPP CP against the same CP under DCPP.
     let starved = sapp
         .active_cps()
         .into_iter()
-        .min_by(|a, b| a.mean_frequency.partial_cmp(&b.mean_frequency).expect("finite"))
+        .min_by(|a, b| {
+            a.mean_frequency
+                .partial_cmp(&b.mean_frequency)
+                .expect("finite")
+        })
         .expect("at least one active CP");
     println!(
         "{}",
         ascii_chart(
-            &format!("SAPP's slowest CP (cp{:02}) — probe frequency over time", starved.id.0),
+            &format!(
+                "SAPP's slowest CP (cp{:02}) — probe frequency over time",
+                starved.id.0
+            ),
             &starved.frequency_series,
             72,
             10,

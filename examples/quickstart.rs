@@ -24,10 +24,19 @@ fn main() {
     println!(
         "{}",
         kv_table(&[
-            ("virtual time simulated", format!("{:.0} s", result.duration)),
-            ("probes answered by device", result.device_probes.to_string()),
+            (
+                "virtual time simulated",
+                format!("{:.0} s", result.duration)
+            ),
+            (
+                "probes answered by device",
+                result.device_probes.to_string()
+            ),
             ("device load (probes/s)", format!("{:.2}", result.load_mean)),
-            ("fairness (Jain index)", format!("{:.3}", result.fairness_jain)),
+            (
+                "fairness (Jain index)",
+                format!("{:.3}", result.fairness_jain)
+            ),
             (
                 "network buffer mean occupancy",
                 format!("{:.4}", result.mean_buffer_occupancy.unwrap_or(f64::NAN)),
@@ -37,11 +46,9 @@ fn main() {
 
     println!("per-CP view:");
     for cp in result.active_cps() {
-        let detected = cp
-            .detected_absent_at
-            .map_or("never".to_string(), |t| {
-                format!("{:.3} s (+{:.3} s after crash)", t, t - 60.0)
-            });
+        let detected = cp.detected_absent_at.map_or("never".to_string(), |t| {
+            format!("{:.3} s (+{:.3} s after crash)", t, t - 60.0)
+        });
         println!(
             "  cp{:02}  cycles {:>4}  probes {:>4}  detected absent: {}",
             cp.id.0, cp.cycles_succeeded, cp.probes_sent, detected

@@ -33,7 +33,10 @@ fn main() {
     let mut estimator = BatchMeans::new(bm_cfg).expect("valid config");
 
     println!("SAPP k = 20 — device load, batch means @ CI 0.1 / 0.95\n");
-    println!("{:>10} {:>9} {:>12} {:>16}", "sim time", "batches", "estimate", "rel. half-width");
+    println!(
+        "{:>10} {:>9} {:>12} {:>16}",
+        "sim time", "batches", "estimate", "rel. half-width"
+    );
 
     let slice = 500.0; // virtual seconds per extension
     let mut t = 0.0;

@@ -11,9 +11,7 @@
 
 use presence::core::{CpId, DcppConfig, DcppCp, DeviceId};
 use presence::des::SimDuration;
-use presence::runtime::{
-    run_cp, run_device, DeviceHost, StopFlag, SystemClock, UdpTransport,
-};
+use presence::runtime::{run_cp, run_device, DeviceHost, StopFlag, SystemClock, UdpTransport};
 use std::thread;
 use std::time::Duration;
 
@@ -46,8 +44,7 @@ fn main() {
     let cp_stop = StopFlag::new();
     let mut cps = Vec::new();
     for i in 0..3u32 {
-        let transport =
-            UdpTransport::client("127.0.0.1:0", device_addr).expect("bind CP socket");
+        let transport = UdpTransport::client("127.0.0.1:0", device_addr).expect("bind CP socket");
         let prober = DcppCp::new(CpId(i), cfg);
         let stop = cp_stop.clone();
         let cp_clock = clock.clone();
@@ -71,9 +68,10 @@ fn main() {
             i,
             outcome.cycles_succeeded,
             outcome.probes_sent,
-            outcome
-                .device_absent_at
-                .map_or("none".into(), |t| format!("{:.3}s on the runtime clock", t.as_secs_f64()))
+            outcome.device_absent_at.map_or("none".into(), |t| format!(
+                "{:.3}s on the runtime clock",
+                t.as_secs_f64()
+            ))
         );
         assert!(
             outcome.cycles_succeeded > 5,

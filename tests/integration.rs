@@ -4,9 +4,8 @@
 
 use presence::core::{CpId, DcppConfig, DcppCp, DeviceId};
 use presence::des::SimDuration;
-use presence::runtime::{
-    run_cp, run_device, DeviceHost, InMemoryTransport, StopFlag, SystemClock,
-};
+use presence::runtime::{run_cp, run_device, DeviceHost, InMemoryTransport, StopFlag, SystemClock};
+use presence::sim::test_profile::horizon;
 use presence::sim::{ChurnModel, LossKind, Protocol, Scenario, ScenarioConfig};
 use std::thread;
 use std::time::Duration;
@@ -30,7 +29,11 @@ fn dcpp_steady_state_wait_is_k_delta_min() {
             cp.mean_delay
         );
     }
-    assert!((result.load_mean - 10.0).abs() < 1.5, "load {}", result.load_mean);
+    assert!(
+        (result.load_mean - 10.0).abs() < 1.5,
+        "load {}",
+        result.load_mean
+    );
 }
 
 /// The same protocol configuration produces consistent behaviour in the
@@ -57,21 +60,14 @@ fn simulator_and_runtime_agree_on_dcpp_cadence() {
         )
     });
     let cp_stop = stop.clone();
-    let cp = thread::spawn(move || {
-        run_cp(DcppCp::new(CpId(0), cfg), cp_side, &clock, &cp_stop)
-    });
+    let cp = thread::spawn(move || run_cp(DcppCp::new(CpId(0), cfg), cp_side, &clock, &cp_stop));
     thread::sleep(Duration::from_millis(1_000));
     stop.stop();
     let outcome = cp.join().unwrap();
     let _ = dev.join().unwrap();
 
     // --- simulator: the same config, 1 CP, 1 virtual second.
-    let mut sim_cfg = ScenarioConfig::paper_defaults(
-        Protocol::Dcpp { cfg },
-        1,
-        1.0,
-        9,
-    );
+    let mut sim_cfg = ScenarioConfig::paper_defaults(Protocol::Dcpp { cfg }, 1, 1.0, 9);
     sim_cfg.join_stagger = 0.0;
     let mut scenario = Scenario::build(sim_cfg);
     scenario.run();
@@ -121,23 +117,32 @@ fn overlay_dissemination_spreads_the_news() {
 /// time improves (or at least never regresses).
 #[test]
 fn dissemination_speeds_up_worst_case_detection() {
+    // Crash late enough that SAPP's starvation (δ toward δ_max) has had
+    // time to develop, leaving δ_max + verdict + slack after it.
+    let crash_at = horizon(900.0, 2_500.0);
     let worst_detection = |disseminate: bool| -> f64 {
         let mut cfg =
-            ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, 3_000.0, 13);
+            ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, crash_at + 500.0, 13);
         cfg.disseminate = disseminate;
         let mut scenario = Scenario::build(cfg);
-        scenario.crash_device_at(2_500.0);
+        scenario.crash_device_at(crash_at);
         scenario.run();
         let result = scenario.collect();
         result
             .cps
             .iter()
             .filter_map(|c| c.detected_absent_at)
-            .map(|t| t - 2_500.0)
+            .map(|t| t - crash_at)
             .fold(f64::NEG_INFINITY, f64::max)
     };
     let plain = worst_detection(false);
     let gossip = worst_detection(true);
+    // Guard against a vacuous pass: if nobody detects the crash, both arms
+    // fold to -inf and the comparison would hold trivially.
+    assert!(
+        plain.is_finite() && gossip.is_finite(),
+        "no CP detected the crash at all (plain {plain}, gossip {gossip})"
+    );
     assert!(
         gossip <= plain + 1e-9,
         "dissemination regressed worst-case detection: {gossip} vs {plain}"
@@ -155,7 +160,11 @@ fn bye_broadcast_stops_everyone() {
     let result = scenario.collect();
     for cp in &result.cps {
         let at = cp.detected_absent_at.expect("bye missed");
-        assert!((100.0..100.5).contains(&at), "cp{:02} verdict at {at}", cp.id.0);
+        assert!(
+            (100.0..100.5).contains(&at),
+            "cp{:02} verdict at {at}",
+            cp.id.0
+        );
     }
     // No probes answered after the leave.
     let late_probes: usize = result
@@ -238,7 +247,7 @@ fn serde_json_string<T: serde::Serialize>(v: &T) -> String {
 #[test]
 fn headline_fairness_contrast() {
     let fairness = |protocol: Protocol| {
-        let cfg = ScenarioConfig::paper_defaults(protocol, 10, 5_000.0, 3);
+        let cfg = ScenarioConfig::paper_defaults(protocol, 10, horizon(1_500.0, 5_000.0), 3);
         let mut scenario = Scenario::build(cfg);
         scenario.run();
         scenario.collect().fairness_jain

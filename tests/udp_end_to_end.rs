@@ -2,8 +2,7 @@
 //! threads, real timers — the deployment configuration, not the simulator.
 
 use presence::core::{
-    CpId, DcppConfig, DcppCp, DeviceId, ProbeCycleConfig, SappConfig, SappCp,
-    SappDeviceConfig,
+    CpId, DcppConfig, DcppCp, DeviceId, ProbeCycleConfig, SappConfig, SappCp, SappDeviceConfig,
 };
 use presence::des::SimDuration;
 use presence::runtime::{
@@ -12,7 +11,10 @@ use presence::runtime::{
 use std::thread;
 use std::time::Duration;
 
-fn spawn_device(host: DeviceHost, stop: &StopFlag) -> (std::net::SocketAddr, thread::JoinHandle<DeviceHost>) {
+fn spawn_device(
+    host: DeviceHost,
+    stop: &StopFlag,
+) -> (std::net::SocketAddr, thread::JoinHandle<DeviceHost>) {
     let transport = UdpTransport::server("127.0.0.1:0").expect("bind device");
     let addr = transport.local_addr().expect("addr");
     let stop = stop.clone();
