@@ -22,7 +22,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> cargo bench --no-run (criterion harness compile check)"
+cargo bench --no-run
+
+# Tier-1 runs with two replication workers so the parallel fan-out path
+# (PRESENCE_JOBS → thread::scope pool → seed-ordered merge) is exercised
+# by every replication-touching test, not just the dedicated ones.
+export PRESENCE_JOBS="${PRESENCE_JOBS:-2}"
+
+echo "==> tier-1: cargo build --release && cargo test -q (PRESENCE_JOBS=$PRESENCE_JOBS)"
 cargo build --release
 cargo test -q
 

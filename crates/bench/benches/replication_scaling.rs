@@ -1,0 +1,40 @@
+//! Wall-clock scaling of the parallel replication engine: the same 20-seed
+//! DCPP study at increasing worker counts. On an N-core machine the
+//! speedup should approach min(N, 20)× — the replications are independent
+//! simulations with a cheap seed-ordered merge at the end.
+//!
+//! (On a single-core machine all worker counts collapse to roughly the
+//! serial time; the bench still pins the pool's overhead.)
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use presence_sim::{replicate_with_jobs, Protocol, ScenarioConfig};
+use std::hint::black_box;
+
+const SEEDS: u64 = 20;
+
+fn bench_replication_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SEEDS));
+
+    let base = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 10, 120.0, 0);
+    let seeds: Vec<u64> = (1..=SEEDS).collect();
+
+    let max_jobs = std::thread::available_parallelism().map_or(4, usize::from);
+    let mut job_counts = vec![1usize, 2, 4, 8];
+    job_counts.retain(|&j| j == 1 || j <= 2 * max_jobs);
+
+    for jobs in job_counts {
+        group.bench_function(format!("dcpp_20_seeds_jobs_{jobs}"), |b| {
+            b.iter(|| {
+                let summary = replicate_with_jobs(&base, &seeds, 0.95, jobs);
+                black_box(summary.points.len())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication_scaling);
+criterion_main!(benches);

@@ -1,11 +1,15 @@
 //! A1 — SAPP adaptation-constant sensitivity sweep.
+//!
+//! The 27-cell grid fans out across `--jobs N` worker threads (default
+//! `PRESENCE_JOBS` / machine parallelism); the report is identical at any
+//! worker count.
 
 use presence_bench::{emit, parse_args};
-use presence_sim::experiments::a1_sapp_param_sweep;
+use presence_sim::experiments::a1_sapp_param_sweep_jobs;
 
 fn main() {
     let opts = parse_args();
     let duration = opts.duration.unwrap_or(2_000.0);
-    let report = a1_sapp_param_sweep(20, duration, opts.seed);
+    let report = a1_sapp_param_sweep_jobs(20, duration, opts.seed, opts.resolved_jobs());
     emit(&report, &opts);
 }

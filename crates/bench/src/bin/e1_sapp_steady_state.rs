@@ -1,12 +1,33 @@
 //! E1 — §3 steady-state study of SAPP (see `presence-sim`'s experiment
 //! docs for the paper mapping).
+//!
+//! The headline numbers come from one long batch-means run (the paper's
+//! methodology). In text mode the bin also prints an independent-
+//! replications cross-check of the same configuration — four extra seeds
+//! fanned out across `--jobs N` workers — since batch means within one run
+//! is only trustworthy when it agrees with genuinely independent runs.
 
 use presence_bench::{emit, parse_args};
 use presence_sim::experiments::e1_sapp_steady_state;
+use presence_sim::{replicate_with_jobs, Protocol, ScenarioConfig};
 
 fn main() {
     let opts = parse_args();
     let duration = opts.duration.unwrap_or(20_000.0);
     let report = e1_sapp_steady_state(duration, opts.seed);
     emit(&report, &opts);
+
+    if !opts.json {
+        let jobs = opts.resolved_jobs();
+        let seeds: Vec<u64> = (1..=4).map(|i| opts.seed.wrapping_add(i)).collect();
+        let check_duration = duration.min(5_000.0);
+        let base =
+            ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 20, check_duration, opts.seed);
+        let summary = replicate_with_jobs(&base, &seeds, 0.95, jobs);
+        println!(
+            "cross-check: independent replications ({} seeds × {check_duration:.0} s)",
+            seeds.len()
+        );
+        print!("{summary}");
+    }
 }

@@ -2,13 +2,18 @@
 //! fairness, frequency spread) for SAPP and DCPP with Student-t confidence
 //! intervals over independent seeds — the methodological upgrade over any
 //! single run's numbers.
+//!
+//! Seeds fan out across `--jobs N` worker threads (default `PRESENCE_JOBS`
+//! / machine parallelism); the summary is bit-identical at any worker
+//! count, so `--jobs` trades only wall-clock, never results.
 
 use presence_bench::parse_args;
-use presence_sim::{replicate, Protocol, ScenarioConfig};
+use presence_sim::{replicate_with_jobs, Protocol, ScenarioConfig};
 
 fn main() {
     let opts = parse_args();
     let duration = opts.duration.unwrap_or(5_000.0);
+    let jobs = opts.resolved_jobs();
     let seeds: Vec<u64> = (1..=10)
         .map(|i| opts.seed.wrapping_mul(31).wrapping_add(i))
         .collect();
@@ -18,7 +23,10 @@ fn main() {
         ("DCPP", Protocol::dcpp_paper()),
     ] {
         let base = ScenarioConfig::paper_defaults(protocol, 20, duration, 0);
-        let summary = replicate(&base, &seeds, 0.95);
+        // The output deliberately omits the worker count: it is
+        // byte-identical at any `--jobs` value, and keeping it so makes
+        // that trivially checkable with `diff`.
+        let summary = replicate_with_jobs(&base, &seeds, 0.95, jobs);
         println!("{name} (k = 20, {duration:.0} s, {} seeds)", seeds.len());
         println!("{summary}");
     }

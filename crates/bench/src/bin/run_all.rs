@@ -1,36 +1,54 @@
 //! Runs every experiment at reduced scale and prints all reports — a quick
 //! end-to-end regeneration of the paper's evaluation section.
+//!
+//! The experiments are mutually independent simulations, so they run
+//! through the `--jobs N` worker pool (default `PRESENCE_JOBS` / machine
+//! parallelism). Reports are rendered off-thread, streamed back, and
+//! printed in the fixed E1…E7, A1…A8 order as soon as each in-order
+//! prefix completes — so the output is byte-identical at any worker
+//! count, and with `--jobs 1` each report still appears the moment its
+//! experiment finishes.
 
 use presence_bench::parse_args;
 use presence_sim::experiments::*;
+use presence_sim::for_each_indexed;
 
 fn main() {
     let opts = parse_args();
     let seed = opts.seed;
     let scale = opts.duration.unwrap_or(1.0);
+    let jobs = opts.resolved_jobs();
 
-    println!("{}\n", e1_sapp_steady_state(5_000.0 * scale, seed));
-    println!("{}\n", e2_fig2_three_cps(5_000.0 * scale, seed));
-    println!("{}\n", e3_fig3_twenty_cps_minute(1_200.0 * scale, seed));
-    println!(
-        "{}\n",
-        e4_fig4_burst_leave(5_000.0 * scale, 500.0 * scale, seed)
+    // One closure per experiment, in print order. Each renders its report
+    // to a string inside the pool; A1 keeps its whole 27-cell grid on the
+    // worker that runs it (the outer pool already saturates the machine).
+    type Job<'a> = Box<dyn Fn() -> String + Sync + 'a>;
+    let experiments: Vec<Job> = vec![
+        Box::new(move || e1_sapp_steady_state(5_000.0 * scale, seed).to_string()),
+        Box::new(move || e2_fig2_three_cps(5_000.0 * scale, seed).to_string()),
+        Box::new(move || e3_fig3_twenty_cps_minute(1_200.0 * scale, seed).to_string()),
+        Box::new(move || e4_fig4_burst_leave(5_000.0 * scale, 500.0 * scale, seed).to_string()),
+        Box::new(move || e5_fig5_dcpp_churn(1_800.0 * scale, seed).to_string()),
+        Box::new(move || {
+            e6_dcpp_static_fairness(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed).to_string()
+        }),
+        Box::new(move || e7_dcpp_loss_spread(1_000.0 * scale, seed).to_string()),
+        Box::new(move || a1_sapp_param_sweep_jobs(20, 500.0 * scale, seed, 1).to_string()),
+        Box::new(move || a2_delta_doubling(20, 8_000.0 * scale, seed).to_string()),
+        Box::new(move || {
+            a3_fixed_rate_baseline(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed).to_string()
+        }),
+        Box::new(move || a4_detection_latency(20, 300.0 * scale, seed).to_string()),
+        Box::new(move || a5_auto_tune_surge(1_500.0 * scale, seed).to_string()),
+        Box::new(move || a6_dissemination(20, 1_000.0 * scale, seed).to_string()),
+        Box::new(move || a7_initial_delay(20, 2_000.0 * scale, seed).to_string()),
+        Box::new(move || a8_false_positives(20, 2_000.0 * scale, seed).to_string()),
+    ];
+
+    for_each_indexed(
+        experiments.len(),
+        jobs,
+        |i| experiments[i](),
+        |_, report| println!("{report}\n"),
     );
-    println!("{}\n", e5_fig5_dcpp_churn(1_800.0 * scale, seed));
-    println!(
-        "{}\n",
-        e6_dcpp_static_fairness(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed)
-    );
-    println!("{}\n", e7_dcpp_loss_spread(1_000.0 * scale, seed));
-    println!("{}\n", a1_sapp_param_sweep(20, 500.0 * scale, seed));
-    println!("{}\n", a2_delta_doubling(20, 8_000.0 * scale, seed));
-    println!(
-        "{}\n",
-        a3_fixed_rate_baseline(&[1, 2, 5, 10, 20, 40, 60], 500.0 * scale, seed)
-    );
-    println!("{}\n", a4_detection_latency(20, 300.0 * scale, seed));
-    println!("{}\n", a5_auto_tune_surge(1_500.0 * scale, seed));
-    println!("{}\n", a6_dissemination(20, 1_000.0 * scale, seed));
-    println!("{}\n", a7_initial_delay(20, 2_000.0 * scale, seed));
-    println!("{}\n", a8_false_positives(20, 2_000.0 * scale, seed));
 }

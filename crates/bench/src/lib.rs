@@ -5,6 +5,8 @@
 //! ```text
 //! --seed <u64>        root seed (default 3)
 //! --duration <secs>   virtual run length where applicable
+//! --jobs <n>          worker threads for replication/sweep bins
+//!                     (default: PRESENCE_JOBS, else machine parallelism)
 //! --json              emit the report as JSON instead of text
 //! --csv               emit the figure's data series as CSV (figure bins)
 //! ```
@@ -18,6 +20,8 @@ pub struct Options {
     pub seed: u64,
     /// Virtual duration override, if given.
     pub duration: Option<f64>,
+    /// Worker-thread override (`--jobs N`), if given.
+    pub jobs: Option<usize>,
     /// Emit JSON.
     pub json: bool,
     /// Emit CSV series.
@@ -29,9 +33,21 @@ impl Default for Options {
         Self {
             seed: 3,
             duration: None,
+            jobs: None,
             json: false,
             csv: false,
         }
+    }
+}
+
+impl Options {
+    /// Worker count for replication/sweep bins: the `--jobs` flag if given,
+    /// otherwise `PRESENCE_JOBS` / machine parallelism (see
+    /// [`presence_sim::parallel::job_count`]). The results are
+    /// bit-identical at any value — only wall-clock changes.
+    #[must_use]
+    pub fn resolved_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(presence_sim::job_count)
     }
 }
 
@@ -61,10 +77,19 @@ pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Options {
                 let v = iter.next().expect("--duration needs a value");
                 opts.duration = Some(v.parse().expect("--duration must be a number"));
             }
+            "--jobs" => {
+                let v = iter.next().expect("--jobs needs a value");
+                let jobs: usize = v.parse().expect("--jobs must be a positive integer");
+                assert!(jobs > 0, "--jobs must be a positive integer");
+                opts.jobs = Some(jobs);
+            }
             "--json" => opts.json = true,
             "--csv" => opts.csv = true,
             other => {
-                panic!("unknown argument {other}; supported: --seed N --duration SECS --json --csv")
+                panic!(
+                    "unknown argument {other}; supported: --seed N --duration SECS --jobs N \
+                     --json --csv"
+                )
             }
         }
     }
@@ -104,12 +129,27 @@ mod tests {
             "42",
             "--duration",
             "123.5",
+            "--jobs",
+            "4",
             "--json",
             "--csv",
         ]));
         assert_eq!(o.seed, 42);
         assert_eq!(o.duration, Some(123.5));
+        assert_eq!(o.jobs, Some(4));
+        assert_eq!(o.resolved_jobs(), 4);
         assert!(o.json && o.csv);
+    }
+
+    #[test]
+    fn unset_jobs_resolve_to_at_least_one_worker() {
+        assert!(Options::default().resolved_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_jobs_rejected() {
+        let _ = parse_from(args(&["--jobs", "0"]));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! * Events fire in `(time, sequence-number)` order — two events scheduled
 //!   for the same instant fire in the order they were scheduled, regardless
-//!   of heap internals.
+//!   of heap internals (the queue itself lives in [`crate::queue`]).
 //! * Each actor draws randomness only from its own [`StreamRng`], derived
 //!   from the root seed and the actor's id, so runs replay exactly and
 //!   actors don't perturb each other's streams.
@@ -15,11 +15,10 @@
 //! inspection (the paper stresses that simulation results are only
 //! trustworthy when the simulator's semantics are).
 
+use crate::queue::EventQueue;
 use crate::rng::StreamRng;
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
 /// Identifies an actor within one [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,35 +68,6 @@ impl<E: 'static, T: Actor<E>> AnyActor<E> for T {
     }
 }
 
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    target: ActorId,
-    payload: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we need earliest-first with
-        // FIFO tie-breaking on the sequence number.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A record handed to the trace hook for every processed event.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceRecord {
@@ -125,8 +95,9 @@ pub enum RunOutcome {
 /// Mutable scheduler state shared between the engine loop and [`Context`].
 struct Core<E> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<u64>,
+    /// Live events only: cancellation removes entries immediately (see
+    /// [`crate::queue`]), so there are no tombstones to skip at pop time.
+    queue: EventQueue<(ActorId, E)>,
     next_seq: u64,
     stop_requested: bool,
     actor_count: usize,
@@ -141,12 +112,7 @@ impl<E> Core<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled {
-            time,
-            seq,
-            target,
-            payload,
-        });
+        self.queue.push(time, seq, (target, payload));
         EventHandle { seq }
     }
 }
@@ -210,10 +176,12 @@ impl<'a, E> Context<'a, E> {
         self.schedule_at(now, target, payload)
     }
 
-    /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
-    pub fn cancel(&mut self, handle: EventHandle) {
-        self.core.cancelled.insert(handle.seq);
+    /// Cancels a previously scheduled event, returning whether it was
+    /// still pending. Cancelling an event that has already fired (or was
+    /// already cancelled) is a **true** no-op: nothing is retained, so
+    /// fire-then-cancel patterns cannot grow engine state.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.core.queue.cancel(handle.seq).is_some()
     }
 
     /// Requests the run loop to stop after the current event completes.
@@ -284,8 +252,7 @@ impl<E: 'static> Simulation<E> {
         Self {
             core: Core {
                 now: SimTime::ZERO,
-                queue: BinaryHeap::new(),
-                cancelled: HashSet::new(),
+                queue: EventQueue::new(),
                 next_seq: 0,
                 stop_requested: false,
                 actor_count: 0,
@@ -332,7 +299,9 @@ impl<E: 'static> Simulation<E> {
         self.events_processed
     }
 
-    /// Number of events currently queued (including cancelled tombstones).
+    /// Number of live events currently queued. Cancelled events are
+    /// removed eagerly, so this is the exact count a backpressure or
+    /// diagnostic reader should act on — never inflated by tombstones.
     #[must_use]
     pub fn queue_len(&self) -> usize {
         self.core.queue.len()
@@ -378,9 +347,10 @@ impl<E: 'static> Simulation<E> {
     }
 
     /// Cancels an event scheduled with [`Simulation::schedule_at`] or from a
-    /// context.
-    pub fn cancel(&mut self, handle: EventHandle) {
-        self.core.cancelled.insert(handle.seq);
+    /// context, returning whether it was still pending. Cancelling a fired
+    /// or already-cancelled handle is a true no-op (nothing is retained).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.core.queue.cancel(handle.seq).is_some()
     }
 
     fn rng_for(&mut self, idx: usize) -> &mut StreamRng {
@@ -436,30 +406,25 @@ impl<E: 'static> Simulation<E> {
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
-    /// Cancelled events are skipped silently (but still drain).
+    /// Cancelled events were removed at cancel time, so every pop is live.
     pub fn step(&mut self) -> bool {
         self.flush_starts();
-        loop {
-            let Some(ev) = self.core.queue.pop() else {
-                return false;
-            };
-            if self.core.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            debug_assert!(ev.time >= self.core.now, "event queue went backwards");
-            self.core.now = ev.time;
-            self.events_processed += 1;
-            if let Some(hook) = self.trace.as_mut() {
-                hook(&TraceRecord {
-                    time: ev.time,
-                    target: ev.target,
-                    seq: ev.seq,
-                });
-            }
-            self.dispatch(ev.target.0, Some(ev.payload));
-            self.flush_starts();
-            return true;
+        let Some((key, (target, payload))) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(key.time >= self.core.now, "event queue went backwards");
+        self.core.now = key.time;
+        self.events_processed += 1;
+        if let Some(hook) = self.trace.as_mut() {
+            hook(&TraceRecord {
+                time: key.time,
+                target,
+                seq: key.seq,
+            });
         }
+        self.dispatch(target.0, Some(payload));
+        self.flush_starts();
+        true
     }
 
     /// Runs until the queue drains, an actor stops the run, or `max_events`
@@ -493,16 +458,7 @@ impl<E: 'static> Simulation<E> {
                 self.core.stop_requested = false;
                 return RunOutcome::Stopped;
             }
-            // Skip cancelled tombstones at the head so peeking sees a live event.
-            while let Some(head) = self.core.queue.peek() {
-                if self.core.cancelled.contains(&head.seq) {
-                    let seq = head.seq;
-                    self.core.queue.pop();
-                    self.core.cancelled.remove(&seq);
-                } else {
-                    break;
-                }
-            }
+            // The head of the queue is always live (true cancellation).
             match self.core.queue.peek() {
                 None => {
                     self.core.now = self.core.now.max(end);
@@ -678,10 +634,42 @@ mod tests {
         let id = sim.add_actor(Recorder { log: vec![] });
         let h = sim.schedule_at(SimTime::from_secs_f64(1.0), id, 1);
         sim.run_until_idle();
-        sim.cancel(h); // already fired — must not disturb anything
+        // Already fired — must not disturb anything, and must report the
+        // no-op rather than parking a tombstone.
+        assert!(!sim.cancel(h));
         sim.schedule_at(SimTime::from_secs_f64(2.0), id, 2);
         sim.run_until_idle();
         assert_eq!(sim.actor::<Recorder>(id).unwrap().log.len(), 2);
+    }
+
+    #[test]
+    fn cancel_reports_whether_the_event_was_pending() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        let h = sim.schedule_at(SimTime::from_secs_f64(1.0), id, 1);
+        assert!(sim.cancel(h), "pending event");
+        assert!(!sim.cancel(h), "double cancel");
+        sim.run_until_idle();
+        assert!(sim.actor::<Recorder>(id).unwrap().log.is_empty());
+    }
+
+    /// Satellite regression: `queue_len` must be the exact live count —
+    /// the tombstone design counted cancelled events as queued.
+    #[test]
+    fn queue_len_counts_only_live_events() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        let handles: Vec<_> = (0..10)
+            .map(|i| sim.schedule_at(SimTime::from_secs_f64(f64::from(i) + 1.0), id, i as Ev))
+            .collect();
+        assert_eq!(sim.queue_len(), 10);
+        for (i, h) in handles.iter().enumerate().take(5) {
+            assert!(sim.cancel(*h), "handle {i} was pending");
+            assert_eq!(sim.queue_len(), 10 - i - 1);
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.queue_len(), 0);
+        assert_eq!(sim.actor::<Recorder>(id).unwrap().log.len(), 5);
     }
 
     /// Ping-pong pair demonstrating actor-to-actor messaging.

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod queue;
 mod rng;
 mod time;
 
 pub use engine::{Actor, ActorId, Context, EventHandle, RunOutcome, Simulation, TraceRecord};
+pub use queue::{EventKey, EventQueue};
 pub use rng::{derive_seed, splitmix64, StreamRng};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};

@@ -1,0 +1,504 @@
+//! The engine's event queue: an indexed d-ary min-heap with true
+//! cancellation.
+//!
+//! The first engine used `BinaryHeap<Scheduled> + HashSet<u64>` with *lazy*
+//! cancellation: a cancelled sequence number was parked in the set and the
+//! event skipped when it surfaced at the heap root. That design had two
+//! defects this module exists to remove:
+//!
+//! * cancelling a handle whose event had **already fired** inserted a
+//!   tombstone that nothing could ever remove (sequence numbers are unique),
+//!   so long-running simulations with retry/cancel patterns grew the set
+//!   without bound;
+//! * `len()` counted tombstones as live events, overstating queue depth to
+//!   backpressure and diagnostic readers.
+//!
+//! [`EventQueue`] instead keeps a `seq → slot` index beside a 4-ary heap so
+//! that cancellation removes the event *immediately*:
+//!
+//! * [`pop`](EventQueue::pop) is `O(log₄ n)` and yields events in exactly
+//!   the engine's documented `(time, seq)` total order — FIFO for
+//!   simultaneous events, bit-for-bit identical to the old heap's order;
+//! * [`cancel`](EventQueue::cancel) is an O(1) hash lookup plus a local
+//!   heap repair (constant in the common cancel-a-pending-timeout case,
+//!   `O(log n)` worst case) and retains **zero** state afterwards:
+//!   cancelling an unknown or already-fired sequence number is a pure no-op;
+//! * [`len`](EventQueue::len) is the exact live event count.
+//!
+//! Layout, tuned so the indexing never taxes the pop-dominated hot path:
+//! keys live *inline* in the heap (`Vec<(EventKey, u32)>`), so sift
+//! comparisons walk contiguous memory exactly like a plain binary heap;
+//! payloads live in a slab (`Vec<Option<_>>` with a free list) whose slots
+//! the heap references, so payloads never move during sifts; and the
+//! `seq → slot` index is a `HashMap` with a splitmix64 finalizer instead of
+//! SipHash (sequence numbers are internal, monotonic `u64`s — no DoS
+//! surface, so the cheap avalanche is the right trade). Each
+//! `push`/`pop`/`cancel` performs exactly one hash-map operation, and the
+//! slab never grows beyond the high-water mark of *concurrently live*
+//! events.
+
+use crate::rng::splitmix64;
+use crate::time::SimTime;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Heap arity. A 4-ary heap halves the tree depth of a binary heap at the
+/// cost of three extra (contiguous, cheap) key comparisons per level — a
+/// good trade when the queue is large enough for depth to mean cache
+/// misses.
+const ARITY: usize = 4;
+
+/// Hasher for the `seq → slot` index: a single splitmix64 finalizer.
+/// Sequence numbers are engine-internal monotonic counters, so collision
+/// attacks are impossible and SipHash's keyed security buys nothing here.
+#[derive(Debug, Default)]
+pub struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("seq keys are u64 and hash via write_u64");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = splitmix64(n);
+    }
+}
+
+type SeqMap = HashMap<u64, u32, BuildHasherDefault<SeqHasher>>;
+
+/// Total-order key of a queued event: virtual time first, then the global
+/// schedule sequence number (FIFO tie-break within an instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Schedule order, unique per queue lifetime.
+    pub seq: u64,
+}
+
+/// Payload storage: the heap references slots by index, so payloads stay
+/// put while the heap sifts.
+#[derive(Debug)]
+struct Entry<T> {
+    /// Current position of this entry's `(key, slot)` pair inside `heap`.
+    heap_pos: u32,
+    item: T,
+}
+
+/// A priority queue of events ordered by [`EventKey`], supporting true
+/// O(1)-indexed cancellation (no tombstones) and an exact live [`len`].
+///
+/// [`len`]: EventQueue::len
+///
+/// # Examples
+///
+/// ```
+/// use presence_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs_f64(2.0), 0, "late");
+/// q.push(SimTime::from_secs_f64(1.0), 1, "early");
+/// q.push(SimTime::from_secs_f64(3.0), 2, "cancelled");
+/// assert_eq!(q.cancel(2), Some("cancelled"));
+/// assert_eq!(q.cancel(2), None); // true no-op, nothing retained
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.pop().map(|(_, item)| item), Some("early"));
+/// assert_eq!(q.pop().map(|(_, item)| item), Some("late"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    /// `(key, slab slot)` pairs arranged as a 4-ary min-heap on the keys.
+    heap: Vec<(EventKey, u32)>,
+    /// Stable payload storage; `None` slots are parked on `free`.
+    slab: Vec<Option<Entry<T>>>,
+    /// Reusable slab slots.
+    free: Vec<u32>,
+    /// Live sequence numbers → slab slot. Never iterated, so hash order
+    /// cannot perturb determinism.
+    index: SeqMap,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            index: SeqMap::default(),
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` live events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            index: SeqMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
+        }
+    }
+
+    /// Number of live (non-cancelled, non-fired) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no live events are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the event with this sequence number is still pending.
+    #[must_use]
+    pub fn contains(&self, seq: u64) -> bool {
+        self.index.contains_key(&seq)
+    }
+
+    /// Key of the next event to fire, if any.
+    #[must_use]
+    pub fn peek(&self) -> Option<EventKey> {
+        self.heap.first().map(|&(key, _)| key)
+    }
+
+    /// Enqueues `item` to fire at `(time, seq)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is already pending (sequence numbers must be unique)
+    /// or the queue holds `u32::MAX` live events.
+    pub fn push(&mut self, time: SimTime, seq: u64, item: T) {
+        let heap_pos = u32::try_from(self.heap.len()).expect("event queue overflow");
+        let entry = Entry { heap_pos, item };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("event queue overflow");
+                self.slab.push(Some(entry));
+                slot
+            }
+        };
+        if let Some(prev_slot) = self.index.insert(seq, slot) {
+            // Roll back before panicking so a caught panic cannot leave the
+            // index pointing at a slot that never reached the heap.
+            self.index.insert(seq, prev_slot);
+            self.slab[slot as usize] = None;
+            self.free.push(slot);
+            panic!("duplicate event sequence number {seq}");
+        }
+        self.heap.push((EventKey { time, seq }, slot));
+        self.sift_up(heap_pos as usize);
+    }
+
+    /// Removes and returns the earliest event (ties broken FIFO by `seq`).
+    pub fn pop(&mut self) -> Option<(EventKey, T)> {
+        if self.heap.is_empty() {
+            None
+        } else {
+            Some(self.remove_heap_pos(0))
+        }
+    }
+
+    /// Cancels the pending event with this sequence number, returning its
+    /// payload. Unknown sequence numbers — never scheduled, already fired,
+    /// or already cancelled — return `None` and leave the queue untouched:
+    /// nothing is retained, so cancel-after-fire cannot leak.
+    pub fn cancel(&mut self, seq: u64) -> Option<T> {
+        let slot = *self.index.get(&seq)?;
+        let heap_pos = self.slab[slot as usize]
+            .as_ref()
+            .expect("indexed slab slot is occupied")
+            .heap_pos;
+        Some(self.remove_heap_pos(heap_pos as usize).1)
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.index.clear();
+    }
+
+    /// Removes the entry at `heap_pos` (0 = pop) and repairs the heap.
+    fn remove_heap_pos(&mut self, heap_pos: usize) -> (EventKey, T) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(heap_pos, last);
+        let (key, slot) = self.heap.pop().expect("heap non-empty");
+        // If the removed entry was not the heap's last, a filler from the
+        // bottom now sits at `heap_pos` and must be re-seated.
+        if heap_pos < self.heap.len() {
+            self.set_heap_pos(heap_pos);
+            // The filler came from the bottom, so it usually sinks; it can
+            // need to rise when the removed entry sat below the filler's
+            // correct position (possible for interior removals).
+            let settled = self.sift_down(heap_pos);
+            if settled == heap_pos {
+                self.sift_up(heap_pos);
+            }
+        }
+        let entry = self.slab[slot as usize]
+            .take()
+            .expect("removed slab slot is occupied");
+        self.free.push(slot);
+        let removed = self.index.remove(&key.seq);
+        debug_assert_eq!(removed, Some(slot), "index out of sync with slab");
+        (key, entry.item)
+    }
+
+    /// Records `heap[heap_pos]`'s new position inside its slab entry.
+    fn set_heap_pos(&mut self, heap_pos: usize) {
+        let slot = self.heap[heap_pos].1;
+        let entry = self.slab[slot as usize]
+            .as_mut()
+            .expect("slab slot referenced by heap is occupied");
+        entry.heap_pos = heap_pos as u32;
+    }
+
+    /// Hole-based sift: the moving element is held aside while displaced
+    /// elements shift into the hole, so each level costs one heap write
+    /// and one slab `heap_pos` update instead of a full swap's two.
+    fn sift_up(&mut self, start: usize) -> usize {
+        let moving = self.heap[start];
+        let mut pos = start;
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            if moving.0 < self.heap[parent].0 {
+                self.heap[pos] = self.heap[parent];
+                self.set_heap_pos(pos);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        if pos != start {
+            self.heap[pos] = moving;
+            self.set_heap_pos(pos);
+        }
+        pos
+    }
+
+    fn sift_down(&mut self, start: usize) -> usize {
+        let moving = self.heap[start];
+        let mut pos = start;
+        loop {
+            let first_child = pos * ARITY + 1;
+            if first_child >= self.heap.len() {
+                break;
+            }
+            let end = (first_child + ARITY).min(self.heap.len());
+            let mut best = first_child;
+            let mut best_key = self.heap[first_child].0;
+            for child in (first_child + 1)..end {
+                let key = self.heap[child].0;
+                if key < best_key {
+                    best = child;
+                    best_key = key;
+                }
+            }
+            if best_key < moving.0 {
+                self.heap[pos] = self.heap[best];
+                self.set_heap_pos(pos);
+                pos = best;
+            } else {
+                break;
+            }
+        }
+        if pos != start {
+            self.heap[pos] = moving;
+            self.set_heap_pos(pos);
+        }
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(nanos: u64) -> SimTime {
+        SimTime::from_nanos(nanos)
+    }
+
+    /// Checks every structural invariant the queue relies on.
+    fn assert_invariants<T>(q: &EventQueue<T>) {
+        assert_eq!(q.heap.len(), q.index.len(), "index out of sync");
+        assert_eq!(
+            q.slab.iter().filter(|e| e.is_some()).count(),
+            q.heap.len(),
+            "live slab entries out of sync"
+        );
+        assert_eq!(
+            q.free.len() + q.heap.len(),
+            q.slab.len(),
+            "free list out of sync"
+        );
+        for (pos, &(key, slot)) in q.heap.iter().enumerate() {
+            let entry = q.slab[slot as usize].as_ref().expect("occupied slot");
+            assert_eq!(entry.heap_pos as usize, pos, "stale heap_pos");
+            assert_eq!(q.index.get(&key.seq), Some(&slot), "stale index");
+            if pos > 0 {
+                let parent = (pos - 1) / ARITY;
+                assert!(q.heap[parent].0 <= key, "heap property violated");
+            }
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3), 0, 'c');
+        q.push(t(1), 1, 'a');
+        q.push(t(2), 2, 'b');
+        q.push(t(1), 3, 'x'); // same instant as seq 1 → fires after it
+        assert_invariants(&q);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, c)| c)).collect();
+        assert_eq!(order, vec!['a', 'x', 'b', 'c']);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 0, ());
+        q.push(t(2), 1, ());
+        assert_eq!(q.peek().map(|k| k.seq), Some(1));
+        let (key, ()) = q.pop().unwrap();
+        assert_eq!(key.seq, 1);
+        assert_eq!(key.time, t(2));
+    }
+
+    #[test]
+    fn cancel_is_exact_and_repeatable() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 0, "keep");
+        q.push(t(2), 1, "drop");
+        assert_eq!(q.cancel(1), Some("drop"));
+        assert_eq!(q.cancel(1), None, "double cancel");
+        assert_eq!(q.cancel(99), None, "never-scheduled seq");
+        assert_eq!(q.len(), 1);
+        assert_invariants(&q);
+        assert_eq!(q.pop().map(|(_, s)| s), Some("keep"));
+        assert_eq!(q.cancel(0), None, "cancel after fire");
+        assert_invariants(&q);
+    }
+
+    #[test]
+    fn interior_cancel_keeps_order() {
+        // Cancel entries at every position of a populated heap; the
+        // survivors must still pop in key order.
+        for cancelled in 0..32u64 {
+            let mut q = EventQueue::new();
+            for seq in 0..32u64 {
+                // Scrambled times, with collisions, to exercise ties.
+                q.push(t((seq * 7) % 11), seq, seq);
+            }
+            assert_eq!(q.cancel(cancelled), Some(cancelled));
+            assert_invariants(&q);
+            let mut popped = Vec::new();
+            let mut last_key = None;
+            while let Some((key, seq)) = q.pop() {
+                if let Some(prev) = last_key {
+                    assert!(prev < key, "order violated after cancelling {cancelled}");
+                }
+                last_key = Some(key);
+                popped.push(seq);
+            }
+            assert_eq!(popped.len(), 31);
+            assert!(!popped.contains(&cancelled));
+        }
+    }
+
+    /// Satellite regression: a million fire-then-cancel cycles must retain
+    /// nothing — with the lazy-tombstone design this grew the cancelled set
+    /// by one entry per cycle, forever.
+    #[test]
+    fn million_fire_then_cancel_cycles_retain_nothing() {
+        let mut q = EventQueue::new();
+        for seq in 0..1_000_000u64 {
+            q.push(t(seq), seq, ());
+            let (key, ()) = q.pop().expect("just pushed");
+            assert_eq!(key.seq, seq);
+            // The event already "fired" (was popped): cancel is a no-op.
+            assert_eq!(q.cancel(seq), None);
+        }
+        assert_eq!(q.len(), 0);
+        assert!(q.index.is_empty(), "index leaked {} seqs", q.index.len());
+        assert!(q.slab.len() <= 1, "slab grew to {}", q.slab.len());
+        assert!(q.free.len() <= 1, "free list grew to {}", q.free.len());
+        assert!(q.heap.capacity() <= 4, "heap storage grew");
+    }
+
+    /// The slab high-water mark tracks *concurrently live* events, not
+    /// total throughput: heavy schedule/cancel churn reuses slots.
+    #[test]
+    fn slab_reuses_slots_under_churn() {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        for round in 0..10_000u64 {
+            // Ten short-lived events per round, all cancelled.
+            let base = seq;
+            for _ in 0..10 {
+                q.push(t(round + 100), seq, ());
+                seq += 1;
+            }
+            for s in base..seq {
+                assert_eq!(q.cancel(s), Some(()));
+            }
+        }
+        assert_eq!(q.len(), 0);
+        assert!(q.slab.len() <= 10, "slab grew to {}", q.slab.len());
+        assert_invariants(&q);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate event sequence number")]
+    fn duplicate_seq_panics() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 7, ());
+        q.push(t(2), 7, ());
+    }
+
+    #[test]
+    fn duplicate_seq_panic_leaves_queue_consistent() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 7, 'a');
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.push(t(2), 7, 'b')));
+        assert!(panicked.is_err());
+        assert_invariants(&q);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancel(7), Some('a'), "original event must survive");
+        assert_invariants(&q);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = EventQueue::new();
+        for seq in 0..10 {
+            q.push(t(seq), seq, seq);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert_eq!(q.cancel(3), None);
+        q.push(t(1), 100, 0);
+        assert_eq!(q.len(), 1);
+        assert_invariants(&q);
+    }
+}

@@ -136,3 +136,135 @@ proptest! {
         prop_assert_eq!(sim.events_processed(), budget);
     }
 }
+
+// ---------------------------------------------------------------------------
+// EventQueue model checking: the indexed d-ary heap must agree with a
+// brute-force reference model under arbitrary push/pop/cancel interleavings.
+// ---------------------------------------------------------------------------
+
+mod event_queue_model {
+    use presence_des::{EventQueue, SimTime};
+    use proptest::prelude::*;
+
+    /// Brute-force reference: an unsorted list, popped by scanning for the
+    /// minimum `(time, seq)` — obviously correct, O(n) per op.
+    #[derive(Default)]
+    struct Model {
+        live: Vec<(u64, u64)>, // (time, seq)
+    }
+
+    impl Model {
+        fn push(&mut self, time: u64, seq: u64) {
+            self.live.push((time, seq));
+        }
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            let best = self.live.iter().enumerate().min_by_key(|&(_, &key)| key)?.0;
+            Some(self.live.swap_remove(best))
+        }
+        fn cancel(&mut self, seq: u64) -> bool {
+            match self.live.iter().position(|&(_, s)| s == seq) {
+                Some(i) => {
+                    self.live.swap_remove(i);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    proptest! {
+        /// Drained in one go, the queue reproduces the model's total order
+        /// (time ascending, FIFO on seq within a time).
+        #[test]
+        fn drain_matches_reference_order(
+            times in prop::collection::vec(0u64..64, 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = Model::default();
+            for (seq, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), seq as u64, ());
+                model.push(t, seq as u64);
+            }
+            prop_assert_eq!(q.len(), times.len());
+            while let Some((key, ())) = q.pop() {
+                let expect = model.pop().expect("model drained early");
+                prop_assert_eq!((key.time.as_nanos(), key.seq), expect);
+            }
+            prop_assert!(model.pop().is_none(), "queue drained early");
+        }
+
+        /// Arbitrary interleavings of push / cancel / pop agree with the
+        /// model at every step: cancel hits exactly the pending seqs, pops
+        /// come out in model order, and `len` stays exact.
+        #[test]
+        fn interleaved_ops_match_reference(
+            ops in prop::collection::vec((0u64..64, 0u64..200, 0u32..4), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = Model::default();
+            let mut next_seq = 0u64;
+            for &(time, pick, kind) in &ops {
+                match kind {
+                    // Push twice as often as the other ops so the queue
+                    // actually fills up.
+                    0 | 1 => {
+                        q.push(SimTime::from_nanos(time), next_seq, ());
+                        model.push(time, next_seq);
+                        next_seq += 1;
+                    }
+                    2 => {
+                        // Cancel an arbitrary seq — pending, fired, or
+                        // never issued; queue and model must agree.
+                        let seq = pick;
+                        let got = q.cancel(seq).is_some();
+                        let expect = model.cancel(seq);
+                        prop_assert_eq!(got, expect, "cancel({}) disagreed", seq);
+                        prop_assert!(!q.contains(seq), "cancelled seq still pending");
+                    }
+                    _ => {
+                        let got = q.pop().map(|(k, ())| (k.time.as_nanos(), k.seq));
+                        let expect = model.pop();
+                        prop_assert_eq!(got, expect, "pop disagreed");
+                    }
+                }
+                prop_assert_eq!(q.len(), model.live.len(), "live count diverged");
+            }
+            // Full drain at the end must still agree.
+            while let Some((key, ())) = q.pop() {
+                let expect = model.pop().expect("model drained early");
+                prop_assert_eq!((key.time.as_nanos(), key.seq), expect);
+            }
+            prop_assert!(model.pop().is_none());
+            prop_assert!(q.is_empty());
+        }
+
+        /// Cancel soundness: cancelling a random subset leaves exactly the
+        /// complement, in order, and cancels of fired events return None.
+        #[test]
+        fn cancelled_subset_never_surfaces(
+            times in prop::collection::vec(0u64..1_000, 1..150),
+            mask in prop::collection::vec(any::<bool>(), 1..150),
+        ) {
+            let mut q = EventQueue::new();
+            for (seq, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), seq as u64, seq);
+            }
+            let mut kept = Vec::new();
+            for seq in 0..times.len() as u64 {
+                if *mask.get(seq as usize).unwrap_or(&false) {
+                    prop_assert_eq!(q.cancel(seq), Some(seq as usize));
+                } else {
+                    kept.push(seq);
+                }
+            }
+            let mut surfaced: Vec<u64> = Vec::new();
+            while let Some((key, item)) = q.pop() {
+                prop_assert_eq!(key.seq as usize, item);
+                prop_assert_eq!(q.cancel(key.seq), None, "fired seq cancellable");
+                surfaced.push(key.seq);
+            }
+            surfaced.sort_unstable();
+            prop_assert_eq!(surfaced, kept);
+        }
+    }
+}

@@ -57,7 +57,7 @@ fn thousand_actor_gossip_terminates_deterministically() {
 }
 
 /// Arms and immediately cancels a million timers interleaved with live
-/// ones; the tombstone set must not leak or misfire.
+/// ones; cancelled timers must neither fire nor linger in the queue.
 #[test]
 fn heavy_cancellation_churn() {
     struct Churner {
@@ -91,6 +91,34 @@ fn heavy_cancellation_churn() {
     assert_eq!(sim.run_until_idle(), RunOutcome::Idle);
     let churner = sim.actor::<Churner>(id).unwrap();
     assert_eq!(churner.live_fired, 100_001);
+}
+
+/// Regression for the tombstone leak: `cancel` on an already-fired handle
+/// used to insert its (unique, hence never-removed) seq into the cancelled
+/// set, so retry/cancel-pattern sims grew state forever. With true
+/// cancellation the engine must retain nothing across a million
+/// fire-then-cancel cycles, report every such cancel as a no-op, and keep
+/// `queue_len` at the exact live count throughout.
+#[test]
+fn million_fire_then_cancel_cycles_retain_nothing() {
+    struct Sink {
+        fired: u64,
+    }
+    impl Actor<Ev> for Sink {
+        fn on_event(&mut self, _: &mut Context<'_, Ev>, _: Ev) {
+            self.fired += 1;
+        }
+    }
+    let mut sim = Simulation::new(1);
+    let id = sim.add_actor(Sink { fired: 0 });
+    for round in 0..1_000_000u64 {
+        let h = sim.schedule_at(SimTime::from_nanos(round), id, round);
+        assert!(sim.step(), "event {round} must fire");
+        assert!(!sim.cancel(h), "cancel after fire must be a no-op");
+        assert_eq!(sim.queue_len(), 0, "live count drifted at round {round}");
+    }
+    assert_eq!(sim.events_processed(), 1_000_000);
+    assert_eq!(sim.actor::<Sink>(id).unwrap().fired, 1_000_000);
 }
 
 /// A long serial timer chain: virtual time accumulates exactly, with no

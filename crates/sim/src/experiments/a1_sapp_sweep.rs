@@ -6,7 +6,7 @@
 //! multiplicative-adaptation design (as the paper's §3 analysis argues) or
 //! an artefact of one parameter choice.
 
-use crate::{Protocol, Scenario, ScenarioConfig};
+use crate::{ParamSweep, Protocol, Scenario, ScenarioConfig};
 use presence_core::{SappConfig, SappDeviceConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -64,40 +64,54 @@ impl fmt::Display for A1Report {
     }
 }
 
-/// Runs the sweep over a small grid around the paper's point.
+/// Runs the sweep over a small grid around the paper's point, using
+/// `PRESENCE_JOBS` workers (see [`crate::parallel`]).
 #[must_use]
 pub fn a1_sapp_param_sweep(k: u32, duration: f64, seed: u64) -> A1Report {
-    let mut cells = Vec::new();
+    a1_sapp_param_sweep_jobs(k, duration, seed, ParamSweep::new().jobs())
+}
+
+/// [`a1_sapp_param_sweep`] with an explicit worker count (the `--jobs`
+/// flag). Every `(cell, seed)` grid point is an independent simulation, so
+/// the pool fans them out; the report's cell order is the serial nested
+/// loop's order regardless of `jobs`.
+#[must_use]
+pub fn a1_sapp_param_sweep_jobs(k: u32, duration: f64, seed: u64, jobs: usize) -> A1Report {
+    let mut grid = Vec::with_capacity(27);
     for &alpha_inc in &[1.5, 2.0, 3.0] {
         for &alpha_dec in &[1.25, 1.5, 2.0] {
             for &beta in &[1.25, 1.5, 2.0] {
-                let cp = SappConfig {
-                    alpha_inc,
-                    alpha_dec,
-                    beta,
-                    ..SappConfig::paper_default()
-                };
-                let protocol = Protocol::Sapp {
-                    cp,
-                    device: SappDeviceConfig::paper_default(),
-                };
-                let cfg = ScenarioConfig::paper_defaults(protocol, k, duration, seed);
-                let mut scenario = Scenario::build(cfg);
-                scenario.run();
-                let result = scenario.collect();
-                cells.push(A1Cell {
-                    alpha_inc,
-                    alpha_dec,
-                    beta,
-                    fairness_jain: result.fairness_jain,
-                    frequency_spread: result.frequency_spread(),
-                    load_mean: result.load_mean,
-                });
+                grid.push((alpha_inc, alpha_dec, beta));
             }
         }
     }
+    let groups =
+        ParamSweep::with_jobs(jobs).run(&grid, &[seed], |&(alpha_inc, alpha_dec, beta), seed| {
+            let cp = SappConfig {
+                alpha_inc,
+                alpha_dec,
+                beta,
+                ..SappConfig::paper_default()
+            };
+            let protocol = Protocol::Sapp {
+                cp,
+                device: SappDeviceConfig::paper_default(),
+            };
+            let cfg = ScenarioConfig::paper_defaults(protocol, k, duration, seed);
+            let mut scenario = Scenario::build(cfg);
+            scenario.run();
+            let result = scenario.collect();
+            A1Cell {
+                alpha_inc,
+                alpha_dec,
+                beta,
+                fairness_jain: result.fairness_jain,
+                frequency_spread: result.frequency_spread(),
+                load_mean: result.load_mean,
+            }
+        });
     A1Report {
-        cells,
+        cells: groups.into_iter().flatten().collect(),
         k,
         duration,
         seed,
@@ -122,5 +136,27 @@ mod tests {
     fn a1_renders() {
         let r = a1_sapp_param_sweep(2, 60.0, 1);
         assert!(r.to_string().contains("A1"));
+    }
+
+    #[test]
+    fn a1_worker_count_does_not_change_cells() {
+        let serial = a1_sapp_param_sweep_jobs(2, 60.0, 3, 1);
+        let parallel = a1_sapp_param_sweep_jobs(2, 60.0, 3, 4);
+        let bits = |r: &A1Report| {
+            r.cells
+                .iter()
+                .map(|c| {
+                    (
+                        c.alpha_inc.to_bits(),
+                        c.alpha_dec.to_bits(),
+                        c.beta.to_bits(),
+                        c.fairness_jain.to_bits(),
+                        c.frequency_spread.to_bits(),
+                        c.load_mean.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&serial), bits(&parallel));
     }
 }

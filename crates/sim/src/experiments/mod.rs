@@ -40,7 +40,7 @@ mod e5_fig5;
 mod e6_dcpp_static;
 mod e7_loss;
 
-pub use a1_sapp_sweep::{a1_sapp_param_sweep, A1Cell, A1Report};
+pub use a1_sapp_sweep::{a1_sapp_param_sweep, a1_sapp_param_sweep_jobs, A1Cell, A1Report};
 pub use a2_delta_double::{a2_delta_doubling, A2Report};
 pub use a3_baseline::{a3_fixed_rate_baseline, A3Report, A3Row};
 pub use a4_detection::{a4_detection_latency, A4Report, A4Row};

@@ -13,6 +13,9 @@
 //!   (Figures 2–4), buffer occupancy, fairness indices.
 //! * [`experiments`] — one preset per paper artifact (E1–E7) and ablation
 //!   (A1–A4); the `presence-bench` binaries are thin wrappers over these.
+//! * [`parallel`] / [`replicate`] — seed- and parameter-parallel study
+//!   runners (`PRESENCE_JOBS` workers) whose merged results are
+//!   bit-identical to a serial run.
 //!
 //! ```
 //! use presence_sim::{Protocol, Scenario, ScenarioConfig};
@@ -35,6 +38,7 @@ pub mod experiments;
 mod metrics;
 mod network_actor;
 mod output;
+pub mod parallel;
 mod replication;
 mod scenario;
 pub mod test_profile;
@@ -46,5 +50,6 @@ pub use event::{Addr, SimEvent};
 pub use metrics::{CpSummary, ScenarioResult};
 pub use network_actor::NetworkActor;
 pub use output::{ascii_chart, kv_table, series_to_columns, series_to_csv};
-pub use replication::{replicate, ReplicationPoint, ReplicationSummary};
+pub use parallel::{for_each_indexed, job_count, run_indexed, ParamSweep};
+pub use replication::{replicate, replicate_with_jobs, ReplicationPoint, ReplicationSummary};
 pub use scenario::{DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};

@@ -6,7 +6,16 @@
 //! scenario under several seeds and reports Student-t confidence intervals
 //! over the replication means, the standard methodology the paper's
 //! batch-means machinery approximates within a single long run.
+//!
+//! Replications are independent by construction (each builds its own
+//! `Simulation` from its own seed), so [`replicate`] fans them out across
+//! a [`crate::parallel`] worker pool — `PRESENCE_JOBS` workers, or the
+//! `--jobs` flag via [`replicate_with_jobs`] — and merges the per-seed
+//! points back **in seed order** before folding the summary statistics.
+//! The resulting [`ReplicationSummary`] is bit-identical to a serial run
+//! at any worker count.
 
+use crate::parallel::{job_count, run_indexed};
 use crate::{Scenario, ScenarioConfig, ScenarioResult};
 use presence_stats::{ConfidenceInterval, Welford};
 use serde::{Deserialize, Serialize};
@@ -59,34 +68,64 @@ impl fmt::Display for ReplicationSummary {
     }
 }
 
-/// Runs `base` under each seed (overriding `base.seed`) and summarises.
+/// Runs one replication: `base` with its seed overridden. Borrows the base
+/// configuration — the only per-seed copy is the `Copy`-cheap config value
+/// handed to [`Scenario::build`]; nothing heap-allocated is cloned per
+/// seed.
+fn run_one(base: &ScenarioConfig, seed: u64) -> ReplicationPoint {
+    let mut cfg = *base;
+    cfg.seed = seed;
+    let mut scenario = Scenario::build(cfg);
+    scenario.run();
+    let result: ScenarioResult = scenario.collect();
+    ReplicationPoint {
+        seed,
+        load_mean: result.load_mean,
+        fairness_jain: result.fairness_jain,
+        frequency_spread: result.frequency_spread(),
+    }
+}
+
+/// Runs `base` under each seed (overriding `base.seed`) and summarises,
+/// using [`job_count`] workers (`PRESENCE_JOBS`, default: machine
+/// parallelism).
 ///
 /// # Panics
 ///
-/// Panics if `seeds` is empty.
+/// Panics if `seeds` is empty or `base` is invalid.
 #[must_use]
 pub fn replicate(base: &ScenarioConfig, seeds: &[u64], level: f64) -> ReplicationSummary {
+    replicate_with_jobs(base, seeds, level, job_count())
+}
+
+/// [`replicate`] with an explicit worker count (the binaries' `--jobs N`).
+///
+/// The summary is **bit-identical for every `jobs` value**: replications
+/// are independent simulations, and the per-seed points are merged back in
+/// seed order before the (order-sensitive) statistics are folded.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty, `jobs` is zero, or `base` is invalid — the
+/// configuration is validated once here, not once per seed inside the
+/// worker pool.
+#[must_use]
+pub fn replicate_with_jobs(
+    base: &ScenarioConfig,
+    seeds: &[u64],
+    level: f64,
+    jobs: usize,
+) -> ReplicationSummary {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let mut points = Vec::with_capacity(seeds.len());
+    base.validate();
+    let points = run_indexed(seeds.len(), jobs, |i| run_one(base, seeds[i]));
     let mut load = Welford::new();
     let mut fairness = Welford::new();
     let mut spread = Welford::new();
-    for &seed in seeds {
-        let mut cfg = base.clone();
-        cfg.seed = seed;
-        let mut scenario = Scenario::build(cfg);
-        scenario.run();
-        let result: ScenarioResult = scenario.collect();
-        let point = ReplicationPoint {
-            seed,
-            load_mean: result.load_mean,
-            fairness_jain: result.fairness_jain,
-            frequency_spread: result.frequency_spread(),
-        };
+    for point in &points {
         load.push(point.load_mean);
         fairness.push(point.fairness_jain);
         spread.push(point.frequency_spread);
-        points.push(point);
     }
     let ci = |w: &Welford| {
         ConfidenceInterval::from_stats(w.mean(), w.sample_std_dev(), w.count(), level)
@@ -131,6 +170,35 @@ mod tests {
     fn empty_seeds_rejected() {
         let base = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 2, 10.0, 0);
         let _ = replicate(&base, &[], 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CP")]
+    fn invalid_base_rejected_before_any_worker_runs() {
+        let mut base = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 2, 10.0, 0);
+        base.cp_pool = 0;
+        // Validation is hoisted out of the per-seed loop: this panics on
+        // the calling thread, not inside a worker.
+        let _ = replicate_with_jobs(&base, &[1, 2, 3], 0.95, 4);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_summary() {
+        let base = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 4, 60.0, 0);
+        let seeds = [5, 6, 7, 8, 9];
+        let serial = replicate_with_jobs(&base, &seeds, 0.95, 1);
+        let parallel = replicate_with_jobs(&base, &seeds, 0.95, 3);
+        let json = |s: &ReplicationSummary| serde_json::to_string(s).expect("serialises");
+        assert_eq!(
+            json(&serial),
+            json(&parallel),
+            "jobs must not perturb results"
+        );
+        assert_eq!(
+            parallel.points.iter().map(|p| p.seed).collect::<Vec<_>>(),
+            seeds,
+            "points must come back in seed order"
+        );
     }
 
     #[test]

@@ -122,7 +122,11 @@ impl Protocol {
 }
 
 /// A complete description of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The config is `Copy`: every field is a plain value (model *choices*,
+/// not model *state*), so replication workers can stamp out per-seed
+/// variants from a borrowed base without cloning anything heap-allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioConfig {
     /// Protocol under test.
     pub protocol: Protocol,
@@ -176,6 +180,23 @@ impl ScenarioConfig {
             duration,
         }
     }
+
+    /// Checks the structural invariants a runnable configuration must
+    /// satisfy. [`Scenario::build`] calls this; batch runners (replication
+    /// studies, parameter sweeps) call it once up front so an invalid base
+    /// fails fast on the calling thread instead of once per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn validate(&self) {
+        assert!(self.cp_pool > 0, "need at least one CP");
+        assert!(
+            self.initially_active <= self.cp_pool,
+            "initially_active exceeds the pool"
+        );
+        assert!(self.duration > 0.0, "duration must be positive");
+    }
 }
 
 /// A built, runnable scenario.
@@ -192,12 +213,7 @@ impl Scenario {
     /// Wires up all actors for `cfg`.
     #[must_use]
     pub fn build(cfg: ScenarioConfig) -> Self {
-        assert!(cfg.cp_pool > 0, "need at least one CP");
-        assert!(
-            cfg.initially_active <= cfg.cp_pool,
-            "initially_active exceeds the pool"
-        );
-        assert!(cfg.duration > 0.0, "duration must be positive");
+        cfg.validate();
 
         let mut sim = Simulation::new(cfg.seed);
 

@@ -27,7 +27,9 @@
 //!   load in probes/second, Figure 5),
 //! * fairness metrics ([`jain_index`], [`coefficient_of_variation`]) used to
 //!   quantify the unfairness the paper demonstrates graphically,
-//! * [`autocorrelation`] and batch-size selection helpers.
+//! * [`autocorrelation`] and batch-size selection helpers,
+//! * [`merge_indexed`] — seed-ordered merging of parallel worker results,
+//!   so cross-seed summaries stay bit-identical to a serial fold.
 //!
 //! All estimators are plain `f64` state machines with no dependencies, so
 //! they can run inside the simulator, inside benches, or inside the
@@ -41,6 +43,7 @@ mod batch_means;
 mod ci;
 mod fairness;
 mod histogram;
+mod merge;
 mod quantile;
 mod rate;
 mod summary;
@@ -52,6 +55,7 @@ pub use batch_means::{BatchMeans, BatchMeansConfig, SteadyStateVerdict};
 pub use ci::{t_quantile, z_quantile, ConfidenceInterval};
 pub use fairness::{coefficient_of_variation, jain_index, max_min_ratio};
 pub use histogram::{Histogram, HistogramBin};
+pub use merge::merge_indexed;
 pub use quantile::P2Quantile;
 pub use rate::{JumpingWindowRate, RateMeter};
 pub use summary::{describe, Summary};

@@ -1,0 +1,79 @@
+//! Deterministic merging of out-of-order worker results.
+//!
+//! The parallel replication engine dispatches `(index, task)` pairs to a
+//! worker pool and receives results in completion order, which depends on
+//! scheduling. Statistical summaries, however, must be **bit-identical** to
+//! a serial run, and floating-point accumulation is order-sensitive — so
+//! results are first restored to dispatch order with [`merge_indexed`] and
+//! only then folded. (Merging per-worker accumulators instead — e.g. Chan's
+//! parallel variance — would change the rounding and break replay.)
+
+/// Restores dispatch order to results tagged with their dispatch index.
+///
+/// Accepts the `(index, value)` pairs in any order and returns the values
+/// sorted by index — the seed-ordered merge the replication engine uses.
+///
+/// # Panics
+///
+/// Panics if the indices are not exactly `0..pairs.len()` (a duplicate or
+/// missing index means a worker double-reported or was lost; silently
+/// continuing would corrupt the study).
+///
+/// # Examples
+///
+/// ```
+/// use presence_stats::merge_indexed;
+///
+/// let out_of_order = vec![(2, "c"), (0, "a"), (1, "b")];
+/// assert_eq!(merge_indexed(out_of_order), vec!["a", "b", "c"]);
+/// ```
+#[must_use]
+pub fn merge_indexed<T>(mut pairs: Vec<(usize, T)>) -> Vec<T> {
+    pairs.sort_by_key(|&(index, _)| index);
+    for (position, &(index, _)) in pairs.iter().enumerate() {
+        assert_eq!(
+            position,
+            index,
+            "worker results are not a permutation of 0..{}: saw index {index} at position \
+             {position} (duplicate or missing result)",
+            pairs.len()
+        );
+    }
+    pairs.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restores_dispatch_order() {
+        let pairs = vec![(3, 30), (1, 10), (0, 0), (2, 20)];
+        assert_eq!(merge_indexed(pairs), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert_eq!(merge_indexed(Vec::<(usize, u8)>::new()), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn already_ordered_is_identity() {
+        let pairs: Vec<(usize, usize)> = (0..100).map(|i| (i, i * i)).collect();
+        let merged = merge_indexed(pairs);
+        assert_eq!(merged.len(), 100);
+        assert_eq!(merged[7], 49);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate or missing result")]
+    fn duplicate_index_panics() {
+        let _ = merge_indexed(vec![(0, 'a'), (0, 'b')]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate or missing result")]
+    fn missing_index_panics() {
+        let _ = merge_indexed(vec![(0, 'a'), (2, 'c')]);
+    }
+}
