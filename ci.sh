@@ -34,4 +34,12 @@ echo "==> tier-1: cargo build --release && cargo test -q (PRESENCE_JOBS=$PRESENC
 cargo build --release
 cargo test -q
 
+# Structural perf gate: the single-hop delivery path must hold
+# events-per-delivered-message at ≤ 2.05. The ratio counts engine events,
+# not nanoseconds, so this regression check is stable even on 1-core CI.
+# The throwaway report path keeps the committed BENCH_PR3.json a recorded
+# snapshot rather than overwriting it with this machine's timings.
+echo "==> perf gate: events-per-delivered-message <= 2.05 (perf_report --check)"
+cargo run --release -q -p presence-bench --bin perf_report -- --check target/perf_report_ci.json
+
 echo "==> ci.sh: all green"

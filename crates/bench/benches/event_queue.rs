@@ -83,6 +83,39 @@ fn bench_event_queue(c: &mut Criterion) {
         });
     });
 
+    group.bench_function("rearm_reschedule_100k", |b| {
+        // The cancel-then-rearm timer pattern on the in-place fast path:
+        // one reschedule replaces a cancel + push pair, reusing the
+        // payload slot.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            q.push(SimTime::from_nanos(0), 0, ());
+            for (i, t) in scrambled_times().take(EVENTS as usize).enumerate() {
+                let seq = i as u64;
+                let moved = q.reschedule(seq, SimTime::from_nanos(t), seq + 1);
+                debug_assert!(moved.is_some());
+                black_box(&moved);
+            }
+            black_box(q.len())
+        });
+    });
+
+    group.bench_function("rearm_cancel_push_100k", |b| {
+        // The same workload on the slow path, for comparison.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            q.push(SimTime::from_nanos(0), 0, ());
+            for (i, t) in scrambled_times().take(EVENTS as usize).enumerate() {
+                let seq = i as u64;
+                let cancelled = q.cancel(seq);
+                debug_assert!(cancelled.is_some());
+                black_box(cancelled);
+                q.push(SimTime::from_nanos(t), seq + 1, ());
+            }
+            black_box(q.len())
+        });
+    });
+
     group.bench_function("cancel_after_fire_noop_100k", |b| {
         // The leak regression's hot loop: cancelling fired seqs must be a
         // cheap pure no-op.

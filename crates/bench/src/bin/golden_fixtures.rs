@@ -1,0 +1,37 @@
+//! Regenerates the golden-trajectory fixtures under `tests/golden/`.
+//!
+//! Each fixture is the full `ScenarioResult` JSON of one `golden_trio()`
+//! scenario. The golden-equivalence test (`tests/golden_equivalence.rs`)
+//! deserialises only the trajectory metrics (everything except
+//! `events_processed`), so hot-path refactors that legitimately change the
+//! event count do **not** require re-pinning — only changes that alter the
+//! simulated trajectory itself do, and those must be called out in the PR
+//! that regenerates the fixtures.
+//!
+//! Usage: `cargo run --release -p presence-bench --bin golden_fixtures`
+//! (writes into `tests/golden/` relative to the workspace root).
+
+use presence_sim::{golden_trio, Scenario};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("tests/golden"), PathBuf::from);
+    std::fs::create_dir_all(&out_dir).expect("create fixture directory");
+    for (name, cfg) in golden_trio() {
+        let mut scenario = Scenario::build(cfg);
+        scenario.run();
+        let result = scenario.collect();
+        let json = serde_json::to_string_pretty(&result).expect("result serialises");
+        let path = out_dir.join(format!("{name}.json"));
+        std::fs::write(&path, json).expect("write fixture");
+        println!(
+            "{}: {} events, {} probes -> {}",
+            name,
+            result.events_processed,
+            result.device_probes,
+            path.display()
+        );
+    }
+}

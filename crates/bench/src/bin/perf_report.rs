@@ -1,0 +1,108 @@
+//! Serial hot-path performance report for the single-hop delivery fast
+//! path: events/sec, events-per-delivered-message, and wall time for the
+//! standard SAPP/DCPP/churn trio (`golden_trio`, the same configurations
+//! the golden-equivalence suite pins) at CI horizons.
+//!
+//! * `perf_report [out.json]` — run the trio, print the table, write the
+//!   report (default `BENCH_PR3.json`).
+//! * `perf_report --check` — additionally exit non-zero if any scenario's
+//!   events-per-delivered-message exceeds 2.05. The ratio is structural
+//!   (it counts engine events, not nanoseconds), so this regression gate
+//!   holds even on a noisy 1-core CI box.
+
+use presence_sim::{golden_trio, Scenario};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Events-per-delivered-message ceiling: 2 exact for the single-hop path,
+/// plus 2.5 % headroom for dropped and still-in-flight messages.
+const EPM_GATE: f64 = 2.05;
+
+/// Repeat each scenario until the accumulated wall time passes this, so
+/// the events/sec figure is not a single-run noise sample.
+const MIN_WALL_SECS: f64 = 0.25;
+
+#[derive(Debug, Serialize)]
+struct ScenarioReport {
+    name: String,
+    virtual_seconds: f64,
+    runs: u64,
+    wall_seconds_per_run: f64,
+    events_per_run: u64,
+    events_per_sec: f64,
+    delivered_messages: u64,
+    events_per_delivered_message: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    epm_gate: f64,
+    scenarios: Vec<ScenarioReport>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+
+    let mut scenarios = Vec::new();
+    let mut gate_failures = Vec::new();
+    for (name, cfg) in golden_trio() {
+        let mut runs = 0u64;
+        let mut last = None;
+        let start = Instant::now();
+        while runs == 0 || start.elapsed().as_secs_f64() < MIN_WALL_SECS {
+            let mut scenario = Scenario::build(cfg);
+            scenario.run();
+            last = Some(scenario);
+            runs += 1;
+        }
+        // Collection (which clones every recorded series) happens once,
+        // outside the timed region: the wall figure is build + run only.
+        let wall = start.elapsed().as_secs_f64() / runs as f64;
+        let mut scenario = last.expect("at least one run");
+        let result = scenario.collect();
+        let epm = result
+            .events_per_delivered_message()
+            .expect("trio delivers messages");
+        let report = ScenarioReport {
+            name: name.to_string(),
+            virtual_seconds: result.duration,
+            runs,
+            wall_seconds_per_run: wall,
+            events_per_run: result.events_processed,
+            events_per_sec: result.events_processed as f64 / wall,
+            delivered_messages: result.messages_delivered,
+            events_per_delivered_message: epm,
+        };
+        println!(
+            "{:>6}: {:>8} events in {:>8.4} s/run ({:>9.0} events/s), \
+             events/delivered-msg {:.4}",
+            name, report.events_per_run, wall, report.events_per_sec, epm
+        );
+        if epm > EPM_GATE {
+            gate_failures.push(format!("{name}: {epm:.4} > {EPM_GATE}"));
+        }
+        scenarios.push(report);
+    }
+
+    let report = Report {
+        epm_gate: EPM_GATE,
+        scenarios,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json).expect("write report");
+    println!("report -> {out_path}");
+
+    if check && !gate_failures.is_empty() {
+        eprintln!("events-per-delivered-message gate failed:");
+        for f in &gate_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -115,6 +115,53 @@ impl<E> Core<E> {
         self.queue.push(time, seq, (target, payload));
         EventHandle { seq }
     }
+
+    /// In-place rearm core: moves the pending event behind `handle` to
+    /// `at`, minting a fresh sequence number so the event re-enters the
+    /// FIFO order exactly as a newly scheduled one would. Consumes one
+    /// sequence number — the same as the `push` in a cancel-then-push
+    /// pair — so swapping the two idioms never perturbs a seeded
+    /// trajectory. Returns the fresh handle and the payload slot (target,
+    /// payload), still in place, for optional rewriting.
+    fn reschedule_slot(
+        &mut self,
+        handle: EventHandle,
+        at: SimTime,
+    ) -> Option<(EventHandle, &mut (ActorId, E))> {
+        assert!(
+            at >= self.now,
+            "cannot reschedule into the past: {at} < now {}",
+            self.now
+        );
+        if !self.queue.contains(handle.seq) {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = self
+            .queue
+            .reschedule(handle.seq, at, seq)
+            .expect("pending event reschedules");
+        Some((EventHandle { seq }, entry))
+    }
+
+    fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> Option<EventHandle> {
+        self.reschedule_slot(handle, at).map(|(h, _)| h)
+    }
+
+    /// [`Core::reschedule`], additionally rewriting the queued payload in
+    /// its slot (the rearmed-timer-with-fresh-token idiom). The event's
+    /// target actor is unchanged.
+    fn reschedule_with(
+        &mut self,
+        handle: EventHandle,
+        at: SimTime,
+        payload: E,
+    ) -> Option<EventHandle> {
+        let (h, entry) = self.reschedule_slot(handle, at)?;
+        entry.1 = payload;
+        Some(h)
+    }
 }
 
 /// The API an actor uses to interact with the simulation while handling an
@@ -182,6 +229,58 @@ impl<'a, E> Context<'a, E> {
     /// fire-then-cancel patterns cannot grow engine state.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         self.core.queue.cancel(handle.seq).is_some()
+    }
+
+    /// Whether the event behind `handle` is still pending (neither fired
+    /// nor cancelled).
+    #[must_use]
+    pub fn is_pending(&self, handle: EventHandle) -> bool {
+        self.core.queue.contains(handle.seq)
+    }
+
+    /// Moves a pending event to fire at `at`, keeping its payload in place
+    /// (no slab free/alloc, no queue remove/insert — a single in-place
+    /// heap re-seat). Returns the fresh handle; the old one is dead. The
+    /// event re-enters the same-instant FIFO order as if scheduled now, and
+    /// one sequence number is consumed either way, so `reschedule` and
+    /// cancel-then-schedule produce bit-identical trajectories.
+    ///
+    /// Returns `None` (and consumes nothing) when the event already fired
+    /// or was cancelled — callers fall back to a fresh schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> Option<EventHandle> {
+        self.core.reschedule(handle, at)
+    }
+
+    /// [`Context::reschedule`] with a delay relative to now (the timer
+    /// rearm idiom).
+    pub fn reschedule_in(
+        &mut self,
+        handle: EventHandle,
+        delay: SimDuration,
+    ) -> Option<EventHandle> {
+        let at = self.core.now + delay;
+        self.core.reschedule(handle, at)
+    }
+
+    /// The cancel-then-rearm fast path: moves the pending event behind
+    /// `handle` to `now + delay` **and** replaces its payload in place
+    /// (timers are rearmed with a fresh token, so the queued payload must
+    /// be rewritten along with the deadline). The event's target actor is
+    /// unchanged. Everything else matches [`Context::reschedule`]: fresh
+    /// handle out, one sequence number consumed, `None` if `handle` is no
+    /// longer pending.
+    pub fn rearm_timer(
+        &mut self,
+        handle: EventHandle,
+        delay: SimDuration,
+        payload: E,
+    ) -> Option<EventHandle> {
+        let at = self.core.now + delay;
+        self.core.reschedule_with(handle, at, payload)
     }
 
     /// Requests the run loop to stop after the current event completes.
@@ -353,6 +452,17 @@ impl<E: 'static> Simulation<E> {
         self.core.queue.cancel(handle.seq).is_some()
     }
 
+    /// Moves a pending event to `at` in place, returning the fresh handle
+    /// (see [`Context::reschedule`]); `None` if it already fired or was
+    /// cancelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> Option<EventHandle> {
+        self.core.reschedule(handle, at)
+    }
+
     fn rng_for(&mut self, idx: usize) -> &mut StreamRng {
         while self.rngs.len() <= idx {
             let stream = self.rngs.len() as u64;
@@ -429,6 +539,10 @@ impl<E: 'static> Simulation<E> {
 
     /// Runs until the queue drains, an actor stops the run, or `max_events`
     /// have been processed.
+    ///
+    /// [`RunOutcome::EventBudget`] is returned only when live events remain
+    /// unprocessed: `run(0)` on an idle simulation, or a budget that is
+    /// consumed exactly as the queue drains, report [`RunOutcome::Idle`].
     pub fn run(&mut self, max_events: u64) -> RunOutcome {
         self.flush_starts();
         for _ in 0..max_events {
@@ -443,6 +557,8 @@ impl<E: 'static> Simulation<E> {
         if self.core.stop_requested {
             self.core.stop_requested = false;
             RunOutcome::Stopped
+        } else if self.core.queue.is_empty() {
+            RunOutcome::Idle
         } else {
             RunOutcome::EventBudget
         }
@@ -672,6 +788,85 @@ mod tests {
         assert_eq!(sim.actor::<Recorder>(id).unwrap().log.len(), 5);
     }
 
+    /// A timer that rearms itself in place instead of cancel + schedule.
+    struct Rearmer {
+        handle: Option<EventHandle>,
+        fired: Vec<Ev>,
+    }
+
+    impl Actor<Ev> for Rearmer {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+            // Arm for t=1, then immediately push the deadline out to t=2.
+            let h = ctx.set_timer(SimDuration::from_secs(1), 1);
+            self.handle = ctx.reschedule_in(h, SimDuration::from_secs(2));
+            assert!(self.handle.is_some());
+            assert!(!ctx.is_pending(h), "old handle must be dead");
+            assert!(ctx.is_pending(self.handle.unwrap()));
+        }
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            self.fired.push(ev);
+            // Rescheduling a fired handle is a no-op returning None.
+            let dead = self.handle.take().unwrap();
+            assert!(ctx.reschedule_in(dead, SimDuration::from_secs(1)).is_none());
+        }
+    }
+
+    #[test]
+    fn reschedule_moves_timer_and_kills_old_handle() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Rearmer {
+            handle: None,
+            fired: vec![],
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+        assert_eq!(sim.actor::<Rearmer>(id).unwrap().fired, vec![1]);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    /// `reschedule` and cancel-then-schedule consume sequence numbers
+    /// identically, so the two idioms interleave same-instant events the
+    /// same way — the property the CP timer fast path relies on.
+    #[test]
+    fn reschedule_orders_like_cancel_then_schedule() {
+        fn trace(rearm_in_place: bool) -> Vec<(u64, Ev)> {
+            struct Driver {
+                rearm_in_place: bool,
+                peer: ActorId,
+            }
+            impl Actor<Ev> for Driver {
+                fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+                    let h = ctx.set_timer(SimDuration::from_secs(5), 7);
+                    // An unrelated same-instant event competing for order.
+                    ctx.schedule_at(SimTime::from_secs_f64(3.0), self.peer, 9);
+                    if self.rearm_in_place {
+                        ctx.reschedule(h, SimTime::from_secs_f64(3.0)).unwrap();
+                    } else {
+                        ctx.cancel(h);
+                        let me = ctx.me();
+                        ctx.schedule_at(SimTime::from_secs_f64(3.0), me, 7);
+                    }
+                }
+                fn on_event(&mut self, _: &mut Context<'_, Ev>, _: Ev) {}
+            }
+            let mut sim = Simulation::new(1);
+            let peer = sim.add_actor(Recorder { log: vec![] });
+            sim.add_actor(Driver {
+                rearm_in_place,
+                peer,
+            });
+            use std::cell::RefCell;
+            use std::rc::Rc;
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let log2 = Rc::clone(&log);
+            sim.set_trace(move |rec| log2.borrow_mut().push((rec.seq, rec.target.0 as Ev)));
+            sim.run_until_idle();
+            let out = log.borrow().clone();
+            out
+        }
+        assert_eq!(trace(true), trace(false));
+    }
+
     /// Ping-pong pair demonstrating actor-to-actor messaging.
     struct Ping {
         peer: Option<ActorId>,
@@ -728,6 +923,43 @@ mod tests {
         let outcome = sim.run_until_idle();
         assert_eq!(outcome, RunOutcome::Stopped);
         assert_eq!(sim.events_processed(), 4); // events 0,1,2,3
+    }
+
+    /// Satellite regression: an exhausted budget used to mask an empty
+    /// queue — `run(0)` on an idle sim reported `EventBudget` even though
+    /// nothing was pending.
+    #[test]
+    fn run_zero_on_idle_sim_reports_idle() {
+        let mut sim: Simulation<Ev> = Simulation::new(1);
+        let _ = sim.add_actor(Recorder { log: vec![] });
+        assert_eq!(sim.run(0), RunOutcome::Idle);
+        assert_eq!(sim.run(10), RunOutcome::Idle);
+    }
+
+    /// Satellite regression: a budget consumed exactly as the queue drains
+    /// must report `Idle` (nothing pending), not `EventBudget`.
+    #[test]
+    fn run_budget_exactly_consumed_by_drain_reports_idle() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs_f64(f64::from(i)), id, i as Ev);
+        }
+        assert_eq!(sim.run(5), RunOutcome::Idle);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    /// A budget smaller than the queue still reports `EventBudget`.
+    #[test]
+    fn run_budget_with_events_left_reports_event_budget() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs_f64(f64::from(i)), id, i as Ev);
+        }
+        assert_eq!(sim.run(3), RunOutcome::EventBudget);
+        assert_eq!(sim.run(0), RunOutcome::EventBudget, "2 events still queued");
+        assert_eq!(sim.run(2), RunOutcome::Idle);
     }
 
     #[test]

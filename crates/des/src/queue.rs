@@ -228,6 +228,47 @@ impl<T> EventQueue<T> {
         Some(self.remove_heap_pos(heap_pos as usize).1)
     }
 
+    /// Reschedules the pending event `seq` to fire at `(new_time, new_seq)`,
+    /// in place: the payload stays in its slab slot, the heap entry's key is
+    /// rewritten and re-seated with a single sift, and the index swaps one
+    /// mapping. Compared to `cancel` + `push` this skips the slab
+    /// free/realloc and one full heap remove/insert pair — the win behind
+    /// the engine's cancel-then-rearm timer fast path.
+    ///
+    /// Returns a mutable reference to the (still in place) payload so the
+    /// caller can rewrite it for the new firing — e.g. a rearmed timer
+    /// carrying a fresh token — or `None` (queue untouched) when `seq` is
+    /// unknown: never scheduled, already fired, or already cancelled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_seq` is already pending (sequence numbers must be
+    /// unique, exactly as for [`push`](EventQueue::push)).
+    pub fn reschedule(&mut self, seq: u64, new_time: SimTime, new_seq: u64) -> Option<&mut T> {
+        let slot = self.index.remove(&seq)?;
+        assert!(
+            !self.index.contains_key(&new_seq),
+            "duplicate event sequence number {new_seq}"
+        );
+        self.index.insert(new_seq, slot);
+        let heap_pos = self.slab[slot as usize]
+            .as_ref()
+            .expect("indexed slab slot is occupied")
+            .heap_pos as usize;
+        let old_key = self.heap[heap_pos].0;
+        let new_key = EventKey {
+            time: new_time,
+            seq: new_seq,
+        };
+        self.heap[heap_pos].0 = new_key;
+        if new_key < old_key {
+            self.sift_up(heap_pos);
+        } else {
+            self.sift_down(heap_pos);
+        }
+        self.slab[slot as usize].as_mut().map(|e| &mut e.item)
+    }
+
     /// Drops every pending event.
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -464,6 +505,68 @@ mod tests {
         assert_eq!(q.len(), 0);
         assert!(q.slab.len() <= 10, "slab grew to {}", q.slab.len());
         assert_invariants(&q);
+    }
+
+    #[test]
+    fn reschedule_moves_in_both_directions() {
+        let mut q = EventQueue::new();
+        for seq in 0..8u64 {
+            q.push(t(10 + seq), seq, seq);
+        }
+        // Pull seq 6 to the front (decrease-key)…
+        assert!(q.reschedule(6, t(1), 100).is_some());
+        // …and push seq 0 to the back (increase-key).
+        assert!(q.reschedule(0, t(99), 101).is_some());
+        assert_invariants(&q);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, s)| s)).collect();
+        assert_eq!(order, vec![6, 1, 2, 3, 4, 5, 7, 0]);
+    }
+
+    #[test]
+    fn reschedule_reuses_the_payload_slot() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 0, "timer");
+        let slab_before = q.slab.len();
+        for round in 0..1_000u64 {
+            assert!(q.reschedule(round, t(5 + round), round + 1).is_some());
+        }
+        assert_eq!(q.slab.len(), slab_before, "reschedule must not grow slab");
+        assert!(q.free.is_empty());
+        assert_invariants(&q);
+        assert_eq!(q.pop().map(|(k, s)| (k.seq, s)), Some((1_000, "timer")));
+    }
+
+    #[test]
+    fn reschedule_ties_break_by_new_seq() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 0, 'a');
+        q.push(t(5), 1, 'b');
+        // Rearm 'a' for the same instant with a fresh (larger) seq: it must
+        // now fire after 'b', exactly as cancel + re-push would order it.
+        assert!(q.reschedule(0, t(5), 2).is_some());
+        assert_invariants(&q);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, c)| c)).collect();
+        assert_eq!(order, vec!['b', 'a']);
+    }
+
+    #[test]
+    fn reschedule_unknown_seq_is_noop() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 0, ());
+        let (key, ()) = q.pop().unwrap();
+        assert!(q.reschedule(key.seq, t(2), 10).is_none(), "already fired");
+        assert!(q.reschedule(99, t(2), 11).is_none(), "never scheduled");
+        assert!(q.is_empty());
+        assert_invariants(&q);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate event sequence number")]
+    fn reschedule_to_pending_seq_panics() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 0, ());
+        q.push(t(2), 1, ());
+        let _ = q.reschedule(0, t(3), 1);
     }
 
     #[test]

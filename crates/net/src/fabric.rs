@@ -8,11 +8,30 @@
 //! overrun"); the loss model may also discard it. The fabric is clockless —
 //! it *decides* when a message would arrive, and the caller (the simulation
 //! glue or a test harness) performs the actual delivery.
+//!
+//! # Lazy delivery accounting
+//!
+//! The caller does **not** report deliveries back. Instead the fabric keeps
+//! an internal min-heap of the delivery deadlines it has handed out and
+//! settles every deadline `≤ now`, in time order, at the start of each
+//! [`send`](Fabric::send) and each time-indexed query. This is what lets
+//! the simulation glue schedule the delivery event directly on the
+//! destination actor (one dispatch, no delivery callback hop) while the
+//! buffer accounting stays exactly what an eagerly-notified fabric would
+//! compute: deadlines are applied in the same time order, and a deadline
+//! that ties with a `send` settles first — matching the engine's FIFO
+//! order, where the delivery event (scheduled at admit time, hence with the
+//! smaller sequence number) fires before a same-instant send. `in_flight`,
+//! the overflow decisions, `peak_in_flight`, and the time-weighted
+//! occupancy integral are therefore bit-identical to the eager version —
+//! `tests/proptests.rs` pins that against a reference model.
 
 use crate::delay::DelayModel;
 use crate::loss::LossModel;
 use presence_des::{SimTime, StreamRng};
 use presence_stats::TimeWeighted;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Counters describing everything a fabric did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,16 +44,21 @@ pub struct FabricStats {
     pub dropped_overflow: u64,
     /// Messages dropped by the loss model.
     pub dropped_loss: u64,
-    /// Messages handed back as delivered.
+    /// Messages whose delivery deadline has passed.
     pub delivered: u64,
     /// Highest in-flight count observed.
     pub peak_in_flight: usize,
+    /// Messages addressed to an unregistered destination. The fabric never
+    /// sees those (they are refused before admission); the routing layer
+    /// counts them here so misroutes cannot masquerade as network loss.
+    pub unroutable: u64,
 }
 
 /// The fabric's verdict on one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendOutcome {
-    /// The message is admitted and should be delivered at the given time.
+    /// The message is admitted and will be counted as delivered at the
+    /// given time (the caller schedules the actual hand-off).
     Deliver(SimTime),
     /// The message was dropped by the loss model.
     DroppedLoss,
@@ -50,6 +74,10 @@ pub struct Fabric {
     loss: Box<dyn LossModel>,
     stats: FabricStats,
     occupancy: TimeWeighted,
+    /// Delivery deadlines handed out but not yet settled, drained in time
+    /// order by [`Fabric::settle`]. Equal deadlines commute (each settles
+    /// one anonymous slot), so the heap's tie order is immaterial.
+    pending: BinaryHeap<Reverse<SimTime>>,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -79,6 +107,7 @@ impl Fabric {
             loss,
             stats: FabricStats::default(),
             occupancy: TimeWeighted::new(),
+            pending: BinaryHeap::new(),
         }
     }
 
@@ -93,10 +122,32 @@ impl Fabric {
         )
     }
 
+    /// Settles every pending delivery deadline `≤ now`, in time order:
+    /// frees the buffer slot, counts the delivery, and extends the
+    /// occupancy integral at the deadline's own timestamp.
+    pub fn settle(&mut self, now: SimTime) {
+        while let Some(&Reverse(at)) = self.pending.peek() {
+            if at > now {
+                break;
+            }
+            self.pending.pop();
+            debug_assert!(self.in_flight > 0, "deadline without in-flight message");
+            self.in_flight -= 1;
+            self.stats.delivered += 1;
+            self.occupancy.set(at.as_secs_f64(), self.in_flight as f64);
+        }
+    }
+
     /// Offers a message to the fabric at time `now`. On
-    /// [`SendOutcome::Deliver`], the caller must later call
-    /// [`Fabric::on_delivered`] at the returned delivery time.
+    /// [`SendOutcome::Deliver`], the fabric has already booked the returned
+    /// delivery time; the caller's only job is to hand the message over at
+    /// that instant.
+    ///
+    /// Deadlines `≤ now` settle first, so a delivery tying with this send
+    /// frees its slot before the overflow check — the same order an eager
+    /// engine would process the two events in.
     pub fn send(&mut self, now: SimTime, rng: &mut StreamRng) -> SendOutcome {
+        self.settle(now);
         self.stats.offered += 1;
         if self.in_flight >= self.capacity {
             self.stats.dropped_overflow += 1;
@@ -111,26 +162,21 @@ impl Fabric {
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
         self.occupancy.set(now.as_secs_f64(), self.in_flight as f64);
         let delay = self.delay.sample(rng);
-        SendOutcome::Deliver(now + delay)
+        let at = now + delay;
+        self.pending.push(Reverse(at));
+        SendOutcome::Deliver(at)
     }
 
-    /// Acknowledges that a previously admitted message reached its
-    /// destination at time `now`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called more times than messages were admitted — that is a
-    /// harness bug (double delivery).
-    pub fn on_delivered(&mut self, now: SimTime) {
-        assert!(self.in_flight > 0, "delivery without an in-flight message");
-        self.in_flight -= 1;
-        self.stats.delivered += 1;
-        self.occupancy.set(now.as_secs_f64(), self.in_flight as f64);
+    /// Records a message that could not be routed (no registered
+    /// destination). Such messages never occupy a buffer slot.
+    pub fn count_unroutable(&mut self) {
+        self.stats.unroutable += 1;
     }
 
-    /// Messages currently in flight (the paper's "buffer length").
+    /// Messages in flight at `now` (the paper's "buffer length").
     #[must_use]
-    pub fn in_flight(&self) -> usize {
+    pub fn in_flight_at(&mut self, now: SimTime) -> usize {
+        self.settle(now);
         self.in_flight
     }
 
@@ -140,16 +186,19 @@ impl Fabric {
         self.capacity
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters as of `now` (deliveries due by `now` are settled
+    /// first).
     #[must_use]
-    pub fn stats(&self) -> FabricStats {
+    pub fn stats_at(&mut self, now: SimTime) -> FabricStats {
+        self.settle(now);
         self.stats
     }
 
     /// Time-weighted mean in-flight count up to `now` — the paper's
     /// "average buffer length" (≈ 0.004 in its steady-state study).
     #[must_use]
-    pub fn mean_occupancy(&self, now: SimTime) -> Option<f64> {
+    pub fn mean_occupancy(&mut self, now: SimTime) -> Option<f64> {
+        self.settle(now);
         self.occupancy.mean_until(now.as_secs_f64())
     }
 }
@@ -181,10 +230,9 @@ mod tests {
             SendOutcome::Deliver(at) => assert_eq!(at, t(1.005)),
             other => panic!("unexpected outcome {other:?}"),
         }
-        assert_eq!(f.in_flight(), 1);
-        f.on_delivered(t(1.005));
-        assert_eq!(f.in_flight(), 0);
-        assert_eq!(f.stats().delivered, 1);
+        assert_eq!(f.in_flight_at(t(1.004)), 1, "still in transit");
+        assert_eq!(f.in_flight_at(t(1.005)), 0, "deadline settles lazily");
+        assert_eq!(f.stats_at(t(1.005)).delivered, 1);
     }
 
     #[test]
@@ -198,9 +246,8 @@ mod tests {
         assert!(matches!(f.send(t(0.0), &mut r), SendOutcome::Deliver(_)));
         assert!(matches!(f.send(t(0.0), &mut r), SendOutcome::Deliver(_)));
         assert_eq!(f.send(t(0.0), &mut r), SendOutcome::DroppedOverflow);
-        assert_eq!(f.stats().dropped_overflow, 1);
-        // Delivering frees a slot.
-        f.on_delivered(t(1.0));
+        assert_eq!(f.stats_at(t(0.0)).dropped_overflow, 1);
+        // A send at exactly the delivery deadline settles the slot first.
         assert!(matches!(f.send(t(1.0), &mut r), SendOutcome::Deliver(_)));
     }
 
@@ -216,19 +263,13 @@ mod tests {
         for i in 0..10_000 {
             match f.send(t(i as f64 * 0.01), &mut r) {
                 SendOutcome::DroppedLoss => lost += 1,
-                SendOutcome::Deliver(at) => f.on_delivered(at),
-                SendOutcome::DroppedOverflow => panic!("no overflow expected"),
+                SendOutcome::Deliver(_) | SendOutcome::DroppedOverflow => {}
             }
         }
         let rate = lost as f64 / 10_000.0;
         assert!((rate - 0.5).abs() < 0.03, "loss rate {rate}");
-    }
-
-    #[test]
-    #[should_panic(expected = "delivery without")]
-    fn double_delivery_panics() {
-        let mut f = Fabric::paper_default();
-        f.on_delivered(t(0.0));
+        let s = f.stats_at(t(1_000.0));
+        assert_eq!(s.delivered, s.admitted, "all deadlines passed");
     }
 
     #[test]
@@ -240,20 +281,47 @@ mod tests {
         );
         let mut r = rng();
         // One message in flight for 1s out of 100s → mean 0.01.
-        let at = match f.send(t(0.0), &mut r) {
-            SendOutcome::Deliver(at) => at,
-            other => panic!("{other:?}"),
-        };
-        f.on_delivered(at);
+        assert!(matches!(f.send(t(0.0), &mut r), SendOutcome::Deliver(_)));
         let mean = f.mean_occupancy(t(100.0)).unwrap();
         assert!((mean - 0.01).abs() < 1e-9, "mean occupancy {mean}");
-        assert_eq!(f.stats().peak_in_flight, 1);
+        assert_eq!(f.stats_at(t(100.0)).peak_in_flight, 1);
+    }
+
+    #[test]
+    fn settle_is_idempotent_and_ordered() {
+        let mut f = Fabric::new(
+            10,
+            Box::new(ConstantDelay(SimDuration::from_secs(1))),
+            Box::new(NoLoss),
+        );
+        let mut r = rng();
+        for i in 0..5 {
+            assert!(matches!(
+                f.send(t(f64::from(i) * 0.1), &mut r),
+                SendOutcome::Deliver(_)
+            ));
+        }
+        f.settle(t(1.15));
+        f.settle(t(1.15));
+        let s = f.stats_at(t(1.15));
+        assert_eq!(s.delivered, 2, "deadlines at 1.0 and 1.1 settled once");
+        assert_eq!(f.in_flight_at(t(1.15)), 3);
+        assert_eq!(f.in_flight_at(t(2.0)), 0);
+    }
+
+    #[test]
+    fn unroutable_counter() {
+        let mut f = Fabric::paper_default();
+        f.count_unroutable();
+        let s = f.stats_at(t(0.0));
+        assert_eq!(s.unroutable, 1);
+        assert_eq!(s.offered, 0, "unroutable messages are never offered");
     }
 
     #[test]
     fn paper_default_shape() {
-        let f = Fabric::paper_default();
+        let mut f = Fabric::paper_default();
         assert_eq!(f.capacity(), 20_000);
-        assert_eq!(f.in_flight(), 0);
+        assert_eq!(f.in_flight_at(SimTime::ZERO), 0);
     }
 }

@@ -52,7 +52,7 @@ proptest! {
     fn fabric_conserves_messages(
         capacity in 1usize..64,
         loss_p in 0.0..0.5f64,
-        ops in prop::collection::vec(any::<bool>(), 1..300),
+        steps in prop::collection::vec(0u64..5_000_000, 1..300),
         seed in any::<u64>(),
     ) {
         let mut fabric = Fabric::new(
@@ -61,26 +61,123 @@ proptest! {
             Box::new(BernoulliLoss::new(loss_p)),
         );
         let mut rng = StreamRng::new(seed, 1);
-        let mut pending: Vec<SimTime> = Vec::new();
         let mut now = SimTime::ZERO;
-        for &send in &ops {
-            now += SimDuration::from_micros(100);
-            if send || pending.is_empty() {
-                match fabric.send(now, &mut rng) {
-                    SendOutcome::Deliver(at) => pending.push(at),
-                    SendOutcome::DroppedLoss | SendOutcome::DroppedOverflow => {}
+        for &step in &steps {
+            now += SimDuration::from_nanos(step);
+            match fabric.send(now, &mut rng) {
+                SendOutcome::Deliver(at) => prop_assert!(at > now),
+                SendOutcome::DroppedLoss | SendOutcome::DroppedOverflow => {}
+            }
+            let s = fabric.stats_at(now);
+            prop_assert_eq!(s.offered, s.admitted + s.dropped_loss + s.dropped_overflow);
+            prop_assert!(s.delivered <= s.admitted);
+            prop_assert_eq!(fabric.in_flight_at(now) as u64, s.admitted - s.delivered);
+            prop_assert!(s.peak_in_flight <= capacity);
+        }
+        // Far enough in the future every deadline has settled.
+        let end = now + SimDuration::from_secs(1);
+        let s = fabric.stats_at(end);
+        prop_assert_eq!(s.delivered, s.admitted);
+        prop_assert_eq!(fabric.in_flight_at(end), 0);
+    }
+
+    /// The lazy-drain fabric is decision-for-decision identical to an
+    /// eagerly-notified reference: same admit/overflow/loss verdicts, same
+    /// delivery times, same peak, and a bit-identical occupancy integral,
+    /// under random send/delivery interleavings (random inter-send gaps
+    /// against a random constant delay make deliveries land arbitrarily
+    /// between — and exactly on — send instants).
+    #[test]
+    fn lazy_fabric_matches_eager_reference(
+        capacity in 1usize..8,
+        delay_nanos in 1u64..2_000_000,
+        loss_p in 0.0..0.3f64,
+        steps in prop::collection::vec(0u64..3_000_000, 1..400),
+        seed in any::<u64>(),
+    ) {
+        /// The pre-refactor fabric semantics, restated: the driver calls
+        /// `on_delivered` for every deadline, eagerly, in time order, with
+        /// deliveries settling before a send they tie with.
+        struct EagerFabric {
+            capacity: usize,
+            in_flight: usize,
+            delay: ConstantDelay,
+            loss: BernoulliLoss,
+            delivered: u64,
+            peak: usize,
+            occupancy: presence_stats::TimeWeighted,
+            pending: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+        }
+        impl EagerFabric {
+            fn on_delivered(&mut self, at: SimTime) {
+                self.in_flight -= 1;
+                self.delivered += 1;
+                self.occupancy.set(at.as_secs_f64(), self.in_flight as f64);
+            }
+            fn drain_due(&mut self, now: SimTime) {
+                while let Some(&std::cmp::Reverse(at)) = self.pending.peek() {
+                    if at > now { break; }
+                    self.pending.pop();
+                    self.on_delivered(at);
                 }
-            } else {
-                let at = pending.remove(0);
-                fabric.on_delivered(at.max(now));
-                now = at.max(now);
+            }
+            fn send(&mut self, now: SimTime, rng: &mut StreamRng) -> SendOutcome {
+                self.drain_due(now);
+                if self.in_flight >= self.capacity {
+                    return SendOutcome::DroppedOverflow;
+                }
+                if self.loss.should_drop(rng) {
+                    return SendOutcome::DroppedLoss;
+                }
+                self.in_flight += 1;
+                self.peak = self.peak.max(self.in_flight);
+                self.occupancy.set(now.as_secs_f64(), self.in_flight as f64);
+                let at = now + self.delay.sample(rng);
+                self.pending.push(std::cmp::Reverse(at));
+                SendOutcome::Deliver(at)
             }
         }
-        let s = fabric.stats();
-        prop_assert_eq!(s.offered, s.admitted + s.dropped_loss + s.dropped_overflow);
-        prop_assert!(s.delivered <= s.admitted);
-        prop_assert_eq!(fabric.in_flight() as u64, s.admitted - s.delivered);
-        prop_assert!(s.peak_in_flight <= capacity);
+
+        let delay = SimDuration::from_nanos(delay_nanos);
+        let mut lazy = Fabric::new(
+            capacity,
+            Box::new(ConstantDelay(delay)),
+            Box::new(BernoulliLoss::new(loss_p)),
+        );
+        let mut eager = EagerFabric {
+            capacity,
+            in_flight: 0,
+            delay: ConstantDelay(delay),
+            loss: BernoulliLoss::new(loss_p),
+            delivered: 0,
+            peak: 0,
+            occupancy: presence_stats::TimeWeighted::new(),
+            pending: std::collections::BinaryHeap::new(),
+        };
+        // Identical RNG streams: if any decision diverges, the streams
+        // desynchronise and the mismatch is caught on the spot.
+        let mut rng_lazy = StreamRng::new(seed, 4);
+        let mut rng_eager = rng_lazy.clone();
+
+        let mut now = SimTime::ZERO;
+        for &step in &steps {
+            now += SimDuration::from_nanos(step);
+            let a = lazy.send(now, &mut rng_lazy);
+            let b = eager.send(now, &mut rng_eager);
+            prop_assert_eq!(a, b, "send verdict diverged at {}", now);
+            prop_assert_eq!(lazy.in_flight_at(now), eager.in_flight, "in-flight diverged");
+        }
+        let end = now + delay + SimDuration::from_secs(1);
+        eager.drain_due(end);
+        let s = lazy.stats_at(end);
+        prop_assert_eq!(s.delivered, eager.delivered);
+        prop_assert_eq!(s.peak_in_flight, eager.peak);
+        prop_assert_eq!(lazy.in_flight_at(end), eager.in_flight);
+        // The occupancy integral must be *bit*-identical, not just close:
+        // both sides saw the same (t, value) step sequence.
+        let lazy_mean = lazy.mean_occupancy(end).map(f64::to_bits);
+        let eager_mean = eager.occupancy.mean_until(end.as_secs_f64()).map(f64::to_bits);
+        prop_assert_eq!(lazy_mean, eager_mean);
     }
 
     /// The fabric never admits beyond capacity.
@@ -101,7 +198,7 @@ proptest! {
             }
         }
         prop_assert_eq!(admitted, capacity);
-        prop_assert_eq!(fabric.stats().dropped_overflow as usize, extra);
+        prop_assert_eq!(fabric.stats_at(SimTime::ZERO).dropped_overflow as usize, extra);
     }
 
     /// Bounded FIFO: pop order equals push order; counts conserved.

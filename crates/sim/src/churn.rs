@@ -80,7 +80,9 @@ pub struct ChurnActor {
 impl ChurnActor {
     /// Creates the churn driver for `cps`, of which the first
     /// `initially_active` join at start (staggered uniformly over
-    /// `join_stagger`).
+    /// `join_stagger`). `horizon` is the configured run length (seconds),
+    /// used to pre-size the population series for the expected number of
+    /// resamples.
     ///
     /// # Panics
     ///
@@ -91,17 +93,27 @@ impl ChurnActor {
         cps: Vec<ActorId>,
         initially_active: u32,
         join_stagger: SimDuration,
+        horizon: f64,
     ) -> Self {
         assert!(
             (initially_active as usize) <= cps.len(),
             "more initially active CPs than the pool holds"
         );
         let active = vec![false; cps.len()];
+        // One sample at start plus one per resample; 1.5× headroom keeps
+        // an unlucky exponential draw sequence from forcing a regrow.
+        let samples_hint = match model {
+            ChurnModel::Static => 1,
+            ChurnModel::BurstLeave { .. } => 2,
+            ChurnModel::UniformResample { rate, .. } => {
+                (horizon * rate * 1.5).min(4e6) as usize + 2
+            }
+        };
         Self {
             model,
             cps,
             active,
-            population: TimeSeries::new(),
+            population: TimeSeries::with_capacity(samples_hint),
             join_stagger,
             initially_active,
         }

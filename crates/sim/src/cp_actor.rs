@@ -64,6 +64,12 @@ pub struct CpActor {
     device: presence_core::DeviceId,
     prober: Option<Box<dyn Prober + Send>>,
     timers: HashMap<TimerToken, EventHandle>,
+    /// A timer handle freed by a `CancelTimer` earlier in the current
+    /// action batch, kept alive so a following `StartTimer` can rearm it
+    /// in place ([`Context::rearm_timer`]) instead of paying a queue
+    /// remove + insert. Flushed (actually cancelled) at the end of the
+    /// batch if nothing reuses it.
+    rearm_slot: Option<EventHandle>,
     /// Dissemination state (only consulted when `disseminate` is set).
     disseminate: bool,
     overlay: OverlayView,
@@ -74,7 +80,9 @@ pub struct CpActor {
 
 impl CpActor {
     /// Creates an (initially inactive) CP actor. Send it [`SimEvent::Join`]
-    /// to bring it online.
+    /// to bring it online. `samples_hint` pre-sizes the per-cycle frequency
+    /// series (one sample per completed probe cycle) so long-horizon runs
+    /// don't regrow it.
     #[must_use]
     pub fn new(
         id: CpId,
@@ -82,6 +90,7 @@ impl CpActor {
         network: ActorId,
         device: presence_core::DeviceId,
         disseminate: bool,
+        samples_hint: usize,
     ) -> Self {
         Self {
             id,
@@ -90,12 +99,13 @@ impl CpActor {
             device,
             prober: None,
             timers: HashMap::new(),
+            rearm_slot: None,
             disseminate,
             overlay: OverlayView::new(id),
             gossip: Disseminator::new(id),
             record: CpRecord {
                 id,
-                frequency_series: TimeSeries::new(),
+                frequency_series: TimeSeries::with_capacity(samples_hint),
                 delay_stats: Welford::new(),
                 stats: CpStats::default(),
                 detected_absent_at: None,
@@ -154,6 +164,10 @@ impl CpActor {
     }
 
     fn execute(&mut self, ctx: &mut Context<'_, SimEvent>, actions: Vec<CpAction>) {
+        debug_assert!(
+            self.rearm_slot.is_none(),
+            "rearm slot leaked across batches"
+        );
         for action in actions {
             match action {
                 CpAction::SendProbe(probe) => {
@@ -167,13 +181,31 @@ impl CpActor {
                     );
                 }
                 CpAction::StartTimer { token, after } => {
-                    let me = ctx.me();
-                    let handle = ctx.schedule_in(after, me, SimEvent::Timer(token));
+                    // Cancel-then-rearm fast path: when this batch just
+                    // freed a timer, move its queued event in place and
+                    // rewrite the payload with the fresh token. Rearming
+                    // mints the same sequence number a fresh schedule
+                    // would, so the trajectory is identical either way.
+                    let rearmed = self
+                        .rearm_slot
+                        .take()
+                        .and_then(|h| ctx.rearm_timer(h, after, SimEvent::Timer(token)));
+                    let handle = match rearmed {
+                        Some(handle) => handle,
+                        None => {
+                            let me = ctx.me();
+                            ctx.schedule_in(after, me, SimEvent::Timer(token))
+                        }
+                    };
                     self.timers.insert(token, handle);
                 }
                 CpAction::CancelTimer { token } => {
                     if let Some(handle) = self.timers.remove(&token) {
-                        ctx.cancel(handle);
+                        // Defer: a StartTimer later in this batch usually
+                        // rearms the same queue slot in place.
+                        if let Some(stale) = self.rearm_slot.replace(handle) {
+                            ctx.cancel(stale);
+                        }
                     }
                 }
                 CpAction::DeviceAbsent { at, .. } => {
@@ -196,6 +228,10 @@ impl CpActor {
                     }
                 }
             }
+        }
+        // No StartTimer claimed the freed slot: finish the deferred cancel.
+        if let Some(stale) = self.rearm_slot.take() {
+            ctx.cancel(stale);
         }
     }
 

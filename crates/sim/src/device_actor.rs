@@ -6,8 +6,9 @@ use crate::event::{Addr, SimEvent};
 use presence_core::{
     AutoTuner, Bye, DcppDevice, DeviceId, Probe, Reply, SappDevice, TuneDecision, WireMessage,
 };
-use presence_des::{Actor, ActorId, Context, SimDuration, SimTime, StreamRng};
+use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime, StreamRng};
 use presence_stats::{JumpingWindowRate, TimeSeries};
+use std::collections::VecDeque;
 
 /// How long the device takes to process a probe before the reply leaves.
 ///
@@ -97,6 +98,13 @@ pub struct DeviceActor {
     load: JumpingWindowRate,
     /// Probe arrival timestamps (seconds) — kept for summary statistics.
     arrivals: TimeSeries,
+    /// Replies scheduled on the network but still inside the processing
+    /// window. A crash or leave cancels them — the device dies *mid
+    /// computation*, so a reply whose processing has not finished must
+    /// never escape. Fired handles are pruned lazily from the front (the
+    /// deque is FIFO in emission time), keeping it at the concurrent
+    /// processing depth rather than the probe count.
+    processing_replies: VecDeque<EventHandle>,
     stopped_at: Option<SimTime>,
 }
 
@@ -105,21 +113,29 @@ impl DeviceActor {
     ///
     /// `load_window` is the width (seconds) of the jumping windows used for
     /// the load series; the paper's Figure 5 resolution is a few seconds.
+    /// `horizon` is the configured run length (seconds), used only to
+    /// pre-size the recorders so 20 000 s runs don't regrow them.
     #[must_use]
     pub fn new(
         machine: DeviceMachine,
         network: ActorId,
         processing: ProcessingModel,
         load_window: f64,
+        horizon: f64,
     ) -> Self {
+        // The protocols hold the device near L_nom = 10 probes/s; a small
+        // headroom factor covers overload phases without overcommitting.
+        let arrivals_hint = (horizon * 12.0).min(4e6) as usize;
+        let windows_hint = (horizon / load_window).min(4e6) as usize + 1;
         Self {
             machine,
             network,
             processing,
             tuner: None,
             alive: true,
-            load: JumpingWindowRate::new(0.0, load_window),
-            arrivals: TimeSeries::new(),
+            load: JumpingWindowRate::with_capacity(0.0, load_window, windows_hint),
+            arrivals: TimeSeries::with_capacity(arrivals_hint),
+            processing_replies: VecDeque::new(),
             stopped_at: None,
         }
     }
@@ -173,6 +189,14 @@ impl DeviceActor {
     pub fn arrivals(&self) -> &TimeSeries {
         &self.arrivals
     }
+
+    /// Cancels every reply still inside its processing window: the device
+    /// stopped mid-computation, so those replies never hit the wire.
+    fn abort_processing(&mut self, ctx: &mut Context<'_, SimEvent>) {
+        for handle in self.processing_replies.drain(..) {
+            ctx.cancel(handle);
+        }
+    }
 }
 
 impl Actor<SimEvent> for DeviceActor {
@@ -204,33 +228,38 @@ impl Actor<SimEvent> for DeviceActor {
                 }
                 let reply = self.machine.on_probe(now, probe);
                 let delay = self.processing.sample(ctx.rng());
-                let me = ctx.me();
-                ctx.schedule_in(delay, me, SimEvent::EmitReply(WireMessage::Reply(reply)));
-            }
-            SimEvent::EmitReply(msg) => {
-                if !self.alive {
-                    return;
+                // Single-hop fast path: the reply's `Send` is scheduled on
+                // the network for the instant processing completes — no
+                // intermediate self-event. The handle is kept so a crash
+                // inside the processing window still suppresses the reply.
+                let handle = ctx.schedule_in(
+                    delay,
+                    self.network,
+                    SimEvent::Send {
+                        to: Addr::Cp(reply.probe.cp),
+                        msg: WireMessage::Reply(reply),
+                    },
+                );
+                while let Some(&front) = self.processing_replies.front() {
+                    if ctx.is_pending(front) {
+                        break;
+                    }
+                    self.processing_replies.pop_front();
                 }
-                if let WireMessage::Reply(reply) = msg {
-                    ctx.send_now(
-                        self.network,
-                        SimEvent::Send {
-                            to: Addr::Cp(reply.probe.cp),
-                            msg,
-                        },
-                    );
-                }
+                self.processing_replies.push_back(handle);
             }
             SimEvent::Crash => {
                 if self.alive {
                     self.alive = false;
                     self.stopped_at = Some(ctx.now());
+                    self.abort_processing(ctx);
                 }
             }
             SimEvent::GracefulLeave => {
                 if self.alive {
                     self.alive = false;
                     self.stopped_at = Some(ctx.now());
+                    self.abort_processing(ctx);
                     ctx.send_now(
                         self.network,
                         SimEvent::Broadcast {

@@ -27,19 +27,14 @@ pub enum SimEvent {
         /// The message.
         msg: WireMessage,
     },
-    /// (network actor to itself) A previously admitted message completes
-    /// its transit and must now be handed to `to`.
-    InTransit {
-        /// Destination address.
-        to: Addr,
-        /// The message.
-        msg: WireMessage,
-    },
     /// (to a node actor) A message arrives from the network.
+    ///
+    /// Scheduled by the network actor directly on the destination at admit
+    /// time, for the sampled delivery instant — the single-hop fast path.
+    /// One `Send` dispatch plus one `Deliver` firing is the complete
+    /// per-message event cost (the events-per-delivered-message ≤ 2
+    /// contract pinned by the `perf_report` CI gate).
     Deliver(WireMessage),
-    /// (to a device actor, from itself) Processing of a probe finished;
-    /// emit the prepared reply.
-    EmitReply(WireMessage),
     /// (to a node actor) A protocol timer fired.
     Timer(TimerToken),
     /// (to a CP actor) Join the network and start probing.

@@ -52,4 +52,4 @@ pub use network_actor::NetworkActor;
 pub use output::{ascii_chart, kv_table, series_to_columns, series_to_csv};
 pub use parallel::{for_each_indexed, job_count, run_indexed, ParamSweep};
 pub use replication::{replicate, replicate_with_jobs, ReplicationPoint, ReplicationSummary};
-pub use scenario::{DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};
+pub use scenario::{golden_trio, DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};

@@ -1,15 +1,42 @@
 //! The network actor: one [`Fabric`] serving all nodes (the paper models
 //! the network as a single process with one bounded buffer).
+//!
+//! # Single-hop delivery
+//!
+//! When a `Send` is admitted, the route is resolved on the spot and the
+//! `Deliver` event is scheduled *directly on the destination actor* at the
+//! sampled delivery time. A delivered message therefore costs exactly two
+//! engine events — the `Send` dispatch and the `Deliver` firing — instead
+//! of the previous three (`Send`, an `InTransit` self-event, and a
+//! same-instant re-queued `Deliver`). The fabric's buffer accounting needs
+//! no delivery callback: it settles its own deadline heap lazily (see
+//! [`Fabric`]).
+//!
+//! # Dense routing
+//!
+//! Routes live in two flat tables indexed by the raw `CpId`/`DeviceId`
+//! (ids are small and dense by construction — the scenario registers
+//! `CpId(0..n)`). Unicast resolution is an array load, and `Broadcast`
+//! walks the CP table by index without allocating. This also makes the
+//! broadcast admission order deterministic by construction (ascending
+//! `CpId`); the old `HashMap` route table iterated in hash order, which
+//! std randomises per map instance.
+//!
+//! Messages addressed to an unregistered destination are counted as
+//! `unroutable` in [`FabricStats`] — they never reach the fabric, so a
+//! wiring bug cannot masquerade as network loss.
 
 use crate::event::{Addr, SimEvent};
 use presence_des::{Actor, ActorId, Context, SimTime};
 use presence_net::{Fabric, FabricStats, SendOutcome};
-use std::collections::HashMap;
 
 /// Routes wire messages between node actors through a [`Fabric`].
 pub struct NetworkActor {
     fabric: Fabric,
-    routes: HashMap<Addr, ActorId>,
+    /// CP routes, indexed by raw `CpId`.
+    cp_routes: Vec<Option<ActorId>>,
+    /// Device routes, indexed by raw `DeviceId`.
+    device_routes: Vec<Option<ActorId>>,
 }
 
 impl NetworkActor {
@@ -19,38 +46,56 @@ impl NetworkActor {
     pub fn new(fabric: Fabric) -> Self {
         Self {
             fabric,
-            routes: HashMap::new(),
+            cp_routes: Vec::new(),
+            device_routes: Vec::new(),
         }
     }
 
     /// Registers (or re-registers) the actor behind a network address.
     pub fn register(&mut self, addr: Addr, actor: ActorId) {
-        self.routes.insert(addr, actor);
+        let (table, idx) = match addr {
+            Addr::Cp(id) => (&mut self.cp_routes, id.0 as usize),
+            Addr::Device(id) => (&mut self.device_routes, id.0 as usize),
+        };
+        if table.len() <= idx {
+            table.resize(idx + 1, None);
+        }
+        table[idx] = Some(actor);
     }
 
-    /// Fabric counters (offered/admitted/dropped/delivered).
+    fn resolve(&self, addr: Addr) -> Option<ActorId> {
+        let (table, idx) = match addr {
+            Addr::Cp(id) => (&self.cp_routes, id.0 as usize),
+            Addr::Device(id) => (&self.device_routes, id.0 as usize),
+        };
+        table.get(idx).copied().flatten()
+    }
+
+    /// Fabric counters (offered/admitted/dropped/delivered/unroutable) as
+    /// of `now`.
     #[must_use]
-    pub fn fabric_stats(&self) -> FabricStats {
-        self.fabric.stats()
+    pub fn fabric_stats(&mut self, now: SimTime) -> FabricStats {
+        self.fabric.stats_at(now)
     }
 
     /// The paper's "average buffer length": time-weighted mean in-flight
     /// count up to `now`.
     #[must_use]
-    pub fn mean_occupancy(&self, now: SimTime) -> Option<f64> {
+    pub fn mean_occupancy(&mut self, now: SimTime) -> Option<f64> {
         self.fabric.mean_occupancy(now)
     }
 
+    /// Offers `msg` to the fabric and, when admitted, schedules its
+    /// `Deliver` on `target` at the sampled delivery time.
     fn admit(
         &mut self,
         ctx: &mut Context<'_, SimEvent>,
-        to: Addr,
+        target: ActorId,
         msg: presence_core::WireMessage,
     ) {
-        let me = ctx.me();
         match self.fabric.send(ctx.now(), ctx.rng()) {
             SendOutcome::Deliver(at) => {
-                ctx.schedule_at(at, me, SimEvent::InTransit { to, msg });
+                ctx.schedule_at(at, target, SimEvent::Deliver(msg));
             }
             SendOutcome::DroppedLoss | SendOutcome::DroppedOverflow => {
                 // The message vanishes; the protocols' retransmission layer
@@ -63,29 +108,151 @@ impl NetworkActor {
 impl Actor<SimEvent> for NetworkActor {
     fn on_event(&mut self, ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
         match event {
-            SimEvent::Send { to, msg } => self.admit(ctx, to, msg),
+            SimEvent::Send { to, msg } => match self.resolve(to) {
+                Some(target) => self.admit(ctx, target, msg),
+                None => self.fabric.count_unroutable(),
+            },
             SimEvent::Broadcast { msg } => {
-                let cps: Vec<Addr> = self
-                    .routes
-                    .keys()
-                    .filter(|a| matches!(a, Addr::Cp(_)))
-                    .copied()
-                    .collect();
-                for to in cps {
-                    self.admit(ctx, to, msg);
+                // Indexed walk: no allocation, deterministic CP order.
+                for i in 0..self.cp_routes.len() {
+                    if let Some(target) = self.cp_routes[i] {
+                        self.admit(ctx, target, msg);
+                    }
                 }
-            }
-            SimEvent::InTransit { to, msg } => {
-                self.fabric.on_delivered(ctx.now());
-                if let Some(&actor) = self.routes.get(&to) {
-                    ctx.send_now(actor, SimEvent::Deliver(msg));
-                }
-                // Unroutable addresses (e.g. a CP that was never registered)
-                // silently drop, like a real network.
             }
             other => {
                 debug_assert!(false, "network actor got unexpected event {other:?}");
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presence_core::{CpId, DeviceId, Probe, WireMessage};
+    use presence_des::{SimTime, Simulation};
+    use presence_net::Fabric;
+
+    fn probe() -> WireMessage {
+        WireMessage::Probe(Probe {
+            cp: CpId(0),
+            seq: 1,
+        })
+    }
+
+    /// Satellite regression: messages to an unregistered address used to
+    /// vanish with no trace at all — indistinguishable from network loss.
+    #[test]
+    fn unroutable_messages_are_counted_not_dropped_silently() {
+        let mut sim: Simulation<SimEvent> = Simulation::new(1);
+        let network = sim.add_actor(NetworkActor::new(Fabric::paper_default()));
+        sim.schedule_at(
+            SimTime::ZERO,
+            network,
+            SimEvent::Send {
+                to: Addr::Cp(CpId(99)),
+                msg: probe(),
+            },
+        );
+        sim.schedule_at(
+            SimTime::ZERO,
+            network,
+            SimEvent::Send {
+                to: Addr::Device(DeviceId(7)),
+                msg: probe(),
+            },
+        );
+        sim.run_until_idle();
+        let now = sim.now();
+        let net = sim
+            .actor_mut::<NetworkActor>(network)
+            .expect("network actor");
+        let stats = net.fabric_stats(now);
+        assert_eq!(stats.unroutable, 2);
+        // Unroutable messages never reach the fabric: not offered, not
+        // counted as loss, no buffer slot occupied.
+        assert_eq!(stats.offered, 0);
+        assert_eq!(stats.dropped_loss, 0);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    /// A registered route makes the same send a normal two-event delivery.
+    #[test]
+    fn registered_route_admits_and_delivers() {
+        struct Sink {
+            got: u32,
+        }
+        impl presence_des::Actor<SimEvent> for Sink {
+            fn on_event(&mut self, _: &mut presence_des::Context<'_, SimEvent>, ev: SimEvent) {
+                if let SimEvent::Deliver(_) = ev {
+                    self.got += 1;
+                }
+            }
+        }
+        let mut sim: Simulation<SimEvent> = Simulation::new(1);
+        let network = sim.add_actor(NetworkActor::new(Fabric::paper_default()));
+        let sink = sim.add_actor(Sink { got: 0 });
+        sim.actor_mut::<NetworkActor>(network)
+            .expect("network actor")
+            .register(Addr::Cp(CpId(3)), sink);
+        sim.schedule_at(
+            SimTime::ZERO,
+            network,
+            SimEvent::Send {
+                to: Addr::Cp(CpId(3)),
+                msg: probe(),
+            },
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Sink>(sink).expect("sink").got, 1);
+        // Exactly two events: the Send dispatch and the Deliver firing.
+        assert_eq!(sim.events_processed(), 2);
+        let now = sim.now();
+        let stats = sim
+            .actor_mut::<NetworkActor>(network)
+            .expect("network actor")
+            .fabric_stats(now);
+        assert_eq!(stats.unroutable, 0);
+        assert_eq!((stats.offered, stats.delivered), (1, 1));
+    }
+
+    /// Broadcast admits one copy per registered CP, in ascending id order,
+    /// without touching device routes.
+    #[test]
+    fn broadcast_reaches_every_registered_cp() {
+        struct Sink {
+            got: u32,
+        }
+        impl presence_des::Actor<SimEvent> for Sink {
+            fn on_event(&mut self, _: &mut presence_des::Context<'_, SimEvent>, ev: SimEvent) {
+                if let SimEvent::Deliver(_) = ev {
+                    self.got += 1;
+                }
+            }
+        }
+        let mut sim: Simulation<SimEvent> = Simulation::new(1);
+        let network = sim.add_actor(NetworkActor::new(Fabric::paper_default()));
+        let mut sinks = Vec::new();
+        for i in 0..4u32 {
+            let sink = sim.add_actor(Sink { got: 0 });
+            sinks.push(sink);
+            sim.actor_mut::<NetworkActor>(network)
+                .expect("network actor")
+                .register(Addr::Cp(CpId(i)), sink);
+        }
+        // A device route must not receive CP broadcasts.
+        let dev = sim.add_actor(Sink { got: 0 });
+        sim.actor_mut::<NetworkActor>(network)
+            .expect("network actor")
+            .register(Addr::Device(DeviceId(0)), dev);
+        sim.schedule_at(SimTime::ZERO, network, SimEvent::Broadcast { msg: probe() });
+        sim.run_until_idle();
+        for &sink in &sinks {
+            assert_eq!(sim.actor::<Sink>(sink).expect("sink").got, 1);
+        }
+        assert_eq!(sim.actor::<Sink>(dev).expect("device sink").got, 0);
+        // 1 Broadcast dispatch + 4 Deliver firings.
+        assert_eq!(sim.events_processed(), 5);
     }
 }

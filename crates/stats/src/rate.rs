@@ -116,13 +116,25 @@ impl JumpingWindowRate {
     /// Panics if `width` is not positive and finite.
     #[must_use]
     pub fn new(origin: f64, width: f64) -> Self {
+        Self::with_capacity(origin, width, 0)
+    }
+
+    /// [`JumpingWindowRate::new`] with room pre-allocated for `windows`
+    /// closed windows — size it as `horizon / width` so long-horizon runs
+    /// never regrow the series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive and finite.
+    #[must_use]
+    pub fn with_capacity(origin: f64, width: f64, windows: usize) -> Self {
         assert!(width > 0.0 && width.is_finite(), "width must be positive");
         Self {
             width,
             origin,
             current_index: 0,
             current_count: 0,
-            closed: Vec::new(),
+            closed: Vec::with_capacity(windows),
         }
     }
 

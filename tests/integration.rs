@@ -20,6 +20,9 @@ fn dcpp_steady_state_wait_is_k_delta_min() {
     let mut scenario = Scenario::build(cfg);
     scenario.run();
     let result = scenario.collect();
+    // A misroute would show up as probe loss here; the unroutable counter
+    // separates the two failure modes.
+    debug_assert_eq!(result.messages_unroutable, 0, "misrouted messages");
     // k·δ_min = 20 · 0.1 = 2 s; each CP's mean delay converges there.
     for cp in result.active_cps() {
         assert!(
@@ -97,6 +100,8 @@ fn overlay_dissemination_spreads_the_news() {
     scenario.crash_device_at(300.0);
     scenario.run();
     let result = scenario.collect();
+    // Dissemination sends CP→CP unicast: every notice target must resolve.
+    debug_assert_eq!(result.messages_unroutable, 0, "misrouted leave notices");
 
     let detected = result
         .cps
