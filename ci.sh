@@ -42,4 +42,11 @@ cargo test -q
 echo "==> perf gate: events-per-delivered-message <= 2.05 (perf_report --check)"
 cargo run --release -q -p presence-bench --bin perf_report -- --check target/perf_report_ci.json
 
+# Scenario-lab gate: every shipped catalog file parses, validates, and
+# matches its built-in definition, then the mixed-regime acceptance
+# scenario (delay + loss + churn all switching mid-run) smoke-runs with
+# per-regime metric slices — under the same 2-worker pool as tier-1.
+echo "==> scenario lab: catalog validation + mixed-regime smoke (lab --check, PRESENCE_JOBS=$PRESENCE_JOBS)"
+cargo run --release -q -p presence-bench --bin lab -- --check
+
 echo "==> ci.sh: all green"

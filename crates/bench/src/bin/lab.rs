@@ -1,0 +1,289 @@
+//! The scenario-lab runner: load a declarative catalog scenario, fan
+//! replications across the worker pool, and print per-regime-sliced
+//! metrics.
+//!
+//! ```text
+//! lab --list                         # show the catalog
+//! lab mixed-regime-stress            # run one entry (3 seeds by default)
+//! lab catalog/flash-crowd.json       # …or any spec file by path
+//! lab --all                          # run every catalog entry
+//! lab --check                        # CI gate: validate every file, pin
+//!                                    # them to the built-ins, smoke-run
+//!                                    # the mixed-regime scenario
+//! lab --emit-catalog catalog         # (re)generate the shipped files
+//! ```
+//!
+//! Options: `--seeds 1,2,3` (explicit seeds), `--replications N` (seeds
+//! 1..=N), `--jobs N` (worker pool width, default `PRESENCE_JOBS` /
+//! machine parallelism), `--json PATH` (write the full `LabReport`),
+//! `--catalog DIR` (default: the repository's `catalog/`).
+//!
+//! Reports are **byte-identical at any `--jobs` value** — replications
+//! merge in seed order before any cross-seed folding (pinned by
+//! `tests/determinism.rs`).
+
+use presence_sim::{builtin_catalog, job_count, run_lab, LabReport, ScenarioSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn default_catalog_dir() -> PathBuf {
+    // crates/bench/../../catalog — the repository's shipped catalog.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../catalog")
+}
+
+fn load_catalog_dir(dir: &Path) -> Result<Vec<(PathBuf, ScenarioSpec)>, String> {
+    let mut entries = Vec::new();
+    let listing = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read catalog dir {}: {e}", dir.display()))?;
+    for entry in listing {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            entries.push(path);
+        }
+    }
+    entries.sort();
+    let mut specs = Vec::new();
+    for path in entries {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let spec =
+            ScenarioSpec::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        if stem != spec.name {
+            return Err(format!(
+                "{}: file stem does not match spec name {:?}",
+                path.display(),
+                spec.name
+            ));
+        }
+        specs.push((path, spec));
+    }
+    if specs.is_empty() {
+        return Err(format!(
+            "catalog dir {} holds no .json specs",
+            dir.display()
+        ));
+    }
+    Ok(specs)
+}
+
+fn fmt_opt(v: Option<f64>, width: usize, precision: usize) -> String {
+    match v {
+        Some(v) => format!("{v:>width$.precision$}"),
+        None => format!("{:>width$}", "—"),
+    }
+}
+
+fn print_report(report: &LabReport) {
+    println!(
+        "\n=== {} · seeds {:?} · {} regime window(s) ===",
+        report.name,
+        report.seeds,
+        report.windows.len()
+    );
+    // "detΣ": verdict counts are totals across all seeds; the other
+    // columns are cross-seed means.
+    println!(
+        "{:>12} {:>12} | {:>9} {:>9} {:>9} {:>6} {:>9}",
+        "from (s)", "to (s)", "load/s", "jain", "popul.", "detΣ", "lat. (s)"
+    );
+    for s in &report.slices {
+        println!(
+            "{:>12.1} {:>12.1} | {} {} {} {:>6} {}",
+            s.start,
+            s.end,
+            fmt_opt(s.load_mean, 9, 2),
+            fmt_opt(s.fairness_jain, 9, 3),
+            fmt_opt(s.population_mean, 9, 1),
+            s.detections,
+            fmt_opt(s.detection_latency_mean, 9, 3),
+        );
+    }
+    let events: u64 = report.per_seed.iter().map(|s| s.events_processed).sum();
+    let delivered: u64 = report.per_seed.iter().map(|s| s.messages_delivered).sum();
+    let lost: u64 = report
+        .per_seed
+        .iter()
+        .map(|s| s.messages_dropped_loss)
+        .sum();
+    println!(
+        "totals over {} seed(s): {events} events, {delivered} delivered, {lost} lost to the loss regime",
+        report.per_seed.len()
+    );
+}
+
+fn run_one(
+    spec: &ScenarioSpec,
+    seeds: &[u64],
+    jobs: usize,
+    json_out: Option<&Path>,
+) -> Result<(), String> {
+    let report = run_lab(spec, seeds, jobs).map_err(|e| format!("{}: {e}", spec.name))?;
+    print_report(&report);
+    if let Some(path) = json_out {
+        let text = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("report -> {}", path.display());
+    }
+    Ok(())
+}
+
+/// The CI gate: every shipped file parses, validates, matches its
+/// built-in definition, and the mixed-regime acceptance scenario runs
+/// with per-regime slices under 2 seeds.
+fn check(dir: &Path, jobs: usize) -> Result<(), String> {
+    let files = load_catalog_dir(dir)?;
+    let builtins = builtin_catalog();
+    if files.len() != builtins.len() {
+        return Err(format!(
+            "catalog drift: {} files on disk, {} built-in definitions",
+            files.len(),
+            builtins.len()
+        ));
+    }
+    for (path, spec) in &files {
+        let builtin = builtins
+            .iter()
+            .find(|b| b.name == spec.name)
+            .ok_or_else(|| format!("{}: no built-in definition", path.display()))?;
+        if builtin != spec {
+            return Err(format!(
+                "{}: drifted from the built-in definition (regenerate with --emit-catalog)",
+                path.display()
+            ));
+        }
+        println!("ok  {}", path.display());
+    }
+    let mixed = files
+        .iter()
+        .map(|(_, s)| s)
+        .find(|s| s.name == "mixed-regime-stress")
+        .ok_or("catalog is missing the mixed-regime-stress acceptance scenario")?;
+    let report = run_lab(mixed, &[1, 2], jobs).map_err(|e| e.to_string())?;
+    if report.slices.len() < 3 {
+        return Err(format!(
+            "mixed-regime smoke produced only {} regime slices",
+            report.slices.len()
+        ));
+    }
+    if !report.slices.iter().all(|s| s.load_mean.is_some()) {
+        return Err("mixed-regime smoke left a regime window without load samples".into());
+    }
+    println!(
+        "ok  mixed-regime smoke: {} windows, {} events",
+        report.slices.len(),
+        report
+            .per_seed
+            .iter()
+            .map(|s| s.events_processed)
+            .sum::<u64>()
+    );
+    Ok(())
+}
+
+fn emit_catalog(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    for spec in builtin_catalog() {
+        spec.validate().map_err(|e| format!("{}: {e}", spec.name))?;
+        let path = dir.join(format!("{}.json", spec.name));
+        std::fs::write(&path, spec.to_json() + "\n")
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut catalog_dir = default_catalog_dir();
+    let mut jobs = job_count();
+    let mut seeds: Vec<u64> = vec![1, 2, 3];
+    let mut json_out: Option<PathBuf> = None;
+    let mut list = false;
+    let mut all = false;
+    let mut do_check = false;
+    let mut emit: Option<PathBuf> = None;
+    let mut target: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--list" => list = true,
+            "--all" => all = true,
+            "--check" => do_check = true,
+            "--emit-catalog" => emit = Some(PathBuf::from(value("--emit-catalog"))),
+            "--catalog" => catalog_dir = PathBuf::from(value("--catalog")),
+            "--jobs" => jobs = value("--jobs").parse().expect("--jobs N"),
+            "--json" => json_out = Some(PathBuf::from(value("--json"))),
+            "--seeds" => {
+                seeds = value("--seeds")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--seeds a,b,c"))
+                    .collect();
+            }
+            "--replications" => {
+                let n: u64 = value("--replications").parse().expect("--replications N");
+                assert!(n > 0, "--replications must be positive");
+                seeds = (1..=n).collect();
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => target = Some(other.to_string()),
+        }
+    }
+
+    let outcome = (|| -> Result<(), String> {
+        if let Some(dir) = emit {
+            return emit_catalog(&dir);
+        }
+        if do_check {
+            return check(&catalog_dir, jobs);
+        }
+        if list {
+            for (path, spec) in load_catalog_dir(&catalog_dir)? {
+                println!(
+                    "{:<22} {:>6.0} s  {}",
+                    spec.name, spec.duration, spec.description
+                );
+                let _ = path;
+            }
+            return Ok(());
+        }
+        if all {
+            for (_, spec) in load_catalog_dir(&catalog_dir)? {
+                run_one(&spec, &seeds, jobs, None)?;
+            }
+            return Ok(());
+        }
+        let Some(target) = target else {
+            return Err(
+                "usage: lab [--list | --all | --check | --emit-catalog DIR | <name|spec.json>] \
+                 [--seeds a,b,c | --replications N] [--jobs N] [--json PATH] [--catalog DIR]"
+                    .into(),
+            );
+        };
+        // A path to a spec file, or a catalog entry name.
+        let spec = if target.ends_with(".json") {
+            let text = std::fs::read_to_string(&target).map_err(|e| format!("{target}: {e}"))?;
+            ScenarioSpec::from_json(&text).map_err(|e| format!("{target}: {e}"))?
+        } else {
+            load_catalog_dir(&catalog_dir)?
+                .into_iter()
+                .map(|(_, s)| s)
+                .find(|s| s.name == target)
+                .ok_or_else(|| format!("no catalog entry named {target:?} (try --list)"))?
+        };
+        run_one(&spec, &seeds, jobs, json_out.as_deref())
+    })();
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

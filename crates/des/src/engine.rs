@@ -92,12 +92,29 @@ pub enum RunOutcome {
     EventBudget,
 }
 
+/// The destination of one queued event: a single actor, or a batch
+/// delivered to every listed actor in order within one engine event.
+///
+/// A batch occupies **one** queue slot and one sequence number. Because a
+/// loop of same-instant `send_now` calls mints consecutive sequence
+/// numbers (nothing can be scheduled between them), collapsing the loop
+/// into a batch cannot reorder anything: every other event either precedes
+/// the whole run of sends or follows it, exactly as before. The batch
+/// therefore preserves seeded trajectories bit-for-bit while costing one
+/// queue operation instead of k (the churn actor's `drive_to` is the
+/// motivating caller).
+#[derive(Debug)]
+enum Dest {
+    One(ActorId),
+    Batch(Box<[ActorId]>),
+}
+
 /// Mutable scheduler state shared between the engine loop and [`Context`].
 struct Core<E> {
     now: SimTime,
     /// Live events only: cancellation removes entries immediately (see
     /// [`crate::queue`]), so there are no tombstones to skip at pop time.
-    queue: EventQueue<(ActorId, E)>,
+    queue: EventQueue<(Dest, E)>,
     next_seq: u64,
     stop_requested: bool,
     actor_count: usize,
@@ -112,7 +129,20 @@ impl<E> Core<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(time, seq, (target, payload));
+        self.queue.push(time, seq, (Dest::One(target), payload));
+        EventHandle { seq }
+    }
+
+    fn push_batch(&mut self, time: SimTime, targets: Box<[ActorId]>, payload: E) -> EventHandle {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        assert!(!targets.is_empty(), "batch needs at least one target");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(time, seq, (Dest::Batch(targets), payload));
         EventHandle { seq }
     }
 
@@ -127,7 +157,7 @@ impl<E> Core<E> {
         &mut self,
         handle: EventHandle,
         at: SimTime,
-    ) -> Option<(EventHandle, &mut (ActorId, E))> {
+    ) -> Option<(EventHandle, &mut (Dest, E))> {
         assert!(
             at >= self.now,
             "cannot reschedule into the past: {at} < now {}",
@@ -221,6 +251,30 @@ impl<'a, E> Context<'a, E> {
     pub fn send_now(&mut self, target: ActorId, payload: E) -> EventHandle {
         let now = self.core.now;
         self.schedule_at(now, target, payload)
+    }
+
+    /// Sends one copy of `payload` to every target at the current instant
+    /// as a **single** engine event: one queue slot, one sequence number,
+    /// one `events_processed` tick; the targets are dispatched in list
+    /// order when it fires. Equivalent to a loop of [`Context::send_now`]
+    /// calls in every observable ordering (a same-instant `send_now` run
+    /// mints consecutive sequence numbers, so nothing can interleave), but
+    /// k − 1 queue operations cheaper. Cancelling the returned handle
+    /// cancels delivery to the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or names an unknown actor.
+    pub fn send_now_batch(&mut self, targets: Vec<ActorId>, payload: E) -> EventHandle {
+        for &target in &targets {
+            assert!(
+                target.0 < self.core.actor_count,
+                "scheduling for unknown actor {target:?}"
+            );
+        }
+        let now = self.core.now;
+        self.core
+            .push_batch(now, targets.into_boxed_slice(), payload)
     }
 
     /// Cancels a previously scheduled event, returning whether it was
@@ -515,24 +569,46 @@ impl<E: 'static> Simulation<E> {
         debug_assert_eq!(self.core.actor_count, self.actors.len());
     }
 
-    /// Processes a single event. Returns `false` when the queue is empty.
+    fn trace_dispatch(&mut self, time: SimTime, target: ActorId, seq: u64) {
+        if let Some(hook) = self.trace.as_mut() {
+            hook(&TraceRecord { time, target, seq });
+        }
+    }
+}
+
+/// The run loop. Requires `E: Clone` so a batch event
+/// ([`Context::send_now_batch`]) can hand each target its own copy of the
+/// payload (the final target receives the original without cloning).
+impl<E: Clone + 'static> Simulation<E> {
+    /// Processes a single event — which may be a batch delivering to
+    /// several actors in order. Returns `false` when the queue is empty.
     /// Cancelled events were removed at cancel time, so every pop is live.
     pub fn step(&mut self) -> bool {
         self.flush_starts();
-        let Some((key, (target, payload))) = self.core.queue.pop() else {
+        let Some((key, (dest, payload))) = self.core.queue.pop() else {
             return false;
         };
         debug_assert!(key.time >= self.core.now, "event queue went backwards");
         self.core.now = key.time;
         self.events_processed += 1;
-        if let Some(hook) = self.trace.as_mut() {
-            hook(&TraceRecord {
-                time: key.time,
-                target,
-                seq: key.seq,
-            });
+        match dest {
+            Dest::One(target) => {
+                self.trace_dispatch(key.time, target, key.seq);
+                self.dispatch(target.0, Some(payload));
+            }
+            Dest::Batch(targets) => {
+                // The trace hook sees one record per member dispatch (all
+                // sharing the batch's time and seq), so observers still
+                // see every delivery.
+                let (&last, rest) = targets.split_last().expect("batch is never empty");
+                for &target in rest {
+                    self.trace_dispatch(key.time, target, key.seq);
+                    self.dispatch(target.0, Some(payload.clone()));
+                }
+                self.trace_dispatch(key.time, last, key.seq);
+                self.dispatch(last.0, Some(payload));
+            }
         }
-        self.dispatch(target.0, Some(payload));
         self.flush_starts();
         true
     }
@@ -865,6 +941,134 @@ mod tests {
             out
         }
         assert_eq!(trace(true), trace(false));
+    }
+
+    /// A batch send must be indistinguishable from a loop of `send_now`
+    /// calls in everything but event count: same delivery order, same
+    /// interleaving with competing same-instant events.
+    #[test]
+    fn batch_send_orders_like_send_now_loop() {
+        fn run(batch: bool) -> (Vec<(usize, Ev)>, u64) {
+            struct Driver {
+                batch: bool,
+                peers: Vec<ActorId>,
+            }
+            impl Actor<Ev> for Driver {
+                fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
+                    // A competing event minted before the sends…
+                    ctx.send_now(self.peers[0], 99);
+                    if self.batch {
+                        ctx.send_now_batch(self.peers.clone(), 7);
+                    } else {
+                        for &p in &self.peers {
+                            ctx.send_now(p, 7);
+                        }
+                    }
+                    // …and one minted after.
+                    ctx.send_now(self.peers[2], 42);
+                }
+            }
+            let mut sim = Simulation::new(1);
+            let peers: Vec<ActorId> = (0..3)
+                .map(|_| sim.add_actor(Recorder { log: vec![] }))
+                .collect();
+            let d = sim.add_actor(Driver {
+                batch,
+                peers: peers.clone(),
+            });
+            sim.schedule_at(SimTime::from_secs_f64(1.0), d, 0);
+            sim.run_until_idle();
+            let mut log = Vec::new();
+            use std::collections::BTreeMap;
+            let mut per_peer: BTreeMap<usize, Vec<Ev>> = BTreeMap::new();
+            for (i, &p) in peers.iter().enumerate() {
+                per_peer.insert(
+                    i,
+                    sim.actor::<Recorder>(p)
+                        .unwrap()
+                        .log
+                        .iter()
+                        .map(|&(_, e)| e)
+                        .collect(),
+                );
+            }
+            for (i, evs) in per_peer {
+                for e in evs {
+                    log.push((i, e));
+                }
+            }
+            (log, sim.events_processed())
+        }
+        let (batched, batched_events) = run(true);
+        let (serial, serial_events) = run(false);
+        assert_eq!(batched, serial, "delivery must match the serial loop");
+        // driver + 99 + batch(1 vs 3) + 42
+        assert_eq!(serial_events, 6);
+        assert_eq!(batched_events, 4, "3 sends collapse into one event");
+    }
+
+    #[test]
+    fn batch_send_traces_every_member_and_cancels_whole() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Batcher {
+            peers: Vec<ActorId>,
+            cancel_it: bool,
+        }
+        impl Actor<Ev> for Batcher {
+            fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
+                let h = ctx.send_now_batch(self.peers.clone(), 5);
+                assert!(ctx.is_pending(h));
+                if self.cancel_it {
+                    assert!(ctx.cancel(h));
+                }
+            }
+        }
+        for cancel_it in [false, true] {
+            let mut sim = Simulation::new(1);
+            let peers: Vec<ActorId> = (0..4)
+                .map(|_| sim.add_actor(Recorder { log: vec![] }))
+                .collect();
+            let b = sim.add_actor(Batcher {
+                peers: peers.clone(),
+                cancel_it,
+            });
+            let records = Rc::new(RefCell::new(Vec::new()));
+            let r2 = Rc::clone(&records);
+            sim.set_trace(move |rec| r2.borrow_mut().push((rec.seq, rec.target)));
+            sim.schedule_at(SimTime::ZERO, b, 0);
+            sim.run_until_idle();
+            let delivered: usize = peers
+                .iter()
+                .map(|&p| sim.actor::<Recorder>(p).unwrap().log.len())
+                .sum();
+            if cancel_it {
+                assert_eq!(delivered, 0, "cancelled batch must not deliver");
+                assert_eq!(records.borrow().len(), 1, "only the driver event");
+            } else {
+                assert_eq!(delivered, 4);
+                // 1 driver record + 4 member records sharing one seq.
+                let recs = records.borrow();
+                assert_eq!(recs.len(), 5);
+                let batch_seq = recs[1].0;
+                assert!(recs[1..].iter().all(|&(s, _)| s == batch_seq));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_batch_panics() {
+        struct Empty;
+        impl Actor<Ev> for Empty {
+            fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
+                ctx.send_now_batch(Vec::new(), 1);
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Empty);
+        sim.schedule_at(SimTime::ZERO, id, 0);
+        sim.run_until_idle();
     }
 
     /// Ping-pong pair demonstrating actor-to-actor messaging.

@@ -7,12 +7,17 @@
 //! delay model a trait with the paper's [`ThreeMode`] model as the default
 //! and several alternatives for sensitivity studies.
 
-use presence_des::{SimDuration, StreamRng};
+use presence_des::{SimDuration, SimTime, StreamRng};
 
 /// Samples a one-way network delay for each transmitted message.
+///
+/// `now` is the simulation time of the send: stationary models ignore it,
+/// while time-varying wrappers ([`crate::Scheduled`]) use it to pick the
+/// active regime. Callers must query with non-decreasing `now` values (the
+/// fabric does, since event time is monotone).
 pub trait DelayModel: std::fmt::Debug + Send {
-    /// Draws the delay for one message.
-    fn sample(&mut self, rng: &mut StreamRng) -> SimDuration;
+    /// Draws the delay for one message sent at `now`.
+    fn sample(&mut self, now: SimTime, rng: &mut StreamRng) -> SimDuration;
 
     /// An upper bound on the delay, if the model has one. Used by protocol
     /// configuration validation: the paper sets `TOF = 2·RTT_max + C_max`,
@@ -25,7 +30,7 @@ pub trait DelayModel: std::fmt::Debug + Send {
 pub struct ConstantDelay(pub SimDuration);
 
 impl DelayModel for ConstantDelay {
-    fn sample(&mut self, _rng: &mut StreamRng) -> SimDuration {
+    fn sample(&mut self, _now: SimTime, _rng: &mut StreamRng) -> SimDuration {
         self.0
     }
     fn max_delay(&self) -> Option<SimDuration> {
@@ -54,7 +59,7 @@ impl UniformDelay {
 }
 
 impl DelayModel for UniformDelay {
-    fn sample(&mut self, rng: &mut StreamRng) -> SimDuration {
+    fn sample(&mut self, _now: SimTime, rng: &mut StreamRng) -> SimDuration {
         if self.low == self.high {
             return self.low;
         }
@@ -114,7 +119,7 @@ impl ThreeMode {
 }
 
 impl DelayModel for ThreeMode {
-    fn sample(&mut self, rng: &mut StreamRng) -> SimDuration {
+    fn sample(&mut self, _now: SimTime, rng: &mut StreamRng) -> SimDuration {
         match rng.index(3) {
             0 => self.slow,
             1 => self.medium,
@@ -150,7 +155,7 @@ impl ExponentialDelay {
 }
 
 impl DelayModel for ExponentialDelay {
-    fn sample(&mut self, rng: &mut StreamRng) -> SimDuration {
+    fn sample(&mut self, _now: SimTime, rng: &mut StreamRng) -> SimDuration {
         let secs = rng.exponential(1.0 / self.mean);
         SimDuration::from_secs_f64(secs.min(self.cap.as_secs_f64()))
     }
@@ -176,11 +181,23 @@ impl<M: DelayModel> ShiftedDelay<M> {
 }
 
 impl<M: DelayModel> DelayModel for ShiftedDelay<M> {
-    fn sample(&mut self, rng: &mut StreamRng) -> SimDuration {
-        self.floor + self.inner.sample(rng)
+    fn sample(&mut self, now: SimTime, rng: &mut StreamRng) -> SimDuration {
+        self.floor + self.inner.sample(now, rng)
     }
     fn max_delay(&self) -> Option<SimDuration> {
         self.inner.max_delay().map(|d| self.floor + d)
+    }
+}
+
+/// Boxed models forward to their contents, so `Box<dyn DelayModel>` is
+/// itself a [`DelayModel`] — which lets the time-varying
+/// [`crate::Scheduled`] wrapper hold heterogeneous boxed segments.
+impl<M: DelayModel + ?Sized> DelayModel for Box<M> {
+    fn sample(&mut self, now: SimTime, rng: &mut StreamRng) -> SimDuration {
+        (**self).sample(now, rng)
+    }
+    fn max_delay(&self) -> Option<SimDuration> {
+        (**self).max_delay()
     }
 }
 
@@ -197,7 +214,7 @@ mod tests {
         let mut m = ConstantDelay(SimDuration::from_millis(5));
         let mut r = rng();
         for _ in 0..100 {
-            assert_eq!(m.sample(&mut r), SimDuration::from_millis(5));
+            assert_eq!(m.sample(SimTime::ZERO, &mut r), SimDuration::from_millis(5));
         }
         assert_eq!(m.max_delay(), Some(SimDuration::from_millis(5)));
     }
@@ -209,7 +226,7 @@ mod tests {
         let mut m = UniformDelay::new(lo, hi);
         let mut r = rng();
         for _ in 0..10_000 {
-            let d = m.sample(&mut r);
+            let d = m.sample(SimTime::ZERO, &mut r);
             assert!(d >= lo && d <= hi, "sample {d} out of bounds");
         }
     }
@@ -218,7 +235,7 @@ mod tests {
     fn uniform_degenerate_point() {
         let d = SimDuration::from_micros(7);
         let mut m = UniformDelay::new(d, d);
-        assert_eq!(m.sample(&mut rng()), d);
+        assert_eq!(m.sample(SimTime::ZERO, &mut rng()), d);
     }
 
     #[test]
@@ -233,7 +250,7 @@ mod tests {
         let mut r = rng();
         let mut counts = [0u32; 3];
         for _ in 0..30_000 {
-            let d = m.sample(&mut r);
+            let d = m.sample(SimTime::ZERO, &mut r);
             if d == m.slow {
                 counts[0] += 1;
             } else if d == m.medium {
@@ -277,7 +294,7 @@ mod tests {
         let n = 20_000;
         let mut sum = 0.0;
         for _ in 0..n {
-            let d = m.sample(&mut r);
+            let d = m.sample(SimTime::ZERO, &mut r);
             assert!(d <= cap);
             sum += d.as_secs_f64();
         }
@@ -289,7 +306,10 @@ mod tests {
     fn shifted_adds_floor() {
         let floor = SimDuration::from_millis(1);
         let mut m = ShiftedDelay::new(floor, ConstantDelay(SimDuration::from_millis(2)));
-        assert_eq!(m.sample(&mut rng()), SimDuration::from_millis(3));
+        assert_eq!(
+            m.sample(SimTime::ZERO, &mut rng()),
+            SimDuration::from_millis(3)
+        );
         assert_eq!(m.max_delay(), Some(SimDuration::from_millis(3)));
     }
 }

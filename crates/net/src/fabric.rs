@@ -153,7 +153,7 @@ impl Fabric {
             self.stats.dropped_overflow += 1;
             return SendOutcome::DroppedOverflow;
         }
-        if self.loss.should_drop(rng) {
+        if self.loss.should_drop(now, rng) {
             self.stats.dropped_loss += 1;
             return SendOutcome::DroppedLoss;
         }
@@ -161,7 +161,7 @@ impl Fabric {
         self.stats.admitted += 1;
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
         self.occupancy.set(now.as_secs_f64(), self.in_flight as f64);
-        let delay = self.delay.sample(rng);
+        let delay = self.delay.sample(now, rng);
         let at = now + delay;
         self.pending.push(Reverse(at));
         SendOutcome::Deliver(at)

@@ -12,6 +12,9 @@
 //!   [`ShiftedDelay`];
 //! * [`LossModel`] with [`NoLoss`], [`BernoulliLoss`], and the bursty
 //!   [`GilbertElliott`] channel (for the paper's §5 loss conjecture);
+//! * [`Scheduled`] — a piecewise wrapper that switches any delay or loss
+//!   model at configured sim-time boundaries (the scenario lab's
+//!   time-varying network regimes);
 //! * [`BoundedFifo`] — a bounded queue with time-weighted occupancy
 //!   accounting (the paper's "average buffer length ≈ 0.004");
 //! * [`Fabric`] — the complete network: admission, loss, delay, and
@@ -27,6 +30,7 @@ mod buffer;
 mod delay;
 mod fabric;
 mod loss;
+mod scheduled;
 
 pub use buffer::{BoundedFifo, BufferStats};
 pub use delay::{
@@ -34,3 +38,4 @@ pub use delay::{
 };
 pub use fabric::{Fabric, FabricStats, SendOutcome};
 pub use loss::{BernoulliLoss, GilbertElliott, LossModel, NoLoss};
+pub use scheduled::Scheduled;

@@ -8,12 +8,25 @@
 //! independent ([`BernoulliLoss`]) and a bursty ([`GilbertElliott`]) loss
 //! model.
 
-use presence_des::StreamRng;
+use presence_des::{SimTime, StreamRng};
 
 /// Decides, per message, whether the network drops it.
+///
+/// `now` is the simulation time of the send: stationary models ignore it,
+/// while time-varying wrappers ([`crate::Scheduled`]) use it to pick the
+/// active regime. Callers must query with non-decreasing `now` values.
 pub trait LossModel: std::fmt::Debug + Send {
-    /// Returns `true` if the next message should be dropped.
-    fn should_drop(&mut self, rng: &mut StreamRng) -> bool;
+    /// Returns `true` if a message sent at `now` should be dropped.
+    fn should_drop(&mut self, now: SimTime, rng: &mut StreamRng) -> bool;
+}
+
+/// Boxed models forward to their contents, so `Box<dyn LossModel>` is
+/// itself a [`LossModel`] — which lets the time-varying
+/// [`crate::Scheduled`] wrapper hold heterogeneous boxed segments.
+impl<M: LossModel + ?Sized> LossModel for Box<M> {
+    fn should_drop(&mut self, now: SimTime, rng: &mut StreamRng) -> bool {
+        (**self).should_drop(now, rng)
+    }
 }
 
 /// The lossless network of the paper's baseline experiments.
@@ -21,7 +34,7 @@ pub trait LossModel: std::fmt::Debug + Send {
 pub struct NoLoss;
 
 impl LossModel for NoLoss {
-    fn should_drop(&mut self, _rng: &mut StreamRng) -> bool {
+    fn should_drop(&mut self, _now: SimTime, _rng: &mut StreamRng) -> bool {
         false
     }
 }
@@ -53,7 +66,7 @@ impl BernoulliLoss {
 }
 
 impl LossModel for BernoulliLoss {
-    fn should_drop(&mut self, rng: &mut StreamRng) -> bool {
+    fn should_drop(&mut self, _now: SimTime, rng: &mut StreamRng) -> bool {
         rng.bernoulli(self.p)
     }
 }
@@ -129,10 +142,25 @@ impl GilbertElliott {
     pub fn in_bad_state(&self) -> bool {
         self.in_bad
     }
+
+    /// The long-run (stationary) drop rate of this channel:
+    /// `P(bad)·loss_bad + P(good)·loss_good`, with the stationary
+    /// bad-state probability `p_gb / (p_gb + p_bg)`. A channel that can
+    /// never transition (`p_gb = p_bg = 0`) stays in its initial good
+    /// state, so the stationary rate is `loss_good`.
+    #[must_use]
+    pub fn stationary_rate(&self) -> f64 {
+        let p_bad = if self.p_gb + self.p_bg > 0.0 {
+            self.p_gb / (self.p_gb + self.p_bg)
+        } else {
+            0.0
+        };
+        p_bad * self.loss_bad + (1.0 - p_bad) * self.loss_good
+    }
 }
 
 impl LossModel for GilbertElliott {
-    fn should_drop(&mut self, rng: &mut StreamRng) -> bool {
+    fn should_drop(&mut self, _now: SimTime, rng: &mut StreamRng) -> bool {
         // Transition first, then sample loss in the new state.
         if self.in_bad {
             if rng.bernoulli(self.p_bg) {
@@ -162,14 +190,16 @@ mod tests {
     fn no_loss_never_drops() {
         let mut m = NoLoss;
         let mut r = rng();
-        assert!((0..10_000).all(|_| !m.should_drop(&mut r)));
+        assert!((0..10_000).all(|_| !m.should_drop(SimTime::ZERO, &mut r)));
     }
 
     #[test]
     fn bernoulli_rate_matches() {
         let mut m = BernoulliLoss::new(0.2);
         let mut r = rng();
-        let drops = (0..100_000).filter(|_| m.should_drop(&mut r)).count();
+        let drops = (0..100_000)
+            .filter(|_| m.should_drop(SimTime::ZERO, &mut r))
+            .count();
         let rate = drops as f64 / 100_000.0;
         assert!((rate - 0.2).abs() < 0.01, "drop rate {rate}");
     }
@@ -177,8 +207,8 @@ mod tests {
     #[test]
     fn bernoulli_extremes() {
         let mut r = rng();
-        assert!(!BernoulliLoss::new(0.0).should_drop(&mut r));
-        assert!(BernoulliLoss::new(1.0).should_drop(&mut r));
+        assert!(!BernoulliLoss::new(0.0).should_drop(SimTime::ZERO, &mut r));
+        assert!(BernoulliLoss::new(1.0).should_drop(SimTime::ZERO, &mut r));
     }
 
     #[test]
@@ -192,7 +222,9 @@ mod tests {
         let mut m = GilbertElliott::bursty(0.1);
         let mut r = rng();
         let n = 500_000;
-        let drops = (0..n).filter(|_| m.should_drop(&mut r)).count();
+        let drops = (0..n)
+            .filter(|_| m.should_drop(SimTime::ZERO, &mut r))
+            .count();
         let rate = drops as f64 / n as f64;
         assert!((rate - 0.1).abs() < 0.02, "long-run loss rate {rate}");
     }
@@ -205,7 +237,7 @@ mod tests {
             let mut max = 0;
             let mut cur = 0;
             for _ in 0..n {
-                if m.should_drop(r) {
+                if m.should_drop(SimTime::ZERO, r) {
                     cur += 1;
                     max = max.max(cur);
                 } else {
@@ -231,7 +263,7 @@ mod tests {
         let mut saw_bad = false;
         let mut saw_good = false;
         for _ in 0..100_000 {
-            let _ = m.should_drop(&mut r);
+            let _ = m.should_drop(SimTime::ZERO, &mut r);
             if m.in_bad_state() {
                 saw_bad = true;
             } else {

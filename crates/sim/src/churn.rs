@@ -9,9 +9,25 @@
 //!   is redrawn from `U{min..max}` at exponentially distributed intervals
 //!   ("this choice is repeated every X time-units, where X is exponentially
 //!   distributed with rate 0.05").
+//!
+//! The scenario lab adds the workloads the paper only conjectures about
+//! (§5: populations that surge and drain rather than resample uniformly):
+//!
+//! * [`ChurnModel::FlashCrowd`] — a join wave ramping the population up to
+//!   a peak, holding, then draining back down (joins and leaves spread
+//!   evenly over the ramp, not lock-stepped);
+//! * [`ChurnModel::Diurnal`] — a sinusoid-modulated MMPP: the population
+//!   tracks a day-shaped sinusoid between `min` and `max`, resampled at
+//!   exponentially distributed instants whose rate is itself modulated by
+//!   the sinusoid (churn is busiest near the peak).
+//!
+//! Models can be **switched mid-run**: the regime scheduler (see
+//! [`crate::RegimeActor`]) sends [`crate::SimEvent::SetChurn`] at
+//! configured boundaries, and the churn actor re-arms under the new model
+//! deterministically.
 
 use crate::event::SimEvent;
-use presence_des::{Actor, ActorId, Context, SimDuration, SimTime};
+use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime};
 use presence_stats::TimeSeries;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +55,37 @@ pub enum ChurnModel {
         /// Rate of the exponential inter-resample time (1/mean).
         rate: f64,
     },
+    /// A flash crowd: at time `at`, the population ramps up to `peak` with
+    /// joins spread evenly over `ramp` seconds, holds for `hold` seconds,
+    /// then drains back to the pre-surge population with leaves spread
+    /// over another `ramp` seconds. `ramp = 0` degenerates to a lock-step
+    /// spike (the adversarial variant of the paper's join-spike worry).
+    FlashCrowd {
+        /// When the up-ramp starts (seconds).
+        at: f64,
+        /// Target population at the top of the wave.
+        peak: u32,
+        /// Width of each ramp (seconds).
+        ramp: f64,
+        /// How long the crowd stays at the peak (seconds).
+        hold: f64,
+    },
+    /// A sinusoid-modulated MMPP: the mean population follows
+    /// `min + (max − min)·(1 − cos(2πt/period))/2` (troughs at t = 0 and
+    /// every full period), resampled at exponentially distributed instants
+    /// whose rate is `rate · (0.5 + 1.5·s(t))` — churn activity surges
+    /// with the population. Each resample draws the target uniformly from
+    /// a ±⅛-range band around the sinusoid mean.
+    Diurnal {
+        /// Length of one day (seconds).
+        period: f64,
+        /// Trough population.
+        min: u32,
+        /// Peak population.
+        max: u32,
+        /// Baseline resample rate (1/mean seconds).
+        rate: f64,
+    },
 }
 
 impl ChurnModel {
@@ -62,6 +109,14 @@ impl ChurnModel {
             leavers: 18,
         }
     }
+
+    /// The normalised sinusoid `s(t) = (1 − cos(2πt/period))/2 ∈ [0, 1]`
+    /// shared by the [`ChurnModel::Diurnal`] population mean and resample
+    /// rate.
+    #[must_use]
+    pub fn diurnal_phase(period: f64, t: f64) -> f64 {
+        (1.0 - (2.0 * std::f64::consts::PI * t / period).cos()) / 2.0
+    }
 }
 
 /// The actor that drives joins and leaves according to a [`ChurnModel`].
@@ -75,6 +130,22 @@ pub struct ChurnActor {
     /// lock-step of all CPs starting at exactly t = 0).
     join_stagger: SimDuration,
     initially_active: u32,
+    /// The next scheduled self-event (resample / wave step), cancelled on
+    /// a model switch so stale events from the old regime never fire.
+    pending_self: Option<EventHandle>,
+    /// Staggered wave steps ([`SimEvent::ChurnWave`] self-events) not yet
+    /// fired. Membership flags and the population series only move when a
+    /// step fires, so a model switch simply cancels the pending ones —
+    /// bookkeeping always matches what the CPs actually experienced.
+    wave: Vec<EventHandle>,
+    /// Flash-crowd state machine: 0 = waiting for the up-ramp, 1 = at the
+    /// peak waiting for the drain.
+    flash_step: u8,
+    /// Population before the flash-crowd up-ramp (the drain target).
+    flash_baseline: u32,
+    /// How many mid-run model switches have been applied (lab
+    /// diagnostics; see [`ChurnActor::switches_applied`]).
+    switches: u64,
 }
 
 impl ChurnActor {
@@ -100,15 +171,7 @@ impl ChurnActor {
             "more initially active CPs than the pool holds"
         );
         let active = vec![false; cps.len()];
-        // One sample at start plus one per resample; 1.5× headroom keeps
-        // an unlucky exponential draw sequence from forcing a regrow.
-        let samples_hint = match model {
-            ChurnModel::Static => 1,
-            ChurnModel::BurstLeave { .. } => 2,
-            ChurnModel::UniformResample { rate, .. } => {
-                (horizon * rate * 1.5).min(4e6) as usize + 2
-            }
-        };
+        let samples_hint = Self::samples_hint(model, horizon);
         Self {
             model,
             cps,
@@ -116,6 +179,27 @@ impl ChurnActor {
             population: TimeSeries::with_capacity(samples_hint),
             join_stagger,
             initially_active,
+            pending_self: None,
+            wave: Vec::new(),
+            flash_step: 0,
+            flash_baseline: 0,
+            switches: 0,
+        }
+    }
+
+    /// One sample at start plus one per resample; 1.5× headroom keeps an
+    /// unlucky exponential draw sequence from forcing a regrow.
+    fn samples_hint(model: ChurnModel, horizon: f64) -> usize {
+        match model {
+            ChurnModel::Static => 1,
+            ChurnModel::BurstLeave { .. } => 2,
+            ChurnModel::FlashCrowd { .. } => 3,
+            ChurnModel::UniformResample { rate, .. } => {
+                (horizon * rate * 1.5).min(4e6) as usize + 2
+            }
+            // Peak resample rate is 2·rate; size for the mean ~1·rate
+            // with the same headroom.
+            ChurnModel::Diurnal { rate, .. } => (horizon * rate * 1.5).min(4e6) as usize + 2,
         }
     }
 
@@ -123,6 +207,18 @@ impl ChurnActor {
     #[must_use]
     pub fn population_series(&self) -> &TimeSeries {
         &self.population
+    }
+
+    /// The model currently driving the population.
+    #[must_use]
+    pub fn model(&self) -> ChurnModel {
+        self.model
+    }
+
+    /// How many mid-run model switches this actor has applied.
+    #[must_use]
+    pub fn switches_applied(&self) -> u64 {
+        self.switches
     }
 
     fn active_count(&self) -> u32 {
@@ -137,25 +233,185 @@ impl ChurnActor {
     /// Moves the active population to `target` by joining inactive CPs (in
     /// index order) or leaving active ones (highest index first — matching
     /// the "18 of 20 leave, CPs 1–2 stay" reading of Figure 4).
+    ///
+    /// All changes of one resample go out as a **single batched engine
+    /// event** per direction ([`Context::send_now_batch`]) instead of one
+    /// event per membership change — same delivery order, k − 1 fewer
+    /// queue operations (ROADMAP open item (d)). A single-change step (the
+    /// common diurnal case) skips the batch and its allocation: a batch of
+    /// one and a plain `send_now` consume one sequence number each, so the
+    /// two paths are trajectory-identical.
     fn drive_to(&mut self, ctx: &mut Context<'_, SimEvent>, target: u32) {
-        let mut current = self.active_count();
-        while current < target {
-            let Some(idx) = self.active.iter().position(|&a| !a) else {
-                break;
-            };
-            self.active[idx] = true;
-            ctx.send_now(self.cps[idx], SimEvent::Join);
-            current += 1;
-        }
-        while current > target {
-            let Some(idx) = self.active.iter().rposition(|&a| a) else {
-                break;
-            };
-            self.active[idx] = false;
-            ctx.send_now(self.cps[idx], SimEvent::Leave);
-            current -= 1;
+        let current = self.active_count();
+        if current < target {
+            let mut changed = Vec::with_capacity((target - current) as usize);
+            let mut current = current;
+            while current < target {
+                let Some(idx) = self.active.iter().position(|&a| !a) else {
+                    break;
+                };
+                self.active[idx] = true;
+                changed.push(self.cps[idx]);
+                current += 1;
+            }
+            Self::send_membership(ctx, changed, SimEvent::Join);
+        } else if current > target {
+            let mut changed = Vec::with_capacity((current - target) as usize);
+            let mut current = current;
+            while current > target {
+                let Some(idx) = self.active.iter().rposition(|&a| a) else {
+                    break;
+                };
+                self.active[idx] = false;
+                changed.push(self.cps[idx]);
+                current -= 1;
+            }
+            Self::send_membership(ctx, changed, SimEvent::Leave);
         }
         self.record_population(ctx.now());
+    }
+
+    /// One membership event for the whole change set: nothing for an
+    /// empty set, a plain `send_now` for a single CP, a batch otherwise.
+    fn send_membership(ctx: &mut Context<'_, SimEvent>, changed: Vec<ActorId>, event: SimEvent) {
+        match changed.len() {
+            0 => {}
+            1 => {
+                ctx.send_now(changed[0], event);
+            }
+            _ => {
+                ctx.send_now_batch(changed, event);
+            }
+        }
+    }
+
+    /// Schedules the next self-event the current model needs (if any).
+    /// Draw order matches the pre-switchable actor exactly, so seeded
+    /// trajectories are unchanged for the paper's three models.
+    fn arm(&mut self, ctx: &mut Context<'_, SimEvent>) {
+        let me = ctx.me();
+        self.pending_self = match self.model {
+            ChurnModel::Static => None,
+            ChurnModel::BurstLeave { at, .. } => {
+                let at = SimTime::from_secs_f64(at).max(ctx.now());
+                Some(ctx.schedule_at(at, me, SimEvent::ResampleChurn))
+            }
+            ChurnModel::UniformResample { rate, .. } => {
+                let wait = ctx.rng().exponential(rate);
+                Some(ctx.schedule_in(
+                    SimDuration::from_secs_f64(wait),
+                    me,
+                    SimEvent::ResampleChurn,
+                ))
+            }
+            ChurnModel::FlashCrowd { at, .. } => {
+                self.flash_step = 0;
+                let at = SimTime::from_secs_f64(at).max(ctx.now());
+                Some(ctx.schedule_at(at, me, SimEvent::ResampleChurn))
+            }
+            ChurnModel::Diurnal { period, rate, .. } => {
+                let lambda = Self::diurnal_rate(rate, period, ctx.now().as_secs_f64());
+                let wait = ctx.rng().exponential(lambda);
+                Some(ctx.schedule_in(
+                    SimDuration::from_secs_f64(wait),
+                    me,
+                    SimEvent::ResampleChurn,
+                ))
+            }
+        };
+    }
+
+    /// The sinusoid-modulated resample rate: `rate · (0.5 + 1.5·s(t))`,
+    /// between 0.5× (trough) and 2× (peak) the baseline.
+    fn diurnal_rate(rate: f64, period: f64, t: f64) -> f64 {
+        rate * (0.5 + 1.5 * ChurnModel::diurnal_phase(period, t))
+    }
+
+    /// Schedules a staggered wave of joins or leaves: `targets` CP indices
+    /// change membership spread evenly over `ramp` seconds (the k-th at
+    /// `ramp·(k+1)/n`). Each step is a [`SimEvent::ChurnWave`] self-event:
+    /// the membership flag, the forwarded `Join`/`Leave`, and the
+    /// population sample all happen when the step *fires*, so the recorded
+    /// population ramps with reality instead of leading it, and a model
+    /// switch mid-wave only has to cancel the un-fired steps (costs one
+    /// extra engine event per wave member; waves are rare).
+    fn schedule_wave(
+        &mut self,
+        ctx: &mut Context<'_, SimEvent>,
+        targets: Vec<usize>,
+        is_join: bool,
+        ramp: f64,
+    ) {
+        let n = targets.len();
+        let me = ctx.me();
+        self.wave.retain(|&h| ctx.is_pending(h));
+        for (k, idx) in targets.into_iter().enumerate() {
+            let offset = SimDuration::from_secs_f64(ramp * (k + 1) as f64 / n as f64);
+            let handle = ctx.schedule_in(
+                offset,
+                me,
+                SimEvent::ChurnWave {
+                    index: idx as u32,
+                    join: is_join,
+                },
+            );
+            self.wave.push(handle);
+        }
+    }
+
+    /// One step of the flash-crowd machine.
+    fn flash_fire(&mut self, ctx: &mut Context<'_, SimEvent>) {
+        let ChurnModel::FlashCrowd {
+            peak, ramp, hold, ..
+        } = self.model
+        else {
+            unreachable!("flash step outside FlashCrowd model");
+        };
+        match self.flash_step {
+            0 => {
+                self.flash_baseline = self.active_count();
+                let want = peak.min(self.cps.len() as u32);
+                let need = want.saturating_sub(self.flash_baseline) as usize;
+                // Lowest-index inactive CPs join, flags flipping as each
+                // wave step fires.
+                let joiners: Vec<usize> = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &a)| !a)
+                    .map(|(i, _)| i)
+                    .take(need)
+                    .collect();
+                if !joiners.is_empty() {
+                    self.schedule_wave(ctx, joiners, true, ramp);
+                }
+                self.flash_step = 1;
+                let me = ctx.me();
+                let drain_at = ctx.now() + SimDuration::from_secs_f64(ramp + hold);
+                self.pending_self = Some(ctx.schedule_at(drain_at, me, SimEvent::ResampleChurn));
+            }
+            _ => {
+                let need = self.active_count().saturating_sub(self.flash_baseline) as usize;
+                // Highest-index active CPs drain first (the Figure 4
+                // convention).
+                let leavers: Vec<usize> = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .filter(|&(_, &a)| a)
+                    .map(|(i, _)| i)
+                    .take(need)
+                    .collect();
+                if !leavers.is_empty() {
+                    self.schedule_wave(ctx, leavers, false, ramp);
+                }
+                // The wave is over; the model goes quiet (no more
+                // self-events) until a regime switch replaces it.
+                self.pending_self = None;
+                self.flash_step = 2;
+            }
+        }
     }
 }
 
@@ -176,23 +432,7 @@ impl Actor<SimEvent> for ChurnActor {
             ctx.schedule_in(offset, self.cps[idx], SimEvent::Join);
         }
         self.record_population(ctx.now());
-
-        match self.model {
-            ChurnModel::Static => {}
-            ChurnModel::BurstLeave { at, .. } => {
-                let me = ctx.me();
-                ctx.schedule_at(SimTime::from_secs_f64(at), me, SimEvent::ResampleChurn);
-            }
-            ChurnModel::UniformResample { rate, .. } => {
-                let wait = ctx.rng().exponential(rate);
-                let me = ctx.me();
-                ctx.schedule_in(
-                    SimDuration::from_secs_f64(wait),
-                    me,
-                    SimEvent::ResampleChurn,
-                );
-            }
-        }
+        self.arm(ctx);
     }
 
     fn on_event(&mut self, ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
@@ -200,6 +440,7 @@ impl Actor<SimEvent> for ChurnActor {
             SimEvent::ResampleChurn => match self.model {
                 ChurnModel::Static => {}
                 ChurnModel::BurstLeave { leavers, .. } => {
+                    self.pending_self = None;
                     let target = self.active_count().saturating_sub(leavers);
                     self.drive_to(ctx, target);
                 }
@@ -211,13 +452,63 @@ impl Actor<SimEvent> for ChurnActor {
                     self.drive_to(ctx, target.min(self.cps.len() as u32));
                     let wait = ctx.rng().exponential(rate);
                     let me = ctx.me();
-                    ctx.schedule_in(
+                    self.pending_self = Some(ctx.schedule_in(
                         SimDuration::from_secs_f64(wait),
                         me,
                         SimEvent::ResampleChurn,
-                    );
+                    ));
+                }
+                ChurnModel::FlashCrowd { .. } => self.flash_fire(ctx),
+                ChurnModel::Diurnal {
+                    period,
+                    min,
+                    max,
+                    rate,
+                } => {
+                    let t = ctx.now().as_secs_f64();
+                    let span = f64::from(max.saturating_sub(min));
+                    let mean = f64::from(min) + span * ChurnModel::diurnal_phase(period, t);
+                    let band = (span / 8.0).max(1.0);
+                    let lo = (mean - band).max(f64::from(min)).round() as u64;
+                    let hi = (mean + band).min(f64::from(max)).round() as u64;
+                    let target = ctx.rng().uniform_inclusive_u64(lo, hi.max(lo)) as u32;
+                    self.drive_to(ctx, target.min(self.cps.len() as u32));
+                    let lambda = Self::diurnal_rate(rate, period, t);
+                    let wait = ctx.rng().exponential(lambda);
+                    let me = ctx.me();
+                    self.pending_self = Some(ctx.schedule_in(
+                        SimDuration::from_secs_f64(wait),
+                        me,
+                        SimEvent::ResampleChurn,
+                    ));
                 }
             },
+            SimEvent::ChurnWave { index, join } => {
+                let idx = index as usize;
+                self.active[idx] = join;
+                let event = if join {
+                    SimEvent::Join
+                } else {
+                    SimEvent::Leave
+                };
+                ctx.send_now(self.cps[idx], event);
+                self.record_population(ctx.now());
+                self.wave.retain(|&h| ctx.is_pending(h));
+            }
+            SimEvent::SetChurn(model) => {
+                if let Some(handle) = self.pending_self.take() {
+                    ctx.cancel(handle);
+                }
+                // Cancel wave steps that have not fired yet; flags and the
+                // population series only move at fire time, so there is
+                // nothing to unwind beyond the events themselves.
+                for handle in std::mem::take(&mut self.wave) {
+                    ctx.cancel(handle);
+                }
+                self.model = model;
+                self.switches += 1;
+                self.arm(ctx);
+            }
             other => {
                 debug_assert!(false, "churn actor got unexpected event {other:?}");
             }

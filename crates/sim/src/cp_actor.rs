@@ -70,6 +70,11 @@ pub struct CpActor {
     /// remove + insert. Flushed (actually cancelled) at the end of the
     /// batch if nothing reuses it.
     rearm_slot: Option<EventHandle>,
+    /// Scratch buffer for prober action batches, reused across events so
+    /// the steady-state probe loop allocates nothing (ROADMAP open item
+    /// (b)). Taken out of `self` while a batch executes, then put back
+    /// with its capacity intact.
+    scratch: Vec<CpAction>,
     /// Dissemination state (only consulted when `disseminate` is set).
     disseminate: bool,
     overlay: OverlayView,
@@ -100,6 +105,7 @@ impl CpActor {
             prober: None,
             timers: HashMap::new(),
             rearm_slot: None,
+            scratch: Vec::new(),
             disseminate,
             overlay: OverlayView::new(id),
             gossip: Disseminator::new(id),
@@ -163,12 +169,15 @@ impl CpActor {
         }
     }
 
-    fn execute(&mut self, ctx: &mut Context<'_, SimEvent>, actions: Vec<CpAction>) {
+    /// Executes one prober action batch, draining `actions` in place (the
+    /// caller hands back the scratch buffer afterwards so its capacity is
+    /// reused by the next event).
+    fn execute(&mut self, ctx: &mut Context<'_, SimEvent>, actions: &mut Vec<CpAction>) {
         debug_assert!(
             self.rearm_slot.is_none(),
             "rearm slot leaked across batches"
         );
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 CpAction::SendProbe(probe) => {
                     let device = self.device;
@@ -254,11 +263,12 @@ impl CpActor {
         if let ReplyBody::Sapp { last_probers, .. } = reply.body {
             self.overlay.observe(last_probers);
         }
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch);
         let before = prober.stats().cycles_succeeded;
         prober.on_reply(ctx.now(), &reply, &mut out);
         let completed = prober.stats().cycles_succeeded > before;
-        self.execute(ctx, out);
+        self.execute(ctx, &mut out);
+        self.scratch = out;
         if completed {
             self.sample_delay(ctx.now());
         }
@@ -268,9 +278,10 @@ impl CpActor {
         let disposition = self.gossip.on_notice(notice, &self.overlay);
         if let NoticeDisposition::Fresh { forward_to } = disposition {
             if let Some(prober) = self.prober.as_mut() {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 prober.on_leave_notice(ctx.now(), &mut out);
-                self.execute(ctx, out);
+                self.execute(ctx, &mut out);
+                self.scratch = out;
             }
             if self.disseminate {
                 let restamped = LeaveNotice {
@@ -311,10 +322,11 @@ impl Actor<SimEvent> for CpActor {
                 self.active = true;
                 self.record.joins += 1;
                 let mut prober = self.factory.build(self.id);
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 prober.start(ctx.now(), &mut out);
                 self.prober = Some(prober);
-                self.execute(ctx, out);
+                self.execute(ctx, &mut out);
+                self.scratch = out;
                 // SAPP and fixed-rate CPs know their delay from the start;
                 // record it so the frequency series covers the whole session.
                 self.sample_delay(ctx.now());
@@ -333,18 +345,20 @@ impl Actor<SimEvent> for CpActor {
                 let Some(prober) = self.prober.as_mut() else {
                     return;
                 };
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 prober.on_timer(ctx.now(), token, &mut out);
-                self.execute(ctx, out);
+                self.execute(ctx, &mut out);
+                self.scratch = out;
             }
             SimEvent::Deliver(WireMessage::Reply(reply)) => {
                 self.on_reply(ctx, reply);
             }
             SimEvent::Deliver(WireMessage::Bye(_)) => {
                 if let Some(prober) = self.prober.as_mut() {
-                    let mut out = Vec::new();
+                    let mut out = std::mem::take(&mut self.scratch);
                     prober.on_bye(ctx.now(), &mut out);
-                    self.execute(ctx, out);
+                    self.execute(ctx, &mut out);
+                    self.scratch = out;
                 }
             }
             SimEvent::Deliver(WireMessage::LeaveNotice(notice)) => {

@@ -1,5 +1,6 @@
 //! The event vocabulary shared by all simulation actors.
 
+use crate::churn::ChurnModel;
 use presence_core::{CpId, DeviceId, TimerToken, WireMessage};
 
 /// Network-level address of a node actor.
@@ -48,6 +49,21 @@ pub enum SimEvent {
     GracefulLeave,
     /// (to the churn actor) Resample the target CP population.
     ResampleChurn,
+    /// (to the churn actor) Switch to a new churn model mid-run — sent by
+    /// the regime scheduler at a configured boundary. The churn actor
+    /// cancels its pending self-events, unwinds any not-yet-fired wave
+    /// joins/leaves, and re-arms under the new model.
+    SetChurn(ChurnModel),
+    /// (to the churn actor, from itself) One step of a staggered
+    /// join/leave wave: flip CP `index`'s membership now and forward the
+    /// `Join`/`Leave`, so flags and the population series move when the
+    /// change actually happens, not when the wave was scheduled.
+    ChurnWave {
+        /// Index into the churn actor's CP pool.
+        index: u32,
+        /// `true` joins the CP, `false` leaves it.
+        join: bool,
+    },
     /// (to a device actor, SAPP Δ-retuning ablation) Multiply Δ by two.
     DoubleDelta,
 }

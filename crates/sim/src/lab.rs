@@ -1,0 +1,1142 @@
+//! The scenario lab: declarative, time-varying experiment specifications.
+//!
+//! A [`ScenarioSpec`] is the JSON-authorable description of one lab
+//! experiment: a protocol, a population, **phased** network and churn
+//! regimes (each a timeline of models switching at configured sim-time
+//! boundaries), an optional device failure, and a horizon. It *lowers*
+//! onto the existing [`ScenarioConfig`] machinery — nothing about the
+//! engine changes; a single-phase spec builds an actor graph identical to
+//! [`Scenario::build`], which is how the paper-faithful catalog entries
+//! reproduce the golden trajectories bit-for-bit.
+//!
+//! * delay/loss phases become a [`presence_net::Scheduled`] wrapper that
+//!   switches models exactly at the boundaries;
+//! * churn phases after the first are driven by a [`crate::RegimeActor`]
+//!   sending [`crate::SimEvent::SetChurn`] at each boundary;
+//! * every phase start becomes a **regime window**, and [`slice_result`]
+//!   reports device load, Jain fairness, population, and detection
+//!   latency per window;
+//! * [`run_lab`] fans replications across the [`crate::parallel`] worker
+//!   pool and merges them in seed order, so a [`LabReport`] is
+//!   byte-identical at any worker count.
+//!
+//! Shipped specs live in the repository's `catalog/` directory; the
+//! `lab` binary (`presence-bench`) loads, validates, runs, and prints
+//! them.
+
+use crate::churn::ChurnModel;
+use crate::metrics::ScenarioResult;
+use crate::parallel::run_indexed;
+use crate::scenario::{DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};
+use presence_core::AutoTuneConfig;
+use presence_des::SimTime;
+use presence_net::{DelayModel, LossModel, Scheduled};
+use presence_stats::{
+    jain_index, merge_boundaries, slice_windows, step_mean, window_mean, window_slice,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One timed phase of the delay regime: `delay` is active from `start`
+/// seconds until the next phase (or the horizon).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayPhase {
+    /// Phase start (seconds; the first phase must start at 0).
+    pub start: f64,
+    /// The delay model active during this phase.
+    pub delay: DelayKind,
+}
+
+/// One timed phase of the loss regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossPhase {
+    /// Phase start (seconds; the first phase must start at 0).
+    pub start: f64,
+    /// The loss model active during this phase.
+    pub loss: LossKind,
+}
+
+/// One timed phase of the churn regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPhase {
+    /// Phase start (seconds; the first phase must start at 0).
+    pub start: f64,
+    /// The churn model active during this phase.
+    pub churn: ChurnModel,
+}
+
+/// A declarative, serialisable scenario: everything [`ScenarioConfig`]
+/// holds, with the three stationary model choices generalised to phased
+/// regime timelines plus an optional mid-run device failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Catalog name (kebab-case by convention).
+    pub name: String,
+    /// One-line human description of what the scenario stresses.
+    pub description: String,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Size of the CP pool (upper bound on the population).
+    pub cp_pool: u32,
+    /// How many CPs are active from the start.
+    pub initially_active: u32,
+    /// Network buffer capacity (the paper: 20 000).
+    pub buffer_capacity: usize,
+    /// Delay regime timeline (first phase starts at 0).
+    pub delay: Vec<DelayPhase>,
+    /// Loss regime timeline (first phase starts at 0).
+    pub loss: Vec<LossPhase>,
+    /// Churn regime timeline (first phase starts at 0).
+    pub churn: Vec<ChurnPhase>,
+    /// Device processing time bounds (seconds): `(min, max)`.
+    pub processing: (f64, f64),
+    /// Stagger window for initial joins (seconds).
+    pub join_stagger: f64,
+    /// Width of the device-load measurement windows (seconds).
+    pub load_window: f64,
+    /// Run SAPP's overlay dissemination of leave notices.
+    pub disseminate: bool,
+    /// Install the device-side Δ auto-tuner (SAPP protocol only).
+    pub sapp_auto_tune: Option<AutoTuneConfig>,
+    /// Crash the device (silent leave) at this instant, if set.
+    pub crash_at: Option<f64>,
+    /// Graceful device leave (Bye broadcast) at this instant, if set.
+    pub bye_at: Option<f64>,
+    /// Root seed.
+    pub seed: u64,
+    /// Virtual run length (seconds).
+    pub duration: f64,
+}
+
+/// Why a [`ScenarioSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Checks one phase timeline: non-empty, anchored at 0, strictly
+/// increasing, every start inside the horizon.
+fn check_phases(kind: &str, starts: &[f64], duration: f64) -> Result<(), SpecError> {
+    if starts.is_empty() {
+        return Err(err(format!("{kind} timeline must have at least one phase")));
+    }
+    if starts[0] != 0.0 {
+        return Err(err(format!("first {kind} phase must start at t = 0")));
+    }
+    for pair in starts.windows(2) {
+        if pair[0] >= pair[1] {
+            return Err(err(format!(
+                "{kind} phase starts must be strictly increasing"
+            )));
+        }
+    }
+    let last = starts[starts.len() - 1];
+    if last >= duration {
+        return Err(err(format!(
+            "{kind} phase at {last} s starts at or after the {duration} s horizon"
+        )));
+    }
+    if starts.iter().any(|s| !s.is_finite()) {
+        return Err(err(format!("{kind} phase starts must be finite")));
+    }
+    Ok(())
+}
+
+impl ScenarioSpec {
+    /// Wraps a stationary [`ScenarioConfig`] into a single-phase spec —
+    /// the bridge the paper-faithful catalog entries are generated
+    /// through.
+    #[must_use]
+    pub fn from_config(name: &str, description: &str, cfg: ScenarioConfig) -> Self {
+        Self {
+            name: name.to_string(),
+            description: description.to_string(),
+            protocol: cfg.protocol,
+            cp_pool: cfg.cp_pool,
+            initially_active: cfg.initially_active,
+            buffer_capacity: cfg.buffer_capacity,
+            delay: vec![DelayPhase {
+                start: 0.0,
+                delay: cfg.delay,
+            }],
+            loss: vec![LossPhase {
+                start: 0.0,
+                loss: cfg.loss,
+            }],
+            churn: vec![ChurnPhase {
+                start: 0.0,
+                churn: cfg.churn,
+            }],
+            processing: cfg.processing,
+            join_stagger: cfg.join_stagger,
+            load_window: cfg.load_window,
+            disseminate: cfg.disseminate,
+            sapp_auto_tune: cfg.sapp_auto_tune,
+            crash_at: None,
+            bye_at: None,
+            seed: cfg.seed,
+            duration: cfg.duration,
+        }
+    }
+
+    /// The stationary config this spec lowers onto: first phase of every
+    /// timeline. [`ScenarioSpec::build`] overrides the network models and
+    /// churn switches on top of it.
+    #[must_use]
+    pub fn base_config(&self) -> ScenarioConfig {
+        ScenarioConfig {
+            protocol: self.protocol,
+            cp_pool: self.cp_pool,
+            initially_active: self.initially_active,
+            buffer_capacity: self.buffer_capacity,
+            delay: self.delay[0].delay,
+            loss: self.loss[0].loss,
+            churn: self.churn[0].churn,
+            processing: self.processing,
+            join_stagger: self.join_stagger,
+            load_window: self.load_window,
+            disseminate: self.disseminate,
+            sapp_auto_tune: self.sapp_auto_tune,
+            seed: self.seed,
+            duration: self.duration,
+        }
+    }
+
+    /// Validates every structural invariant a runnable spec must satisfy,
+    /// as a `Result` (batch tooling reports all catalog problems instead
+    /// of panicking on the first).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(err("name must not be empty"));
+        }
+        if self.cp_pool == 0 {
+            return Err(err("need at least one CP"));
+        }
+        if self.initially_active > self.cp_pool {
+            return Err(err("initially_active exceeds the pool"));
+        }
+        if self.buffer_capacity == 0 {
+            return Err(err("buffer capacity must be positive"));
+        }
+        if !(self.duration > 0.0 && self.duration.is_finite()) {
+            return Err(err("duration must be positive and finite"));
+        }
+        let (p_min, p_max) = self.processing;
+        if !(p_min >= 0.0 && p_min <= p_max && p_max.is_finite()) {
+            return Err(err("processing bounds must satisfy 0 <= min <= max"));
+        }
+        if !(self.join_stagger >= 0.0 && self.join_stagger.is_finite()) {
+            return Err(err("join stagger must be non-negative"));
+        }
+        if !(self.load_window > 0.0 && self.load_window.is_finite()) {
+            return Err(err("load window must be positive"));
+        }
+
+        let delay_starts: Vec<f64> = self.delay.iter().map(|p| p.start).collect();
+        let loss_starts: Vec<f64> = self.loss.iter().map(|p| p.start).collect();
+        let churn_starts: Vec<f64> = self.churn.iter().map(|p| p.start).collect();
+        check_phases("delay", &delay_starts, self.duration)?;
+        check_phases("loss", &loss_starts, self.duration)?;
+        check_phases("churn", &churn_starts, self.duration)?;
+
+        for phase in &self.delay {
+            validate_delay(phase.delay)?;
+        }
+        for phase in &self.loss {
+            validate_loss(phase.loss)?;
+        }
+        for phase in &self.churn {
+            validate_churn(phase.churn)?;
+        }
+
+        if self.sapp_auto_tune.is_some() && !matches!(self.protocol, Protocol::Sapp { .. }) {
+            return Err(err("sapp_auto_tune requires the SAPP protocol"));
+        }
+        for (label, at) in [("crash_at", self.crash_at), ("bye_at", self.bye_at)] {
+            if let Some(at) = at {
+                if !(at > 0.0 && at < self.duration) {
+                    return Err(err(format!("{label} must fall inside (0, duration)")));
+                }
+            }
+        }
+        if self.crash_at.is_some() && self.bye_at.is_some() {
+            return Err(err("a device cannot both crash and say Bye"));
+        }
+        Ok(())
+    }
+
+    /// Every regime boundary of this spec (union of the three timelines'
+    /// phase starts), sorted and deduplicated, starting with 0 — the
+    /// window starts of the per-regime metric slices.
+    #[must_use]
+    pub fn regime_starts(&self) -> Vec<f64> {
+        let delay: Vec<f64> = self.delay.iter().map(|p| p.start).collect();
+        let loss: Vec<f64> = self.loss.iter().map(|p| p.start).collect();
+        let churn: Vec<f64> = self.churn.iter().map(|p| p.start).collect();
+        merge_boundaries(&[&delay, &loss, &churn], self.duration)
+    }
+
+    /// The per-regime `[start, end)` windows of this spec.
+    #[must_use]
+    pub fn regime_windows(&self) -> Vec<(f64, f64)> {
+        slice_windows(&self.regime_starts(), self.duration)
+    }
+
+    /// Builds the runnable scenario this spec describes. A single-phase
+    /// spec produces an actor graph identical to
+    /// [`Scenario::build`]`(self.base_config())` — same actors, same RNG
+    /// streams, bit-identical trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant (the spec is re-validated so
+    /// hand-built specs cannot skip it).
+    pub fn build(&self) -> Result<Scenario, SpecError> {
+        self.validate()?;
+        let delay: Box<dyn DelayModel> = if self.delay.len() == 1 {
+            self.delay[0].delay.build()
+        } else {
+            Box::new(Scheduled::from_segments(
+                self.delay
+                    .iter()
+                    .map(|p| (SimTime::from_secs_f64(p.start), p.delay.build()))
+                    .collect(),
+            ))
+        };
+        let loss: Box<dyn LossModel> = if self.loss.len() == 1 {
+            self.loss[0].loss.build()
+        } else {
+            Box::new(Scheduled::from_segments(
+                self.loss
+                    .iter()
+                    .map(|p| (SimTime::from_secs_f64(p.start), p.loss.build()))
+                    .collect(),
+            ))
+        };
+        let switches: Vec<(f64, ChurnModel)> =
+            self.churn[1..].iter().map(|p| (p.start, p.churn)).collect();
+        let mut scenario = Scenario::assemble(self.base_config(), delay, loss, &switches);
+        if let Some(at) = self.crash_at {
+            scenario.crash_device_at(at);
+        }
+        if let Some(at) = self.bye_at {
+            scenario.device_bye_at(at);
+        }
+        Ok(scenario)
+    }
+
+    /// Parses and validates a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse or validation error.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: ScenarioSpec =
+            serde_json::from_str(text).map_err(|e| err(format!("parse error: {e}")))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serialises the spec as pretty JSON (the catalog file format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialises")
+    }
+}
+
+fn validate_delay(kind: DelayKind) -> Result<(), SpecError> {
+    match kind {
+        DelayKind::Constant(s) => {
+            if !(s >= 0.0 && s.is_finite()) {
+                return Err(err("constant delay must be non-negative"));
+            }
+        }
+        DelayKind::Uniform(lo, hi) => {
+            if !(lo >= 0.0 && lo <= hi && hi.is_finite()) {
+                return Err(err("uniform delay bounds must satisfy 0 <= low <= high"));
+            }
+        }
+        DelayKind::ThreeModePaper => {}
+        DelayKind::Exponential { mean, cap } => {
+            if !(mean > 0.0 && mean.is_finite() && cap > 0.0 && cap.is_finite()) {
+                return Err(err("exponential delay needs positive mean and cap"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_loss(kind: LossKind) -> Result<(), SpecError> {
+    match kind {
+        LossKind::None => {}
+        LossKind::Bernoulli(p) => {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(err("Bernoulli loss probability must be in [0, 1]"));
+            }
+        }
+        LossKind::Bursty(r) => {
+            if !(r > 0.0 && r <= 0.5) {
+                return Err(err("bursty loss average rate must be in (0, 0.5]"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_churn(model: ChurnModel) -> Result<(), SpecError> {
+    match model {
+        ChurnModel::Static => {}
+        ChurnModel::BurstLeave { at, .. } => {
+            if !(at >= 0.0 && at.is_finite()) {
+                return Err(err("burst-leave time must be non-negative"));
+            }
+        }
+        ChurnModel::UniformResample { min, max, rate } => {
+            if min > max {
+                return Err(err("uniform-resample population bounds inverted"));
+            }
+            if !(rate > 0.0 && rate.is_finite()) {
+                return Err(err("uniform-resample rate must be positive"));
+            }
+        }
+        ChurnModel::FlashCrowd { at, ramp, hold, .. } => {
+            if !(at >= 0.0 && at.is_finite()) {
+                return Err(err("flash-crowd start must be non-negative"));
+            }
+            if !(ramp >= 0.0 && ramp.is_finite() && hold >= 0.0 && hold.is_finite()) {
+                return Err(err("flash-crowd ramp and hold must be non-negative"));
+            }
+        }
+        ChurnModel::Diurnal {
+            period,
+            min,
+            max,
+            rate,
+        } => {
+            if !(period > 0.0 && period.is_finite()) {
+                return Err(err("diurnal period must be positive"));
+            }
+            if min > max {
+                return Err(err("diurnal population bounds inverted"));
+            }
+            if !(rate > 0.0 && rate.is_finite()) {
+                return Err(err("diurnal rate must be positive"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-regime metric slices
+// ---------------------------------------------------------------------------
+
+/// Metrics of one regime window of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeSlice {
+    /// Window start (seconds).
+    pub start: f64,
+    /// Window end (exclusive; the last window ends at the horizon).
+    pub end: f64,
+    /// Mean device load (probes/s) over load windows starting inside the
+    /// slice; `None` if no load window landed here.
+    pub load_mean: Option<f64>,
+    /// Jain fairness index over the per-CP mean probe frequencies within
+    /// the slice (CPs with at least one completed cycle here).
+    pub fairness_jain: Option<f64>,
+    /// Time-weighted mean driven population over the slice (the series
+    /// is a step function, so the value set before the window carries
+    /// into it).
+    pub population_mean: Option<f64>,
+    /// CPs whose absence verdict fell inside this slice.
+    pub detections: u32,
+    /// Mean verdict latency (seconds after the configured crash/bye) of
+    /// those detections; `None` without a failure or without detections.
+    pub detection_latency_mean: Option<f64>,
+}
+
+/// Slices one run's result along the given regime windows. `failure_at`
+/// (the spec's `crash_at`/`bye_at`) anchors detection latency.
+#[must_use]
+pub fn slice_result(
+    result: &ScenarioResult,
+    windows: &[(f64, f64)],
+    failure_at: Option<f64>,
+) -> Vec<RegimeSlice> {
+    windows
+        .iter()
+        .map(|&(start, end)| {
+            let load = window_slice(&result.load_series, start, end);
+            let population = step_mean(&result.population_series, start, end);
+
+            // Per-CP mean frequency within the window, over CPs that
+            // completed a cycle here.
+            let freqs: Vec<f64> = result
+                .cps
+                .iter()
+                .filter_map(|cp| window_mean(window_slice(&cp.frequency_series, start, end)))
+                .collect();
+            let fairness = if freqs.is_empty() {
+                None
+            } else {
+                Some(jain_index(&freqs))
+            };
+
+            let verdicts: Vec<f64> = result
+                .cps
+                .iter()
+                .filter_map(|cp| cp.detected_absent_at)
+                .filter(|&t| t >= start && t < end)
+                .collect();
+            let latency = failure_at.and_then(|at| {
+                let late: Vec<f64> = verdicts
+                    .iter()
+                    .map(|&t| t - at)
+                    .filter(|&d| d >= 0.0)
+                    .collect();
+                if late.is_empty() {
+                    None
+                } else {
+                    Some(late.iter().sum::<f64>() / late.len() as f64)
+                }
+            });
+
+            RegimeSlice {
+                start,
+                end,
+                load_mean: window_mean(load),
+                fairness_jain: fairness,
+                population_mean: population,
+                detections: verdicts.len() as u32,
+                detection_latency_mean: latency,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The lab runner
+// ---------------------------------------------------------------------------
+
+/// Whole-run numbers of one replication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabSeedResult {
+    /// Seed of this replication.
+    pub seed: u64,
+    /// Mean device load over the whole run.
+    pub load_mean: f64,
+    /// Whole-run Jain fairness.
+    pub fairness_jain: f64,
+    /// Engine events processed.
+    pub events_processed: u64,
+    /// Messages delivered by the fabric.
+    pub messages_delivered: u64,
+    /// Messages the loss regime dropped.
+    pub messages_dropped_loss: u64,
+    /// Messages dropped on buffer overflow.
+    pub messages_dropped_overflow: u64,
+    /// Per-regime slices of this replication.
+    pub slices: Vec<RegimeSlice>,
+}
+
+/// The lab's aggregate answer for one spec: per-seed results plus
+/// cross-seed means per regime window. Byte-identical at any worker
+/// count (replications merge in seed order before any folding).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabReport {
+    /// Spec name.
+    pub name: String,
+    /// Seeds run.
+    pub seeds: Vec<u64>,
+    /// The regime windows the slices refer to.
+    pub windows: Vec<(f64, f64)>,
+    /// Cross-seed aggregate slice per window: each floating-point metric
+    /// is the mean over the seeds where it was defined, while
+    /// `detections` is the **total across all seeds** (a count, not a
+    /// mean — compare against `per_seed` slices accordingly).
+    pub slices: Vec<RegimeSlice>,
+    /// One entry per seed, in seed order.
+    pub per_seed: Vec<LabSeedResult>,
+}
+
+/// Aggregates the per-seed slices of one window: floating-point metrics
+/// averaged over the seeds where they were defined, `detections` summed
+/// (it is a count; see [`LabReport::slices`]).
+fn mean_slice(window: (f64, f64), per_seed: &[&RegimeSlice]) -> RegimeSlice {
+    fn mean_defined(values: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+        let defined: Vec<f64> = values.flatten().collect();
+        if defined.is_empty() {
+            None
+        } else {
+            Some(defined.iter().sum::<f64>() / defined.len() as f64)
+        }
+    }
+    RegimeSlice {
+        start: window.0,
+        end: window.1,
+        load_mean: mean_defined(per_seed.iter().map(|s| s.load_mean)),
+        fairness_jain: mean_defined(per_seed.iter().map(|s| s.fairness_jain)),
+        population_mean: mean_defined(per_seed.iter().map(|s| s.population_mean)),
+        detections: per_seed.iter().map(|s| s.detections).sum(),
+        detection_latency_mean: mean_defined(per_seed.iter().map(|s| s.detection_latency_mean)),
+    }
+}
+
+/// Runs `spec` once under its own seed and returns the raw result (the
+/// golden-comparison path).
+///
+/// # Errors
+///
+/// Returns the spec's first violated invariant.
+pub fn run_spec_once(spec: &ScenarioSpec) -> Result<ScenarioResult, SpecError> {
+    let mut scenario = spec.build()?;
+    scenario.run();
+    Ok(scenario.collect())
+}
+
+/// Runs `spec` under each seed (overriding `spec.seed`) across `jobs`
+/// workers and reports per-regime-sliced metrics. The report is
+/// **byte-identical for every `jobs` value**: replications are
+/// independent simulations merged back in seed order before the
+/// (order-sensitive) cross-seed folds.
+///
+/// # Errors
+///
+/// Returns the spec's first violated invariant (checked once, before any
+/// worker spawns).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or `jobs` is zero.
+pub fn run_lab(spec: &ScenarioSpec, seeds: &[u64], jobs: usize) -> Result<LabReport, SpecError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    spec.validate()?;
+    let windows = spec.regime_windows();
+    let failure_at = spec.crash_at.or(spec.bye_at);
+
+    let per_seed = run_indexed(seeds.len(), jobs, |i| {
+        let mut seeded = spec.clone();
+        seeded.seed = seeds[i];
+        // The spec was validated above; a failure here would be a race on
+        // the borrowed spec, which the worker pool forbids.
+        let mut scenario = seeded.build().expect("validated spec builds");
+        scenario.run();
+        let result = scenario.collect();
+        LabSeedResult {
+            seed: seeds[i],
+            load_mean: result.load_mean,
+            fairness_jain: result.fairness_jain,
+            events_processed: result.events_processed,
+            messages_delivered: result.messages_delivered,
+            messages_dropped_loss: result.messages_dropped_loss,
+            messages_dropped_overflow: result.messages_dropped_overflow,
+            slices: slice_result(&result, &windows, failure_at),
+        }
+    });
+
+    let slices = windows
+        .iter()
+        .enumerate()
+        .map(|(w, &window)| {
+            let per: Vec<&RegimeSlice> = per_seed.iter().map(|s| &s.slices[w]).collect();
+            mean_slice(window, &per)
+        })
+        .collect();
+
+    Ok(LabReport {
+        name: spec.name.clone(),
+        seeds: seeds.to_vec(),
+        windows,
+        slices,
+        per_seed,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The shipped catalog
+// ---------------------------------------------------------------------------
+
+/// The specs behind the repository's `catalog/` directory, in shipping
+/// order. The JSON files are generated from these definitions
+/// (`lab --emit-catalog`), and an integration test pins the files against
+/// them so the two can never drift.
+///
+/// The first three are the paper-faithful golden trio — single-phase
+/// specs whose trajectories are bit-identical to the hard-coded presets.
+/// The rest exercise what the paper only conjectures: partitions that
+/// heal, flash crowds, diurnal populations, bursty loss storms, and a
+/// mixed scenario where delay, loss, and churn all switch mid-run.
+#[must_use]
+pub fn builtin_catalog() -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+
+    for ((name, cfg), description) in crate::scenario::golden_trio().into_iter().zip([
+        "Paper §3/Fig 2: SAPP, 10 CPs, 200 s — the golden-trio SAPP preset",
+        "Paper §3: DCPP, 30 CPs, 300 s — the golden-trio DCPP preset",
+        "Paper Fig 5: DCPP under uniform-resample churn — the golden-trio churn preset",
+    ]) {
+        specs.push(ScenarioSpec::from_config(
+            &format!("paper-{name}"),
+            description,
+            cfg,
+        ));
+    }
+
+    // Partition and recovery: the network blacks out completely for 60 s,
+    // then heals while a resample regime churns fresh joins through the
+    // pool (rejoining CPs restart their probers after the false verdicts
+    // the partition caused).
+    {
+        let cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 12, 400.0, 17);
+        let mut spec = ScenarioSpec::from_config(
+            "partition-recovery",
+            "total 60 s network partition, then heal + churn-driven rejoin",
+            cfg,
+        );
+        spec.loss = vec![
+            LossPhase {
+                start: 0.0,
+                loss: LossKind::None,
+            },
+            LossPhase {
+                start: 150.0,
+                loss: LossKind::Bernoulli(1.0),
+            },
+            LossPhase {
+                start: 210.0,
+                loss: LossKind::None,
+            },
+        ];
+        spec.churn = vec![
+            ChurnPhase {
+                start: 0.0,
+                churn: ChurnModel::Static,
+            },
+            ChurnPhase {
+                start: 210.0,
+                churn: ChurnModel::UniformResample {
+                    min: 4,
+                    max: 12,
+                    rate: 0.1,
+                },
+            },
+        ];
+        specs.push(spec);
+    }
+
+    // Flash crowd: 8 CPs idle along until a 40-CP crowd ramps in over
+    // 30 s, holds two minutes, and drains back out.
+    {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 40, 400.0, 23);
+        cfg.initially_active = 8;
+        let mut spec = ScenarioSpec::from_config(
+            "flash-crowd",
+            "join wave to 40 CPs over 30 s, 120 s hold, then drain",
+            cfg,
+        );
+        spec.churn = vec![ChurnPhase {
+            start: 0.0,
+            churn: ChurnModel::FlashCrowd {
+                at: 100.0,
+                peak: 40,
+                ramp: 30.0,
+                hold: 120.0,
+            },
+        }];
+        specs.push(spec);
+    }
+
+    // A compressed "day": the population follows a sinusoid between 4 and
+    // 48 CPs over a 300 s period, churning hardest near the peak.
+    {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 48, 600.0, 29);
+        cfg.initially_active = 4;
+        let mut spec = ScenarioSpec::from_config(
+            "diurnal-day",
+            "sinusoid-modulated MMPP population, two compressed day cycles",
+            cfg,
+        );
+        spec.churn = vec![ChurnPhase {
+            start: 0.0,
+            churn: ChurnModel::Diurnal {
+                period: 300.0,
+                min: 4,
+                max: 48,
+                rate: 0.2,
+            },
+        }];
+        specs.push(spec);
+    }
+
+    // Bursty loss storm over SAPP: the §5 conjecture's weather — calm,
+    // a 10 % Gilbert–Elliott storm, a 30 % storm, then calm again, with
+    // mild churn refreshing CPs that false-verdicted during the bursts.
+    {
+        let cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 12, 500.0, 31);
+        let mut spec = ScenarioSpec::from_config(
+            "bursty-loss-storm",
+            "Gilbert–Elliott storms (10 % then 30 %) over SAPP, §5 conjecture",
+            cfg,
+        );
+        spec.loss = vec![
+            LossPhase {
+                start: 0.0,
+                loss: LossKind::None,
+            },
+            LossPhase {
+                start: 150.0,
+                loss: LossKind::Bursty(0.1),
+            },
+            LossPhase {
+                start: 300.0,
+                loss: LossKind::Bursty(0.3),
+            },
+            LossPhase {
+                start: 400.0,
+                loss: LossKind::None,
+            },
+        ];
+        spec.churn = vec![ChurnPhase {
+            start: 0.0,
+            churn: ChurnModel::UniformResample {
+                min: 6,
+                max: 12,
+                rate: 0.05,
+            },
+        }];
+        specs.push(spec);
+    }
+
+    // Crash under loss: the device dies inside a lossy regime; the
+    // per-regime slices separate clean-network detection behaviour from
+    // loss-confounded behaviour.
+    {
+        let cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 10, 300.0, 37);
+        let mut spec = ScenarioSpec::from_config(
+            "crash-under-loss",
+            "device crash at 200 s inside a 5 % i.i.d. loss regime",
+            cfg,
+        );
+        spec.loss = vec![
+            LossPhase {
+                start: 0.0,
+                loss: LossKind::None,
+            },
+            LossPhase {
+                start: 100.0,
+                loss: LossKind::Bernoulli(0.05),
+            },
+        ];
+        spec.crash_at = Some(200.0);
+        specs.push(spec);
+    }
+
+    // The acceptance scenario: delay, loss, AND churn all switch mid-run.
+    {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 30, 600.0, 41);
+        cfg.initially_active = 10;
+        let mut spec = ScenarioSpec::from_config(
+            "mixed-regime-stress",
+            "delay, loss, and churn regimes all switching mid-run",
+            cfg,
+        );
+        spec.delay = vec![
+            DelayPhase {
+                start: 0.0,
+                delay: DelayKind::ThreeModePaper,
+            },
+            DelayPhase {
+                start: 200.0,
+                delay: DelayKind::Uniform(0.0002, 0.002),
+            },
+            DelayPhase {
+                start: 400.0,
+                delay: DelayKind::ThreeModePaper,
+            },
+        ];
+        spec.loss = vec![
+            LossPhase {
+                start: 0.0,
+                loss: LossKind::None,
+            },
+            LossPhase {
+                start: 250.0,
+                loss: LossKind::Bursty(0.15),
+            },
+            LossPhase {
+                start: 450.0,
+                loss: LossKind::None,
+            },
+        ];
+        spec.churn = vec![
+            ChurnPhase {
+                start: 0.0,
+                churn: ChurnModel::UniformResample {
+                    min: 2,
+                    max: 20,
+                    rate: 0.05,
+                },
+            },
+            ChurnPhase {
+                start: 300.0,
+                churn: ChurnModel::FlashCrowd {
+                    at: 300.0,
+                    peak: 30,
+                    ramp: 20.0,
+                    hold: 60.0,
+                },
+            },
+            ChurnPhase {
+                start: 450.0,
+                churn: ChurnModel::Diurnal {
+                    period: 150.0,
+                    min: 5,
+                    max: 25,
+                    rate: 0.1,
+                },
+            },
+        ];
+        specs.push(spec);
+    }
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::golden_trio;
+
+    fn quick_spec() -> ScenarioSpec {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 6, 60.0, 3);
+        cfg.load_window = 2.0;
+        ScenarioSpec::from_config("quick", "unit-test spec", cfg)
+    }
+
+    #[test]
+    fn single_phase_spec_matches_bare_scenario_bit_for_bit() {
+        for (name, cfg) in golden_trio() {
+            let spec = ScenarioSpec::from_config(name, "paper preset", cfg);
+            let via_spec = run_spec_once(&spec).expect("spec runs");
+            let mut bare = Scenario::build(cfg);
+            bare.run();
+            let direct = bare.collect();
+            assert_eq!(
+                serde_json::to_string(&via_spec).unwrap(),
+                serde_json::to_string(&direct).unwrap(),
+                "{name}: spec lowering must not perturb the trajectory"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut spec = quick_spec();
+        spec.delay.push(DelayPhase {
+            start: 20.0,
+            delay: DelayKind::Uniform(0.0001, 0.001),
+        });
+        spec.loss.push(LossPhase {
+            start: 30.0,
+            loss: LossKind::Bursty(0.1),
+        });
+        spec.churn.push(ChurnPhase {
+            start: 40.0,
+            churn: ChurnModel::Diurnal {
+                period: 20.0,
+                min: 1,
+                max: 6,
+                rate: 0.5,
+            },
+        });
+        spec.crash_at = Some(50.0);
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).expect("round-trips");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        type Mutation = Box<dyn Fn(&mut ScenarioSpec)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("empty name", Box::new(|s| s.name.clear())),
+            ("no CPs", Box::new(|s| s.cp_pool = 0)),
+            (
+                "oversized active set",
+                Box::new(|s| s.initially_active = 99),
+            ),
+            ("zero buffer", Box::new(|s| s.buffer_capacity = 0)),
+            ("no delay phases", Box::new(|s| s.delay.clear())),
+            ("late first phase", Box::new(|s| s.delay[0].start = 1.0)),
+            (
+                "phase past horizon",
+                Box::new(|s| {
+                    s.loss.push(LossPhase {
+                        start: 60.0,
+                        loss: LossKind::None,
+                    });
+                }),
+            ),
+            (
+                "non-increasing churn phases",
+                Box::new(|s| {
+                    s.churn.push(ChurnPhase {
+                        start: 0.0,
+                        churn: ChurnModel::Static,
+                    });
+                }),
+            ),
+            (
+                "bad loss probability",
+                Box::new(|s| s.loss[0].loss = LossKind::Bernoulli(1.5)),
+            ),
+            (
+                "bad bursty rate",
+                Box::new(|s| s.loss[0].loss = LossKind::Bursty(0.9)),
+            ),
+            (
+                "inverted uniform delay",
+                Box::new(|s| s.delay[0].delay = DelayKind::Uniform(0.5, 0.1)),
+            ),
+            (
+                "inverted diurnal bounds",
+                Box::new(|s| {
+                    s.churn[0].churn = ChurnModel::Diurnal {
+                        period: 10.0,
+                        min: 9,
+                        max: 2,
+                        rate: 0.1,
+                    };
+                }),
+            ),
+            ("crash outside run", Box::new(|s| s.crash_at = Some(99.0))),
+            (
+                "crash and bye together",
+                Box::new(|s| {
+                    s.crash_at = Some(10.0);
+                    s.bye_at = Some(20.0);
+                }),
+            ),
+            (
+                "tuner without SAPP",
+                Box::new(|s| {
+                    s.sapp_auto_tune = Some(presence_core::AutoTuneConfig::default());
+                }),
+            ),
+        ];
+        for (what, mutate) in cases {
+            let mut spec = quick_spec();
+            mutate(&mut spec);
+            assert!(spec.validate().is_err(), "{what}: should be rejected");
+        }
+        assert!(quick_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn regime_windows_union_all_timelines() {
+        let mut spec = quick_spec();
+        spec.delay.push(DelayPhase {
+            start: 20.0,
+            delay: DelayKind::Constant(0.001),
+        });
+        spec.loss.push(LossPhase {
+            start: 30.0,
+            loss: LossKind::Bernoulli(0.05),
+        });
+        spec.churn.push(ChurnPhase {
+            start: 20.0,
+            churn: ChurnModel::Static,
+        });
+        assert_eq!(
+            spec.regime_windows(),
+            vec![(0.0, 20.0), (20.0, 30.0), (30.0, 60.0)]
+        );
+    }
+
+    #[test]
+    fn lab_report_slices_and_is_jobs_invariant() {
+        let mut spec = quick_spec();
+        spec.loss.push(LossPhase {
+            start: 30.0,
+            loss: LossKind::Bernoulli(0.2),
+        });
+        let seeds = [1, 2, 3, 4];
+        let serial = run_lab(&spec, &seeds, 1).expect("runs");
+        let parallel = run_lab(&spec, &seeds, 3).expect("runs");
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "worker count must not perturb the report"
+        );
+        assert_eq!(serial.windows.len(), 2);
+        assert_eq!(serial.slices.len(), 2);
+        assert_eq!(serial.per_seed.len(), 4);
+        // Loss kicks in only in the second window.
+        let lossy: u64 = serial
+            .per_seed
+            .iter()
+            .map(|s| s.messages_dropped_loss)
+            .sum();
+        assert!(lossy > 0, "Bernoulli(0.2) regime must drop something");
+        for s in &serial.slices {
+            assert!(s.load_mean.is_some(), "device load defined in every window");
+        }
+    }
+
+    #[test]
+    fn builtin_catalog_validates_and_has_unique_names() {
+        let catalog = builtin_catalog();
+        assert!(catalog.len() >= 8, "catalog has {} entries", catalog.len());
+        let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), catalog.len(), "catalog names must be unique");
+        for spec in &catalog {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let back = ScenarioSpec::from_json(&spec.to_json())
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(&back, spec, "{} must round-trip", spec.name);
+        }
+        let mixed = catalog
+            .iter()
+            .find(|s| s.name == "mixed-regime-stress")
+            .expect("acceptance scenario shipped");
+        assert!(
+            mixed.delay.len() > 1 && mixed.loss.len() > 1 && mixed.churn.len() > 1,
+            "mixed scenario must switch all three regimes"
+        );
+    }
+
+    #[test]
+    fn crash_detection_latency_lands_in_the_right_slice() {
+        let mut spec = quick_spec();
+        spec.churn.push(ChurnPhase {
+            start: 30.0,
+            churn: ChurnModel::Static,
+        });
+        spec.crash_at = Some(40.0);
+        let report = run_lab(&spec, &[7], 1).expect("runs");
+        assert_eq!(report.slices.len(), 2);
+        assert_eq!(report.slices[0].detections, 0);
+        assert_eq!(report.slices[1].detections, 6, "all 6 CPs detect");
+        let latency = report.slices[1]
+            .detection_latency_mean
+            .expect("latency defined");
+        assert!(latency > 0.0 && latency < 10.0, "latency {latency}");
+    }
+}

@@ -35,10 +35,12 @@ mod cp_actor;
 mod device_actor;
 mod event;
 pub mod experiments;
+pub mod lab;
 mod metrics;
 mod network_actor;
 mod output;
 pub mod parallel;
+mod regime;
 mod replication;
 mod scenario;
 pub mod test_profile;
@@ -47,9 +49,14 @@ pub use churn::{ChurnActor, ChurnModel};
 pub use cp_actor::{CpActor, CpRecord, ProberFactory};
 pub use device_actor::{DeviceActor, DeviceMachine, ProcessingModel};
 pub use event::{Addr, SimEvent};
+pub use lab::{
+    builtin_catalog, run_lab, run_spec_once, slice_result, ChurnPhase, DelayPhase, LabReport,
+    LabSeedResult, LossPhase, RegimeSlice, ScenarioSpec, SpecError,
+};
 pub use metrics::{CpSummary, ScenarioResult};
 pub use network_actor::NetworkActor;
 pub use output::{ascii_chart, kv_table, series_to_columns, series_to_csv};
 pub use parallel::{for_each_indexed, job_count, run_indexed, ParamSweep};
+pub use regime::RegimeActor;
 pub use replication::{replicate, replicate_with_jobs, ReplicationPoint, ReplicationSummary};
 pub use scenario::{golden_trio, DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};

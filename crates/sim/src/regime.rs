@@ -1,0 +1,69 @@
+//! The regime scheduler: drives mid-run churn-model switches at configured
+//! sim-time boundaries.
+//!
+//! Time-varying *network* models need no driver — [`presence_net::Scheduled`]
+//! switches itself as the fabric samples it with the event clock. Churn is
+//! different: the churn actor owns self-scheduled resample events and
+//! in-flight wave joins/leaves, so a switch must be an *event* it can react
+//! to (cancel stale timers, unwind pending waves, re-arm). The
+//! [`RegimeActor`] schedules one [`SimEvent::SetChurn`] per boundary at
+//! start-up — absolute times, no drift, deterministic under any seed, and
+//! exact at the boundary instant (the switch event carries the boundary's
+//! own timestamp).
+
+use crate::churn::ChurnModel;
+use crate::event::SimEvent;
+use presence_des::{Actor, ActorId, Context, SimTime};
+
+/// Schedules [`SimEvent::SetChurn`] on the churn actor at each configured
+/// boundary.
+pub struct RegimeActor {
+    churn: ActorId,
+    switches: Vec<(f64, ChurnModel)>,
+}
+
+impl RegimeActor {
+    /// Creates a scheduler that switches the churn actor to each model at
+    /// its paired absolute time (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the switch times are strictly increasing and positive
+    /// (a switch at t = 0 should be the scenario's *initial* model, not a
+    /// regime change).
+    #[must_use]
+    pub fn new(churn: ActorId, switches: Vec<(f64, ChurnModel)>) -> Self {
+        for pair in switches.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "churn switch times must be strictly increasing"
+            );
+        }
+        if let Some(&(first, _)) = switches.first() {
+            assert!(first > 0.0, "first churn switch must be after t = 0");
+        }
+        Self { churn, switches }
+    }
+
+    /// The scheduled switches.
+    #[must_use]
+    pub fn switches(&self) -> &[(f64, ChurnModel)] {
+        &self.switches
+    }
+}
+
+impl Actor<SimEvent> for RegimeActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, SimEvent>) {
+        for &(at, model) in &self.switches {
+            ctx.schedule_at(
+                SimTime::from_secs_f64(at),
+                self.churn,
+                SimEvent::SetChurn(model),
+            );
+        }
+    }
+
+    fn on_event(&mut self, _ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
+        debug_assert!(false, "regime actor got unexpected event {event:?}");
+    }
+}

@@ -42,7 +42,7 @@ pub enum DelayKind {
 }
 
 impl DelayKind {
-    fn build(self) -> Box<dyn DelayModel> {
+    pub(crate) fn build(self) -> Box<dyn DelayModel> {
         match self {
             DelayKind::Constant(s) => Box::new(ConstantDelay(SimDuration::from_secs_f64(s))),
             DelayKind::Uniform(lo, hi) => Box::new(UniformDelay::new(
@@ -69,7 +69,7 @@ pub enum LossKind {
 }
 
 impl LossKind {
-    fn build(self) -> Box<dyn LossModel> {
+    pub(crate) fn build(self) -> Box<dyn LossModel> {
         match self {
             LossKind::None => Box::new(NoLoss),
             LossKind::Bernoulli(p) => Box::new(BernoulliLoss::new(p)),
@@ -229,11 +229,28 @@ impl Scenario {
     /// Wires up all actors for `cfg`.
     #[must_use]
     pub fn build(cfg: ScenarioConfig) -> Self {
+        Self::assemble(cfg, cfg.delay.build(), cfg.loss.build(), &[])
+    }
+
+    /// [`Scenario::build`] with explicit (possibly time-varying) network
+    /// models and mid-run churn regime switches — the scenario-lab entry
+    /// point. `cfg.delay`/`cfg.loss` are ignored in favour of the passed
+    /// models; `churn_switches` (absolute seconds, ascending) are driven
+    /// by a [`crate::RegimeActor`] spawned only when the list is
+    /// non-empty, so a switch-free scenario is actor-for-actor identical
+    /// to [`Scenario::build`].
+    #[must_use]
+    pub fn assemble(
+        cfg: ScenarioConfig,
+        delay: Box<dyn DelayModel>,
+        loss: Box<dyn LossModel>,
+        churn_switches: &[(f64, ChurnModel)],
+    ) -> Self {
         cfg.validate();
 
         let mut sim = Simulation::new(cfg.seed);
 
-        let fabric = Fabric::new(cfg.buffer_capacity, cfg.delay.build(), cfg.loss.build());
+        let fabric = Fabric::new(cfg.buffer_capacity, delay, loss);
         let network = sim.add_actor(NetworkActor::new(fabric));
 
         let device_id = DeviceId(0);
@@ -312,6 +329,10 @@ impl Scenario {
             cfg.duration,
         ));
 
+        if !churn_switches.is_empty() {
+            sim.add_actor(crate::RegimeActor::new(churn, churn_switches.to_vec()));
+        }
+
         Self {
             sim,
             cfg,
@@ -344,6 +365,12 @@ impl Scenario {
     #[must_use]
     pub fn cp_actors(&self) -> &[ActorId] {
         &self.cps
+    }
+
+    /// Actor id of the churn driver.
+    #[must_use]
+    pub fn churn_actor(&self) -> ActorId {
+        self.churn
     }
 
     /// Schedules a device crash (silent leave) at `at` seconds.

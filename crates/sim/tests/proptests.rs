@@ -1,7 +1,10 @@
 //! Property-based tests over randomly generated scenarios: the invariants
 //! that must hold for *any* configuration, not just the paper's points.
 
-use presence_sim::{ChurnModel, LossKind, Protocol, Scenario, ScenarioConfig};
+use presence_sim::{
+    ChurnModel, ChurnPhase, DelayKind, DelayPhase, LossKind, LossPhase, Protocol, Scenario,
+    ScenarioConfig, ScenarioSpec,
+};
 use proptest::prelude::*;
 
 /// Small scenario space that stays fast enough for property testing.
@@ -34,11 +37,117 @@ fn any_churn(max_pool: u32) -> impl Strategy<Value = ChurnModel> {
             max: max_pool,
             rate,
         }),
+        (5.0..30.0f64, 2..max_pool.max(3), 1.0..20.0f64, 0.0..20.0f64).prop_map(
+            |(at, peak, ramp, hold)| ChurnModel::FlashCrowd {
+                at,
+                peak,
+                ramp,
+                hold,
+            }
+        ),
+        (20.0..200.0f64, 0.05..0.5f64).prop_map(move |(period, rate)| ChurnModel::Diurnal {
+            period,
+            min: 1,
+            max: max_pool,
+            rate,
+        }),
     ]
+}
+
+fn any_delay_kind() -> impl Strategy<Value = DelayKind> {
+    prop_oneof![
+        Just(DelayKind::ThreeModePaper),
+        (0.0001..0.01f64).prop_map(DelayKind::Constant),
+        (0.0001..0.001f64, 0.001..0.01f64).prop_map(|(lo, hi)| DelayKind::Uniform(lo, hi)),
+        (0.0001..0.002f64, 0.005..0.05f64)
+            .prop_map(|(mean, cap)| DelayKind::Exponential { mean, cap }),
+    ]
+}
+
+/// A random multi-phase spec whose phase starts are strictly increasing
+/// inside the horizon — the whole authorable surface of the scenario lab.
+fn any_spec() -> impl Strategy<Value = ScenarioSpec> {
+    let phases = (
+        prop::collection::vec(any_delay_kind(), 1..4),
+        prop::collection::vec(any_loss(), 1..4),
+        prop::collection::vec(any_churn(8), 1..4),
+    );
+    (
+        any_protocol(),
+        2..10u32,
+        phases,
+        any::<u64>(),
+        prop_oneof![Just(None), (10.0..90.0f64).prop_map(Some)],
+    )
+        .prop_map(
+            |(protocol, pool, (delays, losses, churns), seed, crash_at)| {
+                let mut cfg = ScenarioConfig::paper_defaults(protocol, pool, 100.0, seed);
+                cfg.load_window = 5.0;
+                let mut spec = ScenarioSpec::from_config("prop-spec", "random lab spec", cfg);
+                // Spread phase k at 100·k/n seconds: strictly increasing,
+                // first at 0, all inside the horizon.
+                spec.delay = delays
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, delay)| DelayPhase {
+                        start: 100.0 * k as f64 / 4.0,
+                        delay,
+                    })
+                    .collect();
+                spec.loss = losses
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, loss)| LossPhase {
+                        start: 100.0 * k as f64 / 4.0,
+                        loss,
+                    })
+                    .collect();
+                spec.churn = churns
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, churn)| ChurnPhase {
+                        start: 100.0 * k as f64 / 4.0,
+                        churn,
+                    })
+                    .collect();
+                spec.crash_at = crash_at;
+                spec
+            },
+        )
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid spec serialises to JSON and parses back **losslessly** —
+    /// the catalog's round-trip guarantee, over the whole authorable
+    /// surface (every model kind, multi-phase timelines, optional crash).
+    #[test]
+    fn scenario_spec_round_trips_losslessly(spec in any_spec()) {
+        prop_assert!(spec.validate().is_ok(), "generated spec must be valid");
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("reparse: {e}")))?;
+        prop_assert_eq!(&back, &spec, "round-trip must be lossless");
+        // And serialisation is deterministic: a second trip is identical.
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Any valid spec *runs*: the lowering produces a live scenario whose
+    /// regime windows tile the horizon.
+    #[test]
+    fn any_spec_builds_and_slices(spec in any_spec()) {
+        let windows = spec.regime_windows();
+        prop_assert_eq!(windows[0].0, 0.0);
+        prop_assert_eq!(windows[windows.len() - 1].1, spec.duration);
+        for pair in windows.windows(2) {
+            prop_assert_eq!(pair[0].1, pair[1].0, "windows must tile");
+        }
+        let report = presence_sim::run_lab(&spec, &[spec.seed], 1)
+            .map_err(|e| TestCaseError::fail(format!("run: {e}")))?;
+        prop_assert_eq!(report.per_seed.len(), 1);
+        prop_assert!(report.per_seed[0].events_processed > 0);
+    }
 
     /// No scenario configuration panics, and basic accounting invariants
     /// hold: cycles succeeded ≤ probes sent; the device answers at most

@@ -29,7 +29,9 @@
 //!   quantify the unfairness the paper demonstrates graphically,
 //! * [`autocorrelation`] and batch-size selection helpers,
 //! * [`merge_indexed`] — seed-ordered merging of parallel worker results,
-//!   so cross-seed summaries stay bit-identical to a serial fold.
+//!   so cross-seed summaries stay bit-identical to a serial fold,
+//! * [`slice_windows`] / [`window_slice`] — per-regime-window slicing of
+//!   time-stamped series (the scenario lab's sliced metrics).
 //!
 //! All estimators are plain `f64` state machines with no dependencies, so
 //! they can run inside the simulator, inside benches, or inside the
@@ -46,6 +48,7 @@ mod histogram;
 mod merge;
 mod quantile;
 mod rate;
+mod slice;
 mod summary;
 mod timeseries;
 mod welford;
@@ -58,6 +61,7 @@ pub use histogram::{Histogram, HistogramBin};
 pub use merge::merge_indexed;
 pub use quantile::P2Quantile;
 pub use rate::{JumpingWindowRate, RateMeter};
+pub use slice::{merge_boundaries, slice_windows, step_mean, window_mean, window_slice};
 pub use summary::{describe, Summary};
 pub use timeseries::{Sample, TimeSeries, TimeSeriesSummary, TimeWeighted};
 pub use welford::{Covariance, Welford};

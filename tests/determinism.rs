@@ -86,6 +86,42 @@ fn parallel_replication_equals_serial() {
     }
 }
 
+/// The scenario lab inherits the same contract: a `LabReport` (per-seed
+/// results **and** per-regime metric slices) serialises to byte-identical
+/// JSON at any `--jobs` value, including under time-varying delay, loss,
+/// and churn regimes.
+#[test]
+fn lab_report_is_byte_identical_at_any_jobs_value() {
+    use presence::sim::{run_lab, ChurnPhase, DelayPhase, LossPhase, ScenarioSpec};
+
+    let cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 10, 120.0, 0);
+    let mut spec = ScenarioSpec::from_config("determinism-lab", "jobs-invariance pin", cfg);
+    spec.delay.push(DelayPhase {
+        start: 40.0,
+        delay: presence::sim::DelayKind::Uniform(0.0002, 0.002),
+    });
+    spec.loss.push(LossPhase {
+        start: 60.0,
+        loss: LossKind::Bursty(0.1),
+    });
+    spec.churn.push(ChurnPhase {
+        start: 80.0,
+        churn: ChurnModel::UniformResample {
+            min: 2,
+            max: 10,
+            rate: 0.1,
+        },
+    });
+    let seeds = [21, 22, 23, 24, 25];
+    let serial = run_lab(&spec, &seeds, 1).expect("serial lab run");
+    let a = serde_json::to_string(&serial).expect("report serialises");
+    for jobs in [2, 4, 8] {
+        let parallel = run_lab(&spec, &seeds, jobs).expect("parallel lab run");
+        let b = serde_json::to_string(&parallel).expect("report serialises");
+        assert_eq!(a, b, "lab report diverged at jobs = {jobs}");
+    }
+}
+
 /// A crash injection is part of the replayed trajectory too: the verdict
 /// times must match bit-for-bit across replays.
 #[test]
