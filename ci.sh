@@ -34,12 +34,21 @@ echo "==> tier-1: cargo build --release && cargo test -q (PRESENCE_JOBS=$PRESENC
 cargo build --release
 cargo test -q
 
-# Structural perf gate: the single-hop delivery path must hold
-# events-per-delivered-message at ≤ 2.05. The ratio counts engine events,
-# not nanoseconds, so this regression check is stable even on 1-core CI.
-# The throwaway report path keeps the committed BENCH_PR3.json a recorded
-# snapshot rather than overwriting it with this machine's timings.
-echo "==> perf gate: events-per-delivered-message <= 2.05 (perf_report --check)"
+# Engine soak: the dispatch/timer machinery PR 5 rewrote gets a deeper
+# property-test pass than the tier-1 default (256 cases) — the EventQueue
+# and TimerSlots model-based suites plus the dispatch-semantics regression
+# battery, at 1024 cases.
+echo "==> engine soak: des proptests + dispatch semantics (PROPTEST_CASES=1024)"
+PROPTEST_CASES=1024 cargo test --release -q -p presence-des --test proptests --test dispatch
+
+# Structural perf gates (both count engine events, not nanoseconds, so
+# they hold even on a noisy 1-core CI box): the single-hop delivery path
+# must hold events-per-delivered-message at ≤ 2.05, and the trio's
+# events_processed must equal the golden fixtures exactly — a dispatch or
+# timer refactor must not change what gets scheduled. The throwaway
+# report path keeps the committed BENCH_PR5.json a recorded snapshot
+# rather than overwriting it with this machine's timings.
+echo "==> perf gates: events/delivered-msg <= 2.05 + events_processed == golden (perf_report --check)"
 cargo run --release -q -p presence-bench --bin perf_report -- --check target/perf_report_ci.json
 
 # Scenario-lab gate: every shipped catalog file parses, validates, and

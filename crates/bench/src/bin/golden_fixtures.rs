@@ -1,18 +1,40 @@
 //! Regenerates the golden-trajectory fixtures under `tests/golden/`.
 //!
-//! Each fixture is the full `ScenarioResult` JSON of one `golden_trio()`
-//! scenario. The golden-equivalence test (`tests/golden_equivalence.rs`)
-//! deserialises only the trajectory metrics (everything except
-//! `events_processed`), so hot-path refactors that legitimately change the
-//! event count do **not** require re-pinning — only changes that alter the
-//! simulated trajectory itself do, and those must be called out in the PR
-//! that regenerates the fixtures.
+//! Each fixture is the full `ScenarioResult` JSON of one pinned scenario:
+//! the three `golden_trio()` presets plus the `mixed-regime-stress` lab
+//! spec (a regime-switching churn trajectory that exercises the
+//! `Scheduled` network models, the `RegimeActor`, and every churn
+//! generator — the coverage the paper trio lacks).
+//!
+//! The golden-equivalence test (`tests/golden_equivalence.rs`) asserts
+//! **every** metric, `events_processed` included: since the PR 5 typed
+//! dispatch rewrite, engine refactors are expected to preserve event
+//! counts exactly, so a changed count is a changed trajectory. A PR that
+//! legitimately changes counts (a new event-collapsing fast path) must
+//! regenerate the fixtures and say so.
 //!
 //! Usage: `cargo run --release -p presence-bench --bin golden_fixtures`
 //! (writes into `tests/golden/` relative to the workspace root).
 
-use presence_sim::{golden_trio, Scenario};
+use presence_sim::{builtin_catalog, golden_trio, run_spec_once, Scenario, ScenarioResult};
 use std::path::PathBuf;
+
+/// The lab spec pinned alongside the trio: regime switches in all three
+/// timelines (delay, loss, churn), shared with the shipped catalog.
+const LAB_FIXTURE_SPEC: &str = "mixed-regime-stress";
+
+fn write_fixture(out_dir: &std::path::Path, name: &str, result: &ScenarioResult) {
+    let json = serde_json::to_string_pretty(result).expect("result serialises");
+    let path = out_dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write fixture");
+    println!(
+        "{}: {} events, {} probes -> {}",
+        name,
+        result.events_processed,
+        result.device_probes,
+        path.display()
+    );
+}
 
 fn main() {
     let out_dir = std::env::args()
@@ -22,16 +44,12 @@ fn main() {
     for (name, cfg) in golden_trio() {
         let mut scenario = Scenario::build(cfg);
         scenario.run();
-        let result = scenario.collect();
-        let json = serde_json::to_string_pretty(&result).expect("result serialises");
-        let path = out_dir.join(format!("{name}.json"));
-        std::fs::write(&path, json).expect("write fixture");
-        println!(
-            "{}: {} events, {} probes -> {}",
-            name,
-            result.events_processed,
-            result.device_probes,
-            path.display()
-        );
+        write_fixture(&out_dir, name, &scenario.collect());
     }
+    let spec = builtin_catalog()
+        .into_iter()
+        .find(|s| s.name == LAB_FIXTURE_SPEC)
+        .expect("lab fixture spec is in the builtin catalog");
+    let result = run_spec_once(&spec).expect("lab fixture spec runs");
+    write_fixture(&out_dir, "lab-mixed", &result);
 }

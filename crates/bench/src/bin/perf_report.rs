@@ -1,17 +1,20 @@
-//! Serial hot-path performance report for the single-hop delivery fast
-//! path: events/sec, events-per-delivered-message, and wall time for the
+//! Serial hot-path performance report for the engine fast paths
+//! (single-hop delivery, typed actor dispatch, inline timer slots):
+//! events/sec, events-per-delivered-message, and wall time for the
 //! standard SAPP/DCPP/churn trio (`golden_trio`, the same configurations
 //! the golden-equivalence suite pins) at CI horizons.
 //!
 //! * `perf_report [out.json]` — run the trio, print the table, write the
-//!   report (default `BENCH_PR3.json`).
-//! * `perf_report --check` — additionally exit non-zero if any scenario's
-//!   events-per-delivered-message exceeds 2.05. The ratio is structural
-//!   (it counts engine events, not nanoseconds), so this regression gate
-//!   holds even on a noisy 1-core CI box.
+//!   report (default `BENCH_PR5.json`).
+//! * `perf_report --check` — additionally exit non-zero if any scenario
+//!   breaks a structural gate: events-per-delivered-message above 2.05,
+//!   or `events_processed` differing from the golden fixture recorded in
+//!   `tests/golden/` (dispatch refactors must not change event counts).
+//!   Both gates count engine events, not nanoseconds, so they hold even
+//!   on a noisy 1-core CI box.
 
 use presence_sim::{golden_trio, Scenario};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Events-per-delivered-message ceiling: 2 exact for the single-hop path,
@@ -40,6 +43,28 @@ struct Report {
     scenarios: Vec<ScenarioReport>,
 }
 
+/// The one golden-fixture field the `--check` gate needs (the shim's
+/// derive skips the unknown keys of the full `ScenarioResult` dump).
+#[derive(Debug, Deserialize)]
+struct GoldenEvents {
+    events_processed: u64,
+}
+
+/// `events_processed` from `tests/golden/<name>.json`. `Ok(None)` means
+/// the fixture file is absent (e.g. the bin runs outside the workspace
+/// root) — the count gate is skipped with a notice while the EPM gate
+/// still applies. A fixture that exists but fails to parse is an `Err`:
+/// under `--check` that is a gate failure, never a silent skip.
+fn golden_events(name: &str) -> Result<Option<u64>, String> {
+    let text = match std::fs::read_to_string(format!("tests/golden/{name}.json")) {
+        Ok(text) => text,
+        Err(_) => return Ok(None),
+    };
+    let golden: GoldenEvents = serde_json::from_str(&text)
+        .map_err(|e| format!("golden fixture tests/golden/{name}.json unparseable: {e:?}"))?;
+    Ok(Some(golden.events_processed))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
@@ -47,7 +72,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
 
     let mut scenarios = Vec::new();
     let mut gate_failures = Vec::new();
@@ -87,6 +112,24 @@ fn main() {
         if epm > EPM_GATE {
             gate_failures.push(format!("{name}: {epm:.4} > {EPM_GATE}"));
         }
+        if check {
+            // Structural dispatch gate: the refactored engine must process
+            // exactly the event count the pre-refactor fixture recorded.
+            match golden_events(name) {
+                Ok(Some(golden)) if golden != result.events_processed => {
+                    gate_failures.push(format!(
+                        "{name}: events_processed {} != golden fixture {golden}",
+                        result.events_processed
+                    ));
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => println!(
+                    "  (no golden fixture for {name} here; skipping the \
+                     events_processed gate)"
+                ),
+                Err(e) => gate_failures.push(e),
+            }
+        }
         scenarios.push(report);
     }
 
@@ -99,7 +142,7 @@ fn main() {
     println!("report -> {out_path}");
 
     if check && !gate_failures.is_empty() {
-        eprintln!("events-per-delivered-message gate failed:");
+        eprintln!("perf structural gates failed:");
         for f in &gate_failures {
             eprintln!("  {f}");
         }

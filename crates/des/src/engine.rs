@@ -10,6 +10,24 @@
 //!   from the root seed and the actor's id, so runs replay exactly and
 //!   actors don't perturb each other's streams.
 //!
+//! # Typed actor storage
+//!
+//! `Simulation<E, S>` is generic over its actor storage `S` — any type
+//! implementing [`Actor<E>`] can be the population's member type:
+//!
+//! * The default, [`DynActorSet<E>`], boxes heterogeneous actors behind a
+//!   trait object, which keeps unit tests and examples ergonomic
+//!   ([`Simulation::add_actor`] accepts any `Actor<E>`, and
+//!   [`Simulation::actor`] downcasts back to the concrete type).
+//! * A closed simulation domain supplies its own enum over its actor
+//!   kinds (see [`ProjectActor`]), so the per-event hot path dispatches
+//!   through a direct `match` instead of a vtable call — no box per
+//!   actor, no pointer chase per event. There is also no take/put-back
+//!   dance: the engine borrows the member in place (the actor table and
+//!   the scheduler core are disjoint), and mid-event spawns are parked in
+//!   a pending list absorbed after the handler returns, so dispatch is a
+//!   plain indexed borrow either way.
+//!
 //! This is the stand-in for the paper's MODEST/MÖBIUS tool chain: a small,
 //! auditable kernel whose event semantics are plain enough to validate by
 //! inspection (the paper stresses that simulation results are only
@@ -44,6 +62,10 @@ pub struct EventHandle {
 /// All interaction with the world — scheduling future events, sending to
 /// other actors, randomness, stopping the run — goes through the
 /// [`Context`].
+///
+/// The trait doubles as the bound on a simulation's *member type*: a typed
+/// simulation stores an enum over its actor kinds whose `Actor` impl is a
+/// `match` delegating to the active variant.
 pub trait Actor<E>: 'static {
     /// Called once when the simulation starts (or, for actors spawned
     /// mid-run, when they are absorbed into the actor table).
@@ -65,6 +87,89 @@ impl<E: 'static, T: Actor<E>> AnyActor<E> for T {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// The default actor storage: a boxed trait object per actor, so one
+/// simulation can host any mix of actor types without declaring a closed
+/// set. This is the ergonomic path for unit tests and examples; hot
+/// simulation domains define an enum member type instead and dispatch
+/// without the vtable (see the [module docs](self)).
+pub struct DynActorSet<E: 'static>(Box<dyn AnyActor<E>>);
+
+impl<E: 'static> DynActorSet<E> {
+    /// Boxes a concrete actor as a dynamic set member.
+    #[must_use]
+    pub fn wrap<A: Actor<E>>(actor: A) -> Self {
+        Self(Box::new(actor))
+    }
+}
+
+impl<E: 'static> Actor<E> for DynActorSet<E> {
+    fn on_start(&mut self, ctx: &mut Context<'_, E>) {
+        self.0.on_start(ctx);
+    }
+    fn on_event(&mut self, ctx: &mut Context<'_, E>, event: E) {
+        self.0.on_event(ctx, event);
+    }
+}
+
+/// Projection from a simulation's member type to one concrete actor kind —
+/// what [`Simulation::actor`]/[`Simulation::actor_mut`] use to hand out
+/// typed access.
+///
+/// [`DynActorSet`] projects by `Any`-downcast to *every* actor type; an
+/// enum member type implements it per variant:
+///
+/// ```
+/// use presence_des::{Actor, Context, ProjectActor};
+///
+/// struct Ping;
+/// struct Pong;
+/// # impl Actor<u32> for Ping { fn on_event(&mut self, _: &mut Context<'_, u32>, _: u32) {} }
+/// # impl Actor<u32> for Pong { fn on_event(&mut self, _: &mut Context<'_, u32>, _: u32) {} }
+///
+/// enum Member {
+///     Ping(Ping),
+///     Pong(Pong),
+/// }
+/// # impl Actor<u32> for Member {
+/// #     fn on_event(&mut self, ctx: &mut Context<'_, u32>, ev: u32) {
+/// #         match self {
+/// #             Member::Ping(a) => a.on_event(ctx, ev),
+/// #             Member::Pong(a) => a.on_event(ctx, ev),
+/// #         }
+/// #     }
+/// # }
+///
+/// impl ProjectActor<Ping> for Member {
+///     fn project(&self) -> Option<&Ping> {
+///         match self {
+///             Member::Ping(a) => Some(a),
+///             _ => None,
+///         }
+///     }
+///     fn project_mut(&mut self) -> Option<&mut Ping> {
+///         match self {
+///             Member::Ping(a) => Some(a),
+///             _ => None,
+///         }
+///     }
+/// }
+/// ```
+pub trait ProjectActor<A> {
+    /// The member as an `A`, if that is what it holds.
+    fn project(&self) -> Option<&A>;
+    /// The member as a mutable `A`, if that is what it holds.
+    fn project_mut(&mut self) -> Option<&mut A>;
+}
+
+impl<E: 'static, A: Actor<E>> ProjectActor<A> for DynActorSet<E> {
+    fn project(&self) -> Option<&A> {
+        self.0.as_any().downcast_ref::<A>()
+    }
+    fn project_mut(&mut self) -> Option<&mut A> {
+        self.0.as_any_mut().downcast_mut::<A>()
     }
 }
 
@@ -199,7 +304,12 @@ impl<E> Core<E> {
 pub struct Context<'a, E> {
     core: &'a mut Core<E>,
     rng: &'a mut StreamRng,
-    pending_spawns: &'a mut Vec<Box<dyn AnyActor<E>>>,
+    /// Mid-event spawns, parked until the current handler returns. Stored
+    /// as `&mut dyn Any` over the engine's `Vec<S>` so the context (and
+    /// therefore every `Actor` impl's signature) stays independent of the
+    /// simulation's member type; [`Context::spawn_member`] downcasts it
+    /// back, which is exact by construction for the owning engine.
+    pending_spawns: &'a mut dyn Any,
     me: ActorId,
 }
 
@@ -342,20 +452,45 @@ impl<'a, E> Context<'a, E> {
         self.core.stop_requested = true;
     }
 
-    /// Adds a new actor mid-run. The actor's `on_start` runs after the
-    /// current event handler returns, at the current virtual time.
+    /// Adds a new actor mid-run **in a dynamically stored simulation**
+    /// (the default). The actor's `on_start` runs after the current event
+    /// handler returns, at the current virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation stores a typed member set — spawn the set's
+    /// own type with [`Context::spawn_member`] instead.
     pub fn spawn<A: Actor<E>>(&mut self, actor: A) -> ActorId
     where
         E: 'static,
     {
+        self.spawn_member(DynActorSet::wrap(actor))
+    }
+
+    /// Adds a new actor mid-run, given as the simulation's member type
+    /// `S` (for a typed simulation, the actor-set enum; for the default
+    /// dynamic storage, a [`DynActorSet`] — or just use
+    /// [`Context::spawn`]). The member's `on_start` runs after the
+    /// current event handler returns, at the current virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `S` is not the member type of the simulation dispatching
+    /// this context.
+    pub fn spawn_member<S: 'static>(&mut self, member: S) -> ActorId {
+        let pending = self
+            .pending_spawns
+            .downcast_mut::<Vec<S>>()
+            .expect("spawned member type must match the simulation's actor storage");
         let id = ActorId(self.core.actor_count);
         self.core.actor_count += 1;
-        self.pending_spawns.push(Box::new(actor));
+        pending.push(member);
         id
     }
 }
 
-/// A deterministic discrete-event simulation.
+/// A deterministic discrete-event simulation over actor storage `S`
+/// (default: [`DynActorSet`], which accepts any mix of actor types).
 ///
 /// # Examples
 ///
@@ -385,9 +520,9 @@ impl<'a, E> Context<'a, E> {
 /// assert_eq!(sim.now(), SimTime::from_secs_f64(3.0));
 /// assert_eq!(sim.actor::<Counter>(id).unwrap().fired, 3);
 /// ```
-pub struct Simulation<E> {
+pub struct Simulation<E: 'static, S: Actor<E> = DynActorSet<E>> {
     core: Core<E>,
-    actors: Vec<Option<Box<dyn AnyActor<E>>>>,
+    actors: Vec<S>,
     rngs: Vec<StreamRng>,
     root_seed: u64,
     started: Vec<bool>,
@@ -398,10 +533,12 @@ pub struct Simulation<E> {
 /// Observer hook invoked for every processed event when tracing is on.
 type TraceHook = Box<dyn FnMut(&TraceRecord)>;
 
-impl<E: 'static> Simulation<E> {
-    /// Creates an empty simulation with the given root seed.
+impl<E: 'static, S: Actor<E>> Simulation<E, S> {
+    /// Creates an empty simulation with the given root seed, storing
+    /// actors as the member type `S` (a typed simulation names its
+    /// actor-set enum here; the dynamic default is [`Simulation::new`]).
     #[must_use]
-    pub fn new(root_seed: u64) -> Self {
+    pub fn with_actor_set(root_seed: u64) -> Self {
         Self {
             core: Core {
                 now: SimTime::ZERO,
@@ -430,11 +567,14 @@ impl<E: 'static> Simulation<E> {
         self.trace = Some(Box::new(hook));
     }
 
-    /// Registers an actor and returns its id. Its `on_start` runs when the
-    /// first run method is called (or immediately if the run has begun).
-    pub fn add_actor<A: Actor<E>>(&mut self, actor: A) -> ActorId {
+    /// Registers an actor given as the simulation's member type and
+    /// returns its id. Its `on_start` runs when the first run method is
+    /// called (or immediately if the run has begun). Typed simulations
+    /// pass their enum (usually via a `From` impl); dynamic simulations
+    /// can use [`Simulation::add_actor`] instead.
+    pub fn add_member(&mut self, member: S) -> ActorId {
         let id = ActorId(self.actors.len());
-        self.actors.push(Some(Box::new(actor)));
+        self.actors.push(member);
         self.started.push(false);
         self.core.actor_count = self.actors.len();
         id
@@ -466,26 +606,26 @@ impl<E: 'static> Simulation<E> {
         self.actors.len()
     }
 
-    /// Immutable access to an actor, downcast to its concrete type.
+    /// Immutable access to an actor, projected to its concrete type
+    /// (an `Any`-downcast for dynamic storage, a variant match for a
+    /// typed set).
     ///
     /// Returns `None` if the id is unknown or the type does not match.
     #[must_use]
-    pub fn actor<A: Actor<E>>(&self, id: ActorId) -> Option<&A> {
-        self.actors
-            .get(id.0)?
-            .as_ref()?
-            .as_any()
-            .downcast_ref::<A>()
+    pub fn actor<A>(&self, id: ActorId) -> Option<&A>
+    where
+        S: ProjectActor<A>,
+    {
+        self.actors.get(id.0)?.project()
     }
 
-    /// Mutable access to an actor, downcast to its concrete type.
+    /// Mutable access to an actor, projected to its concrete type.
     #[must_use]
-    pub fn actor_mut<A: Actor<E>>(&mut self, id: ActorId) -> Option<&mut A> {
-        self.actors
-            .get_mut(id.0)?
-            .as_mut()?
-            .as_any_mut()
-            .downcast_mut::<A>()
+    pub fn actor_mut<A>(&mut self, id: ActorId) -> Option<&mut A>
+    where
+        S: ProjectActor<A>,
+    {
+        self.actors.get_mut(id.0)?.project_mut()
     }
 
     /// Schedules an event from outside the simulation (e.g. initial stimuli
@@ -517,12 +657,11 @@ impl<E: 'static> Simulation<E> {
         self.core.reschedule(handle, at)
     }
 
-    fn rng_for(&mut self, idx: usize) -> &mut StreamRng {
+    fn rng_for(&mut self, idx: usize) {
         while self.rngs.len() <= idx {
             let stream = self.rngs.len() as u64;
             self.rngs.push(StreamRng::new(self.root_seed, stream));
         }
-        &mut self.rngs[idx]
     }
 
     /// Runs `on_start` for any actor that has not started yet.
@@ -540,16 +679,19 @@ impl<E: 'static> Simulation<E> {
 
     /// Dispatches either `on_start` (payload `None`) or `on_event` to the
     /// actor at `idx`, then absorbs any spawned actors.
+    ///
+    /// The member is borrowed **in place**: the actor table, the scheduler
+    /// core, and the RNG table are disjoint, so no take/put-back swap is
+    /// needed. Re-entrant dispatch is impossible by construction — an
+    /// actor interacts with others only through queued events, and a
+    /// message to itself fires in a later dispatch that observes every
+    /// state change made here (pinned by the engine's self-send test).
     fn dispatch(&mut self, idx: usize, payload: Option<E>) {
-        let mut actor = match self.actors[idx].take() {
-            Some(a) => a,
-            // The slot is empty only if an actor somehow dispatched to
-            // itself re-entrantly, which the engine never does.
-            None => unreachable!("actor slot {idx} empty during dispatch"),
-        };
-        let mut pending: Vec<Box<dyn AnyActor<E>>> = Vec::new();
         self.rng_for(idx);
+        // Parked spawns: allocation-free unless a spawn actually happens.
+        let mut pending: Vec<S> = Vec::new();
         {
+            let actor = &mut self.actors[idx];
             let mut ctx = Context {
                 core: &mut self.core,
                 rng: &mut self.rngs[idx],
@@ -561,9 +703,8 @@ impl<E: 'static> Simulation<E> {
                 None => actor.on_start(&mut ctx),
             }
         }
-        self.actors[idx] = Some(actor);
         for spawned in pending {
-            self.actors.push(Some(spawned));
+            self.actors.push(spawned);
             self.started.push(false);
         }
         debug_assert_eq!(self.core.actor_count, self.actors.len());
@@ -576,10 +717,25 @@ impl<E: 'static> Simulation<E> {
     }
 }
 
+impl<E: 'static> Simulation<E> {
+    /// Creates an empty simulation with the given root seed, using the
+    /// default dynamic actor storage ([`DynActorSet`]).
+    #[must_use]
+    pub fn new(root_seed: u64) -> Self {
+        Self::with_actor_set(root_seed)
+    }
+
+    /// Registers an actor and returns its id. Its `on_start` runs when the
+    /// first run method is called (or immediately if the run has begun).
+    pub fn add_actor<A: Actor<E>>(&mut self, actor: A) -> ActorId {
+        self.add_member(DynActorSet::wrap(actor))
+    }
+}
+
 /// The run loop. Requires `E: Clone` so a batch event
 /// ([`Context::send_now_batch`]) can hand each target its own copy of the
 /// payload (the final target receives the original without cloning).
-impl<E: Clone + 'static> Simulation<E> {
+impl<E: Clone + 'static, S: Actor<E>> Simulation<E, S> {
     /// Processes a single event — which may be a batch delivering to
     /// several actors in order. Returns `false` when the queue is empty.
     /// Cancelled events were removed at cancel time, so every pop is live.

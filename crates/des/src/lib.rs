@@ -26,8 +26,13 @@ mod engine;
 pub mod queue;
 mod rng;
 mod time;
+mod timer_slots;
 
-pub use engine::{Actor, ActorId, Context, EventHandle, RunOutcome, Simulation, TraceRecord};
+pub use engine::{
+    Actor, ActorId, Context, DynActorSet, EventHandle, ProjectActor, RunOutcome, Simulation,
+    TraceRecord,
+};
 pub use queue::{EventKey, EventQueue};
 pub use rng::{derive_seed, splitmix64, StreamRng};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
+pub use timer_slots::TimerSlots;

@@ -1,0 +1,310 @@
+//! Regression tests for the dispatch edge cases the typed actor-set path
+//! must preserve, run against **both** storage modes (the default
+//! `DynActorSet` and a local enum member type) and cross-checked against
+//! each other:
+//!
+//! * an actor spawned from `pending_spawns` mid-batch is started and
+//!   receives its events in exactly the order the spawning handler
+//!   scheduled them, interleaved identically with competing events;
+//! * an actor sending to itself during `handle` observes every state
+//!   change the earlier dispatch made (the old take/put-back dance and
+//!   the new in-place borrow must be indistinguishable);
+//! * the dynamic `Context::spawn` API panics loudly inside a typed
+//!   simulation instead of corrupting the actor table.
+
+use presence_des::{
+    Actor, ActorId, Context, ProjectActor, RunOutcome, SimDuration, SimTime, Simulation,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type Ev = u32;
+
+/// Records events; asserts `on_start` ran before any of them.
+struct Child {
+    started: bool,
+    log: Vec<Ev>,
+}
+
+impl Child {
+    fn new() -> Self {
+        Self {
+            started: false,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl Actor<Ev> for Child {
+    fn on_start(&mut self, _ctx: &mut Context<'_, Ev>) {
+        self.started = true;
+    }
+    fn on_event(&mut self, _ctx: &mut Context<'_, Ev>, ev: Ev) {
+        assert!(self.started, "event delivered before on_start");
+        self.log.push(ev);
+    }
+}
+
+/// Spawns a child mid-event and schedules a mix of same-instant and
+/// delayed events around the spawn.
+struct Spawner {
+    typed: bool,
+    peer: ActorId,
+    child: Option<ActorId>,
+}
+
+impl Actor<Ev> for Spawner {
+    fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
+        // A competing same-instant event minted before the spawn…
+        ctx.send_now(self.peer, 100);
+        let child = if self.typed {
+            ctx.spawn_member(Member::Child(Child::new()))
+        } else {
+            ctx.spawn(Child::new())
+        };
+        self.child = Some(child);
+        // …events for the not-yet-absorbed child, in a deliberate order…
+        ctx.send_now(child, 1);
+        ctx.send_now(child, 2);
+        ctx.schedule_in(SimDuration::from_secs(1), child, 3);
+        // …and a competing event minted after.
+        ctx.send_now(self.peer, 200);
+    }
+}
+
+/// The typed member set used by the enum-path variants of these tests.
+enum Member {
+    Spawner(Spawner),
+    Child(Child),
+    Counter(SelfCounter),
+}
+
+impl Actor<Ev> for Member {
+    fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+        match self {
+            Member::Spawner(a) => a.on_start(ctx),
+            Member::Child(a) => a.on_start(ctx),
+            Member::Counter(a) => a.on_start(ctx),
+        }
+    }
+    fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        match self {
+            Member::Spawner(a) => a.on_event(ctx, ev),
+            Member::Child(a) => a.on_event(ctx, ev),
+            Member::Counter(a) => a.on_event(ctx, ev),
+        }
+    }
+}
+
+macro_rules! member_projection {
+    ($variant:ident, $kind:ty) => {
+        impl ProjectActor<$kind> for Member {
+            fn project(&self) -> Option<&$kind> {
+                match self {
+                    Member::$variant(a) => Some(a),
+                    _ => None,
+                }
+            }
+            fn project_mut(&mut self) -> Option<&mut $kind> {
+                match self {
+                    Member::$variant(a) => Some(a),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+member_projection!(Spawner, Spawner);
+member_projection!(Child, Child);
+member_projection!(Counter, SelfCounter);
+
+/// One `(seq, target)` record per processed event, plus the logs the run
+/// produced — everything the two storage modes must agree on.
+#[derive(Debug, PartialEq)]
+struct SpawnRunRecord {
+    trace: Vec<(u64, usize)>,
+    peer_log: Vec<Ev>,
+    child_log: Vec<Ev>,
+}
+
+fn traced<E, S, F, G>(sim: &mut Simulation<E, S>, run: F, collect: G) -> SpawnRunRecord
+where
+    E: Clone + 'static,
+    S: Actor<E>,
+    F: FnOnce(&mut Simulation<E, S>),
+    G: FnOnce(&Simulation<E, S>, Vec<(u64, usize)>) -> SpawnRunRecord,
+{
+    let trace = Rc::new(RefCell::new(Vec::new()));
+    let t2 = Rc::clone(&trace);
+    sim.set_trace(move |rec| t2.borrow_mut().push((rec.seq, rec.target.index())));
+    run(sim);
+    let trace = trace.borrow().clone();
+    collect(sim, trace)
+}
+
+fn spawn_run_dyn() -> SpawnRunRecord {
+    let mut sim: Simulation<Ev> = Simulation::new(7);
+    let peer = sim.add_actor(Child::new());
+    let spawner = sim.add_actor(Spawner {
+        typed: false,
+        peer,
+        child: None,
+    });
+    sim.schedule_at(SimTime::from_secs_f64(1.0), spawner, 0);
+    traced(
+        &mut sim,
+        |sim| {
+            assert_eq!(sim.run_until_idle(), RunOutcome::Idle);
+        },
+        |sim, trace| {
+            let child = sim.actor::<Spawner>(spawner).unwrap().child.unwrap();
+            SpawnRunRecord {
+                trace,
+                peer_log: sim.actor::<Child>(peer).unwrap().log.clone(),
+                child_log: sim.actor::<Child>(child).unwrap().log.clone(),
+            }
+        },
+    )
+}
+
+fn spawn_run_typed() -> SpawnRunRecord {
+    let mut sim: Simulation<Ev, Member> = Simulation::with_actor_set(7);
+    let peer = sim.add_member(Member::Child(Child::new()));
+    let spawner = sim.add_member(Member::Spawner(Spawner {
+        typed: true,
+        peer,
+        child: None,
+    }));
+    sim.schedule_at(SimTime::from_secs_f64(1.0), spawner, 0);
+    traced(
+        &mut sim,
+        |sim| {
+            assert_eq!(sim.run_until_idle(), RunOutcome::Idle);
+        },
+        |sim, trace| {
+            let child = sim.actor::<Spawner>(spawner).unwrap().child.unwrap();
+            SpawnRunRecord {
+                trace,
+                peer_log: sim.actor::<Child>(peer).unwrap().log.clone(),
+                child_log: sim.actor::<Child>(child).unwrap().log.clone(),
+            }
+        },
+    )
+}
+
+/// The spawned actor's events fire in scheduling order, interleaved
+/// correctly with the competitors, and the enum path reproduces the
+/// dynamic path's trace exactly.
+#[test]
+fn mid_batch_spawn_receives_events_in_order_on_both_paths() {
+    let dynamic = spawn_run_dyn();
+    assert_eq!(dynamic.child_log, vec![1, 2, 3]);
+    assert_eq!(
+        dynamic.peer_log,
+        vec![100, 200],
+        "competing events keep their FIFO positions around the spawn"
+    );
+    let typed = spawn_run_typed();
+    assert_eq!(
+        dynamic, typed,
+        "typed dispatch must replay the dynamic trace event-for-event"
+    );
+}
+
+/// Counts its own events, mutating itself before *and after* the
+/// self-send: the next dispatch must observe both mutations.
+struct SelfCounter {
+    value: u32,
+    observed: Vec<u32>,
+}
+
+impl Actor<Ev> for SelfCounter {
+    fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        self.observed.push(self.value);
+        self.value += 1;
+        if ev < 3 {
+            let me = ctx.me();
+            ctx.send_now(me, ev + 1);
+        }
+        // Mutation after the self-send: the queued event fires later, so
+        // it must still see this write (the put-back happened, or — now —
+        // the in-place borrow wrote through).
+        self.value += 10;
+    }
+}
+
+#[test]
+fn self_send_during_handle_observes_all_state_changes() {
+    // Dynamic storage.
+    let mut sim: Simulation<Ev> = Simulation::new(1);
+    let id = sim.add_actor(SelfCounter {
+        value: 0,
+        observed: vec![],
+    });
+    sim.schedule_at(SimTime::ZERO, id, 0);
+    sim.run_until_idle();
+    let dyn_observed = sim.actor::<SelfCounter>(id).unwrap().observed.clone();
+    assert_eq!(dyn_observed, vec![0, 11, 22, 33]);
+
+    // Typed storage: identical semantics.
+    let mut sim: Simulation<Ev, Member> = Simulation::with_actor_set(1);
+    let id = sim.add_member(Member::Counter(SelfCounter {
+        value: 0,
+        observed: vec![],
+    }));
+    sim.schedule_at(SimTime::ZERO, id, 0);
+    sim.run_until_idle();
+    let typed_observed = &sim.actor::<SelfCounter>(id).unwrap().observed;
+    assert_eq!(typed_observed, &dyn_observed);
+}
+
+/// Spawning during `on_start` (before any event fires) chains: the spawned
+/// actor is started by the same flush and is addressable at t = 0.
+#[test]
+fn spawn_during_on_start_is_started_and_addressable() {
+    struct StartSpawner {
+        child: Option<ActorId>,
+    }
+    impl Actor<Ev> for StartSpawner {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+            let child = ctx.spawn(Child::new());
+            self.child = Some(child);
+            ctx.send_now(child, 42);
+        }
+        fn on_event(&mut self, _: &mut Context<'_, Ev>, _: Ev) {}
+    }
+    let mut sim: Simulation<Ev> = Simulation::new(3);
+    let s = sim.add_actor(StartSpawner { child: None });
+    sim.run_until_idle();
+    let child = sim.actor::<StartSpawner>(s).unwrap().child.unwrap();
+    let c = sim.actor::<Child>(child).unwrap();
+    assert!(c.started);
+    assert_eq!(c.log, vec![42]);
+}
+
+/// The dynamic `spawn` API cannot silently inject a boxed actor into a
+/// typed member table.
+#[test]
+#[should_panic(expected = "member type must match")]
+fn dynamic_spawn_inside_typed_simulation_panics() {
+    struct BadSpawn;
+    impl Actor<Ev> for BadSpawn {
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, _: Ev) {
+            let _ = ctx.spawn(Child::new());
+        }
+    }
+    enum Solo {
+        Bad(BadSpawn),
+    }
+    impl Actor<Ev> for Solo {
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            let Solo::Bad(a) = self;
+            a.on_event(ctx, ev);
+        }
+    }
+    let mut sim: Simulation<Ev, Solo> = Simulation::with_actor_set(1);
+    let id = sim.add_member(Solo::Bad(BadSpawn));
+    sim.schedule_at(SimTime::ZERO, id, 0);
+    sim.run_until_idle();
+}

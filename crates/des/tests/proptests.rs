@@ -268,3 +268,119 @@ mod event_queue_model {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// TimerSlots model checking: the two-slot inline cache must agree with a
+// HashMap reference under arbitrary set/cancel/rearm/fire/is_pending
+// interleavings — including the spill-past-2-slots path (keys range over
+// six values, so three-plus live timers occur constantly).
+// ---------------------------------------------------------------------------
+
+mod timer_slots_model {
+    use presence_des::{Actor, Context, EventHandle, SimTime, Simulation, TimerSlots};
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    struct Sink;
+    impl Actor<u32> for Sink {
+        fn on_event(&mut self, _: &mut Context<'_, u32>, _: u32) {}
+    }
+
+    const KEYS: u8 = 6;
+
+    proptest! {
+        /// Step-for-step agreement with a `HashMap` reference model. Ops:
+        /// 0 = set (arm a fresh engine timer and insert), 1 = cancel,
+        /// 2 = rearm in place, 3 = fire (the engine consumed it; the
+        /// bookkeeping forgets it), 4 = is_pending/lookup, 5 = retain
+        /// (prune a deterministic subset). After every op the full key
+        /// space must resolve identically on both sides.
+        #[test]
+        fn matches_hashmap_reference(
+            ops in prop::collection::vec((0u8..6, 0u8..KEYS), 1..300),
+        ) {
+            let mut sim: Simulation<u32> = Simulation::new(1);
+            let actor = sim.add_actor(Sink);
+            let mut at = 1.0f64;
+            let mut slots: TimerSlots<u8> = TimerSlots::new();
+            let mut model: HashMap<u8, EventHandle> = HashMap::new();
+            for &(op, key) in &ops {
+                match op {
+                    0 => {
+                        at += 1.0;
+                        let h = sim.schedule_at(
+                            SimTime::from_secs_f64(at),
+                            actor,
+                            u32::from(key),
+                        );
+                        // A replaced timer is cancelled by the caller in
+                        // real use; mirror that so the sim stays tidy.
+                        let (a, b) = (slots.insert(key, h), model.insert(key, h));
+                        prop_assert_eq!(a, b, "insert returned different old handle");
+                        if let Some(old) = a {
+                            sim.cancel(old);
+                        }
+                    }
+                    1 => {
+                        let (a, b) = (slots.remove(key), model.remove(&key));
+                        prop_assert_eq!(a, b, "cancel removed different handle");
+                        if let Some(h) = a {
+                            sim.cancel(h);
+                        }
+                    }
+                    2 => {
+                        // Rearm: pull the live handle, reschedule the
+                        // engine event in place, store the fresh handle.
+                        let (a, b) = (slots.remove(key), model.remove(&key));
+                        prop_assert_eq!(a, b, "rearm found different handle");
+                        if let Some(h) = a {
+                            at += 1.0;
+                            let fresh = sim
+                                .reschedule(h, SimTime::from_secs_f64(at))
+                                .expect("handle minted by this run is pending");
+                            prop_assert_eq!(slots.insert(key, fresh), None);
+                            model.insert(key, fresh);
+                        }
+                    }
+                    3 => {
+                        // Fire: the engine delivered the event; both sides
+                        // drop the bookkeeping entry.
+                        let (a, b) = (slots.remove(key), model.remove(&key));
+                        prop_assert_eq!(a, b, "fire removed different handle");
+                        if let Some(h) = a {
+                            sim.cancel(h);
+                        }
+                    }
+                    4 => {
+                        prop_assert_eq!(slots.get(key), model.get(&key).copied());
+                        prop_assert_eq!(slots.contains(key), model.contains_key(&key));
+                    }
+                    _ => {
+                        // Prune: keep even keys only (a deterministic
+                        // stand-in for "handle still pending" predicates).
+                        slots.retain(|k, _| k % 2 == 0);
+                        model.retain(|k, _| k % 2 == 0);
+                    }
+                }
+                prop_assert_eq!(slots.len(), model.len(), "len diverged");
+                prop_assert_eq!(slots.is_empty(), model.is_empty());
+                for k in 0..KEYS {
+                    prop_assert_eq!(
+                        slots.get(k),
+                        model.get(&k).copied(),
+                        "key {} resolved differently",
+                        k
+                    );
+                }
+            }
+            // Drain must surface exactly the model's final contents.
+            let mut drained: Vec<(u8, EventHandle)> = Vec::new();
+            slots.drain(|k, h| drained.push((k, h)));
+            prop_assert!(slots.is_empty());
+            drained.sort_by_key(|&(k, _)| k);
+            let mut expected: Vec<(u8, EventHandle)> = model.into_iter().collect();
+            expected.sort_by_key(|&(k, _)| k);
+            prop_assert_eq!(drained, expected);
+        }
+    }
+}

@@ -9,9 +9,8 @@ use presence_core::{
     NoticeDisposition, OverlayView, ProbeCycleConfig, Prober, Reply, ReplyBody, SappConfig, SappCp,
     TimerToken, WireMessage,
 };
-use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime};
+use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime, TimerSlots};
 use presence_stats::{TimeSeries, Welford};
-use std::collections::HashMap;
 
 /// Factory for the prober machine a CP (re-)creates each time it joins.
 #[derive(Debug, Clone)]
@@ -63,7 +62,11 @@ pub struct CpActor {
     network: ActorId,
     device: presence_core::DeviceId,
     prober: Option<Box<dyn Prober + Send>>,
-    timers: HashMap<TimerToken, EventHandle>,
+    /// Live protocol timers. A CP arms at most two at once (cycle timer +
+    /// timeout), so the two inline slots make this allocation-free and
+    /// hash-free on the steady-state path; a hypothetical third timer
+    /// spills safely (ROADMAP hot path (c)).
+    timers: TimerSlots<TimerToken>,
     /// A timer handle freed by a `CancelTimer` earlier in the current
     /// action batch, kept alive so a following `StartTimer` can rearm it
     /// in place ([`Context::rearm_timer`]) instead of paying a queue
@@ -103,7 +106,7 @@ impl CpActor {
             network,
             device,
             prober: None,
-            timers: HashMap::new(),
+            timers: TimerSlots::new(),
             rearm_slot: None,
             scratch: Vec::new(),
             disseminate,
@@ -209,7 +212,7 @@ impl CpActor {
                     self.timers.insert(token, handle);
                 }
                 CpAction::CancelTimer { token } => {
-                    if let Some(handle) = self.timers.remove(&token) {
+                    if let Some(handle) = self.timers.remove(token) {
                         // Defer: a StartTimer later in this batch usually
                         // rearms the same queue slot in place.
                         if let Some(stale) = self.rearm_slot.replace(handle) {
@@ -306,9 +309,11 @@ impl CpActor {
         self.accumulate_session_stats();
         self.prober = None;
         self.active = false;
-        for (_, handle) in self.timers.drain() {
+        // Cancel order is slot order (cancels commute; no trajectory
+        // impact — see `TimerSlots::drain`).
+        self.timers.drain(|_, handle| {
             ctx.cancel(handle);
-        }
+        });
     }
 }
 
@@ -338,8 +343,8 @@ impl Actor<SimEvent> for CpActor {
             }
             SimEvent::Timer(token) => {
                 // A timer for a past session may fire after a leave/join;
-                // only current-session timers are in the map.
-                if self.timers.remove(&token).is_none() {
+                // only current-session timers are in the slots.
+                if self.timers.remove(token).is_none() {
                     return;
                 }
                 let Some(prober) = self.prober.as_mut() else {

@@ -6,9 +6,8 @@ use crate::event::{Addr, SimEvent};
 use presence_core::{
     AutoTuner, Bye, DcppDevice, DeviceId, Probe, Reply, SappDevice, TuneDecision, WireMessage,
 };
-use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime, StreamRng};
+use presence_des::{Actor, ActorId, Context, SimDuration, SimTime, StreamRng, TimerSlots};
 use presence_stats::{JumpingWindowRate, TimeSeries};
-use std::collections::VecDeque;
 
 /// How long the device takes to process a probe before the reply leaves.
 ///
@@ -99,12 +98,16 @@ pub struct DeviceActor {
     /// Probe arrival timestamps (seconds) — kept for summary statistics.
     arrivals: TimeSeries,
     /// Replies scheduled on the network but still inside the processing
-    /// window. A crash or leave cancels them — the device dies *mid
-    /// computation*, so a reply whose processing has not finished must
-    /// never escape. Fired handles are pruned lazily from the front (the
-    /// deque is FIFO in emission time), keeping it at the concurrent
-    /// processing depth rather than the probe count.
-    processing_replies: VecDeque<EventHandle>,
+    /// window, keyed by a private emission counter. A crash or leave
+    /// cancels them — the device dies *mid computation*, so a reply whose
+    /// processing has not finished must never escape. Fired handles are
+    /// pruned lazily before each insert; at L_nom ≈ 10 probes/s and a
+    /// ≤ 20 ms processing window the live depth is almost always ≤ 1, so
+    /// the two inline slots cover it (the spill map is pre-allocated for
+    /// overload phases, keeping the steady-state loop allocation-free).
+    processing_replies: TimerSlots<u64>,
+    /// Monotone key source for `processing_replies`.
+    reply_seq: u64,
     stopped_at: Option<SimTime>,
 }
 
@@ -135,7 +138,8 @@ impl DeviceActor {
             alive: true,
             load: JumpingWindowRate::with_capacity(0.0, load_window, windows_hint),
             arrivals: TimeSeries::with_capacity(arrivals_hint),
-            processing_replies: VecDeque::new(),
+            processing_replies: TimerSlots::with_spill_capacity(8),
+            reply_seq: 0,
             stopped_at: None,
         }
     }
@@ -193,9 +197,9 @@ impl DeviceActor {
     /// Cancels every reply still inside its processing window: the device
     /// stopped mid-computation, so those replies never hit the wire.
     fn abort_processing(&mut self, ctx: &mut Context<'_, SimEvent>) {
-        for handle in self.processing_replies.drain(..) {
+        self.processing_replies.drain(|_, handle| {
             ctx.cancel(handle);
-        }
+        });
     }
 }
 
@@ -240,13 +244,10 @@ impl Actor<SimEvent> for DeviceActor {
                         msg: WireMessage::Reply(reply),
                     },
                 );
-                while let Some(&front) = self.processing_replies.front() {
-                    if ctx.is_pending(front) {
-                        break;
-                    }
-                    self.processing_replies.pop_front();
-                }
-                self.processing_replies.push_back(handle);
+                self.processing_replies.retain(|_, h| ctx.is_pending(h));
+                let key = self.reply_seq;
+                self.reply_seq += 1;
+                self.processing_replies.insert(key, handle);
             }
             SimEvent::Crash => {
                 if self.alive {

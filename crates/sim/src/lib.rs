@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod actor_set;
 mod churn;
 mod cp_actor;
 mod device_actor;
@@ -45,6 +46,7 @@ mod replication;
 mod scenario;
 pub mod test_profile;
 
+pub use actor_set::{CollectorActor, PresenceActorSet, PresenceSim};
 pub use churn::{ChurnActor, ChurnModel};
 pub use cp_actor::{CpActor, CpRecord, ProberFactory};
 pub use device_actor::{DeviceActor, DeviceMachine, ProcessingModel};

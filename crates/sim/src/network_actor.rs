@@ -130,6 +130,7 @@ impl Actor<SimEvent> for NetworkActor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor_set::{CollectorActor, PresenceSim};
     use presence_core::{CpId, DeviceId, Probe, WireMessage};
     use presence_des::{SimTime, Simulation};
     use presence_net::Fabric;
@@ -143,10 +144,12 @@ mod tests {
 
     /// Satellite regression: messages to an unregistered address used to
     /// vanish with no trace at all — indistinguishable from network loss.
+    /// (These tests run on the typed actor set, so the network's enum
+    /// dispatch path is what they exercise.)
     #[test]
     fn unroutable_messages_are_counted_not_dropped_silently() {
-        let mut sim: Simulation<SimEvent> = Simulation::new(1);
-        let network = sim.add_actor(NetworkActor::new(Fabric::paper_default()));
+        let mut sim: PresenceSim = Simulation::with_actor_set(1);
+        let network = sim.add_member(NetworkActor::new(Fabric::paper_default()).into());
         sim.schedule_at(
             SimTime::ZERO,
             network,
@@ -180,19 +183,9 @@ mod tests {
     /// A registered route makes the same send a normal two-event delivery.
     #[test]
     fn registered_route_admits_and_delivers() {
-        struct Sink {
-            got: u32,
-        }
-        impl presence_des::Actor<SimEvent> for Sink {
-            fn on_event(&mut self, _: &mut presence_des::Context<'_, SimEvent>, ev: SimEvent) {
-                if let SimEvent::Deliver(_) = ev {
-                    self.got += 1;
-                }
-            }
-        }
-        let mut sim: Simulation<SimEvent> = Simulation::new(1);
-        let network = sim.add_actor(NetworkActor::new(Fabric::paper_default()));
-        let sink = sim.add_actor(Sink { got: 0 });
+        let mut sim: PresenceSim = Simulation::with_actor_set(1);
+        let network = sim.add_member(NetworkActor::new(Fabric::paper_default()).into());
+        let sink = sim.add_member(CollectorActor::new().into());
         sim.actor_mut::<NetworkActor>(network)
             .expect("network actor")
             .register(Addr::Cp(CpId(3)), sink);
@@ -205,7 +198,12 @@ mod tests {
             },
         );
         sim.run_until_idle();
-        assert_eq!(sim.actor::<Sink>(sink).expect("sink").got, 1);
+        assert_eq!(
+            sim.actor::<CollectorActor>(sink)
+                .expect("sink")
+                .deliveries(),
+            1
+        );
         // Exactly two events: the Send dispatch and the Deliver firing.
         assert_eq!(sim.events_processed(), 2);
         let now = sim.now();
@@ -221,37 +219,37 @@ mod tests {
     /// without touching device routes.
     #[test]
     fn broadcast_reaches_every_registered_cp() {
-        struct Sink {
-            got: u32,
-        }
-        impl presence_des::Actor<SimEvent> for Sink {
-            fn on_event(&mut self, _: &mut presence_des::Context<'_, SimEvent>, ev: SimEvent) {
-                if let SimEvent::Deliver(_) = ev {
-                    self.got += 1;
-                }
-            }
-        }
-        let mut sim: Simulation<SimEvent> = Simulation::new(1);
-        let network = sim.add_actor(NetworkActor::new(Fabric::paper_default()));
+        let mut sim: PresenceSim = Simulation::with_actor_set(1);
+        let network = sim.add_member(NetworkActor::new(Fabric::paper_default()).into());
         let mut sinks = Vec::new();
         for i in 0..4u32 {
-            let sink = sim.add_actor(Sink { got: 0 });
+            let sink = sim.add_member(CollectorActor::new().into());
             sinks.push(sink);
             sim.actor_mut::<NetworkActor>(network)
                 .expect("network actor")
                 .register(Addr::Cp(CpId(i)), sink);
         }
         // A device route must not receive CP broadcasts.
-        let dev = sim.add_actor(Sink { got: 0 });
+        let dev = sim.add_member(CollectorActor::new().into());
         sim.actor_mut::<NetworkActor>(network)
             .expect("network actor")
             .register(Addr::Device(DeviceId(0)), dev);
         sim.schedule_at(SimTime::ZERO, network, SimEvent::Broadcast { msg: probe() });
         sim.run_until_idle();
         for &sink in &sinks {
-            assert_eq!(sim.actor::<Sink>(sink).expect("sink").got, 1);
+            assert_eq!(
+                sim.actor::<CollectorActor>(sink)
+                    .expect("sink")
+                    .deliveries(),
+                1
+            );
         }
-        assert_eq!(sim.actor::<Sink>(dev).expect("device sink").got, 0);
+        assert_eq!(
+            sim.actor::<CollectorActor>(dev)
+                .expect("device sink")
+                .deliveries(),
+            0
+        );
         // 1 Broadcast dispatch + 4 Deliver firings.
         assert_eq!(sim.events_processed(), 5);
     }

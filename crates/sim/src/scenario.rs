@@ -5,6 +5,7 @@
 //! [`Scenario::build`] wires the actors together; [`Scenario::run_for`]
 //! executes and [`Scenario::collect`] extracts a [`ScenarioResult`].
 
+use crate::actor_set::PresenceSim;
 use crate::churn::{ChurnActor, ChurnModel};
 use crate::cp_actor::{CpActor, ProberFactory};
 use crate::device_actor::{DeviceActor, DeviceMachine, ProcessingModel};
@@ -216,8 +217,13 @@ pub fn golden_trio() -> [(&'static str, ScenarioConfig); 3] {
 }
 
 /// A built, runnable scenario.
+///
+/// Runs on the typed actor set ([`crate::PresenceSim`]): every node is an
+/// inline [`crate::PresenceActorSet`] member and the engine dispatches
+/// events through a direct variant match — the hot path carries no boxed
+/// trait objects.
 pub struct Scenario {
-    sim: Simulation<SimEvent>,
+    sim: PresenceSim,
     cfg: ScenarioConfig,
     device: ActorId,
     network: ActorId,
@@ -248,10 +254,10 @@ impl Scenario {
     ) -> Self {
         cfg.validate();
 
-        let mut sim = Simulation::new(cfg.seed);
+        let mut sim: PresenceSim = Simulation::with_actor_set(cfg.seed);
 
         let fabric = Fabric::new(cfg.buffer_capacity, delay, loss);
-        let network = sim.add_actor(NetworkActor::new(fabric));
+        let network = sim.add_member(NetworkActor::new(fabric).into());
 
         let device_id = DeviceId(0);
         let machine = match cfg.protocol {
@@ -280,7 +286,7 @@ impl Scenario {
         {
             device_actor.set_tuner(AutoTuner::new(tune, dev_cfg.l_nom));
         }
-        let device = sim.add_actor(device_actor);
+        let device = sim.add_member(device_actor.into());
 
         let factory = match cfg.protocol {
             Protocol::Sapp { cp, .. } => ProberFactory::Sapp(cp),
@@ -299,14 +305,17 @@ impl Scenario {
         let mut cps = Vec::with_capacity(cfg.cp_pool as usize);
         for i in 0..cfg.cp_pool {
             let id = CpId(i);
-            let actor = sim.add_actor(CpActor::new(
-                id,
-                factory.clone(),
-                network,
-                device_id,
-                cfg.disseminate,
-                samples_hint,
-            ));
+            let actor = sim.add_member(
+                CpActor::new(
+                    id,
+                    factory.clone(),
+                    network,
+                    device_id,
+                    cfg.disseminate,
+                    samples_hint,
+                )
+                .into(),
+            );
             cps.push(actor);
         }
 
@@ -321,16 +330,19 @@ impl Scenario {
             }
         }
 
-        let churn = sim.add_actor(ChurnActor::new(
-            cfg.churn,
-            cps.clone(),
-            cfg.initially_active,
-            SimDuration::from_secs_f64(cfg.join_stagger),
-            cfg.duration,
-        ));
+        let churn = sim.add_member(
+            ChurnActor::new(
+                cfg.churn,
+                cps.clone(),
+                cfg.initially_active,
+                SimDuration::from_secs_f64(cfg.join_stagger),
+                cfg.duration,
+            )
+            .into(),
+        );
 
         if !churn_switches.is_empty() {
-            sim.add_actor(crate::RegimeActor::new(churn, churn_switches.to_vec()));
+            sim.add_member(crate::RegimeActor::new(churn, churn_switches.to_vec()).into());
         }
 
         Self {
@@ -351,7 +363,7 @@ impl Scenario {
 
     /// The underlying simulation (for custom interventions: crashes,
     /// Δ-retuning, extra probes).
-    pub fn sim_mut(&mut self) -> &mut Simulation<SimEvent> {
+    pub fn sim_mut(&mut self) -> &mut PresenceSim {
         &mut self.sim
     }
 

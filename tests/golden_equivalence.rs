@@ -1,46 +1,25 @@
-//! Golden-equivalence suite for the single-hop network fast path.
+//! Golden-equivalence suite for engine hot-path refactors.
 //!
-//! The fixtures under `tests/golden/` are full `ScenarioResult` JSON dumps
-//! recorded **before** the 3-events-per-message delivery path was flattened
-//! to 2 (`Send` → `InTransit` → same-instant `Deliver` became `Send` →
-//! `Deliver` scheduled at admit time, with the reply's processing delay
-//! folded into its `Send`). The refactor must not change the simulated
-//! trajectory: every metric except `events_processed` — every counter,
-//! every series point, every floating-point value — must match the
-//! recorded runs bit-for-bit.
+//! The fixtures under `tests/golden/` are full `ScenarioResult` JSON
+//! dumps recorded **before** the typed-dispatch + timer-slot rewrite
+//! (PR 5): the three `golden_trio()` presets plus the
+//! `mixed-regime-stress` lab spec, whose regime-switching trajectory
+//! exercises the `Scheduled` network models, the `RegimeActor`, and every
+//! churn generator.
 //!
-//! `events_processed` is the one metric the refactor exists to change; it
-//! is asserted separately to have dropped by ≥ 25 % (the PR's acceptance
-//! floor) rather than to match.
+//! Every metric must match bit-for-bit — **including `events_processed`**.
+//! Earlier refactors (the PR 3 single-hop delivery path) legitimately
+//! changed event counts, so the old suite excluded that one field; typed
+//! dispatch and inline timer slots must not change what is scheduled, so
+//! since PR 5 a changed count is a changed trajectory and fails here.
 //!
 //! Regenerate with `cargo run --release -p presence-bench --bin
-//! golden_fixtures` — but only in a PR that *intends* a trajectory change,
-//! and say so there.
+//! golden_fixtures` — but only in a PR that *intends* a trajectory (or
+//! event-count) change, and say so there.
 
-use presence::sim::{golden_trio, CpSummary, Scenario};
-use serde::{Deserialize, Serialize};
+use presence::sim::{builtin_catalog, golden_trio, run_spec_once, Scenario, ScenarioResult};
 
-/// Every `ScenarioResult` field except `events_processed` (and the
-/// counters introduced after the fixtures were recorded). Deserialising
-/// through this struct compares exactly the metrics both versions define;
-/// the shim's derive ignores unknown JSON keys.
-#[derive(Debug, PartialEq, Serialize, Deserialize)]
-struct TrajectoryMetrics {
-    duration: f64,
-    device_probes: u64,
-    load_series: Vec<(f64, f64)>,
-    load_mean: f64,
-    load_variance: f64,
-    mean_buffer_occupancy: Option<f64>,
-    messages_offered: u64,
-    messages_dropped_overflow: u64,
-    messages_dropped_loss: u64,
-    population_series: Vec<(f64, f64)>,
-    cps: Vec<CpSummary>,
-    fairness_jain: f64,
-}
-
-fn fixture(name: &str) -> TrajectoryMetrics {
+fn fixture(name: &str) -> ScenarioResult {
     let path = format!("{}/tests/golden/{name}.json", env!("CARGO_MANIFEST_DIR"));
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!("fixture {path} unreadable ({e}); regenerate with the golden_fixtures bin")
@@ -48,10 +27,27 @@ fn fixture(name: &str) -> TrajectoryMetrics {
     serde_json::from_str(&text).expect("fixture deserialises")
 }
 
+/// Asserts `result` matches the recorded fixture on every field,
+/// `events_processed` included. Compared as canonical JSON, not structs:
+/// never-active CPs carry NaN metrics (serialised as null), and NaN ≠ NaN
+/// would fail a field-level comparison of two bit-identical trajectories.
+fn assert_matches_fixture(name: &str, result: &ScenarioResult) {
+    let golden = fixture(name);
+    assert_eq!(
+        result.events_processed, golden.events_processed,
+        "{name}: events_processed diverged from the recorded run \
+         (dispatch refactors must not change event counts)"
+    );
+    assert_eq!(
+        serde_json::to_string(result).expect("result serialises"),
+        serde_json::to_string(&golden).expect("golden serialises"),
+        "{name}: trajectory diverged from the recorded pre-refactor run"
+    );
+}
+
 #[test]
-fn single_hop_fast_path_preserves_golden_trajectories() {
+fn typed_dispatch_preserves_golden_trio_trajectories() {
     for (name, cfg) in golden_trio() {
-        let golden = fixture(name);
         let mut scenario = Scenario::build(cfg);
         scenario.run();
         let result = scenario.collect();
@@ -59,18 +55,22 @@ fn single_hop_fast_path_preserves_golden_trajectories() {
             result.messages_unroutable, 0,
             "{name}: messages went unroutable"
         );
-        let fresh: TrajectoryMetrics =
-            serde_json::from_str(&serde_json::to_string(&result).expect("result serialises"))
-                .expect("result round-trips");
-        // Compare canonical JSON, not the structs: never-active CPs carry
-        // NaN metrics (serialised as null), and NaN ≠ NaN would fail a
-        // field-level comparison of two bit-identical trajectories.
-        assert_eq!(
-            serde_json::to_string(&fresh).expect("fresh serialises"),
-            serde_json::to_string(&golden).expect("golden serialises"),
-            "{name}: trajectory diverged from the recorded pre-refactor run"
-        );
+        assert_matches_fixture(name, &result);
     }
+}
+
+/// The dispatch rewrite is pinned on a regime-switching lab trajectory,
+/// not just the paper trio: mid-run churn-model switches (`SetChurn`),
+/// staggered wave events, and `Scheduled` delay/loss boundaries all ride
+/// the same engine paths the `ActorSet` refactor rewrote.
+#[test]
+fn typed_dispatch_preserves_mixed_regime_lab_trajectory() {
+    let spec = builtin_catalog()
+        .into_iter()
+        .find(|s| s.name == "mixed-regime-stress")
+        .expect("mixed-regime-stress is in the builtin catalog");
+    let result = run_spec_once(&spec).expect("lab fixture spec runs");
+    assert_matches_fixture("lab-mixed", &result);
 }
 
 /// The events_processed acceptance record for the single-hop refactor,
