@@ -22,7 +22,9 @@
 //! merge in seed order before any cross-seed folding (pinned by
 //! `tests/determinism.rs`).
 
-use presence_sim::{builtin_catalog, job_count, run_lab, LabReport, ScenarioSpec};
+use presence_sim::{
+    builtin_catalog, job_count, mega_catalog, run_lab, LabReport, MegaSpec, ScenarioSpec,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -128,6 +130,38 @@ fn run_one(
     Ok(())
 }
 
+/// Loads the shipped `catalog/mega/` definitions (absence of the subdir is
+/// an empty catalog, reported by the caller).
+fn load_mega_dir(dir: &Path) -> Result<Vec<(PathBuf, MegaSpec)>, String> {
+    let mega_dir = dir.join("mega");
+    if !mega_dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&mega_dir)
+        .map_err(|e| format!("cannot read {}: {e}", mega_dir.display()))?
+        .map(|e| e.map(|e| e.path()).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    paths.retain(|p| p.extension().and_then(|e| e.to_str()) == Some("json"));
+    paths.sort();
+    let mut specs = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let spec: MegaSpec =
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        if stem != spec.name {
+            return Err(format!(
+                "{}: file stem does not match spec name {:?}",
+                path.display(),
+                spec.name
+            ));
+        }
+        specs.push((path, spec));
+    }
+    Ok(specs)
+}
+
 /// The CI gate: every shipped file parses, validates, matches its
 /// built-in definition, and the mixed-regime acceptance scenario runs
 /// with per-regime slices under 2 seeds.
@@ -178,6 +212,29 @@ fn check(dir: &Path, jobs: usize) -> Result<(), String> {
             .map(|s| s.events_processed)
             .sum::<u64>()
     );
+    let mega_files = load_mega_dir(dir)?;
+    let mega_builtins = mega_catalog();
+    if mega_files.len() != mega_builtins.len() {
+        return Err(format!(
+            "mega catalog drift: {} files on disk, {} built-in definitions",
+            mega_files.len(),
+            mega_builtins.len()
+        ));
+    }
+    for (path, spec) in &mega_files {
+        let builtin = mega_builtins
+            .iter()
+            .find(|b| b.name == spec.name)
+            .ok_or_else(|| format!("{}: no built-in mega definition", path.display()))?;
+        if builtin != spec {
+            return Err(format!(
+                "{}: drifted from the built-in definition (regenerate with --emit-catalog)",
+                path.display()
+            ));
+        }
+        spec.config.validate();
+        println!("ok  {}", path.display());
+    }
     Ok(())
 }
 
@@ -188,6 +245,15 @@ fn emit_catalog(dir: &Path) -> Result<(), String> {
         let path = dir.join(format!("{}.json", spec.name));
         std::fs::write(&path, spec.to_json() + "\n")
             .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    let mega_dir = dir.join("mega");
+    std::fs::create_dir_all(&mega_dir).map_err(|e| format!("mkdir {}: {e}", mega_dir.display()))?;
+    for spec in mega_catalog() {
+        spec.config.validate();
+        let path = mega_dir.join(format!("{}.json", spec.name));
+        let text = serde_json::to_string_pretty(&spec).expect("mega spec serialises");
+        std::fs::write(&path, text + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
         println!("wrote {}", path.display());
     }
     Ok(())
@@ -249,6 +315,12 @@ fn main() -> ExitCode {
                     spec.name, spec.duration, spec.description
                 );
                 let _ = path;
+            }
+            for (_, spec) in load_mega_dir(&catalog_dir)? {
+                println!(
+                    "{:<22} {:>6.0} s  {} (mega: run via perf_report --mega / mega_smoke)",
+                    spec.name, spec.config.duration, spec.description
+                );
             }
             return Ok(());
         }

@@ -1,0 +1,108 @@
+//! Bounded-memory smoke test for the mega-scale path: runs the `mega-ci`
+//! catalog scenario (10⁵ devices on the calendar queue with streaming
+//! recorders) and fails if the process high-water RSS exceeds the budget —
+//! the guard that the struct-of-arrays shard and streaming recorders
+//! actually hold memory flat, not just that they finish.
+//!
+//! ```text
+//! mega_smoke                 # run mega-ci, assert VmHWM < 512 MiB
+//! mega_smoke --budget-mb N   # override the budget
+//! ```
+//!
+//! The RSS probe reads `/proc/self/status` (Linux). Where that is absent
+//! the run still validates the protocol invariants and reports throughput,
+//! skipping only the memory assertion.
+
+use presence_sim::{mega_catalog, run_mega_spec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const DEFAULT_BUDGET_MB: u64 = 512;
+
+/// Peak resident set size in KiB from `/proc/self/status`, if available.
+fn vm_hwm_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget_mb = DEFAULT_BUDGET_MB;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget-mb" => {
+                budget_mb = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget-mb N");
+            }
+            other => {
+                eprintln!("mega_smoke: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let spec = mega_catalog()
+        .into_iter()
+        .find(|s| s.name == "mega-ci")
+        .expect("mega-ci catalog entry");
+    println!(
+        "mega-ci: {} devices / {} CPs, {} s virtual, budget {budget_mb} MiB…",
+        spec.config.devices, spec.config.cps, spec.config.duration
+    );
+    let start = Instant::now();
+    let result = run_mega_spec(&spec);
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "mega-ci: {} events in {wall:.2} s ({:.0} events/s), {} cycles, \
+         wait mean {:.3} s, {:.2} probes/s/device",
+        result.events_processed,
+        result.events_processed as f64 / wall,
+        result.cycles_succeeded,
+        result.wait_mean,
+        result.load_mean_per_device,
+    );
+
+    let mut failures = Vec::new();
+    if result.cycles_succeeded == 0 {
+        failures.push("no probe cycle completed".to_string());
+    }
+    if result.cycles_failed != 0 || result.stopped_pairs != 0 {
+        failures.push(format!(
+            "lossless run failed cycles: {} failed, {} stopped pairs",
+            result.cycles_failed, result.stopped_pairs
+        ));
+    }
+    // One watcher per device: the d_min = 0.5 s frequency floor binds.
+    if (result.wait_mean - 0.5).abs() > 0.05 {
+        failures.push(format!(
+            "wait mean {:.4} s strayed from the d_min floor",
+            result.wait_mean
+        ));
+    }
+    match vm_hwm_kib() {
+        Some(kib) => {
+            println!("peak RSS {:.1} MiB", kib as f64 / 1024.0);
+            if kib > budget_mb * 1024 {
+                failures.push(format!(
+                    "peak RSS {:.1} MiB exceeds the {budget_mb} MiB budget",
+                    kib as f64 / 1024.0
+                ));
+            }
+        }
+        None => println!("(no /proc/self/status here; skipping the RSS budget assertion)"),
+    }
+
+    if failures.is_empty() {
+        println!("ok  mega smoke");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("mega_smoke: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -33,7 +33,7 @@
 //! inspection (the paper stresses that simulation results are only
 //! trustworthy when the simulator's semantics are).
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueProfile};
 use crate::rng::StreamRng;
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
@@ -539,10 +539,20 @@ impl<E: 'static, S: Actor<E>> Simulation<E, S> {
     /// actor-set enum here; the dynamic default is [`Simulation::new`]).
     #[must_use]
     pub fn with_actor_set(root_seed: u64) -> Self {
+        Self::with_actor_set_and_profile(root_seed, QueueProfile::Heap)
+    }
+
+    /// [`Simulation::with_actor_set`] with an explicit event-queue storage
+    /// profile. Pop order — and therefore every simulation result — is
+    /// identical across profiles; only the cost curve differs. Mega-scale
+    /// scenarios (millions of pending events) select
+    /// [`QueueProfile::calendar`] here.
+    #[must_use]
+    pub fn with_actor_set_and_profile(root_seed: u64, profile: QueueProfile) -> Self {
         Self {
             core: Core {
                 now: SimTime::ZERO,
-                queue: EventQueue::new(),
+                queue: EventQueue::with_profile(profile),
                 next_seq: 0,
                 stop_requested: false,
                 actor_count: 0,

@@ -32,7 +32,7 @@ pub use engine::{
     Actor, ActorId, Context, DynActorSet, EventHandle, ProjectActor, RunOutcome, Simulation,
     TraceRecord,
 };
-pub use queue::{EventKey, EventQueue};
+pub use queue::{EventKey, EventQueue, QueueProfile};
 pub use rng::{derive_seed, splitmix64, StreamRng};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use timer_slots::TimerSlots;

@@ -36,9 +36,32 @@
 //! `push`/`pop`/`cancel` performs exactly one hash-map operation, and the
 //! slab never grows beyond the high-water mark of *concurrently live*
 //! events.
+//!
+//! # The calendar tier ([`QueueProfile::Calendar`])
+//!
+//! At mega scale (millions of pending events) even a 4-ary heap pays
+//! `O(log n)` with poor locality per operation. A queue built with
+//! [`EventQueue::with_profile`] and a calendar profile keeps the heap as a
+//! small *near* tier and adds two *future* tiers:
+//!
+//! * a **bucket ring**: `buckets` unordered `Vec`s, each covering one
+//!   `bucket_width` span of virtual time — push/cancel are O(1) appends and
+//!   swap-removes;
+//! * a **far overflow** list for events beyond the ring's window.
+//!
+//! The tier boundary is the absolute bucket index `base`: events in buckets
+//! `< base` live in the heap, `[base, base + buckets)` in the ring,
+//! `≥ base + buckets` in `far`. Pops always come off the heap; when it
+//! drains, the earliest non-empty bucket is migrated wholesale into the
+//! heap and `base` advances past it, pulling far events whose bucket
+//! entered the window along the way. Because every heap event strictly
+//! precedes every ring event, which strictly precedes every far event
+//! (modulo the pull-before-migrate discipline), the pop sequence is the
+//! exact sorted `(time, seq)` order — **bit-for-bit identical** to the
+//! plain heap profile, which the `calendar_queue_model` proptest pins.
 
 use crate::rng::splitmix64;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -78,13 +101,101 @@ pub struct EventKey {
     pub seq: u64,
 }
 
-/// Payload storage: the heap references slots by index, so payloads stay
-/// put while the heap sifts.
+/// Storage-tier selection for an [`EventQueue`], fixed at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueProfile {
+    /// The indexed 4-ary heap alone: `O(log₄ n)` pops, best for the
+    /// paper-scale populations every golden scenario runs at. This is the
+    /// default ([`EventQueue::new`]).
+    #[default]
+    Heap,
+    /// Heap + calendar bucket ring + far overflow: O(1) scheduling and
+    /// cancellation at millions of pending events. Pop order is identical
+    /// to [`QueueProfile::Heap`].
+    Calendar {
+        /// Virtual-time span of one bucket. Pending events spread across
+        /// roughly one bucket's worth of time collapse into a single
+        /// unordered `Vec`.
+        bucket_width: SimDuration,
+        /// Number of buckets in the ring; the window covers
+        /// `buckets × bucket_width` of virtual time ahead of the cursor.
+        buckets: usize,
+    },
+}
+
+impl QueueProfile {
+    /// A calendar profile tuned for the mega scenarios: 1 ms buckets and a
+    /// 4096-bucket ring (a ~4 s window), sized so DCPP's 21–22 ms cycle
+    /// timers and sub-second wake timers land in the ring and only deeply
+    /// backlogged wake times spill to the far tier.
+    #[must_use]
+    pub fn calendar() -> Self {
+        Self::Calendar {
+            bucket_width: SimDuration::from_millis(1),
+            buckets: 4096,
+        }
+    }
+}
+
+/// Destination tier for a key, as selected by `EventQueue::route`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Heap,
+    Bucket(usize),
+    Far,
+}
+
+/// Where an entry's `(key, slot)` pair currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Position inside `heap`.
+    Heap(u32),
+    /// `ring[slot][pos]` of the calendar tier.
+    Bucket { slot: u32, pos: u32 },
+    /// Position inside the calendar tier's far-overflow list.
+    Far(u32),
+}
+
+/// Payload storage: the containers reference slots by index, so payloads
+/// stay put while the heap sifts or buckets shuffle.
 #[derive(Debug)]
 struct Entry<T> {
-    /// Current position of this entry's `(key, slot)` pair inside `heap`.
-    heap_pos: u32,
+    /// Current location of this entry's `(key, slot)` pair.
+    loc: Loc,
     item: T,
+}
+
+/// The calendar (future) tiers of a [`QueueProfile::Calendar`] queue.
+#[derive(Debug)]
+struct Calendar {
+    /// Bucket width in nanoseconds (> 0).
+    width: u64,
+    /// The bucket ring; slot `i` holds the unique absolute bucket index
+    /// `≡ i (mod ring.len())` inside the window `[base, base + ring.len())`.
+    ring: Vec<Vec<(EventKey, u32)>>,
+    /// Absolute bucket index of the tier boundary: heap events have bucket
+    /// index `< base`, ring events `≥ base`.
+    base: u64,
+    /// Live events across all ring buckets.
+    in_ring: usize,
+    /// Events beyond the ring window (absolute index `≥ base + ring.len()`).
+    far: Vec<(EventKey, u32)>,
+    /// Lower bound on the minimum bucket index in `far`; `u64::MAX` when
+    /// empty. May be stale-low after removals (only costs a wasted scan).
+    far_min_idx: u64,
+    /// Reusable migration buffer, swapped with a bucket being drained so
+    /// steady-state migration never allocates.
+    scratch: Vec<(EventKey, u32)>,
+}
+
+impl Calendar {
+    fn bucket_index(&self, time: SimTime) -> u64 {
+        time.as_nanos() / self.width
+    }
+
+    fn window_end(&self) -> u64 {
+        self.base.saturating_add(self.ring.len() as u64)
+    }
 }
 
 /// A priority queue of events ordered by [`EventKey`], supporting true
@@ -119,6 +230,8 @@ pub struct EventQueue<T> {
     /// Live sequence numbers → slab slot. Never iterated, so hash order
     /// cannot perturb determinism.
     index: SeqMap,
+    /// The calendar tiers; `None` for [`QueueProfile::Heap`].
+    cal: Option<Box<Calendar>>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -128,14 +241,48 @@ impl<T> Default for EventQueue<T> {
 }
 
 impl<T> EventQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default [`QueueProfile::Heap`].
     #[must_use]
     pub fn new() -> Self {
+        Self::with_profile(QueueProfile::Heap)
+    }
+
+    /// Creates an empty queue with the given storage profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a calendar profile has a zero bucket width or fewer than
+    /// two buckets.
+    #[must_use]
+    pub fn with_profile(profile: QueueProfile) -> Self {
+        let cal = match profile {
+            QueueProfile::Heap => None,
+            QueueProfile::Calendar {
+                bucket_width,
+                buckets,
+            } => {
+                assert!(
+                    bucket_width > SimDuration::ZERO,
+                    "calendar bucket width must be positive"
+                );
+                assert!(buckets >= 2, "calendar ring needs at least two buckets");
+                Some(Box::new(Calendar {
+                    width: bucket_width.as_nanos(),
+                    ring: (0..buckets).map(|_| Vec::new()).collect(),
+                    base: 0,
+                    in_ring: 0,
+                    far: Vec::new(),
+                    far_min_idx: u64::MAX,
+                    scratch: Vec::new(),
+                }))
+            }
+        };
         Self {
             heap: Vec::new(),
             slab: Vec::new(),
             free: Vec::new(),
             index: SeqMap::default(),
+            cal,
         }
     }
 
@@ -147,19 +294,36 @@ impl<T> EventQueue<T> {
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),
             index: SeqMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
+            cal: None,
+        }
+    }
+
+    /// The profile this queue was built with.
+    #[must_use]
+    pub fn profile(&self) -> QueueProfile {
+        match &self.cal {
+            None => QueueProfile::Heap,
+            Some(cal) => QueueProfile::Calendar {
+                bucket_width: SimDuration::from_nanos(cal.width),
+                buckets: cal.ring.len(),
+            },
         }
     }
 
     /// Number of live (non-cancelled, non-fired) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        let future = self
+            .cal
+            .as_ref()
+            .map_or(0, |cal| cal.in_ring + cal.far.len());
+        self.heap.len() + future
     }
 
     /// Whether no live events are queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Whether the event with this sequence number is still pending.
@@ -169,9 +333,36 @@ impl<T> EventQueue<T> {
     }
 
     /// Key of the next event to fire, if any.
+    ///
+    /// With a calendar profile this is O(1) in practice: every mutating
+    /// operation restores the "heap empty ⟹ queue empty" invariant by
+    /// migrating eagerly, so the fallback scan over the future tiers only
+    /// runs if that discipline is ever broken.
     #[must_use]
     pub fn peek(&self) -> Option<EventKey> {
-        self.heap.first().map(|&(key, _)| key)
+        if let Some(&(key, _)) = self.heap.first() {
+            return Some(key);
+        }
+        let cal = self.cal.as_ref()?;
+        // Fallback: the earliest non-empty bucket's minimum precedes every
+        // later bucket; far events may share the window's last bucket index
+        // with ring events, so take the global minimum across both.
+        let mut best: Option<EventKey> = None;
+        if cal.in_ring > 0 {
+            for off in 0..cal.ring.len() as u64 {
+                let s = ((cal.base + off) % cal.ring.len() as u64) as usize;
+                if let Some(m) = cal.ring[s].iter().map(|&(k, _)| k).min() {
+                    best = Some(m);
+                    break;
+                }
+            }
+        }
+        for &(k, _) in &cal.far {
+            if best.is_none_or(|b| k < b) {
+                best = Some(k);
+            }
+        }
+        best
     }
 
     /// Enqueues `item` to fire at `(time, seq)`.
@@ -181,8 +372,11 @@ impl<T> EventQueue<T> {
     /// Panics if `seq` is already pending (sequence numbers must be unique)
     /// or the queue holds `u32::MAX` live events.
     pub fn push(&mut self, time: SimTime, seq: u64, item: T) {
-        let heap_pos = u32::try_from(self.heap.len()).expect("event queue overflow");
-        let entry = Entry { heap_pos, item };
+        // Loc is provisional until `attach` routes the key to its tier.
+        let entry = Entry {
+            loc: Loc::Heap(0),
+            item,
+        };
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slab[slot as usize] = Some(entry);
@@ -196,23 +390,32 @@ impl<T> EventQueue<T> {
         };
         if let Some(prev_slot) = self.index.insert(seq, slot) {
             // Roll back before panicking so a caught panic cannot leave the
-            // index pointing at a slot that never reached the heap.
+            // index pointing at a slot that never reached a container.
             self.index.insert(seq, prev_slot);
             self.slab[slot as usize] = None;
             self.free.push(slot);
             panic!("duplicate event sequence number {seq}");
         }
-        self.heap.push((EventKey { time, seq }, slot));
-        self.sift_up(heap_pos as usize);
+        self.attach(EventKey { time, seq }, slot);
+        if self.heap.is_empty() {
+            self.ensure_front();
+        }
     }
 
     /// Removes and returns the earliest event (ties broken FIFO by `seq`).
     pub fn pop(&mut self) -> Option<(EventKey, T)> {
         if self.heap.is_empty() {
-            None
-        } else {
-            Some(self.remove_heap_pos(0))
+            self.ensure_front();
+            if self.heap.is_empty() {
+                return None;
+            }
         }
+        let (key, slot) = self.remove_heap_entry(0);
+        let item = self.release(key.seq, slot);
+        if self.heap.is_empty() {
+            self.ensure_front();
+        }
+        Some((key, item))
     }
 
     /// Cancels the pending event with this sequence number, returning its
@@ -221,11 +424,17 @@ impl<T> EventQueue<T> {
     /// nothing is retained, so cancel-after-fire cannot leak.
     pub fn cancel(&mut self, seq: u64) -> Option<T> {
         let slot = *self.index.get(&seq)?;
-        let heap_pos = self.slab[slot as usize]
+        let loc = self.slab[slot as usize]
             .as_ref()
             .expect("indexed slab slot is occupied")
-            .heap_pos;
-        Some(self.remove_heap_pos(heap_pos as usize).1)
+            .loc;
+        let key = self.detach(loc);
+        debug_assert_eq!(key.seq, seq, "location out of sync with index");
+        let item = self.release(seq, slot);
+        if self.heap.is_empty() {
+            self.ensure_front();
+        }
+        Some(item)
     }
 
     /// Reschedules the pending event `seq` to fire at `(new_time, new_seq)`,
@@ -251,20 +460,31 @@ impl<T> EventQueue<T> {
             "duplicate event sequence number {new_seq}"
         );
         self.index.insert(new_seq, slot);
-        let heap_pos = self.slab[slot as usize]
+        let loc = self.slab[slot as usize]
             .as_ref()
             .expect("indexed slab slot is occupied")
-            .heap_pos as usize;
-        let old_key = self.heap[heap_pos].0;
+            .loc;
         let new_key = EventKey {
             time: new_time,
             seq: new_seq,
         };
-        self.heap[heap_pos].0 = new_key;
-        if new_key < old_key {
-            self.sift_up(heap_pos);
+        if let (Loc::Heap(pos), Route::Heap) = (loc, self.route(new_time)) {
+            // Fast path: the key stays in the heap and re-seats with a
+            // single sift — the engine's cancel-then-rearm timer pattern.
+            let heap_pos = pos as usize;
+            let old_key = self.heap[heap_pos].0;
+            self.heap[heap_pos].0 = new_key;
+            if new_key < old_key {
+                self.sift_up(heap_pos);
+            } else {
+                self.sift_down(heap_pos);
+            }
         } else {
-            self.sift_down(heap_pos);
+            self.detach(loc);
+            self.attach(new_key, slot);
+            if self.heap.is_empty() {
+                self.ensure_front();
+            }
         }
         self.slab[slot as usize].as_mut().map(|e| &mut e.item)
     }
@@ -275,10 +495,215 @@ impl<T> EventQueue<T> {
         self.slab.clear();
         self.free.clear();
         self.index.clear();
+        if let Some(cal) = self.cal.as_mut() {
+            for bucket in &mut cal.ring {
+                bucket.clear();
+            }
+            cal.base = 0;
+            cal.in_ring = 0;
+            cal.far.clear();
+            cal.far_min_idx = u64::MAX;
+        }
     }
 
-    /// Removes the entry at `heap_pos` (0 = pop) and repairs the heap.
-    fn remove_heap_pos(&mut self, heap_pos: usize) -> (EventKey, T) {
+    /// Which tier a key scheduled at `time` belongs to right now.
+    fn route(&self, time: SimTime) -> Route {
+        match &self.cal {
+            None => Route::Heap,
+            Some(cal) => {
+                let idx = cal.bucket_index(time);
+                if idx < cal.base {
+                    Route::Heap
+                } else if idx < cal.window_end() {
+                    Route::Bucket((idx % cal.ring.len() as u64) as usize)
+                } else {
+                    Route::Far
+                }
+            }
+        }
+    }
+
+    /// Inserts `(key, slot)` into the tier [`route`](Self::route) selects,
+    /// recording the location in the slab entry.
+    fn attach(&mut self, key: EventKey, slot: u32) {
+        match self.route(key.time) {
+            Route::Heap => {
+                let pos = u32::try_from(self.heap.len()).expect("event queue overflow");
+                self.slab[slot as usize]
+                    .as_mut()
+                    .expect("attached slab slot is occupied")
+                    .loc = Loc::Heap(pos);
+                self.heap.push((key, slot));
+                self.sift_up(pos as usize);
+            }
+            Route::Bucket(s) => {
+                let cal = self.cal.as_mut().expect("bucket route implies calendar");
+                let pos = u32::try_from(cal.ring[s].len()).expect("event queue overflow");
+                cal.ring[s].push((key, slot));
+                cal.in_ring += 1;
+                self.slab[slot as usize]
+                    .as_mut()
+                    .expect("attached slab slot is occupied")
+                    .loc = Loc::Bucket {
+                    slot: s as u32,
+                    pos,
+                };
+            }
+            Route::Far => {
+                let cal = self.cal.as_mut().expect("far route implies calendar");
+                let pos = u32::try_from(cal.far.len()).expect("event queue overflow");
+                let idx = cal.bucket_index(key.time);
+                cal.far.push((key, slot));
+                cal.far_min_idx = cal.far_min_idx.min(idx);
+                self.slab[slot as usize]
+                    .as_mut()
+                    .expect("attached slab slot is occupied")
+                    .loc = Loc::Far(pos);
+            }
+        }
+    }
+
+    /// Removes the `(key, slot)` pair at `loc` from its container and
+    /// repairs the container. Slab and index are left untouched.
+    fn detach(&mut self, loc: Loc) -> EventKey {
+        match loc {
+            Loc::Heap(pos) => self.remove_heap_entry(pos as usize).0,
+            Loc::Bucket { slot: s, pos } => {
+                let cal = self.cal.as_mut().expect("bucket loc implies calendar");
+                let bucket = &mut cal.ring[s as usize];
+                let (key, _) = bucket.swap_remove(pos as usize);
+                cal.in_ring -= 1;
+                if let Some(&(_, moved)) = bucket.get(pos as usize) {
+                    self.slab[moved as usize]
+                        .as_mut()
+                        .expect("bucketed slab slot is occupied")
+                        .loc = Loc::Bucket { slot: s, pos };
+                }
+                key
+            }
+            Loc::Far(pos) => {
+                let cal = self.cal.as_mut().expect("far loc implies calendar");
+                let (key, _) = cal.far.swap_remove(pos as usize);
+                // far_min_idx may now be stale-low; that only costs a
+                // wasted pull scan, never correctness.
+                if let Some(&(_, moved)) = cal.far.get(pos as usize) {
+                    self.slab[moved as usize]
+                        .as_mut()
+                        .expect("far slab slot is occupied")
+                        .loc = Loc::Far(pos);
+                }
+                key
+            }
+        }
+    }
+
+    /// Frees the slab slot and index entry of a removed event, returning
+    /// its payload.
+    fn release(&mut self, seq: u64, slot: u32) -> T {
+        let entry = self.slab[slot as usize]
+            .take()
+            .expect("removed slab slot is occupied");
+        self.free.push(slot);
+        let removed = self.index.remove(&seq);
+        debug_assert_eq!(removed, Some(slot), "index out of sync with slab");
+        entry.item
+    }
+
+    /// Restores the calendar invariant "heap empty ⟹ queue empty" by
+    /// migrating the earliest non-empty bucket into the heap, rebasing the
+    /// window from the far tier when the whole ring is empty, and pulling
+    /// far events whose bucket slides into the window as `base` advances
+    /// (so `base` never passes an event still parked in `far`).
+    fn ensure_front(&mut self) {
+        if !self.heap.is_empty() {
+            return;
+        }
+        let Some(cal) = self.cal.as_mut() else {
+            return;
+        };
+        if cal.in_ring == 0 && cal.far.is_empty() {
+            return;
+        }
+        let ring_len = cal.ring.len() as u64;
+        if cal.in_ring == 0 {
+            // Ring exhausted: rebase the window onto the earliest far
+            // bucket. The heap is empty, so moving `base` backwards (far
+            // events may predate the old window after it slid) is safe.
+            let mut min_idx = u64::MAX;
+            for &(key, _) in &cal.far {
+                min_idx = min_idx.min(cal.bucket_index(key.time));
+            }
+            cal.base = min_idx;
+            Self::pull_far(cal, &mut self.slab);
+            debug_assert!(cal.in_ring > 0, "rebase pulled nothing into the ring");
+        }
+        let s = loop {
+            if cal.far_min_idx < cal.window_end() {
+                Self::pull_far(cal, &mut self.slab);
+            }
+            let s = (cal.base % ring_len) as usize;
+            if !cal.ring[s].is_empty() {
+                break s;
+            }
+            cal.base += 1;
+        };
+        cal.base += 1;
+        let mut scratch = std::mem::take(&mut cal.scratch);
+        std::mem::swap(&mut cal.ring[s], &mut scratch);
+        cal.in_ring -= scratch.len();
+        for (key, slot) in scratch.drain(..) {
+            let pos = u32::try_from(self.heap.len()).expect("event queue overflow");
+            self.slab[slot as usize]
+                .as_mut()
+                .expect("migrated slab slot is occupied")
+                .loc = Loc::Heap(pos);
+            self.heap.push((key, slot));
+            self.sift_up(pos as usize);
+        }
+        self.cal.as_mut().expect("calendar profile").scratch = scratch;
+    }
+
+    /// Moves every far event whose bucket fell inside the ring window into
+    /// its bucket, and recomputes the exact far minimum.
+    fn pull_far(cal: &mut Calendar, slab: &mut [Option<Entry<T>>]) {
+        let ring_len = cal.ring.len() as u64;
+        let window_end = cal.window_end();
+        let mut min_out = u64::MAX;
+        let mut i = 0;
+        while i < cal.far.len() {
+            let (key, slot) = cal.far[i];
+            let idx = key.time.as_nanos() / cal.width;
+            if idx < window_end {
+                debug_assert!(idx >= cal.base, "far event behind the window base");
+                cal.far.swap_remove(i);
+                if let Some(&(_, moved)) = cal.far.get(i) {
+                    slab[moved as usize]
+                        .as_mut()
+                        .expect("far slab slot is occupied")
+                        .loc = Loc::Far(i as u32);
+                }
+                let s = (idx % ring_len) as usize;
+                let pos = u32::try_from(cal.ring[s].len()).expect("event queue overflow");
+                cal.ring[s].push((key, slot));
+                cal.in_ring += 1;
+                slab[slot as usize]
+                    .as_mut()
+                    .expect("pulled slab slot is occupied")
+                    .loc = Loc::Bucket {
+                    slot: s as u32,
+                    pos,
+                };
+            } else {
+                min_out = min_out.min(idx);
+                i += 1;
+            }
+        }
+        cal.far_min_idx = min_out;
+    }
+
+    /// Removes the heap entry at `heap_pos` (0 = pop) and repairs the heap.
+    /// Slab and index are left untouched.
+    fn remove_heap_entry(&mut self, heap_pos: usize) -> (EventKey, u32) {
         let last = self.heap.len() - 1;
         self.heap.swap(heap_pos, last);
         let (key, slot) = self.heap.pop().expect("heap non-empty");
@@ -294,13 +719,7 @@ impl<T> EventQueue<T> {
                 self.sift_up(heap_pos);
             }
         }
-        let entry = self.slab[slot as usize]
-            .take()
-            .expect("removed slab slot is occupied");
-        self.free.push(slot);
-        let removed = self.index.remove(&key.seq);
-        debug_assert_eq!(removed, Some(slot), "index out of sync with slab");
-        (key, entry.item)
+        (key, slot)
     }
 
     /// Records `heap[heap_pos]`'s new position inside its slab entry.
@@ -309,7 +728,7 @@ impl<T> EventQueue<T> {
         let entry = self.slab[slot as usize]
             .as_mut()
             .expect("slab slot referenced by heap is occupied");
-        entry.heap_pos = heap_pos as u32;
+        entry.loc = Loc::Heap(heap_pos as u32);
     }
 
     /// Hole-based sift: the moving element is held aside while displaced
@@ -377,27 +796,75 @@ mod tests {
         SimTime::from_nanos(nanos)
     }
 
-    /// Checks every structural invariant the queue relies on.
+    /// Checks every structural invariant the queue relies on, across all
+    /// three tiers.
     fn assert_invariants<T>(q: &EventQueue<T>) {
-        assert_eq!(q.heap.len(), q.index.len(), "index out of sync");
+        let live = q.len();
+        assert_eq!(live, q.index.len(), "index out of sync");
         assert_eq!(
             q.slab.iter().filter(|e| e.is_some()).count(),
-            q.heap.len(),
+            live,
             "live slab entries out of sync"
         );
-        assert_eq!(
-            q.free.len() + q.heap.len(),
-            q.slab.len(),
-            "free list out of sync"
-        );
+        assert_eq!(q.free.len() + live, q.slab.len(), "free list out of sync");
         for (pos, &(key, slot)) in q.heap.iter().enumerate() {
             let entry = q.slab[slot as usize].as_ref().expect("occupied slot");
-            assert_eq!(entry.heap_pos as usize, pos, "stale heap_pos");
+            assert_eq!(entry.loc, Loc::Heap(pos as u32), "stale heap loc");
             assert_eq!(q.index.get(&key.seq), Some(&slot), "stale index");
             if pos > 0 {
                 let parent = (pos - 1) / ARITY;
                 assert!(q.heap[parent].0 <= key, "heap property violated");
             }
+        }
+        let Some(cal) = &q.cal else { return };
+        let ring_len = cal.ring.len() as u64;
+        for &(key, _) in &q.heap {
+            assert!(
+                cal.bucket_index(key.time) < cal.base,
+                "heap event at or past the window base"
+            );
+        }
+        let mut in_ring = 0;
+        for (s, bucket) in cal.ring.iter().enumerate() {
+            for (pos, &(key, slot)) in bucket.iter().enumerate() {
+                let entry = q.slab[slot as usize].as_ref().expect("occupied slot");
+                assert_eq!(
+                    entry.loc,
+                    Loc::Bucket {
+                        slot: s as u32,
+                        pos: pos as u32
+                    },
+                    "stale bucket loc"
+                );
+                assert_eq!(q.index.get(&key.seq), Some(&slot), "stale index");
+                let idx = cal.bucket_index(key.time);
+                assert!(
+                    idx >= cal.base && idx < cal.window_end(),
+                    "ring event outside the window"
+                );
+                assert_eq!((idx % ring_len) as usize, s, "event in the wrong bucket");
+                in_ring += 1;
+            }
+        }
+        assert_eq!(in_ring, cal.in_ring, "ring count out of sync");
+        for (pos, &(key, slot)) in cal.far.iter().enumerate() {
+            let entry = q.slab[slot as usize].as_ref().expect("occupied slot");
+            assert_eq!(entry.loc, Loc::Far(pos as u32), "stale far loc");
+            assert_eq!(q.index.get(&key.seq), Some(&slot), "stale index");
+            assert!(
+                cal.bucket_index(key.time) >= cal.base,
+                "far event behind the window base"
+            );
+            assert!(
+                cal.bucket_index(key.time) >= cal.far_min_idx,
+                "far_min_idx overshoots"
+            );
+        }
+        if cal.in_ring + cal.far.len() > 0 {
+            assert!(
+                !q.heap.is_empty(),
+                "eager migration invariant broken: empty heap with future events"
+            );
         }
     }
 
@@ -603,5 +1070,202 @@ mod tests {
         q.push(t(1), 100, 0);
         assert_eq!(q.len(), 1);
         assert_invariants(&q);
+    }
+
+    // -- calendar profile ---------------------------------------------------
+
+    /// A small calendar: 16 buckets of 1 µs, so tests cross bucket, window
+    /// and far boundaries with tiny time values.
+    fn small_calendar<T>() -> EventQueue<T> {
+        EventQueue::with_profile(QueueProfile::Calendar {
+            bucket_width: SimDuration::from_nanos(1_000),
+            buckets: 16,
+        })
+    }
+
+    #[test]
+    fn profile_roundtrips() {
+        let q: EventQueue<()> = small_calendar();
+        assert_eq!(
+            q.profile(),
+            QueueProfile::Calendar {
+                bucket_width: SimDuration::from_nanos(1_000),
+                buckets: 16
+            }
+        );
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.profile(), QueueProfile::Heap);
+        assert_eq!(QueueProfile::default(), QueueProfile::Heap);
+    }
+
+    #[test]
+    fn calendar_pops_in_time_then_seq_order() {
+        let mut q = small_calendar();
+        // Spread across near bucket, mid ring, and far overflow, with a tie.
+        q.push(t(40_000), 0, 'f'); // far (idx 40 ≥ 16)
+        q.push(t(3), 1, 'a');
+        q.push(t(2_500), 2, 'c');
+        q.push(t(3), 3, 'b'); // same instant as seq 1 → fires after it
+        q.push(t(15_999), 4, 'e'); // last ring bucket
+        q.push(t(9_000), 5, 'd');
+        assert_invariants(&q);
+        assert_eq!(q.len(), 6);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, c)| c)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd', 'e', 'f']);
+    }
+
+    #[test]
+    fn calendar_peek_matches_pop_everywhere() {
+        let mut q = small_calendar();
+        for seq in 0..64u64 {
+            q.push(t((seq * 7919) % 50_000), seq, seq);
+        }
+        assert_invariants(&q);
+        while let Some(key) = q.peek() {
+            let (popped, _) = q.pop().expect("peeked queue pops");
+            assert_eq!(popped, key, "peek disagreed with pop");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_cancel_hits_every_tier() {
+        let mut q = small_calendar();
+        q.push(t(100), 0, "near");
+        q.push(t(5_000), 1, "ring");
+        q.push(t(5_100), 2, "ring2");
+        q.push(t(90_000), 3, "far");
+        q.push(t(91_000), 4, "far2");
+        assert_invariants(&q);
+        assert_eq!(q.cancel(1), Some("ring"));
+        assert_invariants(&q);
+        assert_eq!(q.cancel(3), Some("far"));
+        assert_invariants(&q);
+        assert_eq!(q.cancel(3), None, "double cancel");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, s)| s)).collect();
+        assert_eq!(order, vec!["near", "ring2", "far2"]);
+        assert_invariants(&q);
+    }
+
+    #[test]
+    fn calendar_window_slides_over_long_horizons() {
+        // Events far beyond the initial window, scheduled in pop-interleaved
+        // rounds, keep arriving in order as the window slides and rebases.
+        let mut q = small_calendar();
+        let mut seq = 0u64;
+        let mut expected = Vec::new();
+        for round in 0..50u64 {
+            for k in 0..4u64 {
+                let time = round * 20_000 + k * 6_000; // crosses window spans
+                q.push(t(time), seq, (time, seq));
+                expected.push((time, seq));
+                seq += 1;
+            }
+        }
+        assert_invariants(&q);
+        expected.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((key, item)) = q.pop() {
+            assert_eq!((key.time.as_nanos(), key.seq), (item.0, item.1));
+            got.push(item);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn calendar_push_into_the_past_goes_to_the_heap() {
+        let mut q = small_calendar();
+        q.push(t(10_000), 0, "later");
+        // First pop migrates bucket 10 and advances the base past it.
+        assert_eq!(q.pop().map(|(_, s)| s), Some("later"));
+        // A push before the base lands in the heap tier and still pops
+        // ahead of everything in the ring.
+        q.push(t(500), 1, "past");
+        q.push(t(12_000), 2, "future");
+        assert_invariants(&q);
+        assert_eq!(q.pop().map(|(_, s)| s), Some("past"));
+        assert_eq!(q.pop().map(|(_, s)| s), Some("future"));
+    }
+
+    #[test]
+    fn calendar_reschedule_crosses_tiers() {
+        let mut q = small_calendar();
+        q.push(t(2_000), 0, "a");
+        q.push(t(3_000), 1, "b");
+        q.push(t(50_000), 2, "c");
+        // ring → far
+        assert!(q.reschedule(0, t(60_000), 10).is_some());
+        assert_invariants(&q);
+        // far → ring
+        assert!(q.reschedule(2, t(4_000), 11).is_some());
+        assert_invariants(&q);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, s)| s)).collect();
+        assert_eq!(order, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn calendar_reschedule_ties_break_by_new_seq() {
+        let mut q = small_calendar();
+        q.push(t(5_000), 0, 'a');
+        q.push(t(5_000), 1, 'b');
+        assert!(q.reschedule(0, t(5_000), 2).is_some());
+        assert_invariants(&q);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, c)| c)).collect();
+        assert_eq!(order, vec!['b', 'a']);
+    }
+
+    #[test]
+    fn calendar_clear_resets_the_window() {
+        let mut q = small_calendar();
+        for seq in 0..32u64 {
+            q.push(t(seq * 3_000), seq, seq);
+        }
+        let _ = q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        q.push(t(1), 100, 0);
+        assert_eq!(q.len(), 1);
+        assert_invariants(&q);
+    }
+
+    #[test]
+    fn calendar_far_tier_rebases_backwards_safely() {
+        let mut q = small_calendar();
+        // Drain a late event so the base slides far forward…
+        q.push(t(200_000), 0, ());
+        assert_eq!(q.pop().map(|(k, ())| k.seq), Some(0));
+        // …then queue events that are all "past" relative to pushes but in
+        // the future of the (empty) queue — they route via heap or far and
+        // must still drain in order.
+        q.push(t(250_000), 1, ());
+        q.push(t(210_000), 2, ());
+        assert_invariants(&q);
+        assert_eq!(q.pop().map(|(k, ())| k.seq), Some(2));
+        assert_eq!(q.pop().map(|(k, ())| k.seq), Some(1));
+    }
+
+    #[test]
+    fn calendar_million_events_flat_structures() {
+        // A mega-scale smoke: a million pushes spread over many windows
+        // drain in exactly sorted order, and churny fire-then-cancel cycles
+        // retain nothing (same guarantee as the heap profile).
+        let mut q = EventQueue::with_profile(QueueProfile::Calendar {
+            bucket_width: SimDuration::from_nanos(1_000),
+            buckets: 256,
+        });
+        let mut last = None;
+        for seq in 0..100_000u64 {
+            q.push(t((seq * 48_271) % 10_000_000), seq, ());
+        }
+        while let Some((key, ())) = q.pop() {
+            if let Some(prev) = last {
+                assert!(prev < key, "order violated");
+            }
+            last = Some(key);
+            assert_eq!(q.cancel(key.seq), None, "fired seq cancellable");
+        }
+        assert_eq!(q.len(), 0);
+        assert!(q.index.is_empty());
     }
 }

@@ -270,6 +270,111 @@ mod event_queue_model {
 }
 
 // ---------------------------------------------------------------------------
+// Calendar-queue model checking: an EventQueue with a calendar profile must
+// agree with the plain 4-ary heap EventQueue — the engine's proven
+// reference — step for step under arbitrary push / cancel / reschedule /
+// pop interleavings. Bucket widths and ring lengths are drawn tiny so every
+// run crosses bucket, window-slide, far-overflow, and rebase boundaries.
+// ---------------------------------------------------------------------------
+
+mod calendar_queue_model {
+    use presence_des::{EventQueue, QueueProfile, SimDuration, SimTime};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Drained in one go, both profiles produce the identical
+        /// `(time, seq)` sequence.
+        #[test]
+        fn drain_matches_heap_order(
+            times in prop::collection::vec(0u64..100_000, 1..300),
+            width in 1u64..5_000,
+            buckets in 2usize..32,
+        ) {
+            let mut cal = EventQueue::with_profile(QueueProfile::Calendar {
+                bucket_width: SimDuration::from_nanos(width),
+                buckets,
+            });
+            let mut heap = EventQueue::new();
+            for (seq, &t) in times.iter().enumerate() {
+                cal.push(SimTime::from_nanos(t), seq as u64, ());
+                heap.push(SimTime::from_nanos(t), seq as u64, ());
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            while let Some((expect, ())) = heap.pop() {
+                let got = cal.pop().map(|(k, ())| k);
+                prop_assert_eq!(got, Some(expect), "pop order diverged");
+            }
+            prop_assert!(cal.pop().is_none(), "calendar retained events");
+            prop_assert!(cal.is_empty());
+        }
+
+        /// Arbitrary interleavings of push / cancel / reschedule / pop /
+        /// peek agree with the heap profile at every step.
+        #[test]
+        fn interleaved_ops_match_heap(
+            ops in prop::collection::vec((0u64..50_000, 0u64..400, 0u32..8), 1..400),
+            width in 1u64..3_000,
+            buckets in 2usize..24,
+        ) {
+            let mut cal = EventQueue::with_profile(QueueProfile::Calendar {
+                bucket_width: SimDuration::from_nanos(width),
+                buckets,
+            });
+            let mut heap = EventQueue::new();
+            let mut next_seq = 0u64;
+            for &(time, pick, kind) in &ops {
+                match kind {
+                    // Push three times as often as the destructive ops so
+                    // the tiers actually fill up.
+                    0..=2 => {
+                        cal.push(SimTime::from_nanos(time), next_seq, next_seq);
+                        heap.push(SimTime::from_nanos(time), next_seq, next_seq);
+                        next_seq += 1;
+                    }
+                    3 => {
+                        let got = cal.cancel(pick);
+                        let expect = heap.cancel(pick);
+                        prop_assert_eq!(got, expect, "cancel({}) disagreed", pick);
+                        prop_assert_eq!(cal.contains(pick), heap.contains(pick));
+                    }
+                    4 => {
+                        // Reschedule an arbitrary seq to an arbitrary time;
+                        // the fresh seq is minted like the engine does.
+                        let new_time = SimTime::from_nanos(time);
+                        let new_seq = next_seq;
+                        let got = cal.reschedule(pick, new_time, new_seq).map(|item| *item);
+                        let expect = heap.reschedule(pick, new_time, new_seq).map(|item| *item);
+                        prop_assert_eq!(got, expect, "reschedule({}) disagreed", pick);
+                        if got.is_some() {
+                            next_seq += 1;
+                        }
+                    }
+                    5 => {
+                        prop_assert_eq!(cal.peek(), heap.peek(), "peek disagreed");
+                    }
+                    _ => {
+                        let got = cal.pop();
+                        let expect = heap.pop();
+                        prop_assert_eq!(got, expect, "pop disagreed");
+                    }
+                }
+                prop_assert_eq!(cal.len(), heap.len(), "len diverged");
+                prop_assert_eq!(cal.is_empty(), heap.is_empty());
+            }
+            // Full drain at the end must still agree.
+            loop {
+                let got = cal.pop();
+                let expect = heap.pop();
+                prop_assert_eq!(got, expect, "drain disagreed");
+                if expect.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TimerSlots model checking: the two-slot inline cache must agree with a
 // HashMap reference under arbitrary set/cancel/rearm/fire/is_pending
 // interleavings — including the spill-past-2-slots path (keys range over

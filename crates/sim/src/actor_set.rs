@@ -1,6 +1,6 @@
 //! The closed actor set of a presence simulation: typed engine dispatch.
 //!
-//! A presence scenario is built from exactly six actor kinds. Naming them
+//! A presence scenario is built from a closed set of actor kinds. Naming them
 //! in one enum lets [`presence_des::Simulation`] store members inline and
 //! dispatch each event through a direct `match` — no `Box<dyn Actor>` per
 //! node, no vtable call per event, no downcast on the per-event path. The
@@ -17,6 +17,7 @@ use crate::churn::ChurnActor;
 use crate::cp_actor::CpActor;
 use crate::device_actor::DeviceActor;
 use crate::event::SimEvent;
+use crate::mega::MegaDcppShard;
 use crate::network_actor::NetworkActor;
 use crate::regime::RegimeActor;
 use presence_des::{Actor, Context, ProjectActor, SimTime, Simulation};
@@ -64,7 +65,7 @@ impl Actor<SimEvent> for CollectorActor {
     }
 }
 
-/// The six actor kinds a presence simulation is built from, as an inline
+/// The actor kinds a presence simulation is built from, as an inline
 /// engine member type (see the [module docs](self)).
 #[allow(clippy::large_enum_variant)] // members live in a Vec, one per node
 pub enum PresenceActorSet {
@@ -80,6 +81,10 @@ pub enum PresenceActorSet {
     Regime(RegimeActor),
     /// The passive recorder/monitor.
     Collector(CollectorActor),
+    /// A mega-scale DCPP population shard (millions of pairs, one member).
+    /// Boxed: the shard's aggregate recorders would otherwise inflate
+    /// every member slot of every scenario past the next-largest variant.
+    Mega(Box<MegaDcppShard>),
 }
 
 impl Actor<SimEvent> for PresenceActorSet {
@@ -91,6 +96,7 @@ impl Actor<SimEvent> for PresenceActorSet {
             PresenceActorSet::Churn(a) => a.on_start(ctx),
             PresenceActorSet::Regime(a) => a.on_start(ctx),
             PresenceActorSet::Collector(a) => a.on_start(ctx),
+            PresenceActorSet::Mega(a) => a.on_start(ctx),
         }
     }
 
@@ -102,6 +108,7 @@ impl Actor<SimEvent> for PresenceActorSet {
             PresenceActorSet::Churn(a) => a.on_event(ctx, event),
             PresenceActorSet::Regime(a) => a.on_event(ctx, event),
             PresenceActorSet::Collector(a) => a.on_event(ctx, event),
+            PresenceActorSet::Mega(a) => a.on_event(ctx, event),
         }
     }
 }
@@ -139,6 +146,27 @@ set_member!(Network, NetworkActor);
 set_member!(Churn, ChurnActor);
 set_member!(Regime, RegimeActor);
 set_member!(Collector, CollectorActor);
+// The Mega member is boxed, so the macro's direct wrapping doesn't apply.
+impl From<MegaDcppShard> for PresenceActorSet {
+    fn from(actor: MegaDcppShard) -> Self {
+        PresenceActorSet::Mega(Box::new(actor))
+    }
+}
+
+impl ProjectActor<MegaDcppShard> for PresenceActorSet {
+    fn project(&self) -> Option<&MegaDcppShard> {
+        match self {
+            PresenceActorSet::Mega(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn project_mut(&mut self) -> Option<&mut MegaDcppShard> {
+        match self {
+            PresenceActorSet::Mega(a) => Some(a),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

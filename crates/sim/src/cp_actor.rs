@@ -4,6 +4,7 @@
 //! the overlay dissemination of leave notices.
 
 use crate::event::{Addr, SimEvent};
+use crate::recorder::RecorderMode;
 use presence_core::{
     CpAction, CpId, CpStats, DcppConfig, DcppCp, Disseminator, FixedRateCp, LeaveNotice,
     NoticeDisposition, OverlayView, ProbeCycleConfig, Prober, Reply, ReplyBody, SappConfig, SappCp,
@@ -41,10 +42,15 @@ pub struct CpRecord {
     /// The CP's identity.
     pub id: CpId,
     /// `(t, 1/δ)` samples — one per completed probe cycle (the exact series
-    /// plotted in Figures 2–4).
+    /// plotted in Figures 2–4). Empty under
+    /// [`RecorderMode::Streaming`], where only `freq_stats` accumulates.
     pub frequency_series: TimeSeries,
     /// Welford accumulator over the per-cycle delay δ (seconds).
     pub delay_stats: Welford,
+    /// Welford accumulator over the `1/δ` frequency samples — the
+    /// constant-memory companion of `frequency_series`, maintained in both
+    /// recorder modes.
+    pub freq_stats: Welford,
     /// Probe-cycle statistics accumulated over all sessions.
     pub stats: CpStats,
     /// When this CP declared the device absent, if it did.
@@ -84,6 +90,8 @@ pub struct CpActor {
     gossip: Disseminator,
     record: CpRecord,
     active: bool,
+    /// Recorder granularity; streaming skips the frequency series.
+    mode: RecorderMode,
 }
 
 impl CpActor {
@@ -116,12 +124,24 @@ impl CpActor {
                 id,
                 frequency_series: TimeSeries::with_capacity(samples_hint),
                 delay_stats: Welford::new(),
+                freq_stats: Welford::new(),
                 stats: CpStats::default(),
                 detected_absent_at: None,
                 joins: 0,
                 notices_forwarded: 0,
             },
             active: false,
+            mode: RecorderMode::Full,
+        }
+    }
+
+    /// Switches the recorder granularity. Call before the first event:
+    /// streaming mode drops the pre-sized frequency-series storage and
+    /// keeps only the Welford accumulators.
+    pub fn set_recorder_mode(&mut self, mode: RecorderMode) {
+        self.mode = mode;
+        if mode == RecorderMode::Streaming {
+            self.record.frequency_series = TimeSeries::new();
         }
     }
 
@@ -251,9 +271,12 @@ impl CpActor {
         if let Some(p) = &self.prober {
             if let Some(delay) = p.current_delay() {
                 let d = delay.as_secs_f64();
-                self.record
-                    .frequency_series
-                    .push(now.as_secs_f64(), 1.0 / d);
+                if self.mode.retains_series() {
+                    self.record
+                        .frequency_series
+                        .push(now.as_secs_f64(), 1.0 / d);
+                }
+                self.record.freq_stats.push(1.0 / d);
                 self.record.delay_stats.push(d);
             }
         }

@@ -3,11 +3,12 @@
 //! plots.
 
 use crate::event::{Addr, SimEvent};
+use crate::recorder::RecorderMode;
 use presence_core::{
     AutoTuner, Bye, DcppDevice, DeviceId, Probe, Reply, SappDevice, TuneDecision, WireMessage,
 };
 use presence_des::{Actor, ActorId, Context, SimDuration, SimTime, StreamRng, TimerSlots};
-use presence_stats::{JumpingWindowRate, TimeSeries};
+use presence_stats::{JumpingWindowRate, TimeSeries, Welford};
 
 /// How long the device takes to process a probe before the reply leaves.
 ///
@@ -109,6 +110,15 @@ pub struct DeviceActor {
     /// Monotone key source for `processing_replies`.
     reply_seq: u64,
     stopped_at: Option<SimTime>,
+    /// Recorder granularity; [`RecorderMode::Streaming`] skips the arrival
+    /// series and folds closed load windows into `load_acc` on the fly.
+    mode: RecorderMode,
+    /// Streaming-mode accumulator over closed load windows (excluding the
+    /// first, warm-up window — matching the full-mode summary).
+    load_acc: Welford,
+    /// Closed load windows seen so far in streaming mode (to skip the
+    /// warm-up window).
+    load_windows_seen: u64,
 }
 
 impl DeviceActor {
@@ -141,7 +151,50 @@ impl DeviceActor {
             processing_replies: TimerSlots::with_spill_capacity(8),
             reply_seq: 0,
             stopped_at: None,
+            mode: RecorderMode::Full,
+            load_acc: Welford::new(),
+            load_windows_seen: 0,
         }
+    }
+
+    /// Switches the recorder granularity. Call before the first event:
+    /// streaming mode drops the (pre-sized) arrival series and load-series
+    /// backing storage so memory stays flat at any horizon.
+    pub fn set_recorder_mode(&mut self, mode: RecorderMode) {
+        self.mode = mode;
+        if mode == RecorderMode::Streaming {
+            self.arrivals = TimeSeries::new();
+            self.load = JumpingWindowRate::new(0.0, self.load.width());
+        }
+    }
+
+    /// Folds every closed load window into the streaming accumulator,
+    /// skipping the first (warm-up) window — the same exclusion the
+    /// full-mode summary applies.
+    fn stream_closed_windows(&mut self) {
+        let seen = &mut self.load_windows_seen;
+        let acc = &mut self.load_acc;
+        self.load.drain_closed(|_, rate| {
+            if *seen > 0 {
+                acc.push(rate);
+            }
+            *seen += 1;
+        });
+    }
+
+    /// Streaming-mode load summary `(mean, sample_variance)` over all
+    /// windows closed by `now`, excluding the warm-up window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor is in [`RecorderMode::Full`] — the full-mode
+    /// summary is computed from [`DeviceActor::load_series_until`].
+    #[must_use]
+    pub fn streaming_load_stats(&mut self, now: SimTime) -> (f64, f64) {
+        assert_eq!(self.mode, RecorderMode::Streaming, "streaming mode only");
+        self.load.advance_to(now.as_secs_f64());
+        self.stream_closed_windows();
+        (self.load_acc.mean(), self.load_acc.sample_variance())
     }
 
     /// Installs a device-side Δ auto-tuner (meaningful for SAPP devices;
@@ -212,7 +265,10 @@ impl Actor<SimEvent> for DeviceActor {
                 }
                 let now = ctx.now();
                 self.load.record(now.as_secs_f64());
-                self.arrivals.push(now.as_secs_f64(), 1.0);
+                match self.mode {
+                    RecorderMode::Full => self.arrivals.push(now.as_secs_f64(), 1.0),
+                    RecorderMode::Streaming => self.stream_closed_windows(),
+                }
                 if let (Some(tuner), DeviceMachine::Sapp(dev)) =
                     (self.tuner.as_mut(), &mut self.machine)
                 {

@@ -2,6 +2,7 @@
 
 use crate::churn::ChurnModel;
 use presence_core::{CpId, DeviceId, TimerToken, WireMessage};
+use presence_des::SimDuration;
 
 /// Network-level address of a node actor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,4 +67,31 @@ pub enum SimEvent {
     },
     /// (to a device actor, SAPP Δ-retuning ablation) Multiply Δ by two.
     DoubleDelta,
+    /// (to a [`crate::MegaDcppShard`]) A probe from pair `pair` arrives at
+    /// its device. Mega events carry dense indices instead of wire structs:
+    /// at 10⁶ pairs the per-event footprint is what bounds queue memory.
+    MegaProbe {
+        /// Dense (CP, device) pair index inside the shard.
+        pair: u32,
+        /// Probe-cycle sequence number (per pair).
+        seq: u32,
+    },
+    /// (to a [`crate::MegaDcppShard`]) The device's reply for cycle `seq`
+    /// arrives back at pair `pair`'s CP.
+    MegaReply {
+        /// Dense pair index.
+        pair: u32,
+        /// The cycle it answers.
+        seq: u32,
+        /// The device-dictated wait until the next probe.
+        wait: SimDuration,
+    },
+    /// (to a [`crate::MegaDcppShard`]) Pair `pair`'s single outstanding
+    /// timer fired: a probe timeout while probing, the inter-cycle wake
+    /// while sleeping (the shard keeps at most one timer per pair, so the
+    /// pair's phase disambiguates).
+    MegaTimer {
+        /// Dense pair index.
+        pair: u32,
+    },
 }

@@ -37,10 +37,12 @@ mod device_actor;
 mod event;
 pub mod experiments;
 pub mod lab;
+mod mega;
 mod metrics;
 mod network_actor;
 mod output;
 pub mod parallel;
+mod recorder;
 mod regime;
 mod replication;
 mod scenario;
@@ -55,10 +57,14 @@ pub use lab::{
     builtin_catalog, run_lab, run_spec_once, slice_result, ChurnPhase, DelayPhase, LabReport,
     LabSeedResult, LossPhase, RegimeSlice, ScenarioSpec, SpecError,
 };
+pub use mega::{
+    mega_catalog, run_mega_spec, MegaConfig, MegaDcppShard, MegaResult, MegaScenario, MegaSpec,
+};
 pub use metrics::{CpSummary, ScenarioResult};
 pub use network_actor::NetworkActor;
 pub use output::{ascii_chart, kv_table, series_to_columns, series_to_csv};
 pub use parallel::{for_each_indexed, job_count, run_indexed, ParamSweep};
+pub use recorder::RecorderMode;
 pub use regime::RegimeActor;
 pub use replication::{replicate, replicate_with_jobs, ReplicationPoint, ReplicationSummary};
 pub use scenario::{golden_trio, DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};

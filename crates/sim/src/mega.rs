@@ -1,0 +1,1087 @@
+//! Mega-scale DCPP populations: one struct-of-arrays shard actor hosting
+//! millions of (CP, device) probe pairs.
+//!
+//! The per-node actor path ([`crate::CpActor`]/[`crate::DeviceActor`]) is
+//! built for the paper's populations (tens of CPs, one device) and spends
+//! its memory on per-actor machines, timer slots, and recorder series. At
+//! 10⁶ devices that layout would cost gigabytes before the first event
+//! fires. The [`MegaDcppShard`] replaces it with dense parallel vectors —
+//! one `u8` phase, one `u32` sequence number, one `u8` transmission count,
+//! and one timer handle per pair; one `nt` register per device — and three
+//! compact index-carrying events ([`SimEvent::MegaProbe`],
+//! [`SimEvent::MegaReply`], [`SimEvent::MegaTimer`]). The shard samples
+//! its own network delay, loss, and device processing times, so a mega run
+//! needs no [`crate::NetworkActor`]: the steady-state cost is ~3 engine
+//! events and zero allocations per probe cycle.
+//!
+//! The protocol semantics are exactly those of the reference machines
+//! ([`presence_core::DcppCp`] / [`presence_core::Retransmitter`] /
+//! [`presence_core::DcppDevice`]); the differential test in this module
+//! drives the real machines over a hand-rolled mini-DES and asserts the
+//! shard reproduces every completion instant and wait bit-for-bit.
+//!
+//! Recorders are streaming by construction (aggregate [`Welford`]/P²
+//! accumulators, drained load windows); [`RecorderMode::Full`]
+//! additionally retains the per-completion `(t, pair, wait)` log for
+//! differential testing.
+
+use crate::actor_set::PresenceSim;
+use crate::event::SimEvent;
+use crate::recorder::RecorderMode;
+use presence_core::{CpStats, DcppConfig};
+use presence_des::{
+    Actor, ActorId, Context, EventHandle, QueueProfile, SimDuration, SimTime, Simulation, StreamRng,
+};
+use presence_stats::{JumpingWindowRate, P2Quantile, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Pair phases (dense `u8` instead of an enum so the phase vector packs).
+const PROBING: u8 = 0;
+const SLEEPING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// A complete description of one mega-scale DCPP run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MegaConfig {
+    /// Number of devices.
+    pub devices: u32,
+    /// Number of control points (metadata only: pair dynamics are
+    /// independent of which CP owns a pair, so `cps` partitions pairs for
+    /// reporting without per-CP state).
+    pub cps: u32,
+    /// Watching CPs per device; total pairs = `devices ·
+    /// watchers_per_device`.
+    pub watchers_per_device: u32,
+    /// The DCPP protocol constants shared by every pair.
+    pub dcpp: DcppConfig,
+    /// Uniform one-way network delay bounds (seconds).
+    pub net_delay: (f64, f64),
+    /// Independent per-transmission loss probability (each direction).
+    pub loss: f64,
+    /// Uniform device processing-time bounds (seconds).
+    pub processing: (f64, f64),
+    /// Stagger window for initial pair wakes (seconds).
+    pub join_stagger: f64,
+    /// Width of the aggregate load windows (seconds).
+    pub load_window: f64,
+    /// Root seed.
+    pub seed: u64,
+    /// Virtual run length (seconds).
+    pub duration: f64,
+}
+
+impl MegaConfig {
+    /// Paper-constant defaults at the given scale: DCPP §5 timing, no loss,
+    /// 1–20 ms processing (`C_max = 20 ms`), and 0.2–1 ms one-way delay —
+    /// the LAN regime the paper's `TOF = 2·RTT_max + C_max = 22 ms`
+    /// derivation assumes. (Delays beyond ~1 ms each way make replies
+    /// routinely overtake `TOF` and every cycle pays a spurious
+    /// retransmission.)
+    #[must_use]
+    pub fn defaults(devices: u32, cps: u32, duration: f64, seed: u64) -> Self {
+        Self {
+            devices,
+            cps,
+            watchers_per_device: 1,
+            dcpp: DcppConfig::paper_default(),
+            net_delay: (0.0002, 0.001),
+            loss: 0.0,
+            processing: (0.001, 0.020),
+            join_stagger: 1.0,
+            load_window: 1.0,
+            seed,
+            duration,
+        }
+    }
+
+    /// Total (CP, device) pairs.
+    #[must_use]
+    pub fn pairs(&self) -> u32 {
+        self.devices * self.watchers_per_device
+    }
+
+    /// Checks the structural invariants a runnable configuration must
+    /// satisfy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    pub fn validate(&self) {
+        assert!(self.devices > 0, "need at least one device");
+        assert!(self.cps > 0, "need at least one CP");
+        assert!(self.watchers_per_device > 0, "need at least one watcher");
+        let pairs = u64::from(self.devices) * u64::from(self.watchers_per_device);
+        assert!(pairs <= u64::from(u32::MAX), "pair count overflows u32");
+        assert!(self.duration > 0.0, "duration must be positive");
+        assert!((0.0..1.0).contains(&self.loss), "loss must be in [0, 1)");
+        assert!(
+            self.net_delay.0 <= self.net_delay.1 && self.net_delay.0 >= 0.0,
+            "bad delay bounds"
+        );
+        assert!(
+            self.processing.0 <= self.processing.1 && self.processing.0 >= 0.0,
+            "bad processing bounds"
+        );
+        assert!(self.join_stagger >= 0.0, "negative join stagger");
+        assert!(
+            self.load_window > 0.0 && self.load_window.is_finite(),
+            "bad load window"
+        );
+    }
+}
+
+/// A named, serialisable mega-scenario definition (the `catalog/mega/`
+/// file format).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MegaSpec {
+    /// Unique scenario name (the catalog file stem).
+    pub name: String,
+    /// One-line description of what the scenario exercises.
+    pub description: String,
+    /// The run configuration.
+    pub config: MegaConfig,
+}
+
+/// The built-in mega-scenario catalog, shipped as JSON under
+/// `catalog/mega/` and pinned by the scenario-lab test suite.
+#[must_use]
+pub fn mega_catalog() -> Vec<MegaSpec> {
+    vec![
+        MegaSpec {
+            name: "mega-ci".into(),
+            description: "100k devices / 1k CPs, lossless — the bounded-RSS CI smoke scale".into(),
+            config: MegaConfig::defaults(100_000, 1_000, 5.0, 606),
+        },
+        MegaSpec {
+            name: "mega-1m".into(),
+            description: "1M devices / 10k CPs, lossless — the headline mega-population run".into(),
+            config: MegaConfig::defaults(1_000_000, 10_000, 5.0, 601),
+        },
+        MegaSpec {
+            name: "mega-1m-lossy".into(),
+            description: "1M devices / 10k CPs under 5% independent loss".into(),
+            config: MegaConfig {
+                loss: 0.05,
+                ..MegaConfig::defaults(1_000_000, 10_000, 5.0, 602)
+            },
+        },
+    ]
+}
+
+/// Everything a finished mega run reports: aggregate counters and
+/// constant-memory summary statistics (no per-pair series at any scale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MegaResult {
+    /// Virtual seconds simulated.
+    pub duration: f64,
+    /// Events the engine processed.
+    pub events_processed: u64,
+    /// Total (CP, device) pairs.
+    pub pairs: u32,
+    /// Devices in the population.
+    pub devices: u32,
+    /// Control points in the population.
+    pub cps: u32,
+    /// Probes transmitted (including retransmissions), over all pairs.
+    pub probes_sent: u64,
+    /// Probe cycles started.
+    pub cycles_started: u64,
+    /// Cycles completed by an accepted reply.
+    pub cycles_succeeded: u64,
+    /// Cycles that exhausted all retransmissions.
+    pub cycles_failed: u64,
+    /// Replies discarded as stale.
+    pub stale_replies: u64,
+    /// Retransmissions sent.
+    pub retransmissions: u64,
+    /// Probes the devices answered.
+    pub device_probes: u64,
+    /// Pairs that declared their device absent and stopped.
+    pub stopped_pairs: u64,
+    /// Mean device-dictated wait over accepted replies (seconds).
+    pub wait_mean: f64,
+    /// Sample variance of the wait.
+    pub wait_variance: f64,
+    /// P² estimate of the median wait, if any reply was accepted.
+    pub wait_p50: Option<f64>,
+    /// P² estimate of the 99th-percentile wait.
+    pub wait_p99: Option<f64>,
+    /// Mean probe arrival rate per device (probes/s), over closed load
+    /// windows excluding the first (warm-up) window.
+    pub load_mean_per_device: f64,
+}
+
+/// The struct-of-arrays shard: every pair's protocol state in dense
+/// vectors, every recorder an aggregate (see the [module docs](self)).
+pub struct MegaDcppShard {
+    cfg: MegaConfig,
+    mode: RecorderMode,
+    /// Per-pair phase: [`PROBING`], [`SLEEPING`], or [`STOPPED`].
+    phase: Vec<u8>,
+    /// Per-pair current cycle sequence number (`u32::MAX` before the first
+    /// cycle; the first cycle wraps to 0, matching the reference machine).
+    seq: Vec<u32>,
+    /// Per-pair transmissions of the in-flight cycle (1 after the initial
+    /// probe, as in [`presence_core::Retransmitter`]).
+    transmissions: Vec<u8>,
+    /// Per-pair single outstanding timer (timeout while probing, wake
+    /// while sleeping). Always cancelled before replacement, so a stale
+    /// timer can never fire.
+    timer: Vec<Option<EventHandle>>,
+    /// Per-device `nt` register (the DCPP schedule head).
+    nt: Vec<SimTime>,
+    stats: CpStats,
+    device_probes: u64,
+    wait_stats: Welford,
+    wait_p50: P2Quantile,
+    wait_p99: P2Quantile,
+    /// Aggregate probe-arrival windows, drained into `load_acc` on the fly.
+    load: JumpingWindowRate,
+    load_acc: Welford,
+    load_windows_seen: u64,
+    /// Full-mode only: `(t, pair, wait)` per accepted reply, for the
+    /// differential test. Empty under streaming.
+    completions: Vec<(SimTime, u32, SimDuration)>,
+}
+
+impl MegaDcppShard {
+    /// Creates a shard for `cfg`, pre-sizing every per-pair vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`MegaConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: MegaConfig, mode: RecorderMode) -> Self {
+        cfg.validate();
+        let pairs = cfg.pairs() as usize;
+        Self {
+            mode,
+            phase: vec![SLEEPING; pairs],
+            seq: vec![u32::MAX; pairs],
+            transmissions: vec![0; pairs],
+            timer: vec![None; pairs],
+            nt: vec![SimTime::ZERO; cfg.devices as usize],
+            stats: CpStats::default(),
+            device_probes: 0,
+            wait_stats: Welford::new(),
+            wait_p50: P2Quantile::new(0.5),
+            wait_p99: P2Quantile::new(0.99),
+            load: JumpingWindowRate::new(0.0, cfg.load_window),
+            load_acc: Welford::new(),
+            load_windows_seen: 0,
+            completions: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration this shard runs.
+    #[must_use]
+    pub fn config(&self) -> &MegaConfig {
+        &self.cfg
+    }
+
+    /// Full-mode completion log: `(t, pair, wait)` per accepted reply.
+    #[must_use]
+    pub fn completions(&self) -> &[(SimTime, u32, SimDuration)] {
+        &self.completions
+    }
+
+    /// Probes the devices answered so far.
+    #[must_use]
+    pub fn device_probes(&self) -> u64 {
+        self.device_probes
+    }
+
+    fn sample_range(rng: &mut StreamRng, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        if lo == hi {
+            lo
+        } else {
+            SimDuration::from_nanos(rng.uniform(lo.as_nanos() as f64, hi.as_nanos() as f64) as u64)
+        }
+    }
+
+    fn net_delay(&self, rng: &mut StreamRng) -> SimDuration {
+        Self::sample_range(
+            rng,
+            SimDuration::from_secs_f64(self.cfg.net_delay.0),
+            SimDuration::from_secs_f64(self.cfg.net_delay.1),
+        )
+    }
+
+    fn processing(&self, rng: &mut StreamRng) -> SimDuration {
+        Self::sample_range(
+            rng,
+            SimDuration::from_secs_f64(self.cfg.processing.0),
+            SimDuration::from_secs_f64(self.cfg.processing.1),
+        )
+    }
+
+    fn lost(&self, rng: &mut StreamRng) -> bool {
+        self.cfg.loss > 0.0 && rng.bernoulli(self.cfg.loss)
+    }
+
+    /// Transmits pair `p`'s current probe: samples loss and (if delivered)
+    /// the uplink delay, scheduling the device-side arrival.
+    fn send_probe(&mut self, ctx: &mut Context<'_, SimEvent>, p: u32) {
+        let lost = self.lost(ctx.rng());
+        if !lost {
+            let delay = self.net_delay(ctx.rng());
+            let me = ctx.me();
+            ctx.schedule_in(
+                delay,
+                me,
+                SimEvent::MegaProbe {
+                    pair: p,
+                    seq: self.seq[p as usize],
+                },
+            );
+        }
+    }
+
+    /// Starts a new probe cycle for pair `p` (mirrors
+    /// [`presence_core::Retransmitter::begin_cycle`]).
+    fn begin_cycle(&mut self, ctx: &mut Context<'_, SimEvent>, p: u32) {
+        let i = p as usize;
+        self.seq[i] = self.seq[i].wrapping_add(1);
+        self.transmissions[i] = 1;
+        self.phase[i] = PROBING;
+        self.stats.cycles_started += 1;
+        self.stats.probes_sent += 1;
+        self.send_probe(ctx, p);
+        let me = ctx.me();
+        let handle = ctx.schedule_in(self.cfg.dcpp.cycle.tof, me, SimEvent::MegaTimer { pair: p });
+        self.timer[i] = Some(handle);
+    }
+
+    /// Pair `p`'s single outstanding timer fired: a probe timeout while
+    /// probing, the inter-cycle wake while sleeping.
+    fn on_timer(&mut self, ctx: &mut Context<'_, SimEvent>, p: u32) {
+        let i = p as usize;
+        self.timer[i] = None;
+        match self.phase[i] {
+            SLEEPING => self.begin_cycle(ctx, p),
+            PROBING => {
+                if u32::from(self.transmissions[i]) > self.cfg.dcpp.cycle.max_retransmissions {
+                    // Cycle exhausted: declare the device absent and stop,
+                    // as DcppCp::declare_absent does.
+                    self.stats.cycles_failed += 1;
+                    self.phase[i] = STOPPED;
+                } else {
+                    self.stats.probes_sent += 1;
+                    self.stats.retransmissions += 1;
+                    self.send_probe(ctx, p);
+                    let me = ctx.me();
+                    let handle = ctx.schedule_in(
+                        self.cfg.dcpp.cycle.tos,
+                        me,
+                        SimEvent::MegaTimer { pair: p },
+                    );
+                    self.timer[i] = Some(handle);
+                    self.transmissions[i] += 1;
+                }
+            }
+            _ => debug_assert!(false, "timer fired for stopped pair {p}"),
+        }
+    }
+
+    /// A probe from pair `p` arrives at its device: advance the device's
+    /// `nt` schedule (the [`presence_core::DcppDevice`] formula) and, if
+    /// neither the reply nor its flight is lost, schedule the reply's
+    /// arrival back at the CP side.
+    fn on_probe_arrival(&mut self, ctx: &mut Context<'_, SimEvent>, p: u32, seq: u32) {
+        let now = ctx.now();
+        let d = (p / self.cfg.watchers_per_device) as usize;
+        self.device_probes += 1;
+        self.load.record(now.as_secs_f64());
+        self.stream_closed_windows();
+        // nt' = max(max(nt, now) + δ_min, now + d_min)
+        let serialised = self.nt[d].max(now) + self.cfg.dcpp.delta_min;
+        let per_cp_floor = now + self.cfg.dcpp.d_min;
+        let nt_new = serialised.max(per_cp_floor);
+        let wait = nt_new - now;
+        self.nt[d] = nt_new;
+        let processing = self.processing(ctx.rng());
+        let lost = self.lost(ctx.rng());
+        if !lost {
+            let delay = self.net_delay(ctx.rng());
+            let me = ctx.me();
+            ctx.schedule_in(
+                processing + delay,
+                me,
+                SimEvent::MegaReply { pair: p, seq, wait },
+            );
+        }
+    }
+
+    /// The device's reply for cycle `seq` arrives back at pair `p`'s CP.
+    fn on_reply_arrival(
+        &mut self,
+        ctx: &mut Context<'_, SimEvent>,
+        p: u32,
+        seq: u32,
+        wait: SimDuration,
+    ) {
+        let i = p as usize;
+        if self.phase[i] == STOPPED {
+            // A stopped CP ignores late replies without counting them
+            // stale, as DcppCp does.
+            return;
+        }
+        if self.phase[i] == PROBING && self.seq[i] == seq {
+            self.stats.cycles_succeeded += 1;
+            if let Some(handle) = self.timer[i].take() {
+                ctx.cancel(handle);
+            }
+            self.wait_stats.push(wait.as_secs_f64());
+            self.wait_p50.push(wait.as_secs_f64());
+            self.wait_p99.push(wait.as_secs_f64());
+            if self.mode.retains_series() {
+                self.completions.push((ctx.now(), p, wait));
+            }
+            self.phase[i] = SLEEPING;
+            let me = ctx.me();
+            let handle = ctx.schedule_in(wait, me, SimEvent::MegaTimer { pair: p });
+            self.timer[i] = Some(handle);
+        } else {
+            self.stats.stale_replies += 1;
+        }
+    }
+
+    /// Folds every closed aggregate load window into the accumulator,
+    /// skipping the first (warm-up) window.
+    fn stream_closed_windows(&mut self) {
+        let seen = &mut self.load_windows_seen;
+        let acc = &mut self.load_acc;
+        self.load.drain_closed(|_, rate| {
+            if *seen > 0 {
+                acc.push(rate);
+            }
+            *seen += 1;
+        });
+    }
+
+    /// Builds the aggregate result as of `now`.
+    fn result(&mut self, now: SimTime, events_processed: u64) -> MegaResult {
+        self.load.advance_to(now.as_secs_f64());
+        self.stream_closed_windows();
+        let stopped_pairs = self.phase.iter().filter(|&&ph| ph == STOPPED).count() as u64;
+        MegaResult {
+            duration: now.as_secs_f64(),
+            events_processed,
+            pairs: self.cfg.pairs(),
+            devices: self.cfg.devices,
+            cps: self.cfg.cps,
+            probes_sent: self.stats.probes_sent,
+            cycles_started: self.stats.cycles_started,
+            cycles_succeeded: self.stats.cycles_succeeded,
+            cycles_failed: self.stats.cycles_failed,
+            stale_replies: self.stats.stale_replies,
+            retransmissions: self.stats.retransmissions,
+            device_probes: self.device_probes,
+            stopped_pairs,
+            wait_mean: self.wait_stats.mean(),
+            wait_variance: self.wait_stats.sample_variance(),
+            wait_p50: self.wait_p50.estimate(),
+            wait_p99: self.wait_p99.estimate(),
+            load_mean_per_device: self.load_acc.mean() / f64::from(self.cfg.devices),
+        }
+    }
+}
+
+impl Actor<SimEvent> for MegaDcppShard {
+    fn on_start(&mut self, ctx: &mut Context<'_, SimEvent>) {
+        let stagger = self.cfg.join_stagger;
+        let me = ctx.me();
+        for p in 0..self.cfg.pairs() {
+            let offset = if stagger > 0.0 {
+                SimDuration::from_secs_f64(ctx.rng().uniform(0.0, stagger))
+            } else {
+                SimDuration::ZERO
+            };
+            let handle = ctx.schedule_in(offset, me, SimEvent::MegaTimer { pair: p });
+            self.timer[p as usize] = Some(handle);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Context<'_, SimEvent>, event: SimEvent) {
+        match event {
+            SimEvent::MegaProbe { pair, seq } => self.on_probe_arrival(ctx, pair, seq),
+            SimEvent::MegaReply { pair, seq, wait } => self.on_reply_arrival(ctx, pair, seq, wait),
+            SimEvent::MegaTimer { pair } => self.on_timer(ctx, pair),
+            other => debug_assert!(false, "mega shard got unexpected event {other:?}"),
+        }
+    }
+}
+
+/// A built, runnable mega scenario: the shard on a calendar-queue
+/// simulation.
+pub struct MegaScenario {
+    sim: PresenceSim,
+    shard: ActorId,
+    cfg: MegaConfig,
+}
+
+impl MegaScenario {
+    /// Builds a mega scenario with streaming recorders (the default at
+    /// this scale) on the calendar queue profile.
+    #[must_use]
+    pub fn build(cfg: MegaConfig) -> Self {
+        Self::build_with_recorder(cfg, RecorderMode::Streaming)
+    }
+
+    /// [`MegaScenario::build`] with an explicit recorder granularity
+    /// ([`RecorderMode::Full`] retains the per-completion log — intended
+    /// for differential tests at small scale, not for 10⁶-pair runs).
+    #[must_use]
+    pub fn build_with_recorder(cfg: MegaConfig, mode: RecorderMode) -> Self {
+        let mut sim: PresenceSim =
+            Simulation::with_actor_set_and_profile(cfg.seed, QueueProfile::calendar());
+        let shard = sim.add_member(MegaDcppShard::new(cfg, mode).into());
+        Self { sim, shard, cfg }
+    }
+
+    /// The configuration this scenario was built from.
+    #[must_use]
+    pub fn config(&self) -> &MegaConfig {
+        &self.cfg
+    }
+
+    /// The shard actor id.
+    #[must_use]
+    pub fn shard_actor(&self) -> ActorId {
+        self.shard
+    }
+
+    /// The underlying simulation.
+    pub fn sim_mut(&mut self) -> &mut PresenceSim {
+        &mut self.sim
+    }
+
+    /// The shard (for inspection: completions, config).
+    #[must_use]
+    pub fn shard(&self) -> &MegaDcppShard {
+        self.sim
+            .actor::<MegaDcppShard>(self.shard)
+            .expect("mega shard")
+    }
+
+    /// Runs the scenario for its configured duration.
+    pub fn run(&mut self) {
+        let end = SimTime::from_secs_f64(self.cfg.duration);
+        self.sim.run_until(end);
+    }
+
+    /// Extracts the aggregate results accumulated so far.
+    #[must_use]
+    pub fn collect(&mut self) -> MegaResult {
+        let now = self.sim.now();
+        let events = self.sim.events_processed();
+        self.sim
+            .actor_mut::<MegaDcppShard>(self.shard)
+            .expect("mega shard")
+            .result(now, events)
+    }
+}
+
+/// Builds, runs, and collects one mega spec — the `perf_report --mega` and
+/// `mega_smoke` entry point.
+#[must_use]
+pub fn run_mega_spec(spec: &MegaSpec) -> MegaResult {
+    let mut scenario = MegaScenario::build(spec.config);
+    scenario.run();
+    scenario.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(devices: u32, watchers: u32, duration: f64, seed: u64) -> MegaConfig {
+        MegaConfig {
+            devices,
+            cps: devices.min(3),
+            watchers_per_device: watchers,
+            ..MegaConfig::defaults(devices, devices.min(3), duration, seed)
+        }
+    }
+
+    #[test]
+    fn catalog_names_unique_and_valid() {
+        let specs = mega_catalog();
+        assert_eq!(specs.len(), 3);
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate catalog names");
+        for spec in &specs {
+            spec.config.validate();
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        for spec in mega_catalog() {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: MegaSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn lone_watcher_settles_at_d_min() {
+        // One CP per device: the per-CP frequency floor binds, so every
+        // accepted wait is exactly d_min = 0.5 s and no cycle fails.
+        let mut sc = MegaScenario::build(tiny(100, 1, 5.0, 7));
+        sc.run();
+        let r = sc.collect();
+        assert_eq!(r.cycles_failed, 0);
+        assert_eq!(r.stopped_pairs, 0);
+        assert_eq!(r.stale_replies, 0);
+        assert!(r.cycles_succeeded > 500, "cycles {}", r.cycles_succeeded);
+        assert!(
+            (r.wait_mean - 0.5).abs() < 0.05,
+            "wait mean {} (expected d_min)",
+            r.wait_mean
+        );
+        // d_min waits → ~2 probes/s/device in steady state.
+        assert!(
+            (r.load_mean_per_device - 2.0).abs() < 0.5,
+            "load {} probes/s/device",
+            r.load_mean_per_device
+        );
+    }
+
+    #[test]
+    fn crowded_device_serialises_at_delta_min() {
+        // 10 watchers per device: backlog 10·δ_min = 1 s exceeds d_min, so
+        // the device budget binds and each pair waits ≈ 1 s.
+        let mut sc = MegaScenario::build(tiny(20, 10, 10.0, 11));
+        sc.run();
+        let r = sc.collect();
+        assert_eq!(r.cycles_failed, 0);
+        assert!(
+            (r.wait_mean - 1.0).abs() < 0.1,
+            "wait mean {} (expected k·δ_min)",
+            r.wait_mean
+        );
+        // The device load saturates at L_nom = 1/δ_min = 10 probes/s.
+        assert!(
+            (r.load_mean_per_device - 10.0).abs() < 1.5,
+            "load {} probes/s/device",
+            r.load_mean_per_device
+        );
+    }
+
+    #[test]
+    fn heavy_loss_stops_pairs() {
+        let cfg = MegaConfig {
+            loss: 0.9,
+            ..tiny(200, 1, 5.0, 13)
+        };
+        let mut sc = MegaScenario::build(cfg);
+        sc.run();
+        let r = sc.collect();
+        assert!(r.retransmissions > 0, "no retransmissions under 90% loss");
+        assert!(r.cycles_failed > 0, "no failures under 90% loss");
+        assert!(r.stopped_pairs > 0, "no pair stopped");
+        assert_eq!(r.cycles_failed, r.stopped_pairs, "each pair fails once");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let cfg = MegaConfig {
+            loss: 0.1,
+            ..tiny(50, 2, 3.0, 42)
+        };
+        let run = |cfg| {
+            let mut sc = MegaScenario::build(cfg);
+            sc.run();
+            sc.collect()
+        };
+        let a = run(cfg);
+        let b = run(cfg);
+        assert_eq!(a, b, "same seed must replay exactly");
+        let c = run(MegaConfig { seed: 43, ..cfg });
+        assert_ne!(a.device_probes, c.device_probes, "different seeds diverge");
+    }
+
+    #[test]
+    fn streaming_and_full_agree() {
+        let cfg = MegaConfig {
+            loss: 0.05,
+            ..tiny(30, 2, 3.0, 5)
+        };
+        let mut full = MegaScenario::build_with_recorder(cfg, RecorderMode::Full);
+        full.run();
+        assert!(!full.shard().completions().is_empty());
+        let rf = full.collect();
+        let mut streaming = MegaScenario::build(cfg);
+        streaming.run();
+        assert!(streaming.shard().completions().is_empty());
+        let rs = streaming.collect();
+        assert_eq!(rf, rs, "recorder mode must not perturb the trajectory");
+    }
+
+    /// The differential battery: a hand-rolled mini-DES drives the *real*
+    /// protocol machines (`DcppCp` over `Retransmitter`, `DcppDevice`) with
+    /// the same constant delays and zero loss, and the shard must
+    /// reproduce every completion instant, wait, and counter exactly.
+    mod differential {
+        use super::*;
+        use presence_core::{
+            CpAction, CpId, DcppCp, DcppDevice, DeviceId, Prober, Reply, ReplyBody, TimerToken,
+        };
+        use std::collections::{BinaryHeap, HashMap, HashSet};
+
+        const DELAY: f64 = 0.005;
+        const PROC: f64 = 0.002;
+
+        #[derive(Debug)]
+        enum RefEvent {
+            Wake(u32, TimerToken),
+            ProbeArrive(u32, presence_core::Probe),
+            ReplyArrive(u32, Reply),
+            Start(u32),
+        }
+
+        /// Reference completions per pair: `(t_nanos, wait_nanos)`.
+        fn reference_run(
+            devices: u32,
+            watchers: u32,
+            duration: f64,
+            cfg: DcppConfig,
+        ) -> (Vec<Vec<(u64, u64)>>, u64, CpStats) {
+            let pairs = devices * watchers;
+            let mut cps: Vec<DcppCp> = (0..pairs).map(|p| DcppCp::new(CpId(p), cfg)).collect();
+            let mut devs: Vec<DcppDevice> = (0..devices)
+                .map(|d| DcppDevice::new(DeviceId(d), cfg))
+                .collect();
+            // (time, seq) min-heap with FIFO ties — the engine's order.
+            let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            let mut payloads: HashMap<u64, RefEvent> = HashMap::new();
+            let mut next_seq = 0u64;
+            let mut live_timers: HashSet<(u32, TimerToken)> = HashSet::new();
+            let mut completions: Vec<Vec<(u64, u64)>> = vec![Vec::new(); pairs as usize];
+            let delay = SimDuration::from_secs_f64(DELAY);
+            let proc = SimDuration::from_secs_f64(PROC);
+            let end = SimTime::from_secs_f64(duration);
+
+            let push = |heap: &mut BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+                        payloads: &mut HashMap<u64, RefEvent>,
+                        next_seq: &mut u64,
+                        at: SimTime,
+                        ev: RefEvent| {
+                heap.push(std::cmp::Reverse((at, *next_seq)));
+                payloads.insert(*next_seq, ev);
+                *next_seq += 1;
+            };
+
+            for p in 0..pairs {
+                push(
+                    &mut heap,
+                    &mut payloads,
+                    &mut next_seq,
+                    SimTime::ZERO,
+                    RefEvent::Start(p),
+                );
+            }
+
+            let mut out: Vec<CpAction> = Vec::new();
+            while let Some(std::cmp::Reverse((now, seq))) = heap.pop() {
+                if now > end {
+                    break;
+                }
+                let ev = payloads.remove(&seq).expect("payload");
+                // Which pair's actions we are about to execute.
+                let pair = match &ev {
+                    RefEvent::Wake(p, _)
+                    | RefEvent::ProbeArrive(p, _)
+                    | RefEvent::ReplyArrive(p, _)
+                    | RefEvent::Start(p) => *p,
+                };
+                out.clear();
+                match ev {
+                    RefEvent::Start(p) => {
+                        cps[p as usize].start(now, &mut out);
+                    }
+                    RefEvent::Wake(p, token) => {
+                        if !live_timers.remove(&(p, token)) {
+                            continue; // cancelled timer
+                        }
+                        cps[p as usize].on_timer(now, token, &mut out);
+                    }
+                    RefEvent::ProbeArrive(p, probe) => {
+                        let d = (p / watchers) as usize;
+                        let reply = devs[d].on_probe(now, probe);
+                        push(
+                            &mut heap,
+                            &mut payloads,
+                            &mut next_seq,
+                            now + proc + delay,
+                            RefEvent::ReplyArrive(p, reply),
+                        );
+                    }
+                    RefEvent::ReplyArrive(p, reply) => {
+                        let before = cps[p as usize].stats().cycles_succeeded;
+                        cps[p as usize].on_reply(now, &reply, &mut out);
+                        if cps[p as usize].stats().cycles_succeeded > before {
+                            let ReplyBody::Dcpp { wait } = reply.body else {
+                                panic!("non-DCPP reply");
+                            };
+                            completions[p as usize].push((now.as_nanos(), wait.as_nanos()));
+                        }
+                    }
+                }
+                for action in out.drain(..) {
+                    match action {
+                        CpAction::SendProbe(probe) => push(
+                            &mut heap,
+                            &mut payloads,
+                            &mut next_seq,
+                            now + delay,
+                            RefEvent::ProbeArrive(pair, probe),
+                        ),
+                        CpAction::StartTimer { token, after } => {
+                            live_timers.insert((pair, token));
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut next_seq,
+                                now + after,
+                                RefEvent::Wake(pair, token),
+                            );
+                        }
+                        CpAction::CancelTimer { token } => {
+                            live_timers.remove(&(pair, token));
+                        }
+                        CpAction::DeviceAbsent { .. } => {}
+                    }
+                }
+            }
+
+            let device_probes = devs.iter().map(DcppDevice::probes_received).sum();
+            let mut stats = CpStats::default();
+            for cp in &cps {
+                let s = cp.stats();
+                stats.probes_sent += s.probes_sent;
+                stats.cycles_started += s.cycles_started;
+                stats.cycles_succeeded += s.cycles_succeeded;
+                stats.cycles_failed += s.cycles_failed;
+                stats.stale_replies += s.stale_replies;
+                stats.retransmissions += s.retransmissions;
+            }
+            (completions, device_probes, stats)
+        }
+
+        #[test]
+        fn shard_matches_reference_machines_exactly() {
+            let devices = 2;
+            let watchers = 3;
+            let duration = 10.0;
+            let dcpp = DcppConfig::paper_default();
+            let cfg = MegaConfig {
+                devices,
+                cps: 3,
+                watchers_per_device: watchers,
+                dcpp,
+                net_delay: (DELAY, DELAY),
+                loss: 0.0,
+                processing: (PROC, PROC),
+                join_stagger: 0.0,
+                load_window: 1.0,
+                seed: 1,
+                duration,
+            };
+            let mut sc = MegaScenario::build_with_recorder(cfg, RecorderMode::Full);
+            sc.run();
+            let shard_completions: Vec<Vec<(u64, u64)>> = {
+                let mut per_pair = vec![Vec::new(); (devices * watchers) as usize];
+                for &(t, p, w) in sc.shard().completions() {
+                    per_pair[p as usize].push((t.as_nanos(), w.as_nanos()));
+                }
+                per_pair
+            };
+            let r = sc.collect();
+
+            let (ref_completions, ref_device_probes, ref_stats) =
+                reference_run(devices, watchers, duration, dcpp);
+
+            assert_eq!(
+                shard_completions, ref_completions,
+                "per-pair (completion time, wait) sequences must match"
+            );
+            assert_eq!(r.device_probes, ref_device_probes);
+            assert_eq!(r.probes_sent, ref_stats.probes_sent);
+            assert_eq!(r.cycles_started, ref_stats.cycles_started);
+            assert_eq!(r.cycles_succeeded, ref_stats.cycles_succeeded);
+            assert_eq!(r.cycles_failed, ref_stats.cycles_failed);
+            assert_eq!(r.stale_replies, ref_stats.stale_replies);
+            assert_eq!(r.retransmissions, ref_stats.retransmissions);
+            // The pairs genuinely contend: waits must not all be d_min.
+            let waits: HashSet<u64> = shard_completions
+                .iter()
+                .flatten()
+                .map(|&(_, w)| w)
+                .collect();
+            assert!(waits.len() > 1, "test topology exercised no contention");
+        }
+
+        #[test]
+        fn shard_matches_reference_with_slow_replies() {
+            // Delay + processing chosen so the reply overtakes the TOF
+            // timeout: every first probe is answered only after the
+            // retransmission went out, exercising the stale-reply and
+            // retransmission paths against the reference.
+            let dcpp = DcppConfig::paper_default();
+            let slow_delay = 0.012; // RTT 24 ms + 2 ms proc > TOF 22 ms
+            let cfg = MegaConfig {
+                devices: 2,
+                cps: 2,
+                watchers_per_device: 2,
+                dcpp,
+                net_delay: (slow_delay, slow_delay),
+                loss: 0.0,
+                processing: (PROC, PROC),
+                join_stagger: 0.0,
+                load_window: 1.0,
+                seed: 1,
+                duration: 5.0,
+            };
+            let mut sc = MegaScenario::build_with_recorder(cfg, RecorderMode::Full);
+            sc.run();
+            let r = sc.collect();
+            assert!(r.retransmissions > 0, "timeouts never fired");
+            assert!(r.stale_replies > 0, "duplicate replies never arrived");
+
+            // Reference with the same slow delay.
+            let pairs = 4u32;
+            let (ref_completions, ref_device_probes, ref_stats) = {
+                let mut cps_m: Vec<DcppCp> =
+                    (0..pairs).map(|p| DcppCp::new(CpId(p), dcpp)).collect();
+                let mut devs: Vec<DcppDevice> =
+                    (0..2).map(|d| DcppDevice::new(DeviceId(d), dcpp)).collect();
+                let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>> = BinaryHeap::new();
+                let mut payloads: HashMap<u64, RefEvent> = HashMap::new();
+                let mut next_seq = 0u64;
+                let mut live_timers: HashSet<(u32, TimerToken)> = HashSet::new();
+                let mut completions: Vec<Vec<(u64, u64)>> = vec![Vec::new(); pairs as usize];
+                let delay = SimDuration::from_secs_f64(slow_delay);
+                let proc = SimDuration::from_secs_f64(PROC);
+                let end = SimTime::from_secs_f64(5.0);
+                let push = |heap: &mut BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+                            payloads: &mut HashMap<u64, RefEvent>,
+                            next_seq: &mut u64,
+                            at: SimTime,
+                            ev: RefEvent| {
+                    heap.push(std::cmp::Reverse((at, *next_seq)));
+                    payloads.insert(*next_seq, ev);
+                    *next_seq += 1;
+                };
+                for p in 0..pairs {
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        &mut next_seq,
+                        SimTime::ZERO,
+                        RefEvent::Start(p),
+                    );
+                }
+                let mut out: Vec<CpAction> = Vec::new();
+                while let Some(std::cmp::Reverse((now, seq))) = heap.pop() {
+                    if now > end {
+                        break;
+                    }
+                    let ev = payloads.remove(&seq).expect("payload");
+                    let pair = match &ev {
+                        RefEvent::Wake(p, _)
+                        | RefEvent::ProbeArrive(p, _)
+                        | RefEvent::ReplyArrive(p, _)
+                        | RefEvent::Start(p) => *p,
+                    };
+                    out.clear();
+                    match ev {
+                        RefEvent::Start(p) => cps_m[p as usize].start(now, &mut out),
+                        RefEvent::Wake(p, token) => {
+                            if !live_timers.remove(&(p, token)) {
+                                continue;
+                            }
+                            cps_m[p as usize].on_timer(now, token, &mut out);
+                        }
+                        RefEvent::ProbeArrive(p, probe) => {
+                            let d = (p / 2) as usize;
+                            let reply = devs[d].on_probe(now, probe);
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut next_seq,
+                                now + proc + delay,
+                                RefEvent::ReplyArrive(p, reply),
+                            );
+                        }
+                        RefEvent::ReplyArrive(p, reply) => {
+                            let before = cps_m[p as usize].stats().cycles_succeeded;
+                            cps_m[p as usize].on_reply(now, &reply, &mut out);
+                            if cps_m[p as usize].stats().cycles_succeeded > before {
+                                let ReplyBody::Dcpp { wait } = reply.body else {
+                                    panic!("non-DCPP reply");
+                                };
+                                completions[p as usize].push((now.as_nanos(), wait.as_nanos()));
+                            }
+                        }
+                    }
+                    for action in out.drain(..) {
+                        match action {
+                            CpAction::SendProbe(probe) => push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut next_seq,
+                                now + delay,
+                                RefEvent::ProbeArrive(pair, probe),
+                            ),
+                            CpAction::StartTimer { token, after } => {
+                                live_timers.insert((pair, token));
+                                push(
+                                    &mut heap,
+                                    &mut payloads,
+                                    &mut next_seq,
+                                    now + after,
+                                    RefEvent::Wake(pair, token),
+                                );
+                            }
+                            CpAction::CancelTimer { token } => {
+                                live_timers.remove(&(pair, token));
+                            }
+                            CpAction::DeviceAbsent { .. } => {}
+                        }
+                    }
+                }
+                let device_probes = devs.iter().map(DcppDevice::probes_received).sum::<u64>();
+                let mut stats = CpStats::default();
+                for cp in &cps_m {
+                    let s = cp.stats();
+                    stats.probes_sent += s.probes_sent;
+                    stats.cycles_started += s.cycles_started;
+                    stats.cycles_succeeded += s.cycles_succeeded;
+                    stats.cycles_failed += s.cycles_failed;
+                    stats.stale_replies += s.stale_replies;
+                    stats.retransmissions += s.retransmissions;
+                }
+                (completions, device_probes, stats)
+            };
+
+            let shard_completions: Vec<Vec<(u64, u64)>> = {
+                let mut per_pair = vec![Vec::new(); pairs as usize];
+                for &(t, p, w) in sc.shard().completions() {
+                    per_pair[p as usize].push((t.as_nanos(), w.as_nanos()));
+                }
+                per_pair
+            };
+            assert_eq!(shard_completions, ref_completions);
+            assert_eq!(r.device_probes, ref_device_probes);
+            assert_eq!(r.probes_sent, ref_stats.probes_sent);
+            assert_eq!(r.cycles_succeeded, ref_stats.cycles_succeeded);
+            assert_eq!(r.stale_replies, ref_stats.stale_replies);
+            assert_eq!(r.retransmissions, ref_stats.retransmissions);
+        }
+    }
+}

@@ -46,10 +46,15 @@ impl CpSummary {
             .iter()
             .map(|s| (s.t, s.value))
             .collect();
-        let mean_freq = if freq_series.is_empty() {
-            f64::NAN
-        } else {
+        let mean_freq = if !freq_series.is_empty() {
             freq_series.iter().map(|&(_, f)| f).sum::<f64>() / freq_series.len() as f64
+        } else if !rec.freq_stats.is_empty() {
+            // Streaming recorders keep no series; fall back to the Welford
+            // accumulator (numerically equal up to floating-point
+            // summation order).
+            rec.freq_stats.mean()
+        } else {
+            f64::NAN
         };
         Self {
             id: rec.id,
@@ -178,14 +183,17 @@ mod tests {
     fn record(id: u32, delays: &[f64]) -> CpRecord {
         let mut freq = TimeSeries::new();
         let mut stats = Welford::new();
+        let mut freq_stats = Welford::new();
         for (i, &d) in delays.iter().enumerate() {
             freq.push(i as f64, 1.0 / d);
+            freq_stats.push(1.0 / d);
             stats.push(d);
         }
         CpRecord {
             id: CpId(id),
             frequency_series: freq,
             delay_stats: stats,
+            freq_stats,
             stats: presence_core::CpStats {
                 probes_sent: delays.len() as u64,
                 cycles_started: delays.len() as u64,
@@ -211,6 +219,17 @@ mod tests {
         assert_eq!(s.frequency_series.len(), 3);
         // mean of (0.5, 0.5, 0.25)
         assert!((s.mean_frequency - 1.25 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_record_falls_back_to_welford_mean() {
+        // A streaming-mode record has no series; the summary must still
+        // report the mean frequency from the Welford accumulator.
+        let mut rec = record(1, &[2.0, 4.0]);
+        rec.frequency_series = TimeSeries::new();
+        let s = CpSummary::from_record(&rec, 10.0);
+        assert!(s.frequency_series.is_empty());
+        assert!((s.mean_frequency - 0.375).abs() < 1e-12);
     }
 
     #[test]

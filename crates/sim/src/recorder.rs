@@ -1,0 +1,31 @@
+//! Recorder granularity: full per-sample series or constant-memory streams.
+//!
+//! Every figure in the paper is plotted from a per-sample series (probe
+//! arrivals, per-cycle frequencies, load windows), so the default recorders
+//! retain everything. At mega-scale populations — or any horizon long
+//! enough that the series themselves dominate memory — the same scenarios
+//! can run with streaming recorders that fold each sample into
+//! constant-size accumulators (Welford moments, P² quantiles, drained
+//! window rates) the moment it lands. The simulated trajectory is
+//! bit-identical either way; only what is *retained* changes.
+
+/// How much per-sample history a scenario's actors keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecorderMode {
+    /// Keep every series the paper's figures plot (the default).
+    #[default]
+    Full,
+    /// Keep only constant-size aggregates: memory stays flat at any
+    /// horizon or population size. Series-valued result fields come back
+    /// empty; scalar summaries (means, variances, counts) are still
+    /// reported, computed from the streamed accumulators.
+    Streaming,
+}
+
+impl RecorderMode {
+    /// Whether per-sample series are retained.
+    #[must_use]
+    pub fn retains_series(self) -> bool {
+        matches!(self, RecorderMode::Full)
+    }
+}

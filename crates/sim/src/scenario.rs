@@ -12,6 +12,7 @@ use crate::device_actor::{DeviceActor, DeviceMachine, ProcessingModel};
 use crate::event::{Addr, SimEvent};
 use crate::metrics::{CpSummary, ScenarioResult};
 use crate::network_actor::NetworkActor;
+use crate::recorder::RecorderMode;
 use presence_core::{
     AutoTuneConfig, AutoTuner, CpId, DcppConfig, DcppDevice, DeviceId, ProbeCycleConfig,
     SappConfig, SappDevice, SappDeviceConfig,
@@ -225,6 +226,7 @@ pub fn golden_trio() -> [(&'static str, ScenarioConfig); 3] {
 pub struct Scenario {
     sim: PresenceSim,
     cfg: ScenarioConfig,
+    mode: RecorderMode,
     device: ActorId,
     network: ActorId,
     churn: ActorId,
@@ -236,6 +238,17 @@ impl Scenario {
     #[must_use]
     pub fn build(cfg: ScenarioConfig) -> Self {
         Self::assemble(cfg, cfg.delay.build(), cfg.loss.build(), &[])
+    }
+
+    /// [`Scenario::build`] with an explicit recorder granularity. Under
+    /// [`RecorderMode::Streaming`] the actors keep constant-size
+    /// accumulators instead of per-sample series: the simulated trajectory
+    /// (and every scalar metric) is unchanged, but the series fields of
+    /// the collected [`ScenarioResult`] come back empty and memory stays
+    /// flat at any horizon.
+    #[must_use]
+    pub fn build_with_recorder(cfg: ScenarioConfig, mode: RecorderMode) -> Self {
+        Self::assemble_with_recorder(cfg, cfg.delay.build(), cfg.loss.build(), &[], mode)
     }
 
     /// [`Scenario::build`] with explicit (possibly time-varying) network
@@ -251,6 +264,19 @@ impl Scenario {
         delay: Box<dyn DelayModel>,
         loss: Box<dyn LossModel>,
         churn_switches: &[(f64, ChurnModel)],
+    ) -> Self {
+        Self::assemble_with_recorder(cfg, delay, loss, churn_switches, RecorderMode::Full)
+    }
+
+    /// [`Scenario::assemble`] with an explicit recorder granularity (see
+    /// [`Scenario::build_with_recorder`]).
+    #[must_use]
+    pub fn assemble_with_recorder(
+        cfg: ScenarioConfig,
+        delay: Box<dyn DelayModel>,
+        loss: Box<dyn LossModel>,
+        churn_switches: &[(f64, ChurnModel)],
+        mode: RecorderMode,
     ) -> Self {
         cfg.validate();
 
@@ -286,6 +312,7 @@ impl Scenario {
         {
             device_actor.set_tuner(AutoTuner::new(tune, dev_cfg.l_nom));
         }
+        device_actor.set_recorder_mode(mode);
         let device = sim.add_member(device_actor.into());
 
         let factory = match cfg.protocol {
@@ -305,17 +332,16 @@ impl Scenario {
         let mut cps = Vec::with_capacity(cfg.cp_pool as usize);
         for i in 0..cfg.cp_pool {
             let id = CpId(i);
-            let actor = sim.add_member(
-                CpActor::new(
-                    id,
-                    factory.clone(),
-                    network,
-                    device_id,
-                    cfg.disseminate,
-                    samples_hint,
-                )
-                .into(),
+            let mut cp_actor = CpActor::new(
+                id,
+                factory.clone(),
+                network,
+                device_id,
+                cfg.disseminate,
+                samples_hint,
             );
+            cp_actor.set_recorder_mode(mode);
+            let actor = sim.add_member(cp_actor.into());
             cps.push(actor);
         }
 
@@ -348,6 +374,7 @@ impl Scenario {
         Self {
             sim,
             cfg,
+            mode,
             device,
             network,
             churn,
@@ -423,12 +450,26 @@ impl Scenario {
     pub fn collect(&mut self) -> ScenarioResult {
         let now = self.sim.now();
 
-        let load_series = {
+        let (load_series, load_mean, load_variance) = {
             let dev = self
                 .sim
                 .actor_mut::<DeviceActor>(self.device)
                 .expect("device actor");
-            dev.load_series_until(now)
+            match self.mode {
+                RecorderMode::Full => {
+                    let series = dev.load_series_until(now);
+                    // Load over the steady part (skip the first window).
+                    let mut acc = presence_stats::Welford::new();
+                    for &(_, rate) in series.iter().skip(1) {
+                        acc.push(rate);
+                    }
+                    (series, acc.mean(), acc.sample_variance())
+                }
+                RecorderMode::Streaming => {
+                    let (mean, variance) = dev.streaming_load_stats(now);
+                    (Vec::new(), mean, variance)
+                }
+            }
         };
 
         let device_probes = self
@@ -472,19 +513,13 @@ impl Scenario {
             .collect();
         let fairness = jain_index(&freqs);
 
-        // Load over the steady part (skip the first load window).
-        let mut load_acc = presence_stats::Welford::new();
-        for &(_, rate) in load_series.iter().skip(1) {
-            load_acc.push(rate);
-        }
-
         ScenarioResult {
             duration: now.as_secs_f64(),
             events_processed: self.sim.events_processed(),
             device_probes,
             load_series,
-            load_mean: load_acc.mean(),
-            load_variance: load_acc.sample_variance(),
+            load_mean,
+            load_variance,
             mean_buffer_occupancy,
             messages_offered: fabric_stats.offered,
             messages_delivered: fabric_stats.delivered,
@@ -707,6 +742,45 @@ mod tests {
             !actor.overlay().is_empty(),
             "cp00 learned no overlay peers from 60 s of SAPP replies"
         );
+    }
+
+    #[test]
+    fn streaming_recorder_matches_full_scalars() {
+        let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 5, 60.0, 17);
+        cfg.load_window = 2.0;
+        let mut full = Scenario::build(cfg);
+        full.run();
+        let rf = full.collect();
+        let mut streaming = Scenario::build_with_recorder(cfg, RecorderMode::Streaming);
+        streaming.run();
+        let rs = streaming.collect();
+        // Identical trajectory: every counter matches exactly.
+        assert_eq!(rf.events_processed, rs.events_processed);
+        assert_eq!(rf.device_probes, rs.device_probes);
+        assert_eq!(rf.messages_delivered, rs.messages_delivered);
+        // Streaming retains no series…
+        assert!(rs.load_series.is_empty());
+        assert!(rs.cps.iter().all(|c| c.frequency_series.is_empty()));
+        // …but the scalar summaries agree: the load stats bitwise (the
+        // same rates fold into a Welford in the same order), the
+        // frequency means up to floating-point summation order.
+        assert_eq!(rf.load_mean.to_bits(), rs.load_mean.to_bits());
+        assert_eq!(rf.load_variance.to_bits(), rs.load_variance.to_bits());
+        assert_eq!(rf.cps.len(), rs.cps.len());
+        for (a, b) in rf.cps.iter().zip(&rs.cps) {
+            assert_eq!(a.cycles_succeeded, b.cycles_succeeded);
+            assert_eq!(a.probes_sent, b.probes_sent);
+            assert_eq!(a.mean_delay.to_bits(), b.mean_delay.to_bits());
+            assert!(
+                (a.mean_frequency - b.mean_frequency).abs() < 1e-9
+                    || (a.mean_frequency.is_nan() && b.mean_frequency.is_nan()),
+                "cp{} mean frequency {} vs {}",
+                a.id.0,
+                a.mean_frequency,
+                b.mean_frequency
+            );
+        }
+        assert!((rf.fairness_jain - rs.fairness_jain).abs() < 1e-9);
     }
 
     #[test]

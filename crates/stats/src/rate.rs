@@ -77,7 +77,15 @@ impl RateMeter {
     }
 
     /// Events per second over the window ending at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` moves backwards past a previous `record` or
+    /// `rate_at` call: eviction is destructive, so querying an earlier
+    /// window after a later one would silently under-count.
     pub fn rate_at(&mut self, now: f64) -> f64 {
+        assert!(now >= self.last_t, "time must not move backwards");
+        self.last_t = now;
         self.evict(now);
         self.events.len() as f64 / self.window
     }
@@ -182,11 +190,38 @@ impl JumpingWindowRate {
         &self.closed
     }
 
+    /// The window width in seconds.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Removes every closed window, yielding each `(window_start, rate)`
+    /// pair in time order; the in-progress window is untouched. Streaming
+    /// recorders call this after each `record`/`advance_to` to fold closed
+    /// windows into a constant-size accumulator instead of retaining the
+    /// series, so memory stays flat at any horizon.
+    pub fn drain_closed(&mut self, mut f: impl FnMut(f64, f64)) {
+        for (start, rate) in self.closed.drain(..) {
+            f(start, rate);
+        }
+    }
+
     /// Consumes the meter, closing the current window at `end` first.
+    ///
+    /// The window containing `end` is only emitted when it actually covers
+    /// part of the horizon: when `end` falls exactly on a window boundary,
+    /// the (empty, zero-length) window `[end, end + width)` is *not*
+    /// emitted — unless events were already recorded into it, in which
+    /// case dropping them would be worse than the phantom window.
     #[must_use]
     pub fn finish(mut self, end: f64) -> Vec<(f64, f64)> {
         let idx = self.index_of(end);
-        self.close_until(idx.saturating_add(1));
+        self.close_until(idx);
+        let start = self.origin + idx as f64 * self.width;
+        if end > start || self.current_count > 0 {
+            self.close_until(idx.saturating_add(1));
+        }
         self.closed
     }
 }
@@ -264,9 +299,82 @@ mod tests {
             j.record(i as f64 * 0.1); // 10 events in [0, 1)
         }
         let s = j.finish(1.0);
-        // Two windows of width 0.5 with 5 events each → rate 10/s.
-        assert_eq!(s.len(), 3);
+        // Two windows of width 0.5 with 5 events each → rate 10/s. The
+        // horizon ends exactly on a window boundary, so no third (empty)
+        // window `[1.0, 1.5)` is emitted.
+        assert_eq!(s.len(), 2);
         assert!((s[0].1 - 10.0).abs() < 1e-12);
         assert!((s[1].1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_on_boundary_emits_no_phantom_window() {
+        // Regression: `finish(end)` with `end` exactly on a window boundary
+        // used to emit a spurious zero-rate window `[end, end + width)`.
+        let mut j = JumpingWindowRate::new(0.0, 0.5);
+        j.record(0.2);
+        let s = j.finish(1.0);
+        assert_eq!(s, vec![(0.0, 2.0), (0.5, 0.0)]);
+
+        // Earlier-window events still flush even when the final window at
+        // the boundary is empty.
+        let mut j = JumpingWindowRate::new(0.0, 0.5);
+        j.record(0.2);
+        let s = j.finish(0.5);
+        assert_eq!(s, vec![(0.0, 2.0)]);
+    }
+
+    #[test]
+    fn finish_mid_window_still_closes_it() {
+        // `end` strictly inside a window → that window is closed as before.
+        let mut j = JumpingWindowRate::new(0.0, 0.5);
+        j.record(0.6);
+        let s = j.finish(0.75);
+        assert_eq!(s, vec![(0.0, 0.0), (0.5, 2.0)]);
+    }
+
+    #[test]
+    fn finish_on_boundary_keeps_recorded_events() {
+        // An event recorded exactly at the boundary belongs to the window
+        // starting there; `finish` at that same boundary must not drop it.
+        let mut j = JumpingWindowRate::new(0.0, 0.5);
+        j.record(0.5);
+        let s = j.finish(0.5);
+        assert_eq!(s, vec![(0.0, 0.0), (0.5, 2.0)]);
+    }
+
+    #[test]
+    fn drain_closed_yields_and_empties() {
+        let mut j = JumpingWindowRate::new(0.0, 1.0);
+        j.record(0.5);
+        j.record(2.5); // closes [0,1) and [1,2)
+        let mut got = Vec::new();
+        j.drain_closed(|s, r| got.push((s, r)));
+        assert_eq!(got, vec![(0.0, 1.0), (1.0, 0.0)]);
+        assert!(j.series().is_empty(), "drained");
+        // The in-progress window survives the drain.
+        j.advance_to(3.0);
+        assert_eq!(j.series(), &[(2.0, 1.0)]);
+        assert_eq!(j.width(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn rate_at_rejects_backwards_time() {
+        // Regression: a non-monotone `rate_at` used to destructively evict
+        // events that were still inside the earlier window.
+        let mut m = RateMeter::new(1.0);
+        m.record(0.0);
+        m.record(5.0);
+        let _ = m.rate_at(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn rate_at_then_earlier_record_rejected() {
+        let mut m = RateMeter::new(1.0);
+        m.record(0.0);
+        let _ = m.rate_at(5.0);
+        m.record(1.0);
     }
 }

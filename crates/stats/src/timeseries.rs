@@ -133,12 +133,13 @@ impl TimeSeries {
     }
 
     /// Summary over the whole series.
+    ///
+    /// Uses an explicit `+∞` upper bound rather than `end + 1.0`: for
+    /// timestamps at or above 2^53, `e + 1.0 == e` and a half-open window
+    /// ending there would silently drop the last sample.
     #[must_use]
     pub fn summarize_all(&self) -> Option<TimeSeriesSummary> {
-        match (self.start(), self.end()) {
-            (Some(s), Some(e)) => self.summarize(s, e + 1.0),
-            _ => None,
-        }
+        self.start().and_then(|s| self.summarize(s, f64::INFINITY))
     }
 
     /// Value in effect at time `t` under *sample-and-hold* semantics: the
@@ -337,6 +338,40 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
         assert!(ts.summarize(10.0, 20.0).is_none());
+    }
+
+    #[test]
+    fn summarize_all_spans_everything() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, 1.0);
+        ts.push(1.0, 3.0);
+        ts.push(2.0, 5.0);
+        let s = ts.summarize_all().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 5.0);
+        assert!(TimeSeries::new().summarize_all().is_none());
+    }
+
+    #[test]
+    fn summarize_all_keeps_huge_timestamps() {
+        // Regression: the old `summarize(start, end + 1.0)` upper bound
+        // collapses for timestamps >= 2^53 (where `e + 1.0 == e`), silently
+        // dropping the last sample from the half-open window.
+        let t = 2f64.powi(53);
+        assert_eq!(t + 1.0, t); // the precondition that broke the old code
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, 1.0);
+        ts.push(t, 7.0);
+        let s = ts.summarize_all().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 7.0);
+
+        // A series of a single huge-timestamp sample must not vanish.
+        let mut ts = TimeSeries::new();
+        ts.push(t, 7.0);
+        let s = ts.summarize_all().unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!   drain; diurnal populations follow the sinusoid band).
 
 use presence::sim::{
-    builtin_catalog, run_lab, ChurnActor, ChurnModel, ChurnPhase, CpSummary, ScenarioSpec,
+    builtin_catalog, mega_catalog, run_lab, ChurnActor, ChurnModel, ChurnPhase, CpSummary,
+    MegaSpec, ScenarioSpec,
 };
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -42,6 +43,41 @@ fn shipped_specs() -> Vec<ScenarioSpec> {
         specs.push(spec);
     }
     specs
+}
+
+/// The shipped `catalog/mega/*.json` files are exactly the built-in
+/// mega definitions — regenerating with `lab --emit-catalog catalog` is
+/// the only way to change them.
+#[test]
+fn mega_catalog_files_match_builtin_definitions() {
+    let mega_dir = catalog_dir().join("mega");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&mega_dir)
+        .expect("catalog/mega/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    // Sort by stem, not path: "mega-1m.json" > "mega-1m-lossy.json" as
+    // paths ('.' > '-') but "mega-1m" < "mega-1m-lossy" as names.
+    paths.sort_by_key(|p| p.file_stem().map(std::ffi::OsStr::to_os_string));
+    let mut builtins = mega_catalog();
+    builtins.sort_by(|a, b| a.name.cmp(&b.name));
+    assert_eq!(
+        paths.len(),
+        builtins.len(),
+        "mega catalog file count drifted from the built-ins"
+    );
+    for (path, builtin) in paths.iter().zip(&builtins) {
+        let text = std::fs::read_to_string(path).expect("mega catalog file readable");
+        let spec: MegaSpec =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(spec.name.as_str()),
+            "file stem must match the spec name"
+        );
+        assert_eq!(&spec, builtin, "{} drifted from its built-in", builtin.name);
+        spec.config.validate();
+    }
 }
 
 /// The files on disk are exactly the built-in definitions — regenerating
