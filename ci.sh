@@ -27,10 +27,14 @@ cargo bench --no-run
 
 # Tier-1 runs with two replication workers so the parallel fan-out path
 # (PRESENCE_JOBS → thread::scope pool → seed-ordered merge) is exercised
-# by every replication-touching test, not just the dedicated ones.
+# by every replication-touching test, not just the dedicated ones — and
+# with two requested regions so every scenario-running test consults the
+# region planner (the hub scenarios provably collapse to one effective
+# region; the golden suites prove the consultation is trajectory-neutral).
 export PRESENCE_JOBS="${PRESENCE_JOBS:-2}"
+export PRESENCE_REGIONS="${PRESENCE_REGIONS:-2}"
 
-echo "==> tier-1: cargo build --release && cargo test -q (PRESENCE_JOBS=$PRESENCE_JOBS)"
+echo "==> tier-1: cargo build --release && cargo test -q (PRESENCE_JOBS=$PRESENCE_JOBS, PRESENCE_REGIONS=$PRESENCE_REGIONS)"
 cargo build --release
 cargo test -q
 
@@ -41,15 +45,24 @@ cargo test -q
 echo "==> engine soak: des proptests + dispatch semantics (PROPTEST_CASES=1024)"
 PROPTEST_CASES=1024 cargo test --release -q -p presence-des --test proptests --test dispatch
 
+# Region soak: the conservative-window engine's model proptest (random
+# token-ring topologies × region counts × worker counts, regioned run
+# vs sequential reference, bit-for-bit) at 1024 cases — far beyond the
+# tier-1 default.
+echo "==> region soak: regioned engine vs sequential model proptest (PROPTEST_CASES=1024)"
+PROPTEST_CASES=1024 cargo test --release -q -p presence-des --test region_model
+
 # Structural perf gates: the single-hop delivery path must hold
 # events-per-delivered-message at ≤ 2.05, the trio's events_processed
 # must equal the golden fixtures exactly (a dispatch or timer refactor
-# must not change what gets scheduled), and best-of-run trio throughput
-# must stay above half the committed BENCH_PR5.json snapshot — the
-# best-of estimator holds steady even on the noisy 1-core CI box. The
-# throwaway report path keeps the committed BENCH_PR6.json a recorded
-# snapshot rather than overwriting it with this machine's timings.
-echo "==> perf gates: events/delivered-msg <= 2.05 + events_processed == golden + throughput floor (perf_report --check)"
+# must not change what gets scheduled), the trio's regions=2 results
+# must be byte-identical to regions=1 (the region planner must never
+# perturb a trajectory), and best-of-run trio throughput must stay
+# above half the committed BENCH_PR6.json snapshot — the best-of
+# estimator holds steady even on the noisy 1-core CI box. The throwaway
+# report path keeps the committed BENCH_PR7.json a recorded snapshot
+# rather than overwriting it with this machine's timings.
+echo "==> perf gates: events/delivered-msg <= 2.05 + events_processed == golden + regions=2 equivalence + throughput floor (perf_report --check)"
 cargo run --release -q -p presence-bench --bin perf_report -- --check target/perf_report_ci.json
 
 # Mega-scale smoke: the 100k-device calendar-queue + streaming-recorder

@@ -15,8 +15,12 @@
 //!
 //! Options: `--seeds 1,2,3` (explicit seeds), `--replications N` (seeds
 //! 1..=N), `--jobs N` (worker pool width, default `PRESENCE_JOBS` /
-//! machine parallelism), `--json PATH` (write the full `LabReport`),
-//! `--catalog DIR` (default: the repository's `catalog/`).
+//! machine parallelism), `--regions N` (sets `PRESENCE_REGIONS` for the
+//! run — lab scenarios are hub-coupled, so the region planner collapses
+//! any multi-region request to one effective region and the report stays
+//! byte-identical; pinned by `tests/region_equivalence.rs`), `--json
+//! PATH` (write the full `LabReport`), `--catalog DIR` (default: the
+//! repository's `catalog/`).
 //!
 //! Reports are **byte-identical at any `--jobs` value** — replications
 //! merge in seed order before any cross-seed folding (pinned by
@@ -281,6 +285,12 @@ fn main() -> ExitCode {
             "--emit-catalog" => emit = Some(PathBuf::from(value("--emit-catalog"))),
             "--catalog" => catalog_dir = PathBuf::from(value("--catalog")),
             "--jobs" => jobs = value("--jobs").parse().expect("--jobs N"),
+            "--regions" => {
+                let n = value("--regions");
+                n.parse::<usize>()
+                    .expect("--regions N (a positive integer)");
+                std::env::set_var("PRESENCE_REGIONS", n);
+            }
             "--json" => json_out = Some(PathBuf::from(value("--json"))),
             "--seeds" => {
                 seeds = value("--seeds")
@@ -333,7 +343,8 @@ fn main() -> ExitCode {
         let Some(target) = target else {
             return Err(
                 "usage: lab [--list | --all | --check | --emit-catalog DIR | <name|spec.json>] \
-                 [--seeds a,b,c | --replications N] [--jobs N] [--json PATH] [--catalog DIR]"
+                 [--seeds a,b,c | --replications N] [--jobs N] [--regions N] [--json PATH] \
+                 [--catalog DIR]"
                     .into(),
             );
         };

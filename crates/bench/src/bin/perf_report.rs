@@ -5,7 +5,12 @@
 //! same configurations the golden-equivalence suite pins) at CI horizons.
 //!
 //! * `perf_report [out.json]` — run the trio, print the table, write the
-//!   report (default `BENCH_PR6.json`).
+//!   report (default `BENCH_PR7.json`).
+//! * `perf_report --regions N` — run with `PRESENCE_REGIONS=N`; each
+//!   scenario prints its region plan (the trio is hub-coupled, so the
+//!   planner provably collapses any multi-region request to one
+//!   effective region — the plan's reason is surfaced in the table and
+//!   recorded in the report).
 //! * `perf_report --mega` — additionally run the `mega-1m` catalog
 //!   scenario (10⁶ devices / 10⁴ CPs on the calendar queue with streaming
 //!   recorders) once and record its throughput in the report.
@@ -13,11 +18,14 @@
 //!   breaks a structural gate: events-per-delivered-message above 2.05,
 //!   `events_processed` differing from the golden fixture recorded in
 //!   `tests/golden/` (dispatch refactors must not change event counts),
-//!   or trio throughput collapsing below half of the committed
-//!   `BENCH_PR5.json` snapshot (the one wall-clock gate; halved to absorb
-//!   CI box noise while still catching order-of-magnitude regressions).
+//!   a trio scenario whose regions=2 result is not byte-identical to its
+//!   regions=1 result (the conservative-window engine must never perturb
+//!   a trajectory), or trio throughput collapsing below half of the
+//!   committed `BENCH_PR6.json` snapshot (the one wall-clock gate;
+//!   halved to absorb CI box noise while still catching
+//!   order-of-magnitude regressions).
 
-use presence_sim::{golden_trio, mega_catalog, run_mega_spec, MegaResult, Scenario};
+use presence_sim::{golden_trio, mega_catalog, region_count, run_mega_spec, MegaResult, Scenario};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -30,8 +38,11 @@ const EPM_GATE: f64 = 2.05;
 const MIN_WALL_SECS: f64 = 0.25;
 
 /// `--check` fails if a trio scenario's events/sec drops below this
-/// fraction of its `BENCH_PR5.json` snapshot.
+/// fraction of its `BENCH_PR6.json` snapshot.
 const THROUGHPUT_GATE_FRACTION: f64 = 0.5;
+
+/// The committed throughput snapshot the `--check` floor reads.
+const BASELINE_FILE: &str = "BENCH_PR6.json";
 
 #[derive(Debug, Serialize)]
 struct ScenarioReport {
@@ -43,6 +54,9 @@ struct ScenarioReport {
     events_per_sec: f64,
     delivered_messages: u64,
     events_per_delivered_message: f64,
+    /// The region plan the run executed under: requested regions,
+    /// effective regions, and the planner's reason.
+    region_plan: String,
 }
 
 #[derive(Debug, Serialize)]
@@ -56,6 +70,8 @@ struct MegaReport {
 #[derive(Debug, Serialize)]
 struct Report {
     epm_gate: f64,
+    /// `PRESENCE_REGIONS` the report ran under (1 unless `--regions`).
+    regions: usize,
     scenarios: Vec<ScenarioReport>,
     mega: Option<MegaReport>,
 }
@@ -67,7 +83,7 @@ struct GoldenEvents {
     events_processed: u64,
 }
 
-/// The baseline fields the throughput gate reads from `BENCH_PR5.json`.
+/// The baseline fields the throughput gate reads from [`BASELINE_FILE`].
 #[derive(Debug, Deserialize)]
 struct BaselineScenario {
     name: String,
@@ -94,20 +110,51 @@ fn golden_events(name: &str) -> Result<Option<u64>, String> {
     Ok(Some(golden.events_processed))
 }
 
-/// The committed `BENCH_PR5.json` throughput snapshot; same absence
+/// The committed [`BASELINE_FILE`] throughput snapshot; same absence
 /// semantics as [`golden_events`].
 fn baseline_events_per_sec(name: &str) -> Result<Option<f64>, String> {
-    let text = match std::fs::read_to_string("BENCH_PR5.json") {
+    let text = match std::fs::read_to_string(BASELINE_FILE) {
         Ok(text) => text,
         Err(_) => return Ok(None),
     };
     let baseline: BaselineReport = serde_json::from_str(&text)
-        .map_err(|e| format!("baseline BENCH_PR5.json unparseable: {e:?}"))?;
+        .map_err(|e| format!("baseline {BASELINE_FILE} unparseable: {e:?}"))?;
     Ok(baseline
         .scenarios
         .iter()
         .find(|s| s.name == name)
         .map(|s| s.events_per_sec))
+}
+
+/// Runs one trio scenario under the given `PRESENCE_REGIONS` setting and
+/// returns the serialised `ScenarioResult` — the byte string the
+/// region-equivalence gate compares. The caller restores the variable.
+fn result_bytes_at_regions(cfg: presence_sim::ScenarioConfig, regions: &str) -> String {
+    std::env::set_var("PRESENCE_REGIONS", regions);
+    let mut scenario = Scenario::build(cfg);
+    scenario.run();
+    serde_json::to_string(&scenario.collect()).expect("result serialises")
+}
+
+/// The `--check` region-equivalence gate: every trio scenario must
+/// produce byte-identical results at `PRESENCE_REGIONS=1` and `=2`. The
+/// trio collapses to one effective region either way, so this pins the
+/// *plan consultation itself* as trajectory-neutral.
+fn check_region_equivalence(gate_failures: &mut Vec<String>) {
+    let previous = std::env::var("PRESENCE_REGIONS").ok();
+    for (name, cfg) in golden_trio() {
+        let one = result_bytes_at_regions(cfg, "1");
+        let two = result_bytes_at_regions(cfg, "2");
+        if one == two {
+            println!("  {name}: regions=2 byte-identical to regions=1");
+        } else {
+            gate_failures.push(format!("{name}: regions=2 result diverges from regions=1"));
+        }
+    }
+    match previous {
+        Some(v) => std::env::set_var("PRESENCE_REGIONS", v),
+        None => std::env::remove_var("PRESENCE_REGIONS"),
+    }
 }
 
 fn run_mega() -> MegaReport {
@@ -143,17 +190,42 @@ fn run_mega() -> MegaReport {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check = args.iter().any(|a| a == "--check");
-    let mega = args.iter().any(|a| a == "--mega");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let mut check = false;
+    let mut mega = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--mega" => mega = true,
+            "--regions" => {
+                let n = it.next().expect("--regions needs a value");
+                n.parse::<usize>()
+                    .expect("--regions N (a positive integer)");
+                std::env::set_var("PRESENCE_REGIONS", n);
+            }
+            other if other.starts_with("--") => {
+                panic!("unknown flag {other} (perf_report [--check] [--mega] [--regions N] [out.json])")
+            }
+            other => out_path = Some(other.to_string()),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let regions = region_count();
 
     let mut scenarios = Vec::new();
     let mut gate_failures = Vec::new();
     for (name, cfg) in golden_trio() {
+        // Surface the region plan once, outside the timed region: the
+        // trio is hub-coupled, so any multi-region request collapses.
+        let plan = Scenario::build(cfg).region_plan();
+        let plan_line = format!(
+            "requested {} -> effective {} ({})",
+            plan.requested, plan.effective, plan.reason
+        );
+        if regions > 1 {
+            println!("{name:>6}: regions {plan_line}");
+        }
         let mut runs = 0u64;
         let mut last = None;
         // Each repeat is timed individually and the throughput figure
@@ -187,6 +259,7 @@ fn main() {
             events_per_sec: result.events_processed as f64 / best_wall,
             delivered_messages: result.messages_delivered,
             events_per_delivered_message: epm,
+            region_plan: plan_line,
         };
         println!(
             "{:>6}: {:>8} events in {:>8.4} s/run best-of-{runs} \
@@ -213,20 +286,20 @@ fn main() {
                 ),
                 Err(e) => gate_failures.push(e),
             }
-            // Throughput floor against the committed PR5 snapshot.
+            // Throughput floor against the committed PR6 snapshot.
             match baseline_events_per_sec(name) {
                 Ok(Some(baseline)) => {
                     let floor = baseline * THROUGHPUT_GATE_FRACTION;
                     if report.events_per_sec < floor {
                         gate_failures.push(format!(
                             "{name}: {:.0} events/s below {:.0} \
-                             ({THROUGHPUT_GATE_FRACTION} x BENCH_PR5 snapshot {baseline:.0})",
+                             ({THROUGHPUT_GATE_FRACTION} x {BASELINE_FILE} snapshot {baseline:.0})",
                             report.events_per_sec, floor
                         ));
                     }
                 }
                 Ok(None) => {
-                    println!("  (no BENCH_PR5.json here; skipping the throughput gate for {name})")
+                    println!("  (no {BASELINE_FILE} here; skipping the throughput gate for {name})")
                 }
                 Err(e) => gate_failures.push(e),
             }
@@ -234,10 +307,16 @@ fn main() {
         scenarios.push(report);
     }
 
+    if check {
+        println!("region-equivalence gate (regions=2 vs regions=1):");
+        check_region_equivalence(&mut gate_failures);
+    }
+
     let mega_report = if mega { Some(run_mega()) } else { None };
 
     let report = Report {
         epm_gate: EPM_GATE,
+        regions,
         scenarios,
         mega: mega_report,
     };

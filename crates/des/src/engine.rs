@@ -53,7 +53,7 @@ impl ActorId {
 /// Handle to a scheduled event, usable to [cancel](Context::cancel) it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle {
-    seq: u64,
+    pub(crate) seq: u64,
 }
 
 /// A simulation participant.
@@ -209,29 +209,86 @@ pub enum RunOutcome {
 /// queue operation instead of k (the churn actor's `drive_to` is the
 /// motivating caller).
 #[derive(Debug)]
-enum Dest {
+pub(crate) enum Dest {
     One(ActorId),
     Batch(Box<[ActorId]>),
 }
 
+/// One cross-region event parked in a region's outbox until the next
+/// window barrier (see [`crate::region::RegionSim`]). `mint_time` is the
+/// minting region's clock at the scheduling call — the first component of
+/// the deterministic barrier merge key.
+pub(crate) struct Outbound<E> {
+    pub(crate) mint_time: SimTime,
+    pub(crate) time: SimTime,
+    pub(crate) target: ActorId,
+    pub(crate) payload: E,
+}
+
+/// Region-routing state a [`crate::region::RegionSim`] installs into each
+/// region's scheduler core. When present, events scheduled for an actor
+/// owned by another region are diverted to the outbox instead of the local
+/// queue — after proving they land at or past the current window's end
+/// (the conservative-lookahead soundness check, which fails loudly rather
+/// than silently reordering).
+pub(crate) struct RegionRouter<E> {
+    /// Global actor index → owning region.
+    pub(crate) region_of: std::sync::Arc<[u32]>,
+    pub(crate) my_region: u32,
+    /// Exclusive end of the window currently being executed. Cross-region
+    /// events must land at or after it; `SimTime::MAX` means cross-region
+    /// scheduling is forbidden outright (an isolated partition).
+    pub(crate) window_end: SimTime,
+    /// Handles for outbound events count down from `u64::MAX` so they can
+    /// never collide with a live local sequence number: cancelling or
+    /// rescheduling a cross-region event is a documented no-op (`false` /
+    /// `None`), not an aliasing hazard.
+    pub(crate) sentinel_seq: u64,
+    pub(crate) outbox: Vec<Outbound<E>>,
+}
+
 /// Mutable scheduler state shared between the engine loop and [`Context`].
-struct Core<E> {
-    now: SimTime,
+pub(crate) struct Core<E> {
+    pub(crate) now: SimTime,
     /// Live events only: cancellation removes entries immediately (see
     /// [`crate::queue`]), so there are no tombstones to skip at pop time.
-    queue: EventQueue<(Dest, E)>,
-    next_seq: u64,
-    stop_requested: bool,
-    actor_count: usize,
+    pub(crate) queue: EventQueue<(Dest, E)>,
+    pub(crate) next_seq: u64,
+    pub(crate) stop_requested: bool,
+    pub(crate) actor_count: usize,
+    /// `Some` only inside a regioned run; `None` keeps the sequential
+    /// engine's push path branch-free apart from one predictable test.
+    pub(crate) router: Option<RegionRouter<E>>,
 }
 
 impl<E> Core<E> {
-    fn push(&mut self, time: SimTime, target: ActorId, payload: E) -> EventHandle {
+    pub(crate) fn push(&mut self, time: SimTime, target: ActorId, payload: E) -> EventHandle {
         assert!(
             time >= self.now,
             "cannot schedule into the past: {time} < now {}",
             self.now
         );
+        if let Some(router) = self.router.as_mut() {
+            if router.region_of[target.0] != router.my_region {
+                assert!(
+                    time >= router.window_end,
+                    "cross-region event for {target:?} at {time} lands inside the current \
+                     window (end {}): the route's real delay undercuts the declared \
+                     lookahead — conservative parallel execution would be unsound",
+                    router.window_end
+                );
+                router.outbox.push(Outbound {
+                    mint_time: self.now,
+                    time,
+                    target,
+                    payload,
+                });
+                router.sentinel_seq -= 1;
+                return EventHandle {
+                    seq: router.sentinel_seq,
+                };
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(time, seq, (Dest::One(target), payload));
@@ -245,6 +302,17 @@ impl<E> Core<E> {
             self.now
         );
         assert!(!targets.is_empty(), "batch needs at least one target");
+        if let Some(router) = self.router.as_ref() {
+            // Batches are minted by same-instant sends only, so a remote
+            // member is by definition inside the current window.
+            for &target in targets.iter() {
+                assert!(
+                    router.region_of[target.0] == router.my_region,
+                    "batch event includes cross-region target {target:?}: same-instant \
+                     batches cannot cross a region boundary (zero lookahead)"
+                );
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(time, seq, (Dest::Batch(targets), payload));
@@ -302,15 +370,15 @@ impl<E> Core<E> {
 /// The API an actor uses to interact with the simulation while handling an
 /// event.
 pub struct Context<'a, E> {
-    core: &'a mut Core<E>,
-    rng: &'a mut StreamRng,
+    pub(crate) core: &'a mut Core<E>,
+    pub(crate) rng: &'a mut StreamRng,
     /// Mid-event spawns, parked until the current handler returns. Stored
     /// as `&mut dyn Any` over the engine's `Vec<S>` so the context (and
     /// therefore every `Actor` impl's signature) stays independent of the
     /// simulation's member type; [`Context::spawn_member`] downcasts it
     /// back, which is exact by construction for the owning engine.
-    pending_spawns: &'a mut dyn Any,
-    me: ActorId,
+    pub(crate) pending_spawns: &'a mut dyn Any,
+    pub(crate) me: ActorId,
 }
 
 impl<'a, E> Context<'a, E> {
@@ -556,6 +624,7 @@ impl<E: 'static, S: Actor<E>> Simulation<E, S> {
                 next_seq: 0,
                 stop_requested: false,
                 actor_count: 0,
+                router: None,
             },
             actors: Vec::new(),
             rngs: Vec::new(),

@@ -24,6 +24,7 @@
 
 mod engine;
 pub mod queue;
+pub mod region;
 mod rng;
 mod time;
 mod timer_slots;
@@ -33,6 +34,7 @@ pub use engine::{
     TraceRecord,
 };
 pub use queue::{EventKey, EventQueue, QueueProfile};
+pub use region::RegionSim;
 pub use rng::{derive_seed, splitmix64, StreamRng};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use timer_slots::TimerSlots;

@@ -1,0 +1,775 @@
+//! Conservative time-windowed parallel simulation: one run, many regions.
+//!
+//! A [`RegionSim`] partitions one simulation's actors into *regions*, each
+//! owning its own event queue (reusing [`QueueProfile`]) and advancing
+//! independently inside a safe window `[t, t + lookahead)`. Events whose
+//! target lives in another region are parked in the minting region's
+//! outbox and exchanged at the window barrier, where a deterministic merge
+//! admits them in `(mint_time, source_region, source_order)` order —
+//! thread-schedule-independent by construction, so a run is a pure
+//! function of its seed and partition, never of worker timing.
+//!
+//! # The lookahead contract
+//!
+//! The engine is *conservative*: region R may execute its window only if
+//! every event that will ever arrive in that window is already queued.
+//! That holds when every cross-region scheduling delay is at least the
+//! declared `lookahead` (in the presence stack, the fabric's
+//! [`DelayModel::min_delay`] bound; see `presence_net`). The engine does
+//! not trust the declaration: a cross-region event landing inside the
+//! current window **panics** at the scheduling call — the violation is
+//! loud and attributed, never a silent reorder or a deadlock. A zero
+//! lookahead is rejected at construction for the same reason.
+//!
+//! # Bit-identity with the sequential engine
+//!
+//! Each actor keeps the [`StreamRng`] stream of its *global* index —
+//! identical to the same population in a sequential [`Simulation`] — and
+//! regions preserve local FIFO mint order, so a regioned run reproduces
+//! the sequential run event-for-event provided no two events minted in
+//! *different* regions tie at the same `(time, target)` instant (ties
+//! wholly within one region keep their FIFO order exactly). Continuous or
+//! positive-gap cross-region delays satisfy this; the region-model
+//! proptest in `tests/region_model.rs` pins the equivalence over random
+//! partitions, topologies, and seeds, at every worker count.
+//!
+//! [`DelayModel::min_delay`]: trait method in `presence-net`
+
+use crate::engine::{Actor, ActorId, Context, Core, Dest, RegionRouter, RunOutcome};
+use crate::queue::{EventQueue, QueueProfile};
+use crate::rng::StreamRng;
+use crate::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// One region's private slice of the simulation: its actors, their RNG
+/// streams, and a scheduler core with its own event queue and outbox.
+struct RegionState<E: 'static, S: Actor<E>> {
+    core: Core<E>,
+    actors: Vec<S>,
+    /// Slot → global actor index (RNG streams and `ActorId`s are global).
+    global_ids: Vec<usize>,
+    rngs: Vec<StreamRng>,
+    started: Vec<bool>,
+    /// Whether any actor in this region still awaits `on_start`.
+    starts_pending: bool,
+    events_processed: u64,
+    /// Global actor index → (region, slot), shared by every region so
+    /// batch dispatch can resolve targets locally.
+    locate: Arc<Vec<(u32, u32)>>,
+}
+
+impl<E: 'static, S: Actor<E>> RegionState<E, S> {
+    /// The earliest instant at which this region could possibly act: its
+    /// next queued event, or the current clock if starts are pending.
+    fn next_activity(&self) -> Option<SimTime> {
+        if self.starts_pending {
+            return Some(self.core.now);
+        }
+        self.core.queue.peek().map(|k| k.time)
+    }
+
+    fn dispatch(&mut self, slot: usize, payload: Option<E>) {
+        let mut pending: Vec<S> = Vec::new();
+        {
+            let actor = &mut self.actors[slot];
+            let mut ctx = Context {
+                core: &mut self.core,
+                rng: &mut self.rngs[slot],
+                pending_spawns: &mut pending,
+                me: ActorId(self.global_ids[slot]),
+            };
+            match payload {
+                Some(ev) => actor.on_event(&mut ctx, ev),
+                None => actor.on_start(&mut ctx),
+            }
+        }
+        assert!(
+            pending.is_empty(),
+            "mid-run actor spawn is not supported in a regioned simulation \
+             (the global actor table is fixed at run start)"
+        );
+    }
+
+    fn flush_starts(&mut self) {
+        if !self.starts_pending {
+            return;
+        }
+        for slot in 0..self.actors.len() {
+            if !self.started[slot] {
+                self.started[slot] = true;
+                self.dispatch(slot, None);
+            }
+        }
+        self.starts_pending = false;
+    }
+}
+
+impl<E: Clone + 'static, S: Actor<E>> RegionState<E, S> {
+    /// Advances this region through one window: runs `on_start` backlog,
+    /// then fires every queued event strictly before `window_end`. A
+    /// region whose queue empties (or never had events this window) simply
+    /// returns — going idle mid-window is the normal case, not an error.
+    fn run_window(&mut self, window_end: SimTime) {
+        if let Some(router) = self.core.router.as_mut() {
+            router.window_end = window_end;
+        }
+        self.flush_starts();
+        loop {
+            match self.core.queue.peek() {
+                Some(key) if key.time < window_end => {}
+                _ => return,
+            }
+            if self.core.stop_requested {
+                return;
+            }
+            let (key, (dest, payload)) = self.core.queue.pop().expect("peeked event pops");
+            debug_assert!(key.time >= self.core.now, "region queue went backwards");
+            self.core.now = key.time;
+            self.events_processed += 1;
+            match dest {
+                Dest::One(target) => {
+                    let (_, slot) = self.locate[target.0];
+                    self.dispatch(slot as usize, Some(payload));
+                }
+                Dest::Batch(targets) => {
+                    let (&last, rest) = targets.split_last().expect("batch is never empty");
+                    for &target in rest {
+                        let (_, slot) = self.locate[target.0];
+                        self.dispatch(slot as usize, Some(payload.clone()));
+                    }
+                    let (_, slot) = self.locate[last.0];
+                    self.dispatch(slot as usize, Some(payload));
+                }
+            }
+        }
+    }
+}
+
+/// A conservative time-windowed parallel simulation over actor storage `S`
+/// (see the [module docs](self) for the protocol and its guarantees).
+///
+/// Construction mirrors [`Simulation`]: actors join via
+/// [`RegionSim::add_member`] with an explicit region, receiving globally
+/// numbered [`ActorId`]s (and therefore the same RNG streams the
+/// sequential engine would hand them). Unlike `Simulation` there is no
+/// dynamic-storage default: a parallel run hands regions to worker
+/// threads, so the member type must be `Send` (typed actor-set enums are;
+/// the `Rc`-friendly [`crate::DynActorSet`] is not).
+///
+/// [`Simulation`]: crate::Simulation
+pub struct RegionSim<E: 'static, S: Actor<E>> {
+    regions: Vec<RegionState<E, S>>,
+    /// Global actor index → (region, slot).
+    locate: Vec<(u32, u32)>,
+    /// `None` means the partition is *isolated*: no cross-region events
+    /// are permitted at all (infinite lookahead — one window per run).
+    lookahead: Option<SimDuration>,
+    root_seed: u64,
+    now: SimTime,
+    /// Upper bound on worker threads per window barrier; 1 executes the
+    /// windows inline (bit-identical results either way).
+    workers: usize,
+    /// Whether the per-region routers have been (re)installed since the
+    /// last membership change.
+    sealed: bool,
+}
+
+impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
+    /// Creates a regioned simulation with `regions` regions and the given
+    /// cross-region lookahead, on the default heap queue profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0`, or if `lookahead` is zero — a route that
+    /// can deliver instantly admits no safe window, so the configuration
+    /// is rejected loudly at construction instead of deadlocking or
+    /// reordering at run time. (Use [`RegionSim::isolated`] for partitions
+    /// with no cross-region communication at all.)
+    #[must_use]
+    pub fn new(root_seed: u64, regions: usize, lookahead: SimDuration) -> Self {
+        Self::with_profile(root_seed, regions, Some(lookahead), QueueProfile::Heap)
+    }
+
+    /// A partition whose regions never exchange events (e.g. one
+    /// independent population shard per region): any cross-region
+    /// scheduling call panics, and each run is a single window.
+    #[must_use]
+    pub fn isolated(root_seed: u64, regions: usize) -> Self {
+        Self::with_profile(root_seed, regions, None, QueueProfile::Heap)
+    }
+
+    /// [`RegionSim::new`]/[`RegionSim::isolated`] with an explicit queue
+    /// profile per region (`lookahead: None` means isolated). Mega-scale
+    /// regions select [`QueueProfile::calendar`] here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0` or `lookahead == Some(SimDuration::ZERO)`.
+    #[must_use]
+    pub fn with_profile(
+        root_seed: u64,
+        regions: usize,
+        lookahead: Option<SimDuration>,
+        profile: QueueProfile,
+    ) -> Self {
+        assert!(
+            regions > 0,
+            "a regioned simulation needs at least one region"
+        );
+        assert!(
+            lookahead != Some(SimDuration::ZERO),
+            "zero lookahead rejected: a cross-region route that can deliver \
+             instantly admits no safe window (fix the partition, or add a \
+             delay floor to the route)"
+        );
+        let locate = Arc::new(Vec::new());
+        let regions = (0..regions)
+            .map(|_| RegionState {
+                core: Core {
+                    now: SimTime::ZERO,
+                    queue: EventQueue::with_profile(profile),
+                    next_seq: 0,
+                    stop_requested: false,
+                    actor_count: 0,
+                    router: None,
+                },
+                actors: Vec::new(),
+                global_ids: Vec::new(),
+                rngs: Vec::new(),
+                started: Vec::new(),
+                starts_pending: false,
+                events_processed: 0,
+                locate: Arc::clone(&locate),
+            })
+            .collect();
+        Self {
+            regions,
+            locate: Vec::new(),
+            lookahead,
+            root_seed,
+            now: SimTime::ZERO,
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            sealed: false,
+        }
+    }
+
+    /// Caps the worker threads used per window (1 forces inline serial
+    /// execution). Results are bit-identical at any setting; only wall
+    /// time changes.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured cross-region lookahead (`None` for an isolated
+    /// partition).
+    #[must_use]
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// The number of regions.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Registers `member` in `region`, returning its globally numbered id.
+    /// Global ids (and therefore RNG streams) are assigned in call order,
+    /// independent of the region — assembling the same population in the
+    /// same order into a sequential [`Simulation`] yields the same
+    /// actor-id layout and the same random streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn add_member(&mut self, region: usize, member: S) -> ActorId {
+        assert!(region < self.regions.len(), "unknown region {region}");
+        let global = self.locate.len();
+        let slot = self.regions[region].actors.len();
+        self.locate
+            .push((u32::try_from(region).expect("region fits u32"), {
+                u32::try_from(slot).expect("slot fits u32")
+            }));
+        let state = &mut self.regions[region];
+        state.actors.push(member);
+        state.global_ids.push(global);
+        state
+            .rngs
+            .push(StreamRng::new(self.root_seed, global as u64));
+        state.started.push(false);
+        state.starts_pending = true;
+        self.sealed = false;
+        ActorId(global)
+    }
+
+    /// Current virtual time: the last completed barrier (or the end passed
+    /// to [`RegionSim::run_until`]).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed across all regions. With identical
+    /// trajectories this equals the sequential engine's count exactly:
+    /// every event is minted once and fired once, on whichever side of a
+    /// barrier it lands.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.regions.iter().map(|r| r.events_processed).sum()
+    }
+
+    /// Events processed by one region alone (fan-out observability for
+    /// isolated shard-per-region runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    #[must_use]
+    pub fn region_events_processed(&self, region: usize) -> u64 {
+        self.regions[region].events_processed
+    }
+
+    /// Number of registered actors (across all regions).
+    #[must_use]
+    pub fn actor_count(&self) -> usize {
+        self.locate.len()
+    }
+
+    /// Immutable access to an actor by its global id, projected to its
+    /// concrete type (the regioned mirror of [`crate::Simulation::actor`]).
+    #[must_use]
+    pub fn actor<A>(&self, id: ActorId) -> Option<&A>
+    where
+        S: crate::engine::ProjectActor<A>,
+    {
+        let &(region, slot) = self.locate.get(id.0)?;
+        self.regions[region as usize].actors[slot as usize].project()
+    }
+
+    /// Mutable access to an actor by its global id.
+    #[must_use]
+    pub fn actor_mut<A>(&mut self, id: ActorId) -> Option<&mut A>
+    where
+        S: crate::engine::ProjectActor<A>,
+    {
+        let &(region, slot) = self.locate.get(id.0)?;
+        self.regions[region as usize].actors[slot as usize].project_mut()
+    }
+
+    /// Schedules an external stimulus for `target` (any region) at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is unknown or `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, target: ActorId, payload: E) {
+        let &(region, _) = self.locate.get(target.0).expect("unknown actor");
+        let state = &mut self.regions[region as usize];
+        // Bypass the router (external injection is not a cross-region
+        // event minted by an actor): push straight into the owning queue.
+        let seq = state.core.next_seq;
+        state.core.next_seq += 1;
+        assert!(at >= state.core.now, "cannot schedule into the past");
+        state.core.queue.push(at, seq, (Dest::One(target), payload));
+    }
+
+    /// (Re)installs the routers after membership changes: every region
+    /// learns the global actor count and the shared global→region map.
+    fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        let region_of: Arc<[u32]> = self.locate.iter().map(|&(r, _)| r).collect();
+        let locate = Arc::new(self.locate.clone());
+        let total = self.locate.len();
+        for (index, state) in self.regions.iter_mut().enumerate() {
+            state.core.actor_count = total;
+            state.locate = Arc::clone(&locate);
+            let sentinel = state
+                .core
+                .router
+                .as_ref()
+                .map_or(u64::MAX, |r| r.sentinel_seq);
+            state.core.router = Some(RegionRouter {
+                region_of: Arc::clone(&region_of),
+                my_region: u32::try_from(index).expect("region fits u32"),
+                window_end: SimTime::MAX,
+                sentinel_seq: sentinel,
+                outbox: Vec::new(),
+            });
+        }
+        self.sealed = true;
+    }
+}
+
+impl<E: Clone + Send + 'static, S: Actor<E> + Send> RegionSim<E, S> {
+    /// Runs until the virtual clock reaches `end` (processing every event
+    /// with `time ≤ end`), the queues drain, or an actor stops the run.
+    /// On [`RunOutcome::ReachedTime`] the clock is left exactly at `end`
+    /// (mirroring [`crate::Simulation::run_until`]).
+    pub fn run_until(&mut self, end: SimTime) -> RunOutcome {
+        let outcome = self.drive(Some(end));
+        if outcome != RunOutcome::Stopped {
+            self.now = self.now.max(end);
+            for region in &mut self.regions {
+                region.core.now = region.core.now.max(end);
+            }
+        }
+        outcome
+    }
+
+    /// Runs until every region's queue is empty (and no cross-region
+    /// events remain in flight) or an actor stops the run.
+    pub fn run_until_idle(&mut self) -> RunOutcome {
+        self.drive(None)
+    }
+
+    /// The window loop. `end` bounds the run (inclusive, like
+    /// [`crate::Simulation::run_until`]); `None` runs to global idle.
+    fn drive(&mut self, end: Option<SimTime>) -> RunOutcome {
+        self.seal();
+        // Exclusive horizon: `end` is inclusive and the clock is integer
+        // nanoseconds, so the half-open window machinery uses `end + 1ns`.
+        let horizon = end.map_or(SimTime::MAX, |e| {
+            e.checked_add(SimDuration::from_nanos(1))
+                .unwrap_or(SimTime::MAX)
+        });
+        loop {
+            if self.take_stop_request() {
+                return RunOutcome::Stopped;
+            }
+            let Some(t_min) = self
+                .regions
+                .iter()
+                .filter_map(RegionState::next_activity)
+                .min()
+            else {
+                // Queues drained and no starts pending; outboxes are
+                // always empty at the top of the loop (drained at every
+                // barrier), so the simulation is globally idle.
+                return RunOutcome::Idle;
+            };
+            if let Some(end) = end {
+                if t_min > end {
+                    return RunOutcome::ReachedTime;
+                }
+            }
+            // The classic conservative advance: nothing anywhere can mint
+            // before t_min, and every cross-region delivery adds at least
+            // `lookahead`, so every region may run to t_min + lookahead.
+            let window_end = match self.lookahead {
+                Some(lookahead) => t_min
+                    .checked_add(lookahead)
+                    .unwrap_or(SimTime::MAX)
+                    .min(horizon),
+                None => horizon,
+            };
+            self.run_windows(window_end);
+            if self.take_stop_request() {
+                return RunOutcome::Stopped;
+            }
+            self.now = self.now.max(window_end.min(end.unwrap_or(SimTime::MAX)));
+            self.merge_outboxes();
+        }
+    }
+
+    /// Clears and reports any region's stop request (stop is
+    /// barrier-granular: the whole run halts at the end of the window in
+    /// which any actor called [`crate::Context::stop`]).
+    fn take_stop_request(&mut self) -> bool {
+        let mut stopped = false;
+        for region in &mut self.regions {
+            stopped |= region.core.stop_requested;
+            region.core.stop_requested = false;
+        }
+        stopped
+    }
+
+    /// Executes one window on every region that has work, in parallel when
+    /// more than one worker is configured. Regions are mutually disjoint,
+    /// so the windows are data-race-free by construction; results do not
+    /// depend on the worker count.
+    fn run_windows(&mut self, window_end: SimTime) {
+        let mut active: Vec<&mut RegionState<E, S>> = self
+            .regions
+            .iter_mut()
+            .filter(|r| r.next_activity().is_some_and(|t| t < window_end))
+            .collect();
+        if self.workers <= 1 || active.len() <= 1 {
+            for region in active {
+                region.run_window(window_end);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for region in active.drain(..) {
+                scope.spawn(move || region.run_window(window_end));
+            }
+        });
+    }
+
+    /// The barrier merge: drains every region's outbox and admits the
+    /// events into their target regions in `(mint_time, source_region,
+    /// source_order)` order — a total order fixed by the simulation's own
+    /// trajectory, independent of thread scheduling.
+    fn merge_outboxes(&mut self) {
+        let mut moves = Vec::new();
+        for (source, region) in self.regions.iter_mut().enumerate() {
+            let router = region.core.router.as_mut().expect("sealed run has routers");
+            for (order, outbound) in router.outbox.drain(..).enumerate() {
+                moves.push((outbound.mint_time, source, order, outbound));
+            }
+        }
+        if moves.is_empty() {
+            return;
+        }
+        moves.sort_by_key(|m| (m.0, m.1, m.2));
+        for (_, _, _, outbound) in moves {
+            let (region, _) = self.locate[outbound.target.0];
+            let state = &mut self.regions[region as usize];
+            let seq = state.core.next_seq;
+            state.core.next_seq += 1;
+            debug_assert!(
+                outbound.time >= state.core.now,
+                "barrier admitted an event into the past: lookahead violation"
+            );
+            state.core.queue.push(
+                outbound.time,
+                seq,
+                (Dest::One(outbound.target), outbound.payload),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ProjectActor, Simulation};
+
+    type Ev = u32;
+
+    /// Ping-pong chain: forwards each event to `peer` after `delay`,
+    /// logging everything it receives, with one RNG draw per event so
+    /// stream alignment is also under test.
+    struct Relay {
+        peer: ActorId,
+        delay: SimDuration,
+        limit: u32,
+        log: Vec<(SimTime, Ev, u64)>,
+    }
+
+    impl Actor<Ev> for Relay {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+            if self.limit > 0 {
+                ctx.schedule_in(self.delay, self.peer, 0);
+            }
+        }
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            let draw = ctx.rng().next_u64();
+            self.log.push((ctx.now(), ev, draw));
+            if ev < self.limit {
+                let peer = self.peer;
+                let delay = self.delay;
+                ctx.schedule_in(delay, peer, ev + 1);
+            }
+        }
+    }
+
+    impl ProjectActor<Relay> for Relay {
+        fn project(&self) -> Option<&Relay> {
+            Some(self)
+        }
+        fn project_mut(&mut self) -> Option<&mut Relay> {
+            Some(self)
+        }
+    }
+
+    /// A regioned simulation whose member type is the relay itself.
+    type RelayRegionSim = RegionSim<Ev, Relay>;
+    type RelaySim = Simulation<Ev, Relay>;
+
+    fn relay(peer: usize, delay_nanos: u64, limit: u32) -> Relay {
+        Relay {
+            peer: ActorId(peer),
+            delay: SimDuration::from_nanos(delay_nanos),
+            limit,
+            log: Vec::new(),
+        }
+    }
+
+    const LOOKAHEAD: SimDuration = SimDuration::from_micros(10);
+
+    /// Builds the same two-relay population sequentially and regioned
+    /// (one relay per region) and asserts bit-identical logs and counts.
+    fn assert_matches_sequential(delay_a: u64, delay_b: u64, limit: u32, end_secs: f64) {
+        let end = SimTime::from_secs_f64(end_secs);
+
+        let mut seq: RelaySim = Simulation::with_actor_set(0xabcd);
+        let a_seq = seq.add_member(relay(1, delay_a, limit));
+        let b_seq = seq.add_member(relay(0, delay_b, limit));
+        seq.run_until(end);
+
+        let mut reg: RelayRegionSim = RegionSim::new(0xabcd, 2, LOOKAHEAD);
+        let a_reg = reg.add_member(0, relay(1, delay_a, limit));
+        let b_reg = reg.add_member(1, relay(0, delay_b, limit));
+        assert_eq!((a_seq, b_seq), (a_reg, b_reg), "global id layout matches");
+        reg.run_until(end);
+
+        for (s, r) in [(a_seq, a_reg), (b_seq, b_reg)] {
+            assert_eq!(
+                seq.actor::<Relay>(s).unwrap().log,
+                reg.actor::<Relay>(r).unwrap().log,
+                "per-actor trajectories must be bit-identical"
+            );
+        }
+        assert_eq!(seq.events_processed(), reg.events_processed());
+        assert_eq!(seq.now(), reg.now());
+    }
+
+    #[test]
+    fn cross_region_ping_pong_matches_sequential() {
+        // Delays comfortably above the lookahead, and distinct so no
+        // cross-region (time, target) ties can occur.
+        assert_matches_sequential(25_000, 35_000, 40, 0.01);
+    }
+
+    #[test]
+    fn delay_exactly_at_lookahead_window_boundary() {
+        // Every event lands exactly on a window boundary (delay ==
+        // lookahead): the boundary belongs to the *next* window, and each
+        // event must fire exactly once.
+        assert_matches_sequential(10_000, 10_000, 25, 0.01);
+    }
+
+    #[test]
+    fn idle_region_mid_window_catches_up() {
+        // Region 1's relay stops forwarding after 3 hops while region 0
+        // keeps a private timer chain running: one region goes idle
+        // mid-run and must neither stall the other nor corrupt the clock.
+        let end = SimTime::from_secs_f64(0.005);
+
+        let mut seq: RelaySim = Simulation::with_actor_set(7);
+        let a = seq.add_member(relay(0, 20_000, 100)); // self-loop, region 0
+        let b = seq.add_member(relay(1, 30_000, 3)); // self-loop, dies early
+        seq.run_until(end);
+
+        let mut reg: RelayRegionSim = RegionSim::new(7, 2, LOOKAHEAD);
+        let ra = reg.add_member(0, relay(0, 20_000, 100));
+        let rb = reg.add_member(1, relay(1, 30_000, 3));
+        reg.run_until(end);
+
+        assert_eq!(
+            seq.actor::<Relay>(a).unwrap().log,
+            reg.actor::<Relay>(ra).unwrap().log
+        );
+        assert_eq!(
+            seq.actor::<Relay>(b).unwrap().log,
+            reg.actor::<Relay>(rb).unwrap().log
+        );
+        assert_eq!(seq.events_processed(), reg.events_processed());
+    }
+
+    #[test]
+    fn serial_and_threaded_execution_are_bit_identical() {
+        let run = |workers: usize| {
+            let mut reg: RelayRegionSim = RegionSim::new(99, 4, LOOKAHEAD);
+            let ids: Vec<ActorId> = (0..4)
+                .map(|r| reg.add_member(r, relay((r + 1) % 4, 15_000 + r as u64, 60)))
+                .collect();
+            reg.set_workers(workers);
+            reg.run_until(SimTime::from_secs_f64(0.01));
+            let logs: Vec<_> = ids
+                .iter()
+                .map(|&id| reg.actor::<Relay>(id).unwrap().log.clone())
+                .collect();
+            (logs, reg.events_processed())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn run_until_idle_drains_everything() {
+        let mut reg: RelayRegionSim = RegionSim::new(3, 2, LOOKAHEAD);
+        let a = reg.add_member(0, relay(1, 12_000, 10));
+        let _b = reg.add_member(1, relay(0, 13_000, 10));
+        assert_eq!(reg.run_until_idle(), RunOutcome::Idle);
+        // 2 starts mint one event each; the chain then runs to the limit.
+        assert!(reg.actor::<Relay>(a).unwrap().log.len() >= 5);
+        assert!(reg.events_processed() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero lookahead rejected")]
+    fn zero_lookahead_is_rejected_at_construction() {
+        let _: RelayRegionSim = RegionSim::new(1, 2, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "lands inside the current window")]
+    fn lookahead_violation_panics_loudly() {
+        // Declared lookahead 10 µs, but the cross-region delay is 1 µs:
+        // the very first cross send must be rejected, not reordered.
+        let mut reg: RelayRegionSim = RegionSim::new(5, 2, LOOKAHEAD);
+        reg.add_member(0, relay(1, 1_000, 10));
+        reg.add_member(1, relay(0, 1_000, 10));
+        reg.run_until(SimTime::from_secs_f64(0.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "lands inside the current window")]
+    fn isolated_partition_rejects_any_cross_send() {
+        let mut reg: RelayRegionSim = RegionSim::isolated(5, 2);
+        reg.add_member(0, relay(1, 1_000_000, 10));
+        reg.add_member(1, relay(0, 1_000_000, 10));
+        reg.run_until(SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn isolated_regions_match_sequential() {
+        // Two self-contained timer chains, one per region: an isolated
+        // partition runs them in a single window each and still matches
+        // the sequential engine exactly.
+        let end = SimTime::from_secs_f64(0.01);
+        let mut seq: RelaySim = Simulation::with_actor_set(11);
+        let a = seq.add_member(relay(0, 21_000, 50));
+        let b = seq.add_member(relay(1, 17_000, 50));
+        seq.run_until(end);
+
+        let mut reg: RelayRegionSim = RegionSim::isolated(11, 2);
+        let ra = reg.add_member(0, relay(0, 21_000, 50));
+        let rb = reg.add_member(1, relay(1, 17_000, 50));
+        reg.run_until(end);
+
+        assert_eq!(
+            seq.actor::<Relay>(a).unwrap().log,
+            reg.actor::<Relay>(ra).unwrap().log
+        );
+        assert_eq!(
+            seq.actor::<Relay>(b).unwrap().log,
+            reg.actor::<Relay>(rb).unwrap().log
+        );
+        assert_eq!(seq.events_processed(), reg.events_processed());
+    }
+
+    #[test]
+    fn external_stimuli_and_single_region_degenerate() {
+        // One region is the sequential engine with extra bookkeeping:
+        // inject external events and compare.
+        let end = SimTime::from_secs_f64(0.01);
+        let mut seq: RelaySim = Simulation::with_actor_set(13);
+        let a = seq.add_member(relay(0, 40_000, 5));
+        seq.schedule_at(SimTime::from_nanos(500), a, 100);
+        seq.run_until(end);
+
+        let mut reg: RelayRegionSim = RegionSim::new(13, 1, LOOKAHEAD);
+        let ra = reg.add_member(0, relay(0, 40_000, 5));
+        reg.schedule_at(SimTime::from_nanos(500), ra, 100);
+        reg.run_until(end);
+
+        assert_eq!(
+            seq.actor::<Relay>(a).unwrap().log,
+            reg.actor::<Relay>(ra).unwrap().log
+        );
+        assert_eq!(seq.events_processed(), reg.events_processed());
+    }
+}

@@ -23,6 +23,19 @@ pub trait DelayModel: std::fmt::Debug + Send {
     /// configuration validation: the paper sets `TOF = 2·RTT_max + C_max`,
     /// which requires knowing the maximum round-trip delay.
     fn max_delay(&self) -> Option<SimDuration>;
+
+    /// A guaranteed lower bound: every [`DelayModel::sample`] call, at any
+    /// `now`, returns at least this much. This is the *lookahead* of a
+    /// conservative parallel simulation — a region may safely advance
+    /// `min_delay` past the barrier before a cross-region message could
+    /// possibly arrive — so soundness demands the bound hold for every
+    /// sample, never just in expectation (pinned by the
+    /// `samples_never_undershoot_min_delay` proptest). Models that can
+    /// produce arbitrarily small delays must return
+    /// [`SimDuration::ZERO`], which region partitioning rejects.
+    fn min_delay(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 /// A constant (deterministic) delay.
@@ -35,6 +48,9 @@ impl DelayModel for ConstantDelay {
     }
     fn max_delay(&self) -> Option<SimDuration> {
         Some(self.0)
+    }
+    fn min_delay(&self) -> SimDuration {
+        self.0
     }
 }
 
@@ -71,6 +87,9 @@ impl DelayModel for UniformDelay {
     }
     fn max_delay(&self) -> Option<SimDuration> {
         Some(self.high)
+    }
+    fn min_delay(&self) -> SimDuration {
+        self.low
     }
 }
 
@@ -129,6 +148,9 @@ impl DelayModel for ThreeMode {
     fn max_delay(&self) -> Option<SimDuration> {
         Some(self.slow)
     }
+    fn min_delay(&self) -> SimDuration {
+        self.fast
+    }
 }
 
 /// Exponentially distributed delay with a hard cap (the cap keeps the
@@ -162,6 +184,10 @@ impl DelayModel for ExponentialDelay {
     fn max_delay(&self) -> Option<SimDuration> {
         Some(self.cap)
     }
+    // An exponential can land arbitrarily close to zero, so the inherited
+    // `min_delay() == ZERO` default is the honest bound: exponential links
+    // provide no lookahead on their own (wrap in `ShiftedDelay` to add a
+    // propagation floor).
 }
 
 /// A fixed minimum plus a random component from an inner model — useful to
@@ -187,6 +213,9 @@ impl<M: DelayModel> DelayModel for ShiftedDelay<M> {
     fn max_delay(&self) -> Option<SimDuration> {
         self.inner.max_delay().map(|d| self.floor + d)
     }
+    fn min_delay(&self) -> SimDuration {
+        self.floor + self.inner.min_delay()
+    }
 }
 
 /// Boxed models forward to their contents, so `Box<dyn DelayModel>` is
@@ -198,6 +227,9 @@ impl<M: DelayModel + ?Sized> DelayModel for Box<M> {
     }
     fn max_delay(&self) -> Option<SimDuration> {
         (**self).max_delay()
+    }
+    fn min_delay(&self) -> SimDuration {
+        (**self).min_delay()
     }
 }
 
@@ -300,6 +332,36 @@ mod tests {
         }
         let mean = sum / n as f64;
         assert!((mean - 0.001).abs() < 1e-4, "exp delay mean {mean}");
+    }
+
+    #[test]
+    fn min_delay_bounds_are_the_expected_corners() {
+        assert_eq!(
+            ConstantDelay(SimDuration::from_millis(5)).min_delay(),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            UniformDelay::new(SimDuration::from_micros(100), SimDuration::from_micros(500))
+                .min_delay(),
+            SimDuration::from_micros(100)
+        );
+        assert_eq!(
+            ThreeMode::paper_default().min_delay(),
+            SimDuration::from_micros(100)
+        );
+        // Exponential links admit arbitrarily small delays: no lookahead.
+        assert_eq!(
+            ExponentialDelay::new(0.001, SimDuration::from_secs(1)).min_delay(),
+            SimDuration::ZERO
+        );
+        // A floor restores a positive bound even over an exponential.
+        let shifted = ShiftedDelay::new(
+            SimDuration::from_micros(50),
+            ExponentialDelay::new(0.001, SimDuration::from_secs(1)),
+        );
+        assert_eq!(shifted.min_delay(), SimDuration::from_micros(50));
+        let boxed: Box<dyn DelayModel> = Box::new(ThreeMode::paper_default());
+        assert_eq!(boxed.min_delay(), SimDuration::from_micros(100));
     }
 
     #[test]

@@ -131,6 +131,16 @@ impl<M: DelayModel> DelayModel for Scheduled<M> {
             .map(|(_, m)| m.max_delay())
             .try_fold(SimDuration::ZERO, |acc, d| d.map(|d| acc.max(d)))
     }
+
+    /// The minimum over *all* segments — a lookahead bound must survive
+    /// every regime the run will visit, including ones not yet active.
+    fn min_delay(&self) -> SimDuration {
+        self.segments
+            .iter()
+            .map(|(_, m)| m.min_delay())
+            .min()
+            .expect("schedule is never empty")
+    }
 }
 
 impl<M: LossModel> LossModel for Scheduled<M> {
@@ -203,6 +213,11 @@ mod tests {
             Scheduled::new(Box::new(ConstantDelay(d(2))) as Box<dyn DelayModel>)
                 .then(t(1.0), Box::new(crate::delay::ThreeMode::paper_default()));
         assert_eq!(m.max_delay(), Some(d(2)), "max over all segments");
+        assert_eq!(
+            m.min_delay(),
+            SimDuration::from_micros(100),
+            "min over all segments, even inactive ones"
+        );
         let mut r = rng();
         assert_eq!(m.sample(t(0.5), &mut r), d(2));
         let after = m.sample(t(1.5), &mut r);

@@ -3,13 +3,18 @@
 use presence_des::{SimDuration, SimTime, StreamRng};
 use presence_net::{
     BernoulliLoss, BoundedFifo, ConstantDelay, DelayModel, ExponentialDelay, Fabric,
-    GilbertElliott, LossModel, NoLoss, Scheduled, SendOutcome, ThreeMode, UniformDelay,
+    GilbertElliott, LossModel, NoLoss, Scheduled, SendOutcome, ShiftedDelay, ThreeMode,
+    UniformDelay,
 };
 use proptest::prelude::*;
 
+/// One kind per stationary delay model, plus the min-plus wrapper
+/// (`ShiftedDelay`, a floor over a zero-lookahead exponential).
+const DELAY_KINDS: u8 = 5;
+
 fn any_delay() -> impl Strategy<Value = (u8, u64, u64)> {
     // (kind, a, b) with a <= b, in nanoseconds up to 10 ms.
-    (0u8..4, 0u64..10_000_000, 0u64..10_000_000)
+    (0u8..DELAY_KINDS, 0u64..10_000_000, 0u64..10_000_000)
         .prop_map(|(k, a, b)| (k, a.min(b), a.max(b).max(1)))
 }
 
@@ -25,9 +30,13 @@ fn build_delay(kind: u8, a: u64, b: u64) -> Box<dyn DelayModel> {
             SimDuration::from_nanos(a / 2 + b / 2),
             SimDuration::from_nanos(a),
         )),
-        _ => Box::new(ExponentialDelay::new(
+        3 => Box::new(ExponentialDelay::new(
             (a.max(1)) as f64 / 1e9,
             SimDuration::from_nanos(b.max(a) + 1),
+        )),
+        _ => Box::new(ShiftedDelay::new(
+            SimDuration::from_nanos(a),
+            ExponentialDelay::new((b.max(1)) as f64 / 1e9, SimDuration::from_nanos(b)),
         )),
     }
 }
@@ -43,6 +52,58 @@ proptest! {
                 let d = model.sample(SimTime::ZERO, &mut rng);
                 prop_assert!(d <= max, "sample {d} above stated max {max}");
             }
+        }
+    }
+
+    /// Every delay model respects its own stated minimum at every query
+    /// time — the lookahead soundness condition: a conservative parallel
+    /// run advances a region `min_delay` past the barrier on the promise
+    /// that no sample can undershoot it, ever, not just in expectation.
+    /// Covers Constant, Uniform, ThreeMode, the capped exponential, and
+    /// the min-plus wrapper (`ShiftedDelay`) directly, plus `Scheduled`
+    /// over a random mix of all of them (the bound must hold across every
+    /// segment, including ones not yet active).
+    #[test]
+    fn samples_never_undershoot_min_delay(
+        (kind, a, b) in any_delay(),
+        segs in prop::collection::vec(
+            ((0u8..DELAY_KINDS), 0u64..10_000_000, 1u64..10_000_000),
+            1..5
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut model = build_delay(kind, a, b);
+        let floor = model.min_delay();
+        let mut rng = StreamRng::new(seed, 8);
+        for i in 0..300 {
+            let now = SimTime::from_nanos(i * 77_777);
+            let d = model.sample(now, &mut rng);
+            prop_assert!(d >= floor, "sample {d} under stated min {floor}");
+        }
+
+        // Scheduled: min over all segments, honored at every instant.
+        let mut segments: Vec<(SimTime, Box<dyn DelayModel>)> = Vec::new();
+        for (i, &(k, sa, sb)) in segs.iter().enumerate() {
+            segments.push((
+                SimTime::from_nanos(i as u64 * 1_000_000),
+                build_delay(k, sa.min(sb), sa.max(sb)),
+            ));
+        }
+        let expected_min = segments
+            .iter()
+            .map(|(_, m)| m.min_delay())
+            .min()
+            .expect("at least one segment");
+        let mut scheduled = Scheduled::from_segments(segments);
+        prop_assert_eq!(scheduled.min_delay(), expected_min);
+        for i in 0..300 {
+            let now = SimTime::from_nanos(i * 33_333);
+            let d = scheduled.sample(now, &mut rng);
+            prop_assert!(
+                d >= scheduled.min_delay(),
+                "scheduled sample {d} under min {}",
+                scheduled.min_delay()
+            );
         }
     }
 

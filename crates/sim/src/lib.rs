@@ -44,6 +44,7 @@ mod output;
 pub mod parallel;
 mod recorder;
 mod regime;
+pub mod region;
 mod replication;
 mod scenario;
 pub mod test_profile;
@@ -58,7 +59,8 @@ pub use lab::{
     LabSeedResult, LossPhase, RegimeSlice, ScenarioSpec, SpecError,
 };
 pub use mega::{
-    mega_catalog, run_mega_spec, MegaConfig, MegaDcppShard, MegaResult, MegaScenario, MegaSpec,
+    mega_catalog, run_mega_sharded, run_mega_spec, shard_configs, MegaConfig, MegaDcppShard,
+    MegaResult, MegaScenario, MegaSpec,
 };
 pub use metrics::{CpSummary, ScenarioResult};
 pub use network_actor::NetworkActor;
@@ -66,5 +68,6 @@ pub use output::{ascii_chart, kv_table, series_to_columns, series_to_csv};
 pub use parallel::{for_each_indexed, job_count, run_indexed, ParamSweep};
 pub use recorder::RecorderMode;
 pub use regime::RegimeActor;
+pub use region::{parse_regions, region_count, PartitionError, RegionPartition, RegionPlan};
 pub use replication::{replicate, replicate_with_jobs, ReplicationPoint, ReplicationSummary};
 pub use scenario::{golden_trio, DelayKind, LossKind, Protocol, Scenario, ScenarioConfig};

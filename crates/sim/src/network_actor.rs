@@ -27,7 +27,7 @@
 //! wiring bug cannot masquerade as network loss.
 
 use crate::event::{Addr, SimEvent};
-use presence_des::{Actor, ActorId, Context, SimTime};
+use presence_des::{Actor, ActorId, Context, SimDuration, SimTime};
 use presence_net::{Fabric, FabricStats, SendOutcome};
 
 /// Routes wire messages between node actors through a [`Fabric`].
@@ -69,6 +69,15 @@ impl NetworkActor {
             Addr::Device(id) => (&self.device_routes, id.0 as usize),
         };
         table.get(idx).copied().flatten()
+    }
+
+    /// The fabric's lookahead bound: no delivery this hub schedules can
+    /// land sooner than this after its send (see
+    /// `presence_net::DelayModel::min_delay`). Region planning uses it to
+    /// decide whether a route through this hub can cross a region cut.
+    #[must_use]
+    pub fn min_delay(&self) -> SimDuration {
+        self.fabric.min_delay()
     }
 
     /// Fabric counters (offered/admitted/dropped/delivered/unroutable) as

@@ -1,0 +1,316 @@
+//! Region planning for single-run parallelism (`PRESENCE_REGIONS`).
+//!
+//! `presence-des` provides the conservative engine
+//! ([`presence_des::RegionSim`]); this module decides *whether a given
+//! scenario topology can use it*. A partition is sound only if every
+//! cross-region route carries a positive minimum delay (the lookahead —
+//! see [`presence_net::DelayModel::min_delay`]): a zero-delay route
+//! crossing the cut would admit same-instant causality across regions,
+//! which no safe window can contain.
+//!
+//! The paper's trio scenarios are **hub-coupled**: every CP and the
+//! device reach each other through one `NetworkActor`, and the CP→network
+//! leg is a same-instant `send_now`. Any cut separating a participant
+//! from the hub therefore fails validation and the planner collapses to
+//! one effective region — which is exactly why the golden fixtures replay
+//! byte-for-byte at any `PRESENCE_REGIONS` setting. Partitions that *do*
+//! parallelise are the hub-free ones: independent population shards
+//! ([`crate::run_mega_sharded`]) and multi-hub topologies with one
+//! network per region.
+//!
+//! The region count mirrors the `PRESENCE_JOBS` convention (see
+//! [`crate::parallel`]) but defaults to **1**, not the machine
+//! parallelism: regions change nothing for hub scenarios, so single-run
+//! parallelism is explicit opt-in.
+
+use presence_des::SimDuration;
+use std::env;
+use std::fmt;
+
+/// Resolves the requested region count: `PRESENCE_REGIONS` if set,
+/// otherwise 1 (single-run parallelism is opt-in).
+///
+/// # Panics
+///
+/// Panics if `PRESENCE_REGIONS` is set to anything but a positive
+/// integer, so a typo cannot silently serialise a study.
+#[must_use]
+pub fn region_count() -> usize {
+    parse_regions(env::var("PRESENCE_REGIONS").ok().as_deref())
+}
+
+/// Pure core of [`region_count`]: interprets an optional
+/// `PRESENCE_REGIONS` value.
+///
+/// # Panics
+///
+/// Panics on a non-numeric or zero value.
+#[must_use]
+pub fn parse_regions(var: Option<&str>) -> usize {
+    match var {
+        // `PRESENCE_REGIONS= cmd` clears the variable for one command;
+        // treat it as unset, not as a typo.
+        Some(raw) if !raw.trim().is_empty() => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("PRESENCE_REGIONS must be a positive integer, got {raw:?}"),
+        },
+        _ => 1,
+    }
+}
+
+/// Why a candidate partition cannot run conservatively in parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A route with zero minimum delay crosses the region cut: the
+    /// partition admits no safe window.
+    ZeroLookaheadRoute {
+        /// Source actor index of the offending route.
+        from: usize,
+        /// Target actor index of the offending route.
+        to: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroLookaheadRoute { from, to } => write!(
+                f,
+                "route {from} → {to} has zero minimum delay and crosses the \
+                 region cut: no safe window exists for this partition"
+            ),
+        }
+    }
+}
+
+/// An explicit actor → region assignment, with the validator that decides
+/// whether it supports conservative parallel execution.
+#[derive(Debug, Clone)]
+pub struct RegionPartition {
+    region_of: Vec<u32>,
+    regions: usize,
+}
+
+impl RegionPartition {
+    /// Assigns `members` actors round-robin across `regions` regions
+    /// (actor `i` → region `i % regions`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0`.
+    #[must_use]
+    pub fn round_robin(members: usize, regions: usize) -> Self {
+        assert!(regions > 0, "a partition needs at least one region");
+        Self {
+            region_of: (0..members).map(|i| (i % regions) as u32).collect(),
+            regions,
+        }
+    }
+
+    /// Builds a partition from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0` or any assignment is out of range.
+    #[must_use]
+    pub fn from_assignment(region_of: Vec<u32>, regions: usize) -> Self {
+        assert!(regions > 0, "a partition needs at least one region");
+        assert!(
+            region_of.iter().all(|&r| (r as usize) < regions),
+            "region assignment out of range"
+        );
+        Self { region_of, regions }
+    }
+
+    /// The region of actor `member`.
+    #[must_use]
+    pub fn region_of(&self, member: usize) -> u32 {
+        self.region_of[member]
+    }
+
+    /// The region count.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Validates this partition against the scenario's routes
+    /// (`(from, to, min_delay)` triples) and returns the usable
+    /// cross-region lookahead:
+    ///
+    /// * `Ok(Some(l))` — every cross-region route has minimum delay
+    ///   ≥ `l > 0`; a conservative window of `l` is sound.
+    /// * `Ok(None)` — no route crosses the cut at all (an *isolated*
+    ///   partition: independent shards, one window per run).
+    /// * `Err(_)` — some zero-delay route crosses the cut. The partition
+    ///   is rejected loudly; running it would deadlock or reorder.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::ZeroLookaheadRoute`] naming the first offending
+    /// route.
+    pub fn lookahead(
+        &self,
+        routes: &[(usize, usize, SimDuration)],
+    ) -> Result<Option<SimDuration>, PartitionError> {
+        let mut min: Option<SimDuration> = None;
+        for &(from, to, delay) in routes {
+            if self.region_of[from] == self.region_of[to] {
+                continue;
+            }
+            if delay == SimDuration::ZERO {
+                return Err(PartitionError::ZeroLookaheadRoute { from, to });
+            }
+            min = Some(min.map_or(delay, |m| m.min(delay)));
+        }
+        Ok(min)
+    }
+}
+
+/// The outcome of region planning: what was requested, what the topology
+/// actually supports, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPlan {
+    /// Regions requested (`PRESENCE_REGIONS` or an explicit `--regions`).
+    pub requested: usize,
+    /// Regions the run will actually use.
+    pub effective: usize,
+    /// Human-readable planning decision (surfaced by `perf_report`).
+    pub reason: String,
+}
+
+/// Plans a run: validates a round-robin split of `members` actors into
+/// `requested` regions against `routes`, collapsing to one region when
+/// the topology cannot support the cut.
+///
+/// Collapse is a *planning* outcome, not an error: the run proceeds
+/// sequentially and stays bit-identical to every other region setting.
+/// A genuinely unsound configuration never reaches the engine.
+#[must_use]
+pub fn plan(
+    requested: usize,
+    members: usize,
+    routes: &[(usize, usize, SimDuration)],
+) -> RegionPlan {
+    if requested <= 1 {
+        return RegionPlan {
+            requested,
+            effective: 1,
+            reason: "single region requested".into(),
+        };
+    }
+    let regions = requested.min(members.max(1));
+    let partition = RegionPartition::round_robin(members, regions);
+    match partition.lookahead(routes) {
+        Ok(Some(lookahead)) => RegionPlan {
+            requested,
+            effective: regions,
+            reason: format!(
+                "{regions} regions with {} ns cross-region lookahead",
+                lookahead.as_nanos()
+            ),
+        },
+        Ok(None) => RegionPlan {
+            requested,
+            effective: regions,
+            reason: format!("{regions} isolated regions (no cross-region routes)"),
+        },
+        Err(err) => RegionPlan {
+            requested,
+            effective: 1,
+            reason: format!("collapsed to one region: {err}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    #[test]
+    fn parse_regions_defaults_to_one() {
+        assert_eq!(parse_regions(None), 1);
+        assert_eq!(parse_regions(Some("")), 1);
+        assert_eq!(parse_regions(Some("  ")), 1);
+        assert_eq!(parse_regions(Some("4")), 4);
+        assert_eq!(parse_regions(Some(" 2 ")), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn parse_regions_rejects_zero() {
+        let _ = parse_regions(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn parse_regions_rejects_garbage() {
+        let _ = parse_regions(Some("lots"));
+    }
+
+    #[test]
+    fn lookahead_is_min_over_cross_routes() {
+        let p = RegionPartition::round_robin(4, 2);
+        // 0,2 → region 0; 1,3 → region 1.
+        let routes = [
+            (0, 2, MS),
+            (0, 1, SimDuration::from_millis(3)),
+            (1, 2, SimDuration::from_millis(2)),
+        ];
+        assert_eq!(p.lookahead(&routes), Ok(Some(SimDuration::from_millis(2))));
+    }
+
+    #[test]
+    fn no_cross_routes_is_isolated() {
+        let p = RegionPartition::round_robin(4, 2);
+        let routes = [(0, 2, SimDuration::ZERO), (1, 3, SimDuration::ZERO)];
+        assert_eq!(p.lookahead(&routes), Ok(None));
+    }
+
+    #[test]
+    fn zero_delay_cross_route_is_rejected() {
+        let p = RegionPartition::round_robin(2, 2);
+        let routes = [(0, 1, SimDuration::ZERO)];
+        assert_eq!(
+            p.lookahead(&routes),
+            Err(PartitionError::ZeroLookaheadRoute { from: 0, to: 1 })
+        );
+    }
+
+    #[test]
+    fn plan_collapses_hub_topologies() {
+        // Star around actor 0 with instant spokes: every multi-region cut
+        // severs a spoke, so the planner must fall back to one region.
+        let routes: Vec<_> = (1..6).map(|i| (i, 0, SimDuration::ZERO)).collect();
+        let plan = plan(4, 6, &routes);
+        assert_eq!(plan.effective, 1);
+        assert!(
+            plan.reason.contains("zero minimum delay"),
+            "{}",
+            plan.reason
+        );
+    }
+
+    #[test]
+    fn plan_keeps_sound_partitions() {
+        let routes = [(0, 1, MS)];
+        let plan = plan(2, 2, &routes);
+        assert_eq!(plan.effective, 2);
+        assert!(plan.reason.contains("lookahead"), "{}", plan.reason);
+    }
+
+    #[test]
+    fn plan_caps_regions_at_member_count() {
+        let plan = plan(8, 3, &[]);
+        assert_eq!(plan.effective, 3);
+    }
+
+    #[test]
+    fn explicit_assignment_validates_bounds() {
+        let p = RegionPartition::from_assignment(vec![0, 1, 1, 0], 2);
+        assert_eq!(p.region_of(2), 1);
+        assert_eq!(p.regions(), 2);
+    }
+}

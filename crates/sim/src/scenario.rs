@@ -433,8 +433,70 @@ impl Scenario {
             .schedule_at(SimTime::from_secs_f64(at), device, SimEvent::DoubleDelta);
     }
 
+    /// Plans the region split a `PRESENCE_REGIONS` request would produce
+    /// for this scenario, by running the partition validator over the
+    /// actual actor topology.
+    ///
+    /// The trio scenarios are hub-coupled: every CP and the device reach
+    /// each other through the single [`NetworkActor`], and the
+    /// participant→hub leg is a same-instant `send_now` (zero lookahead).
+    /// Any cut separating a participant from the hub therefore fails
+    /// validation and the plan collapses to one effective region — which
+    /// is also why the golden fixtures replay byte-for-byte at any
+    /// `PRESENCE_REGIONS` setting. Single-run parallelism needs hub-free
+    /// topologies (independent shards, or one hub per region); see
+    /// [`crate::run_mega_sharded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `PRESENCE_REGIONS` is set to a non-positive or
+    /// non-numeric value (same contract as `PRESENCE_JOBS`).
+    #[must_use]
+    pub fn region_plan(&self) -> crate::RegionPlan {
+        self.region_plan_for(crate::region_count())
+    }
+
+    /// [`Scenario::region_plan`] for an explicit request (the `--regions`
+    /// flag path; also lets tests exercise the planner without touching
+    /// the process environment).
+    #[must_use]
+    pub fn region_plan_for(&self, requested: usize) -> crate::RegionPlan {
+        let hub = self.network.index();
+        let fabric_min = self
+            .sim
+            .actor::<NetworkActor>(self.network)
+            .expect("network actor")
+            .min_delay();
+        let mut routes: Vec<(usize, usize, SimDuration)> = Vec::new();
+        // Participant → hub: probes and replies are same-instant offers.
+        routes.push((self.device.index(), hub, SimDuration::ZERO));
+        // Hub → participant: deliveries carry at least the fabric's
+        // minimum delay.
+        routes.push((hub, self.device.index(), fabric_min));
+        for &cp in &self.cps {
+            routes.push((cp.index(), hub, SimDuration::ZERO));
+            routes.push((hub, cp.index(), fabric_min));
+        }
+        // Churn flips CP membership instantly.
+        for &cp in &self.cps {
+            routes.push((self.churn.index(), cp.index(), SimDuration::ZERO));
+        }
+        crate::region::plan(requested, self.sim.actor_count(), &routes)
+    }
+
     /// Runs the scenario for its configured duration.
+    ///
+    /// Consults [`Scenario::region_plan`] first, so a malformed
+    /// `PRESENCE_REGIONS` fails loudly and the collapse decision is made
+    /// by the validator, never assumed: hub scenarios always plan one
+    /// effective region, i.e. exactly the sequential engine.
     pub fn run(&mut self) {
+        let plan = self.region_plan();
+        assert_eq!(
+            plan.effective, 1,
+            "hub scenarios must collapse to one region (got: {})",
+            plan.reason
+        );
         let end = SimTime::from_secs_f64(self.cfg.duration);
         self.sim.run_until(end);
     }

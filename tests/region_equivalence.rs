@@ -1,0 +1,82 @@
+//! Region-equivalence suite: the golden fixtures must replay byte-for-byte
+//! at every `PRESENCE_REGIONS` setting.
+//!
+//! The trio and lab scenarios are hub-coupled (every participant reaches
+//! the others through one `NetworkActor` over zero-lookahead `send_now`
+//! legs), so the region planner provably collapses any multi-region
+//! request to one effective region — the run *is* the sequential engine,
+//! and the fixtures recorded before the regioned engine existed must
+//! match exactly. A divergence here means either the planner admitted an
+//! unsound cut or the plan consultation itself perturbed a trajectory.
+//!
+//! `PRESENCE_REGIONS` is process-global, so this suite serialises its
+//! env mutations behind a mutex and restores the variable afterwards.
+
+use presence::sim::{builtin_catalog, golden_trio, run_spec_once, Scenario, ScenarioResult};
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn fixture(name: &str) -> ScenarioResult {
+    let path = format!("{}/tests/golden/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("fixture {path} unreadable ({e}); regenerate with the golden_fixtures bin")
+    });
+    serde_json::from_str(&text).expect("fixture deserialises")
+}
+
+/// Runs `body` with `PRESENCE_REGIONS` set to each of the given values in
+/// turn, restoring the previous value afterwards.
+fn with_regions<F: FnMut(usize)>(settings: &[usize], mut body: F) {
+    let _guard = ENV_LOCK.lock().expect("env lock");
+    let previous = std::env::var("PRESENCE_REGIONS").ok();
+    for &regions in settings {
+        std::env::set_var("PRESENCE_REGIONS", regions.to_string());
+        body(regions);
+    }
+    match previous {
+        Some(v) => std::env::set_var("PRESENCE_REGIONS", v),
+        None => std::env::remove_var("PRESENCE_REGIONS"),
+    }
+}
+
+fn assert_matches_fixture(name: &str, regions: usize, result: &ScenarioResult) {
+    let golden = fixture(name);
+    assert_eq!(
+        serde_json::to_string(result).expect("result serialises"),
+        serde_json::to_string(&golden).expect("golden serialises"),
+        "{name}: trajectory diverged from the recorded run at \
+         PRESENCE_REGIONS={regions}"
+    );
+}
+
+#[test]
+fn golden_trio_replays_identically_at_every_region_count() {
+    with_regions(&[1, 2, 4], |regions| {
+        for (name, cfg) in golden_trio() {
+            let mut scenario = Scenario::build(cfg);
+            let plan = scenario.region_plan();
+            assert_eq!(plan.requested, regions);
+            assert_eq!(
+                plan.effective, 1,
+                "{name}: hub scenario must collapse ({})",
+                plan.reason
+            );
+            scenario.run();
+            let result = scenario.collect();
+            assert_matches_fixture(name, regions, &result);
+        }
+    });
+}
+
+#[test]
+fn mixed_regime_lab_replays_identically_at_every_region_count() {
+    let spec = builtin_catalog()
+        .into_iter()
+        .find(|s| s.name == "mixed-regime-stress")
+        .expect("mixed-regime-stress is in the builtin catalog");
+    with_regions(&[1, 2, 4], |regions| {
+        let result = run_spec_once(&spec).expect("lab fixture spec runs");
+        assert_matches_fixture("lab-mixed", regions, &result);
+    });
+}
