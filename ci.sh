@@ -45,25 +45,39 @@ cargo test -q
 echo "==> engine soak: des proptests + dispatch semantics (PROPTEST_CASES=1024)"
 PROPTEST_CASES=1024 cargo test --release -q -p presence-des --test proptests --test dispatch
 
-# Region soak: the conservative-window engine's model proptest (random
+# Region soak: the conservative-window engine's model proptests (random
 # token-ring topologies × region counts × worker counts, regioned run
-# vs sequential reference, bit-for-bit) at 1024 cases — far beyond the
-# tier-1 default.
-echo "==> region soak: regioned engine vs sequential model proptest (PROPTEST_CASES=1024)"
+# vs sequential reference, bit-for-bit — including the adaptive-window
+# arm, which additionally pins adaptive windows_executed ≤ static) at
+# 1024 cases — far beyond the tier-1 default.
+echo "==> region soak: regioned engine vs sequential model proptests incl. adaptive windows (PROPTEST_CASES=1024)"
 PROPTEST_CASES=1024 cargo test --release -q -p presence-des --test region_model
+
+# Decomposed-topology replay: the golden trio and the mixed-regime lab
+# fixtures recorded on the sequential reference engine must replay
+# byte-for-byte on the decomposed (one-network-plane-per-region)
+# topology — the suite sweeps regions {1, 2, 4} internally and runs here
+# under PRESENCE_REGIONS=4 so the surrounding plan consultations see a
+# genuine multi-region request too.
+echo "==> decomposed replay: golden trio + lab fixtures on the multi-plane topology (PRESENCE_REGIONS=4)"
+PRESENCE_REGIONS=4 cargo test --release -q --test region_equivalence
 
 # Structural perf gates: the single-hop delivery path must hold
 # events-per-delivered-message at ≤ 2.05, the trio's events_processed
 # must equal the golden fixtures exactly (a dispatch or timer refactor
 # must not change what gets scheduled), the trio's regions=2 results
 # must be byte-identical to regions=1 (the region planner must never
-# perturb a trajectory), and best-of-run trio throughput must stay
-# above half the committed BENCH_PR6.json snapshot — the best-of
-# estimator holds steady even on the noisy 1-core CI box. The throwaway
-# report path keeps the committed BENCH_PR7.json a recorded snapshot
-# rather than overwriting it with this machine's timings.
-echo "==> perf gates: events/delivered-msg <= 2.05 + events_processed == golden + regions=2 equivalence + throughput floor (perf_report --check)"
-cargo run --release -q -p presence-bench --bin perf_report -- --check target/perf_report_ci.json
+# perturb a trajectory), the decomposed trio's adaptive-window runs must
+# be byte-identical to static and never barrier more often, and
+# best-of-run trio throughput must stay above half the committed
+# BENCH_PR7.json snapshot — the best-of estimator holds steady even on
+# the noisy 1-core CI box. --regions also runs the multi-core scaling
+# suite (decomposed trio at regions {1,2,4,8}, workers matched) so the
+# window/barrier counters it gates on are recorded every CI run. The
+# throwaway report path keeps the committed BENCH_PR8.json a recorded
+# snapshot rather than overwriting it with this machine's timings.
+echo "==> perf gates: events/delivered-msg <= 2.05 + events_processed == golden + regions=2 equivalence + adaptive==static + throughput floor + scaling suite (perf_report --check --regions)"
+cargo run --release -q -p presence-bench --bin perf_report -- --check --regions target/perf_report_ci.json
 
 # Mega-scale smoke: the 100k-device calendar-queue + streaming-recorder
 # configuration (mega-ci) must finish with sane physics (wait mean at the

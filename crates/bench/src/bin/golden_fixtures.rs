@@ -16,7 +16,9 @@
 //! Usage: `cargo run --release -p presence-bench --bin golden_fixtures`
 //! (writes into `tests/golden/` relative to the workspace root).
 
-use presence_sim::{builtin_catalog, golden_trio, run_spec_once, Scenario, ScenarioResult};
+use presence_sim::{
+    builtin_catalog, golden_trio, run_spec_once, DecomposedScenario, Scenario, ScenarioResult,
+};
 use std::path::PathBuf;
 
 /// The lab spec pinned alongside the trio: regime switches in all three
@@ -45,6 +47,16 @@ fn main() {
         let mut scenario = Scenario::build(cfg);
         scenario.run();
         write_fixture(&out_dir, name, &scenario.collect());
+        // The same preset on the decomposed (multi-plane) topology,
+        // recorded from the sequential reference engine (regions = 1);
+        // the regioned engine must replay these bit-for-bit.
+        let mut decomposed = DecomposedScenario::build(cfg, 1);
+        decomposed.run();
+        write_fixture(
+            &out_dir,
+            &format!("decomposed-{name}"),
+            &decomposed.collect(),
+        );
     }
     let spec = builtin_catalog()
         .into_iter()
@@ -52,4 +64,7 @@ fn main() {
         .expect("lab fixture spec is in the builtin catalog");
     let result = run_spec_once(&spec).expect("lab fixture spec runs");
     write_fixture(&out_dir, "lab-mixed", &result);
+    let mut decomposed_lab = spec.build_decomposed(1).expect("lab fixture spec builds");
+    decomposed_lab.run();
+    write_fixture(&out_dir, "decomposed-lab-mixed", &decomposed_lab.collect());
 }

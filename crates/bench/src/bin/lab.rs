@@ -15,12 +15,14 @@
 //!
 //! Options: `--seeds 1,2,3` (explicit seeds), `--replications N` (seeds
 //! 1..=N), `--jobs N` (worker pool width, default `PRESENCE_JOBS` /
-//! machine parallelism), `--regions N` (sets `PRESENCE_REGIONS` for the
-//! run — lab scenarios are hub-coupled, so the region planner collapses
-//! any multi-region request to one effective region and the report stays
-//! byte-identical; pinned by `tests/region_equivalence.rs`), `--json
-//! PATH` (write the full `LabReport`), `--catalog DIR` (default: the
-//! repository's `catalog/`).
+//! machine parallelism), `--regions N` (run each scenario on the
+//! decomposed one-network-plane-per-region topology across N regions
+//! with N workers, printing the per-scenario region plan — planned
+//! lookahead, or the collapsing route — and the barrier/window counters;
+//! the trajectories are byte-identical to the sequential decomposed run,
+//! pinned by `tests/region_equivalence.rs`), `--json PATH` (write the
+//! full `LabReport`), `--catalog DIR` (default: the repository's
+//! `catalog/`).
 //!
 //! Reports are **byte-identical at any `--jobs` value** — replications
 //! merge in seed order before any cross-seed folding (pinned by
@@ -130,6 +132,47 @@ fn run_one(
         let text = serde_json::to_string_pretty(&report).expect("report serialises");
         std::fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
         println!("report -> {}", path.display());
+    }
+    Ok(())
+}
+
+/// The `--regions N` path: run each seed on the decomposed
+/// (one-network-plane-per-region) topology, print the region plan once
+/// and the barrier/window counters per seed. Trajectories are
+/// byte-identical to the hub-free sequential reference at any region
+/// count, so the numbers of interest here are the parallel-engine
+/// counters, not the metrics.
+fn run_one_decomposed(spec: &ScenarioSpec, seeds: &[u64], regions: usize) -> Result<(), String> {
+    println!("\n=== {} · decomposed @ {regions} region(s) ===", spec.name);
+    for (i, &seed) in seeds.iter().enumerate() {
+        let mut seeded = spec.clone();
+        seeded.seed = seed;
+        let mut scenario = seeded
+            .build_decomposed(regions)
+            .map_err(|e| format!("{}: {e}", spec.name))?;
+        scenario.set_workers(regions);
+        if i == 0 {
+            let plan = scenario.region_plan();
+            println!(
+                "plan: requested {} -> effective {} ({})",
+                plan.requested, plan.effective, plan.reason
+            );
+        }
+        scenario.run();
+        let result = scenario.collect();
+        match scenario.region_counters() {
+            Some((windows, exchanges, per_window)) => println!(
+                "seed {seed}: {} events in {windows} windows ({per_window:.1} events/window), \
+                 {exchanges} barrier events, {} cross-plane relays",
+                result.events_processed,
+                scenario.relays_forwarded()
+            ),
+            None => println!(
+                "seed {seed}: {} events on the sequential engine, {} cross-plane relays",
+                result.events_processed,
+                scenario.relays_forwarded()
+            ),
+        }
     }
     Ok(())
 }
@@ -274,6 +317,7 @@ fn main() -> ExitCode {
     let mut do_check = false;
     let mut emit: Option<PathBuf> = None;
     let mut target: Option<String> = None;
+    let mut regions: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -286,10 +330,11 @@ fn main() -> ExitCode {
             "--catalog" => catalog_dir = PathBuf::from(value("--catalog")),
             "--jobs" => jobs = value("--jobs").parse().expect("--jobs N"),
             "--regions" => {
-                let n = value("--regions");
-                n.parse::<usize>()
+                let n: usize = value("--regions")
+                    .parse()
                     .expect("--regions N (a positive integer)");
-                std::env::set_var("PRESENCE_REGIONS", n);
+                assert!(n >= 1, "--regions must be at least 1");
+                regions = Some(n);
             }
             "--json" => json_out = Some(PathBuf::from(value("--json"))),
             "--seeds" => {
@@ -336,7 +381,10 @@ fn main() -> ExitCode {
         }
         if all {
             for (_, spec) in load_catalog_dir(&catalog_dir)? {
-                run_one(&spec, &seeds, jobs, None)?;
+                match regions {
+                    Some(n) => run_one_decomposed(&spec, &seeds, n)?,
+                    None => run_one(&spec, &seeds, jobs, None)?,
+                }
             }
             return Ok(());
         }
@@ -359,7 +407,10 @@ fn main() -> ExitCode {
                 .find(|s| s.name == target)
                 .ok_or_else(|| format!("no catalog entry named {target:?} (try --list)"))?
         };
-        run_one(&spec, &seeds, jobs, json_out.as_deref())
+        match regions {
+            Some(n) => run_one_decomposed(&spec, &seeds, n),
+            None => run_one(&spec, &seeds, jobs, json_out.as_deref()),
+        }
     })();
 
     match outcome {

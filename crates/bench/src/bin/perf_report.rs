@@ -5,12 +5,15 @@
 //! same configurations the golden-equivalence suite pins) at CI horizons.
 //!
 //! * `perf_report [out.json]` — run the trio, print the table, write the
-//!   report (default `BENCH_PR7.json`).
-//! * `perf_report --regions N` — run with `PRESENCE_REGIONS=N`; each
-//!   scenario prints its region plan (the trio is hub-coupled, so the
-//!   planner provably collapses any multi-region request to one
-//!   effective region — the plan's reason is surfaced in the table and
-//!   recorded in the report).
+//!   report (default `BENCH_PR8.json`).
+//! * `perf_report --regions` — additionally run the multi-core scaling
+//!   suite: the decomposed (one-network-plane-per-region) trio at
+//!   regions ∈ {1, 2, 4, 8} with workers matched to regions, under both
+//!   window policies, recording wall-clock curves, barrier/window
+//!   counters, and the adaptive-vs-static window ratio; with `--mega`
+//!   also the `mega-1m` sharded engine at shards ∈ {1, 2, 4, 8}. Each
+//!   point records its region plan (planned lookahead, or the collapsing
+//!   route when the partition is refused).
 //! * `perf_report --mega` — additionally run the `mega-1m` catalog
 //!   scenario (10⁶ devices / 10⁴ CPs on the calendar queue with streaming
 //!   recorders) once and record its throughput in the report.
@@ -20,12 +23,18 @@
 //!   `tests/golden/` (dispatch refactors must not change event counts),
 //!   a trio scenario whose regions=2 result is not byte-identical to its
 //!   regions=1 result (the conservative-window engine must never perturb
-//!   a trajectory), or trio throughput collapsing below half of the
-//!   committed `BENCH_PR6.json` snapshot (the one wall-clock gate;
+//!   a trajectory), a decomposed trio scenario whose adaptive-window run
+//!   is not byte-identical to its static-window run (or executes *more*
+//!   windows than static), or trio throughput collapsing below half of
+//!   the committed `BENCH_PR7.json` snapshot (the one wall-clock gate;
 //!   halved to absorb CI box noise while still catching
 //!   order-of-magnitude regressions).
 
-use presence_sim::{golden_trio, mega_catalog, region_count, run_mega_spec, MegaResult, Scenario};
+use presence_des::WindowPolicy;
+use presence_sim::{
+    golden_trio, mega_catalog, region_count, run_mega_sharded, run_mega_spec, DecomposedScenario,
+    MegaResult, Scenario,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -38,11 +47,14 @@ const EPM_GATE: f64 = 2.05;
 const MIN_WALL_SECS: f64 = 0.25;
 
 /// `--check` fails if a trio scenario's events/sec drops below this
-/// fraction of its `BENCH_PR6.json` snapshot.
+/// fraction of its `BENCH_PR7.json` snapshot.
 const THROUGHPUT_GATE_FRACTION: f64 = 0.5;
 
 /// The committed throughput snapshot the `--check` floor reads.
-const BASELINE_FILE: &str = "BENCH_PR6.json";
+const BASELINE_FILE: &str = "BENCH_PR7.json";
+
+/// The region/shard counts the `--regions` scaling suite sweeps.
+const SCALING_POINTS: [usize; 4] = [1, 2, 4, 8];
 
 #[derive(Debug, Serialize)]
 struct ScenarioReport {
@@ -67,13 +79,64 @@ struct MegaReport {
     result: MegaResult,
 }
 
+/// One point on a decomposed-trio scaling curve: the adaptive-policy run
+/// is the recorded datum; the static-policy run of the same configuration
+/// supplies the window-count denominator.
+#[derive(Debug, Serialize)]
+struct TrioScalingPoint {
+    name: String,
+    regions: usize,
+    workers: usize,
+    /// The planner's verdict for this point: effective regions plus the
+    /// planned lookahead, or the collapsing route when it refuses.
+    region_plan: String,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    /// Cross-plane `Relay`/`RelayBroadcast` forwards (the decomposition's
+    /// extra hops; 0 would mean the cut carries no traffic).
+    relays_forwarded: u64,
+    /// Windows executed under the adaptive policy (summed over regions).
+    windows_executed: u64,
+    /// Cross-region events exchanged at barriers (adaptive run).
+    barrier_exchanges: u64,
+    /// Mean events per window (adaptive run).
+    events_per_window: f64,
+    /// Windows the *static* policy executed on the same configuration.
+    static_windows_executed: u64,
+    /// `windows_executed / static_windows_executed` — below 1.0 means the
+    /// adaptive policy widened windows and barriered less.
+    adaptive_window_ratio: f64,
+}
+
+/// One point on the `mega-1m` sharded scaling curve.
+#[derive(Debug, Serialize)]
+struct MegaScalingPoint {
+    name: String,
+    shards: usize,
+    workers: usize,
+    wall_seconds: f64,
+    events_processed: u64,
+    events_per_sec: f64,
+}
+
+/// The `--regions` scaling suite: wall-clock curves over region/shard
+/// counts, with the barrier/window counters that explain them.
+#[derive(Debug, Serialize)]
+struct ScalingReport {
+    points: Vec<usize>,
+    trio: Vec<TrioScalingPoint>,
+    mega: Vec<MegaScalingPoint>,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     epm_gate: f64,
-    /// `PRESENCE_REGIONS` the report ran under (1 unless `--regions`).
+    /// `PRESENCE_REGIONS` the report ran under (1 unless set in the env).
     regions: usize,
     scenarios: Vec<ScenarioReport>,
     mega: Option<MegaReport>,
+    /// Present when `--regions` ran the scaling suite.
+    scaling: Option<ScalingReport>,
 }
 
 /// The one golden-fixture field the `--check` gate needs (the shim's
@@ -188,29 +251,163 @@ fn run_mega() -> MegaReport {
     report
 }
 
+/// Runs one decomposed trio configuration and returns the scenario plus
+/// its wall time (build + run, collection excluded — same protocol as the
+/// serial table).
+fn run_decomposed(
+    cfg: presence_sim::ScenarioConfig,
+    regions: usize,
+    policy: WindowPolicy,
+) -> (DecomposedScenario, f64) {
+    let start = Instant::now();
+    let mut scenario = DecomposedScenario::build(cfg, regions);
+    scenario.set_workers(regions);
+    scenario.set_window_policy(policy);
+    scenario.run();
+    (scenario, start.elapsed().as_secs_f64())
+}
+
+/// The decomposed-trio half of the scaling suite: every preset at every
+/// region count, adaptive policy timed and recorded, static policy run
+/// once more for the window-ratio denominator.
+fn run_trio_scaling(gate_failures: &mut Vec<String>) -> Vec<TrioScalingPoint> {
+    let mut points = Vec::new();
+    for (name, cfg) in golden_trio() {
+        for regions in SCALING_POINTS {
+            let (mut scenario, wall) = run_decomposed(cfg, regions, WindowPolicy::Adaptive);
+            let plan = scenario.region_plan();
+            let plan_line = format!(
+                "requested {} -> effective {} ({})",
+                plan.requested, plan.effective, plan.reason
+            );
+            let events = scenario.collect().events_processed;
+            let (windows, exchanges, per_window) =
+                scenario.region_counters().unwrap_or((0, 0, 0.0));
+            let (static_run, _) = run_decomposed(cfg, regions, WindowPolicy::Static);
+            let static_windows = static_run.region_counters().map_or(0, |(w, _, _)| w);
+            if windows > static_windows {
+                gate_failures.push(format!(
+                    "{name} regions={regions}: adaptive executed {windows} windows, \
+                     static only {static_windows}"
+                ));
+            }
+            let ratio = if static_windows == 0 {
+                1.0
+            } else {
+                windows as f64 / static_windows as f64
+            };
+            let point = TrioScalingPoint {
+                name: name.to_string(),
+                regions,
+                workers: regions,
+                region_plan: plan_line,
+                wall_seconds: wall,
+                events_per_sec: events as f64 / wall,
+                relays_forwarded: scenario.relays_forwarded(),
+                windows_executed: windows,
+                barrier_exchanges: exchanges,
+                events_per_window: per_window,
+                static_windows_executed: static_windows,
+                adaptive_window_ratio: ratio,
+            };
+            println!(
+                "{:>6} x{}: {:>8.4} s ({:>9.0} events/s), {} windows \
+                 (static {}, ratio {:.3}), {} barrier events — {}",
+                name,
+                regions,
+                wall,
+                point.events_per_sec,
+                windows,
+                static_windows,
+                ratio,
+                exchanges,
+                point.region_plan
+            );
+            points.push(point);
+        }
+    }
+    points
+}
+
+/// The `mega-1m` half of the scaling suite: the sharded engine at each
+/// shard count with workers matched.
+fn run_mega_scaling() -> Vec<MegaScalingPoint> {
+    let spec = mega_catalog()
+        .into_iter()
+        .find(|s| s.name == "mega-1m")
+        .expect("mega-1m catalog entry");
+    let mut points = Vec::new();
+    for shards in SCALING_POINTS {
+        let start = Instant::now();
+        let results = run_mega_sharded(&spec.config, shards, shards);
+        let wall = start.elapsed().as_secs_f64();
+        let events: u64 = results.iter().map(|r| r.events_processed).sum();
+        let point = MegaScalingPoint {
+            name: spec.name.clone(),
+            shards,
+            workers: shards,
+            wall_seconds: wall,
+            events_processed: events,
+            events_per_sec: events as f64 / wall,
+        };
+        println!(
+            "mega-1m x{shards}: {:>9} events in {:>7.2} s ({:>9.0} events/s)",
+            events, wall, point.events_per_sec
+        );
+        points.push(point);
+    }
+    points
+}
+
+/// The `--check` adaptive-equivalence gate: on the decomposed trio at
+/// four regions, the adaptive-window run must be byte-identical to the
+/// static-window run (wider windows must never reorder a trajectory) and
+/// must not barrier more often.
+fn check_adaptive_equivalence(gate_failures: &mut Vec<String>) {
+    for (name, cfg) in golden_trio() {
+        let (mut adaptive, _) = run_decomposed(cfg, 4, WindowPolicy::Adaptive);
+        let (mut static_run, _) = run_decomposed(cfg, 4, WindowPolicy::Static);
+        let a = serde_json::to_string(&adaptive.collect()).expect("result serialises");
+        let s = serde_json::to_string(&static_run.collect()).expect("result serialises");
+        let a_windows = adaptive.region_counters().map_or(0, |(w, _, _)| w);
+        let s_windows = static_run.region_counters().map_or(0, |(w, _, _)| w);
+        if a == s && a_windows <= s_windows {
+            println!(
+                "  {name}: adaptive byte-identical to static \
+                 ({a_windows} windows vs {s_windows})"
+            );
+        } else if a != s {
+            gate_failures.push(format!(
+                "{name}: decomposed adaptive result diverges from static at regions=4"
+            ));
+        } else {
+            gate_failures.push(format!(
+                "{name}: adaptive executed {a_windows} windows, static only {s_windows}"
+            ));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
     let mut mega = false;
+    let mut scaling = false;
     let mut out_path: Option<String> = None;
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
+    for arg in args {
         match arg.as_str() {
             "--check" => check = true,
             "--mega" => mega = true,
-            "--regions" => {
-                let n = it.next().expect("--regions needs a value");
-                n.parse::<usize>()
-                    .expect("--regions N (a positive integer)");
-                std::env::set_var("PRESENCE_REGIONS", n);
-            }
+            "--regions" => scaling = true,
             other if other.starts_with("--") => {
-                panic!("unknown flag {other} (perf_report [--check] [--mega] [--regions N] [out.json])")
+                panic!(
+                    "unknown flag {other} (perf_report [--check] [--mega] [--regions] [out.json])"
+                )
             }
             other => out_path = Some(other.to_string()),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let regions = region_count();
 
     let mut scenarios = Vec::new();
@@ -310,15 +507,38 @@ fn main() {
     if check {
         println!("region-equivalence gate (regions=2 vs regions=1):");
         check_region_equivalence(&mut gate_failures);
+        println!("adaptive-window gate (decomposed trio, adaptive vs static at regions=4):");
+        check_adaptive_equivalence(&mut gate_failures);
     }
 
-    let mega_report = if mega { Some(run_mega()) } else { None };
+    let scaling_report = if scaling {
+        println!(
+            "scaling suite: decomposed trio at regions {SCALING_POINTS:?} \
+             (workers matched), adaptive + static"
+        );
+        let trio = run_trio_scaling(&mut gate_failures);
+        let mega_points = if mega { run_mega_scaling() } else { Vec::new() };
+        Some(ScalingReport {
+            points: SCALING_POINTS.to_vec(),
+            trio,
+            mega: mega_points,
+        })
+    } else {
+        None
+    };
+
+    let mega_report = if mega && !scaling {
+        Some(run_mega())
+    } else {
+        None
+    };
 
     let report = Report {
         epm_gate: EPM_GATE,
         regions,
         scenarios,
         mega: mega_report,
+        scaling: scaling_report,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&out_path, json).expect("write report");

@@ -235,10 +235,22 @@ pub(crate) struct RegionRouter<E> {
     /// Global actor index → owning region.
     pub(crate) region_of: std::sync::Arc<[u32]>,
     pub(crate) my_region: u32,
-    /// Exclusive end of the window currently being executed. Cross-region
-    /// events must land at or after it; `SimTime::MAX` means cross-region
-    /// scheduling is forbidden outright (an isolated partition).
-    pub(crate) window_end: SimTime,
+    /// Exclusive end of the window each region is currently executing
+    /// (indexed by region). A cross-region event must land at or after its
+    /// *target's* window end — with adaptive windows the regions advance
+    /// unevenly, so the soundness bound is per-target, not global.
+    /// `SimTime::MAX` means cross-region scheduling is forbidden outright
+    /// (an isolated partition).
+    ///
+    /// The entry for `my_region` doubles as this region's own execution
+    /// bound, *cut* on every cross-region mint to `arrival + lookahead`:
+    /// once this region has sent something out, a reactivation chain can
+    /// reach back one lookahead after that arrival, so an adaptive window
+    /// that leapt ahead must stop there (see `region::WindowPolicy`).
+    pub(crate) window_ends: Vec<SimTime>,
+    /// The declared cross-region lookahead (zero in an isolated partition,
+    /// where every cross mint panics before reading it).
+    pub(crate) lookahead: SimDuration,
     /// Handles for outbound events count down from `u64::MAX` so they can
     /// never collide with a live local sequence number: cancelling or
     /// rescheduling a cross-region event is a documented no-op (`false` /
@@ -269,13 +281,14 @@ impl<E> Core<E> {
             self.now
         );
         if let Some(router) = self.router.as_mut() {
-            if router.region_of[target.0] != router.my_region {
+            let target_region = router.region_of[target.0];
+            if target_region != router.my_region {
+                let target_end = router.window_ends[target_region as usize];
                 assert!(
-                    time >= router.window_end,
+                    time >= target_end,
                     "cross-region event for {target:?} at {time} lands inside the current \
-                     window (end {}): the route's real delay undercuts the declared \
-                     lookahead — conservative parallel execution would be unsound",
-                    router.window_end
+                     window (end {target_end}): the route's real delay undercuts the declared \
+                     lookahead — conservative parallel execution would be unsound"
                 );
                 router.outbox.push(Outbound {
                     mint_time: self.now,
@@ -283,6 +296,13 @@ impl<E> Core<E> {
                     target,
                     payload,
                 });
+                // Cut this region's own window: a reactivation chain can
+                // reach back one lookahead after the arrival just minted.
+                let cut = time.checked_add(router.lookahead).unwrap_or(SimTime::MAX);
+                let mine = &mut router.window_ends[router.my_region as usize];
+                if cut < *mine {
+                    *mine = cut;
+                }
                 router.sentinel_seq -= 1;
                 return EventHandle {
                     seq: router.sentinel_seq,

@@ -34,7 +34,7 @@ pub use engine::{
     TraceRecord,
 };
 pub use queue::{EventKey, EventQueue, QueueProfile};
-pub use region::RegionSim;
+pub use region::{RegionSim, WindowPolicy};
 pub use rng::{derive_seed, splitmix64, StreamRng};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use timer_slots::TimerSlots;

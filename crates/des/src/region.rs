@@ -21,6 +21,41 @@
 //! loud and attributed, never a silent reorder or a deadlock. A zero
 //! lookahead is rejected at construction for the same reason.
 //!
+//! # Adaptive windows
+//!
+//! The static window `[t_min, t_min + lookahead)` is sound but pays one
+//! barrier per lookahead of virtual time even when cross-region traffic
+//! is sparse (a ping-pong with a 250 µs gap and 10 µs lookahead crosses
+//! 25 barriers per hop). Under [`WindowPolicy::Adaptive`] (the default)
+//! each region reports its earliest possible next activity `h_R` at the
+//! barrier (queue head, or its clock if starts are pending), and the
+//! region `M` *uniquely* holding `t_min = min h_R` runs a wider window:
+//!
+//! ```text
+//! end_M = max(t_min + lookahead, m2 + lookahead)
+//! ```
+//!
+//! where `m2 = min over R ≠ M of h_R` (the run horizon when no other
+//! region has work), **dynamically cut** while the window runs: the
+//! moment `M` mints a cross-region event arriving at `c`, its bound
+//! drops to `min(end_M, c + lookahead)`. Every other region keeps the
+//! static `t_min + lookahead` end.
+//!
+//! *Safety:* an event arriving in `M` is minted by some region `R ≠ M`,
+//! reacting either to an event already queued somewhere else — every
+//! such event sits at ≥ `m2`, so the arrival is ≥ `m2 + lookahead` — or
+//! to traffic `M` itself emitted; `M`'s earliest outbound arrival is
+//! some `c`, so the re-mint reaches `M` at ≥ `c + lookahead`, which is
+//! exactly where the dynamic cut stopped it. Chains of more hops only
+//! add lookahead. Non-minimal regions cannot widen (the `t_min` holder
+//! can mint into them at `t_min + lookahead` directly). The cross-region
+//! soundness check accordingly becomes per-target — an event must land
+//! at or after its *target's* window end — and the lookahead-violation
+//! panic stays as the net underneath. Both policies produce bit-identical
+//! trajectories; adaptive executes the same events in fewer, wider
+//! windows ([`RegionSim::windows_executed`] adaptive ≤ static, round by
+//! round).
+//!
 //! # Bit-identity with the sequential engine
 //!
 //! Each actor keeps the [`StreamRng`] stream of its *global* index —
@@ -40,6 +75,23 @@ use crate::queue::{EventQueue, QueueProfile};
 use crate::rng::StreamRng;
 use crate::time::{SimDuration, SimTime};
 use std::sync::Arc;
+
+/// How a [`RegionSim`] sizes its conservative windows (see the
+/// [module docs](self) for the safety argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// Every region runs `[t_min, t_min + lookahead)` — the classic
+    /// conservative advance, one barrier per lookahead of busy time.
+    Static,
+    /// The region uniquely holding the earliest activity runs to
+    /// `max(t_min + lookahead, m2 + lookahead)` — `m2` being the other
+    /// regions' earliest activity — cut dynamically to one lookahead past
+    /// its own first cross-region arrival: strictly wider windows,
+    /// bit-identical trajectory, fewer barriers when cross-region traffic
+    /// is sparse (see the [module docs](self) for the safety argument).
+    #[default]
+    Adaptive,
+}
 
 /// One region's private slice of the simulation: its actors, their RNG
 /// streams, and a scheduler core with its own event queue and outbox.
@@ -110,13 +162,19 @@ impl<E: Clone + 'static, S: Actor<E>> RegionState<E, S> {
     /// region whose queue empties (or never had events this window) simply
     /// returns — going idle mid-window is the normal case, not an error.
     fn run_window(&mut self, window_end: SimTime) {
-        if let Some(router) = self.core.router.as_mut() {
-            router.window_end = window_end;
-        }
         self.flush_starts();
         loop {
+            // Re-read the bound each iteration: a cross-region mint cuts
+            // this region's own window end (see `RegionRouter`), so an
+            // adaptive window that leapt ahead stops as soon as its own
+            // outbound traffic could circle back.
+            let bound = self
+                .core
+                .router
+                .as_ref()
+                .map_or(window_end, |r| r.window_ends[r.my_region as usize]);
             match self.core.queue.peek() {
-                Some(key) if key.time < window_end => {}
+                Some(key) if key.time < bound => {}
                 _ => return,
             }
             if self.core.stop_requested {
@@ -169,6 +227,13 @@ pub struct RegionSim<E: 'static, S: Actor<E>> {
     /// Upper bound on worker threads per window barrier; 1 executes the
     /// windows inline (bit-identical results either way).
     workers: usize,
+    /// Window sizing policy (trajectory-invariant; affects barrier count
+    /// only).
+    policy: WindowPolicy,
+    /// Windows executed (drive-loop rounds ending in a barrier).
+    windows_executed: u64,
+    /// Cross-region events exchanged at barriers over the sim's lifetime.
+    barrier_exchanges: u64,
     /// Whether the per-region routers have been (re)installed since the
     /// last membership change.
     sealed: bool,
@@ -249,6 +314,9 @@ impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
             root_seed,
             now: SimTime::ZERO,
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            policy: WindowPolicy::default(),
+            windows_executed: 0,
+            barrier_exchanges: 0,
             sealed: false,
         }
     }
@@ -260,11 +328,51 @@ impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
         self.workers = workers.max(1);
     }
 
+    /// Selects the window sizing policy (default
+    /// [`WindowPolicy::Adaptive`]). Trajectories are bit-identical under
+    /// either; only the number of barriers changes.
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active window sizing policy.
+    #[must_use]
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.policy
+    }
+
     /// The configured cross-region lookahead (`None` for an isolated
     /// partition).
     #[must_use]
     pub fn lookahead(&self) -> Option<SimDuration> {
         self.lookahead
+    }
+
+    /// Windows executed so far: one per drive-loop round (every region
+    /// with work runs one window per round, then all regions barrier).
+    #[must_use]
+    pub fn windows_executed(&self) -> u64 {
+        self.windows_executed
+    }
+
+    /// Cross-region events exchanged at barriers so far.
+    #[must_use]
+    pub fn barrier_exchanges(&self) -> u64 {
+        self.barrier_exchanges
+    }
+
+    /// Mean events processed per window (0 before the first window) —
+    /// the figure of merit for window sizing: higher means less barrier
+    /// overhead per unit of work.
+    #[must_use]
+    pub fn events_per_window(&self) -> f64 {
+        if self.windows_executed == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.events_processed() as f64 / self.windows_executed as f64
+        }
     }
 
     /// The number of regions.
@@ -381,6 +489,7 @@ impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
         let region_of: Arc<[u32]> = self.locate.iter().map(|&(r, _)| r).collect();
         let locate = Arc::new(self.locate.clone());
         let total = self.locate.len();
+        let count = self.regions.len();
         for (index, state) in self.regions.iter_mut().enumerate() {
             state.core.actor_count = total;
             state.locate = Arc::clone(&locate);
@@ -392,7 +501,8 @@ impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
             state.core.router = Some(RegionRouter {
                 region_of: Arc::clone(&region_of),
                 my_region: u32::try_from(index).expect("region fits u32"),
-                window_end: SimTime::MAX,
+                window_ends: vec![SimTime::MAX; count],
+                lookahead: self.lookahead.unwrap_or(SimDuration::ZERO),
                 sentinel_seq: sentinel,
                 outbox: Vec::new(),
             });
@@ -433,16 +543,17 @@ impl<E: Clone + Send + 'static, S: Actor<E> + Send> RegionSim<E, S> {
             e.checked_add(SimDuration::from_nanos(1))
                 .unwrap_or(SimTime::MAX)
         });
+        let mut ends: Vec<SimTime> = Vec::with_capacity(self.regions.len());
         loop {
             if self.take_stop_request() {
                 return RunOutcome::Stopped;
             }
-            let Some(t_min) = self
+            let activity: Vec<Option<SimTime>> = self
                 .regions
                 .iter()
-                .filter_map(RegionState::next_activity)
-                .min()
-            else {
+                .map(RegionState::next_activity)
+                .collect();
+            let Some(t_min) = activity.iter().flatten().copied().min() else {
                 // Queues drained and no starts pending; outboxes are
                 // always empty at the top of the loop (drained at every
                 // barrier), so the simulation is globally idle.
@@ -453,23 +564,84 @@ impl<E: Clone + Send + 'static, S: Actor<E> + Send> RegionSim<E, S> {
                     return RunOutcome::ReachedTime;
                 }
             }
-            // The classic conservative advance: nothing anywhere can mint
-            // before t_min, and every cross-region delivery adds at least
-            // `lookahead`, so every region may run to t_min + lookahead.
-            let window_end = match self.lookahead {
-                Some(lookahead) => t_min
-                    .checked_add(lookahead)
-                    .unwrap_or(SimTime::MAX)
-                    .min(horizon),
-                None => horizon,
-            };
-            self.run_windows(window_end);
+            self.window_ends(t_min, horizon, &activity, &mut ends);
+            // Every router learns the full per-region frontier: a minting
+            // region checks cross events against the *target's* end.
+            for state in &mut self.regions {
+                let router = state.core.router.as_mut().expect("sealed run has routers");
+                router.window_ends.clear();
+                router.window_ends.extend_from_slice(&ends);
+            }
+            self.run_windows(&ends);
+            self.windows_executed += 1;
             if self.take_stop_request() {
                 return RunOutcome::Stopped;
             }
-            self.now = self.now.max(window_end.min(end.unwrap_or(SimTime::MAX)));
+            // The global frontier is the smallest window end: everything
+            // before it has executed in every region.
+            let frontier = ends.iter().copied().min().unwrap_or(horizon);
+            self.now = self.now.max(frontier.min(end.unwrap_or(SimTime::MAX)));
             self.merge_outboxes();
         }
+    }
+
+    /// Computes each region's window end for the next round (see the
+    /// [module docs](self)): the classic conservative `t_min + lookahead`
+    /// under [`WindowPolicy::Static`]; under [`WindowPolicy::Adaptive`]
+    /// the unique `t_min` holder widens to `m2 + lookahead` — nothing can
+    /// reach it earlier unless its own outbound traffic circles back,
+    /// which the router's dynamic cut bounds at run time. All ends are
+    /// clamped to the run horizon; an isolated partition always runs
+    /// straight to the horizon.
+    fn window_ends(
+        &self,
+        t_min: SimTime,
+        horizon: SimTime,
+        activity: &[Option<SimTime>],
+        ends: &mut Vec<SimTime>,
+    ) {
+        ends.clear();
+        let count = self.regions.len();
+        let Some(lookahead) = self.lookahead else {
+            ends.resize(count, horizon);
+            return;
+        };
+        let static_end = t_min.checked_add(lookahead).unwrap_or(SimTime::MAX);
+        if self.policy == WindowPolicy::Static {
+            ends.resize(count, static_end.min(horizon));
+            return;
+        }
+        if count == 1 {
+            // Degenerate single region: no cross-region events can exist,
+            // so the whole run is one window.
+            ends.push(horizon);
+            return;
+        }
+        let minimal = activity
+            .iter()
+            .filter(|h| **h == Some(t_min))
+            .take(2)
+            .count();
+        ends.extend((0..count).map(|target| {
+            if minimal != 1 || activity[target] != Some(t_min) {
+                // Tied minima, or not the frontier region: another region
+                // can mint a direct arrival at t_min + lookahead.
+                return static_end.min(horizon);
+            }
+            // The unique frontier region leaps to the others' earliest
+            // possible direct mint; its own cross mints cut the window
+            // further at run time (see `RegionRouter::window_ends`).
+            let direct = activity
+                .iter()
+                .enumerate()
+                .filter(|&(source, _)| source != target)
+                .filter_map(|(_, h)| *h)
+                .min()
+                .map_or(SimTime::MAX, |m2| {
+                    m2.checked_add(lookahead).unwrap_or(SimTime::MAX)
+                });
+            static_end.max(direct).min(horizon)
+        }));
     }
 
     /// Clears and reports any region's stop request (stop is
@@ -488,21 +660,22 @@ impl<E: Clone + Send + 'static, S: Actor<E> + Send> RegionSim<E, S> {
     /// more than one worker is configured. Regions are mutually disjoint,
     /// so the windows are data-race-free by construction; results do not
     /// depend on the worker count.
-    fn run_windows(&mut self, window_end: SimTime) {
-        let mut active: Vec<&mut RegionState<E, S>> = self
+    fn run_windows(&mut self, ends: &[SimTime]) {
+        let mut active: Vec<(&mut RegionState<E, S>, SimTime)> = self
             .regions
             .iter_mut()
-            .filter(|r| r.next_activity().is_some_and(|t| t < window_end))
+            .zip(ends.iter().copied())
+            .filter(|(r, end)| r.next_activity().is_some_and(|t| t < *end))
             .collect();
         if self.workers <= 1 || active.len() <= 1 {
-            for region in active {
-                region.run_window(window_end);
+            for (region, end) in active {
+                region.run_window(end);
             }
             return;
         }
         std::thread::scope(|scope| {
-            for region in active.drain(..) {
-                scope.spawn(move || region.run_window(window_end));
+            for (region, end) in active.drain(..) {
+                scope.spawn(move || region.run_window(end));
             }
         });
     }
@@ -522,6 +695,7 @@ impl<E: Clone + Send + 'static, S: Actor<E> + Send> RegionSim<E, S> {
         if moves.is_empty() {
             return;
         }
+        self.barrier_exchanges += moves.len() as u64;
         moves.sort_by_key(|m| (m.0, m.1, m.2));
         for (_, _, _, outbound) in moves {
             let (region, _) = self.locate[outbound.target.0];
@@ -749,6 +923,59 @@ mod tests {
             reg.actor::<Relay>(rb).unwrap().log
         );
         assert_eq!(seq.events_processed(), reg.events_processed());
+    }
+
+    #[test]
+    fn adaptive_matches_static_with_fewer_windows() {
+        // Sparse cross traffic: two relays ping-ponging with delays far
+        // above the lookahead. Static pays a barrier every 10 µs of busy
+        // time; adaptive jumps straight to the next activity.
+        let end = SimTime::from_secs_f64(0.01);
+        let run = |policy: WindowPolicy| {
+            let mut reg: RelayRegionSim = RegionSim::new(0xfeed, 2, LOOKAHEAD);
+            reg.set_window_policy(policy);
+            let a = reg.add_member(0, relay(1, 250_000, 30));
+            let b = reg.add_member(1, relay(0, 330_000, 30));
+            reg.run_until(end);
+            let logs = (
+                reg.actor::<Relay>(a).unwrap().log.clone(),
+                reg.actor::<Relay>(b).unwrap().log.clone(),
+            );
+            (logs, reg.events_processed(), reg.windows_executed())
+        };
+        let (adaptive_logs, adaptive_events, adaptive_windows) = run(WindowPolicy::Adaptive);
+        let (static_logs, static_events, static_windows) = run(WindowPolicy::Static);
+        assert_eq!(adaptive_logs, static_logs, "trajectory must not change");
+        assert_eq!(adaptive_events, static_events);
+        assert!(
+            adaptive_windows < static_windows,
+            "sparse traffic must need fewer adaptive windows \
+             ({adaptive_windows} vs {static_windows})"
+        );
+    }
+
+    #[test]
+    fn adaptive_counts_windows_and_barrier_exchanges() {
+        let mut reg: RelayRegionSim = RegionSim::new(21, 2, LOOKAHEAD);
+        let a = reg.add_member(0, relay(1, 50_000, 9));
+        let _b = reg.add_member(1, relay(0, 50_000, 9));
+        reg.run_until_idle();
+        assert!(reg.windows_executed() > 0);
+        // Every forwarded token crosses the cut: 2 start tokens + 10
+        // forwards (hops 0..=9 fire on each side, minting until the limit).
+        assert!(reg.barrier_exchanges() > 0);
+        assert!(reg.events_per_window() > 0.0);
+        let _ = reg.actor::<Relay>(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "lands inside the current window")]
+    fn adaptive_keeps_the_violation_panic() {
+        let mut reg: RelayRegionSim = RegionSim::new(5, 2, LOOKAHEAD);
+        reg.set_window_policy(WindowPolicy::Adaptive);
+        reg.add_member(0, relay(1, 1_000, 10));
+        reg.add_member(1, relay(0, 1_000, 10));
+        reg.run_until(SimTime::from_secs_f64(0.001));
     }
 
     #[test]

@@ -49,6 +49,13 @@ impl SimDuration {
         Self(secs * NANOS_PER_SEC)
     }
 
+    /// Subtracts `other`, clamping at zero (like
+    /// `Duration::saturating_sub`).
+    #[must_use]
+    pub const fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
     /// Creates a duration from fractional seconds, rounding to the nearest
     /// nanosecond.
     ///

@@ -16,7 +16,7 @@
 
 use presence_des::{
     Actor, ActorId, Context, ProjectActor, QueueProfile, RegionSim, SimDuration, SimTime,
-    Simulation,
+    Simulation, WindowPolicy,
 };
 use proptest::prelude::*;
 
@@ -132,8 +132,33 @@ fn run_regioned(
     workers: usize,
     profile: QueueProfile,
 ) -> RunObservables {
+    run_regioned_with_policy(
+        rings,
+        seed,
+        end,
+        regions,
+        workers,
+        profile,
+        WindowPolicy::default(),
+    )
+    .0
+}
+
+/// [`run_regioned`] with an explicit window policy; also returns the
+/// window counter so the adaptive arm can assert barrier savings.
+#[allow(clippy::too_many_arguments)]
+fn run_regioned_with_policy(
+    rings: &[RingSpec],
+    seed: u64,
+    end: SimTime,
+    regions: usize,
+    workers: usize,
+    profile: QueueProfile,
+    policy: WindowPolicy,
+) -> (RunObservables, u64) {
     let mut reg: RegionSim<u32, Node> =
         RegionSim::with_profile(seed, regions, Some(LOOKAHEAD), profile);
+    reg.set_window_policy(policy);
     reg.set_workers(workers);
     let (ids, nexts): (Vec<ActorId>, Vec<usize>) = build_nodes(rings)
         .into_iter()
@@ -148,7 +173,7 @@ fn run_regioned(
         .iter()
         .map(|&id| reg.actor::<Node>(id).unwrap().log.clone())
         .collect();
-    (logs, reg.events_processed())
+    ((logs, reg.events_processed()), reg.windows_executed())
 }
 
 proptest! {
@@ -178,6 +203,46 @@ proptest! {
                     &got, &expected,
                     "mismatch at regions={} workers={} calendar={}",
                     regions, workers, calendar
+                );
+            }
+        }
+    }
+
+    /// Adaptive windows are a pure barrier-count optimisation: over the
+    /// same random rings, regions {1,2,4} × workers {1,4}, an adaptive
+    /// run is event-for-event bit-identical to the static-window and
+    /// sequential runs, and never needs more windows than static.
+    #[test]
+    fn adaptive_windows_match_static_and_sequential(
+        rings in prop::collection::vec(ring_spec(), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let end = SimTime::from_nanos(100_000_000);
+        let expected = run_sequential(&rings, seed, end);
+        for regions in [1usize, 2, 4] {
+            for workers in [1usize, 4] {
+                let (adaptive, adaptive_windows) = run_regioned_with_policy(
+                    &rings, seed, end, regions, workers,
+                    QueueProfile::Heap, WindowPolicy::Adaptive,
+                );
+                let (static_run, static_windows) = run_regioned_with_policy(
+                    &rings, seed, end, regions, workers,
+                    QueueProfile::Heap, WindowPolicy::Static,
+                );
+                prop_assert_eq!(
+                    &adaptive, &expected,
+                    "adaptive diverged from sequential at regions={} workers={}",
+                    regions, workers
+                );
+                prop_assert_eq!(
+                    &static_run, &expected,
+                    "static diverged from sequential at regions={} workers={}",
+                    regions, workers
+                );
+                prop_assert!(
+                    adaptive_windows <= static_windows,
+                    "adaptive needed more windows ({} > {}) at regions={} workers={}",
+                    adaptive_windows, static_windows, regions, workers
                 );
             }
         }

@@ -218,6 +218,42 @@ impl<M: DelayModel> DelayModel for ShiftedDelay<M> {
     }
 }
 
+/// Clamps an inner model's samples to a hard lower bound:
+/// `max(inner.sample(), floor)`.
+///
+/// Unlike [`ShiftedDelay`] (which *adds* the floor and shifts the whole
+/// distribution), flooring leaves every sample at or above the floor
+/// untouched — the distribution is unchanged wherever the inner model
+/// already respects the bound. A decomposed network topology uses this to
+/// give zero-`min_delay` fabrics a positive WAN-leg floor (and thereby a
+/// usable cross-region lookahead) while perturbing as little of the delay
+/// distribution as possible.
+#[derive(Debug)]
+pub struct FlooredDelay<M> {
+    floor: SimDuration,
+    inner: M,
+}
+
+impl<M: DelayModel> FlooredDelay<M> {
+    /// Creates a delay of `max(inner.sample(), floor)`.
+    #[must_use]
+    pub fn new(floor: SimDuration, inner: M) -> Self {
+        Self { floor, inner }
+    }
+}
+
+impl<M: DelayModel> DelayModel for FlooredDelay<M> {
+    fn sample(&mut self, now: SimTime, rng: &mut StreamRng) -> SimDuration {
+        self.inner.sample(now, rng).max(self.floor)
+    }
+    fn max_delay(&self) -> Option<SimDuration> {
+        self.inner.max_delay().map(|d| d.max(self.floor))
+    }
+    fn min_delay(&self) -> SimDuration {
+        self.inner.min_delay().max(self.floor)
+    }
+}
+
 /// Boxed models forward to their contents, so `Box<dyn DelayModel>` is
 /// itself a [`DelayModel`] — which lets the time-varying
 /// [`crate::Scheduled`] wrapper hold heterogeneous boxed segments.

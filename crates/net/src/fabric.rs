@@ -147,6 +147,23 @@ impl Fabric {
     /// frees its slot before the overflow check — the same order an eager
     /// engine would process the two events in.
     pub fn send(&mut self, now: SimTime, rng: &mut StreamRng) -> SendOutcome {
+        self.send_relayed(now, rng, SimDuration::ZERO)
+    }
+
+    /// [`Fabric::send`] for a message that already spent `discount` of its
+    /// end-to-end delay in transit before reaching this fabric — the
+    /// decomposed-topology relay path, where an inter-plane leg of
+    /// `min_delay` precedes admission on the plane that owns the
+    /// destination. The sampled delay is reduced by `discount` (never
+    /// below zero), so the total delivery delay is `max(sample, discount)`
+    /// — bit-equal to the sampled delay whenever the model's
+    /// [`DelayModel::min_delay`] covers the leg.
+    pub fn send_relayed(
+        &mut self,
+        now: SimTime,
+        rng: &mut StreamRng,
+        discount: SimDuration,
+    ) -> SendOutcome {
         self.settle(now);
         self.stats.offered += 1;
         if self.in_flight >= self.capacity {
@@ -161,7 +178,7 @@ impl Fabric {
         self.stats.admitted += 1;
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
         self.occupancy.set(now.as_secs_f64(), self.in_flight as f64);
-        let delay = self.delay.sample(now, rng);
+        let delay = self.delay.sample(now, rng).saturating_sub(discount);
         let at = now + delay;
         self.pending.push(Reverse(at));
         SendOutcome::Deliver(at)

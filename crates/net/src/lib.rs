@@ -34,7 +34,8 @@ mod scheduled;
 
 pub use buffer::{BoundedFifo, BufferStats};
 pub use delay::{
-    ConstantDelay, DelayModel, ExponentialDelay, ShiftedDelay, ThreeMode, UniformDelay,
+    ConstantDelay, DelayModel, ExponentialDelay, FlooredDelay, ShiftedDelay, ThreeMode,
+    UniformDelay,
 };
 pub use fabric::{Fabric, FabricStats, SendOutcome};
 pub use loss::{BernoulliLoss, GilbertElliott, LossModel, NoLoss};

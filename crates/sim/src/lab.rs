@@ -307,7 +307,54 @@ impl ScenarioSpec {
     /// hand-built specs cannot skip it).
     pub fn build(&self) -> Result<Scenario, SpecError> {
         self.validate()?;
-        let delay: Box<dyn DelayModel> = if self.delay.len() == 1 {
+        let switches = self.churn_switches();
+        let mut scenario = Scenario::assemble(
+            self.base_config(),
+            self.delay_model(),
+            self.loss_model(),
+            &switches,
+        );
+        if let Some(at) = self.crash_at {
+            scenario.crash_device_at(at);
+        }
+        if let Some(at) = self.bye_at {
+            scenario.device_bye_at(at);
+        }
+        Ok(scenario)
+    }
+
+    /// Builds this spec on the decomposed (multi-plane) topology across
+    /// `regions` regions — the parallel mirror of [`ScenarioSpec::build`].
+    /// Each plane instantiates its own copies of the (possibly
+    /// time-varying) delay/loss models.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, like [`ScenarioSpec::build`].
+    pub fn build_decomposed(&self, regions: usize) -> Result<crate::DecomposedScenario, SpecError> {
+        self.validate()?;
+        let switches = self.churn_switches();
+        let mut scenario = crate::DecomposedScenario::assemble(
+            self.base_config(),
+            regions,
+            &|| self.delay_model(),
+            &|| self.loss_model(),
+            &switches,
+            crate::RecorderMode::Full,
+        );
+        if let Some(at) = self.crash_at {
+            scenario.crash_device_at(at);
+        }
+        if let Some(at) = self.bye_at {
+            scenario.device_bye_at(at);
+        }
+        Ok(scenario)
+    }
+
+    /// One instance of the spec's delay model (phased specs get a
+    /// [`Scheduled`] wrapper).
+    fn delay_model(&self) -> Box<dyn DelayModel> {
+        if self.delay.len() == 1 {
             self.delay[0].delay.build()
         } else {
             Box::new(Scheduled::from_segments(
@@ -316,8 +363,12 @@ impl ScenarioSpec {
                     .map(|p| (SimTime::from_secs_f64(p.start), p.delay.build()))
                     .collect(),
             ))
-        };
-        let loss: Box<dyn LossModel> = if self.loss.len() == 1 {
+        }
+    }
+
+    /// One instance of the spec's loss model.
+    fn loss_model(&self) -> Box<dyn LossModel> {
+        if self.loss.len() == 1 {
             self.loss[0].loss.build()
         } else {
             Box::new(Scheduled::from_segments(
@@ -326,17 +377,13 @@ impl ScenarioSpec {
                     .map(|p| (SimTime::from_secs_f64(p.start), p.loss.build()))
                     .collect(),
             ))
-        };
-        let switches: Vec<(f64, ChurnModel)> =
-            self.churn[1..].iter().map(|p| (p.start, p.churn)).collect();
-        let mut scenario = Scenario::assemble(self.base_config(), delay, loss, &switches);
-        if let Some(at) = self.crash_at {
-            scenario.crash_device_at(at);
         }
-        if let Some(at) = self.bye_at {
-            scenario.device_bye_at(at);
-        }
-        Ok(scenario)
+    }
+
+    /// The mid-run churn regime switches (every churn phase after the
+    /// first).
+    fn churn_switches(&self) -> Vec<(f64, ChurnModel)> {
+        self.churn[1..].iter().map(|p| (p.start, p.churn)).collect()
     }
 
     /// Parses and validates a spec from JSON text.

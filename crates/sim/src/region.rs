@@ -201,6 +201,28 @@ pub fn plan(
     }
     let regions = requested.min(members.max(1));
     let partition = RegionPartition::round_robin(members, regions);
+    plan_partitioned(requested, &partition, routes)
+}
+
+/// [`plan`] for an explicit actor → region assignment (the decomposed
+/// multi-plane topologies, where co-location is structural rather than
+/// round-robin). The reason string always carries the decision's
+/// evidence: the planned cross-region lookahead on success, or the
+/// offending zero-delay route on collapse.
+#[must_use]
+pub fn plan_partitioned(
+    requested: usize,
+    partition: &RegionPartition,
+    routes: &[(usize, usize, SimDuration)],
+) -> RegionPlan {
+    if requested <= 1 {
+        return RegionPlan {
+            requested,
+            effective: 1,
+            reason: "single region requested".into(),
+        };
+    }
+    let regions = partition.regions();
     match partition.lookahead(routes) {
         Ok(Some(lookahead)) => RegionPlan {
             requested,

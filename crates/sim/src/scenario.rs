@@ -5,25 +5,29 @@
 //! [`Scenario::build`] wires the actors together; [`Scenario::run_for`]
 //! executes and [`Scenario::collect`] extracts a [`ScenarioResult`].
 
-use crate::actor_set::PresenceSim;
+use crate::actor_set::{PresenceActorSet, PresenceSim};
 use crate::churn::{ChurnActor, ChurnModel};
 use crate::cp_actor::{CpActor, ProberFactory};
 use crate::device_actor::{DeviceActor, DeviceMachine, ProcessingModel};
 use crate::event::{Addr, SimEvent};
 use crate::metrics::{CpSummary, ScenarioResult};
-use crate::network_actor::NetworkActor;
+use crate::network_actor::{NetworkActor, PlaneTopology};
 use crate::recorder::RecorderMode;
+use crate::region::{plan_partitioned, RegionPartition, RegionPlan};
 use presence_core::{
     AutoTuneConfig, AutoTuner, CpId, DcppConfig, DcppDevice, DeviceId, ProbeCycleConfig,
     SappConfig, SappDevice, SappDeviceConfig,
 };
-use presence_des::{ActorId, SimDuration, SimTime, Simulation};
+use presence_des::{
+    ActorId, ProjectActor, RegionSim, SimDuration, SimTime, Simulation, WindowPolicy,
+};
 use presence_net::{
-    BernoulliLoss, ConstantDelay, DelayModel, ExponentialDelay, Fabric, GilbertElliott, LossModel,
-    NoLoss, ThreeMode, UniformDelay,
+    BernoulliLoss, ConstantDelay, DelayModel, ExponentialDelay, Fabric, FlooredDelay,
+    GilbertElliott, LossModel, NoLoss, ThreeMode, UniformDelay,
 };
 use presence_stats::jain_index;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Serialisable choice of one-way network delay model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -588,6 +592,555 @@ impl Scenario {
             messages_dropped_overflow: fabric_stats.dropped_overflow,
             messages_dropped_loss: fabric_stats.dropped_loss,
             messages_unroutable: fabric_stats.unroutable,
+            population_series,
+            cps,
+            fairness_jain: fairness,
+        }
+    }
+}
+
+/// Number of network planes a decomposed topology always builds. Fixed
+/// (rather than one per region) so the actor-id layout — and with it
+/// every RNG stream — is identical at every region count: regions only
+/// re-*group* the same planes, which is what makes decomposed runs
+/// bit-identical across `regions ∈ {1, 2, 4, 8}`.
+pub const DECOMPOSED_PLANES: usize = 8;
+
+/// WAN-leg delay floor layered under delay models whose own minimum is
+/// zero (`FlooredDelay`): an inter-plane leg must carry real wire time
+/// or the region cut has no lookahead. Models with a positive minimum
+/// (the paper's three-mode network: 100 µs fast mode) are left
+/// untouched, so their delivery distributions are exactly the hub's.
+pub const WAN_LEG_FLOOR: SimDuration = SimDuration::from_micros(100);
+
+/// The execution engine behind a [`DecomposedScenario`]: the plain
+/// sequential simulation when one region is effective, the conservative
+/// windowed engine otherwise. Both run the *same* actor graph with the
+/// same RNG streams, so the trajectory is engine-invariant.
+enum Engine {
+    Seq(Box<PresenceSim>),
+    Regioned(Box<RegionSim<SimEvent, PresenceActorSet>>),
+}
+
+impl Engine {
+    fn add(&mut self, region: usize, member: PresenceActorSet) -> ActorId {
+        match self {
+            Engine::Seq(sim) => sim.add_member(member),
+            Engine::Regioned(sim) => sim.add_member(region, member),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            Engine::Seq(sim) => sim.now(),
+            Engine::Regioned(sim) => sim.now(),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            Engine::Seq(sim) => sim.events_processed(),
+            Engine::Regioned(sim) => sim.events_processed(),
+        }
+    }
+
+    fn actor<A>(&self, id: ActorId) -> Option<&A>
+    where
+        PresenceActorSet: ProjectActor<A>,
+    {
+        match self {
+            Engine::Seq(sim) => sim.actor(id),
+            Engine::Regioned(sim) => sim.actor(id),
+        }
+    }
+
+    fn actor_mut<A>(&mut self, id: ActorId) -> Option<&mut A>
+    where
+        PresenceActorSet: ProjectActor<A>,
+    {
+        match self {
+            Engine::Seq(sim) => sim.actor_mut(id),
+            Engine::Regioned(sim) => sim.actor_mut(id),
+        }
+    }
+
+    fn schedule_at(&mut self, at: SimTime, target: ActorId, payload: SimEvent) {
+        match self {
+            Engine::Seq(sim) => {
+                sim.schedule_at(at, target, payload);
+            }
+            Engine::Regioned(sim) => sim.schedule_at(at, target, payload),
+        }
+    }
+
+    fn run_until(&mut self, end: SimTime) {
+        match self {
+            Engine::Seq(sim) => {
+                sim.run_until(end);
+            }
+            Engine::Regioned(sim) => {
+                sim.run_until(end);
+            }
+        }
+    }
+}
+
+/// A scenario on the decomposed (multi-plane) network topology: one
+/// [`NetworkActor`] plane per [`DECOMPOSED_PLANES`] slice of the CP pool,
+/// joined by inter-plane legs of one fabric `min_delay` — the topology
+/// whose region cuts carry positive lookahead, so the paper trio
+/// genuinely parallelises instead of collapsing (see
+/// [`Scenario::region_plan`] for why the hub cannot).
+///
+/// Construction always builds all [`DECOMPOSED_PLANES`] planes in the
+/// same order regardless of the requested region count; `regions` only
+/// choose the engine (sequential for one effective region, the windowed
+/// [`RegionSim`] otherwise) and the plane → region grouping. Trajectories
+/// are therefore bit-identical across region counts, worker counts, and
+/// window policies — pinned by `region_integration` and the decomposed
+/// golden fixtures.
+pub struct DecomposedScenario {
+    engine: Engine,
+    cfg: ScenarioConfig,
+    mode: RecorderMode,
+    device: ActorId,
+    planes: Vec<ActorId>,
+    churn: ActorId,
+    cps: Vec<ActorId>,
+    plan: RegionPlan,
+    leg: SimDuration,
+}
+
+impl DecomposedScenario {
+    /// Wires up the decomposed topology for `cfg` across `requested`
+    /// regions (capped at [`DECOMPOSED_PLANES`]).
+    #[must_use]
+    pub fn build(cfg: ScenarioConfig, requested: usize) -> Self {
+        Self::assemble(
+            cfg,
+            requested,
+            &|| cfg.delay.build(),
+            &|| cfg.loss.build(),
+            &[],
+            RecorderMode::Full,
+        )
+    }
+
+    /// [`DecomposedScenario::build`] with explicit per-plane model
+    /// factories (each plane owns its own fabric, so time-varying lab
+    /// models are instantiated once per plane), mid-run churn switches,
+    /// and a recorder granularity — the decomposed mirror of
+    /// [`Scenario::assemble_with_recorder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid ([`ScenarioConfig::validate`]).
+    #[must_use]
+    pub fn assemble(
+        cfg: ScenarioConfig,
+        requested: usize,
+        delay_factory: &dyn Fn() -> Box<dyn DelayModel>,
+        loss_factory: &dyn Fn() -> Box<dyn LossModel>,
+        churn_switches: &[(f64, ChurnModel)],
+        mode: RecorderMode,
+    ) -> Self {
+        cfg.validate();
+        let planes_n = DECOMPOSED_PLANES;
+        let effective = requested.clamp(1, planes_n);
+
+        // The inter-plane leg: the delay model's own minimum when
+        // positive (distributions unchanged — `max(sample, leg)` is the
+        // identity), the WAN floor otherwise (the floor then truncates
+        // only the sub-100 µs tail of the plane-local distribution).
+        let raw_min = delay_factory().min_delay();
+        let needs_floor = raw_min == SimDuration::ZERO;
+        let leg = if needs_floor { WAN_LEG_FLOOR } else { raw_min };
+
+        let mut engine = if effective == 1 {
+            Engine::Seq(Box::new(Simulation::with_actor_set(cfg.seed)))
+        } else {
+            Engine::Regioned(Box::new(RegionSim::new(cfg.seed, effective, leg)))
+        };
+
+        // Region of each plane: contiguous blocks, `planes_n / effective`
+        // planes per region.
+        let region_of_plane = |p: usize| p * effective / planes_n;
+        // Track every actor's region in add order — the partition the
+        // plan validates is exactly the one the engine runs.
+        let mut region_of: Vec<u32> = Vec::new();
+        let add = |engine: &mut Engine, region_of: &mut Vec<u32>, region: usize, member| {
+            region_of.push(u32::try_from(region).expect("region fits u32"));
+            engine.add(region, member)
+        };
+
+        let mut planes = Vec::with_capacity(planes_n);
+        for p in 0..planes_n {
+            let delay: Box<dyn DelayModel> = if needs_floor {
+                Box::new(FlooredDelay::new(WAN_LEG_FLOOR, delay_factory()))
+            } else {
+                delay_factory()
+            };
+            let fabric = Fabric::new(cfg.buffer_capacity, delay, loss_factory());
+            planes.push(add(
+                &mut engine,
+                &mut region_of,
+                region_of_plane(p),
+                NetworkActor::new(fabric).into(),
+            ));
+        }
+
+        // Device, CPs, churn: same construction as the hub assembly, but
+        // each participant points at (and is co-located with) its plane.
+        let device_id = DeviceId(0);
+        let machine = match cfg.protocol {
+            Protocol::Sapp { device, .. } => {
+                DeviceMachine::Sapp(SappDevice::new(device_id, device))
+            }
+            Protocol::Dcpp { cfg: c } => DeviceMachine::Dcpp(DcppDevice::new(device_id, c)),
+            Protocol::FixedRate { .. } => {
+                DeviceMachine::Dcpp(DcppDevice::new(device_id, DcppConfig::paper_default()))
+            }
+        };
+        let processing = ProcessingModel {
+            min: SimDuration::from_secs_f64(cfg.processing.0),
+            max: SimDuration::from_secs_f64(cfg.processing.1),
+        };
+        let mut device_actor = DeviceActor::new(
+            machine,
+            planes[0],
+            processing,
+            cfg.load_window,
+            cfg.duration,
+        );
+        if let (
+            Some(tune),
+            Protocol::Sapp {
+                device: dev_cfg, ..
+            },
+        ) = (cfg.sapp_auto_tune, cfg.protocol)
+        {
+            device_actor.set_tuner(AutoTuner::new(tune, dev_cfg.l_nom));
+        }
+        device_actor.set_recorder_mode(mode);
+        let device = add(
+            &mut engine,
+            &mut region_of,
+            region_of_plane(0),
+            device_actor.into(),
+        );
+
+        let factory = match cfg.protocol {
+            Protocol::Sapp { cp, .. } => ProberFactory::Sapp(cp),
+            Protocol::Dcpp { cfg: c } => ProberFactory::Dcpp(c),
+            Protocol::FixedRate { cycle, period } => {
+                ProberFactory::FixedRate(cycle, SimDuration::from_secs_f64(period))
+            }
+        };
+        let samples_hint =
+            ((cfg.duration * 20.0 / f64::from(cfg.cp_pool)).min(4e6) as usize).max(16);
+        let mut cps = Vec::with_capacity(cfg.cp_pool as usize);
+        for i in 0..cfg.cp_pool {
+            let plane = i as usize % planes_n;
+            let id = CpId(i);
+            let mut cp_actor = CpActor::new(
+                id,
+                factory.clone(),
+                planes[plane],
+                device_id,
+                cfg.disseminate,
+                samples_hint,
+            );
+            cp_actor.set_recorder_mode(mode);
+            let actor = add(
+                &mut engine,
+                &mut region_of,
+                region_of_plane(plane),
+                cp_actor.into(),
+            );
+            cps.push(actor);
+        }
+
+        // Register each participant's route on its owning plane only,
+        // and hand every plane the shared topology map.
+        let topology = Arc::new(PlaneTopology {
+            planes: planes.clone(),
+            plane_of_cp: (0..cfg.cp_pool)
+                .map(|i| (i as usize % planes_n) as u32)
+                .collect(),
+            plane_of_device: vec![0],
+            leg,
+        });
+        for (p, &plane) in planes.iter().enumerate() {
+            let net = engine
+                .actor_mut::<NetworkActor>(plane)
+                .expect("plane actor");
+            net.set_plane(p as u32, Arc::clone(&topology));
+            if p == 0 {
+                net.register(Addr::Device(device_id), device);
+            }
+            for (i, &actor) in cps.iter().enumerate() {
+                if i % planes_n == p {
+                    net.register(Addr::Cp(CpId(i as u32)), actor);
+                }
+            }
+        }
+
+        let mut churn_actor = ChurnActor::new(
+            cfg.churn,
+            cps.clone(),
+            cfg.initially_active,
+            SimDuration::from_secs_f64(cfg.join_stagger),
+            cfg.duration,
+        );
+        // The churn driver lives in region 0 while its CPs are spread
+        // over all regions: membership events must carry wire time.
+        churn_actor.set_notify_delay(leg);
+        let churn = add(&mut engine, &mut region_of, 0, churn_actor.into());
+
+        let mut regime = None;
+        if !churn_switches.is_empty() {
+            regime = Some(add(
+                &mut engine,
+                &mut region_of,
+                0,
+                crate::RegimeActor::new(churn, churn_switches.to_vec()).into(),
+            ));
+        }
+
+        // Plan over the actual topology: the validator sees the same
+        // partition and routes the engine runs, so the decision is
+        // checked, never assumed.
+        let mut routes: Vec<(usize, usize, SimDuration)> = Vec::new();
+        for (p, &a) in planes.iter().enumerate() {
+            for (q, &b) in planes.iter().enumerate() {
+                if p != q {
+                    routes.push((a.index(), b.index(), leg));
+                }
+            }
+        }
+        routes.push((device.index(), planes[0].index(), SimDuration::ZERO));
+        routes.push((planes[0].index(), device.index(), leg));
+        for (i, &cp) in cps.iter().enumerate() {
+            let plane = planes[i % planes_n];
+            routes.push((cp.index(), plane.index(), SimDuration::ZERO));
+            routes.push((plane.index(), cp.index(), leg));
+            routes.push((churn.index(), cp.index(), leg));
+        }
+        if let Some(regime) = regime {
+            routes.push((regime.index(), churn.index(), SimDuration::ZERO));
+        }
+        let partition = RegionPartition::from_assignment(region_of, effective);
+        let plan = plan_partitioned(requested, &partition, &routes);
+        assert_eq!(
+            plan.effective, effective,
+            "decomposed topology must support its own partition (got: {})",
+            plan.reason
+        );
+
+        Self {
+            engine,
+            cfg,
+            mode,
+            device,
+            planes,
+            churn,
+            cps,
+            plan,
+            leg,
+        }
+    }
+
+    /// The configuration this scenario was built from.
+    #[must_use]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The planning decision made at construction (requested vs effective
+    /// regions, with the lookahead or collapse evidence).
+    #[must_use]
+    pub fn region_plan(&self) -> &RegionPlan {
+        &self.plan
+    }
+
+    /// The inter-plane leg (also the cross-region lookahead).
+    #[must_use]
+    pub fn leg(&self) -> SimDuration {
+        self.leg
+    }
+
+    /// Actor ids of the network planes.
+    #[must_use]
+    pub fn plane_actors(&self) -> &[ActorId] {
+        &self.planes
+    }
+
+    /// Actor ids of the CP pool.
+    #[must_use]
+    pub fn cp_actors(&self) -> &[ActorId] {
+        &self.cps
+    }
+
+    /// Caps the worker threads the windowed engine may use (no-op on the
+    /// sequential engine). Trajectories are worker-count-invariant.
+    pub fn set_workers(&mut self, workers: usize) {
+        if let Engine::Regioned(sim) = &mut self.engine {
+            sim.set_workers(workers);
+        }
+    }
+
+    /// Selects the window sizing policy (no-op on the sequential engine).
+    /// Trajectories are policy-invariant; only barrier counts change.
+    pub fn set_window_policy(&mut self, policy: WindowPolicy) {
+        if let Engine::Regioned(sim) = &mut self.engine {
+            sim.set_window_policy(policy);
+        }
+    }
+
+    /// Parallel-engine counters so far: `(windows_executed,
+    /// barrier_exchanges, events_per_window)`; `None` when the run is on
+    /// the sequential engine.
+    #[must_use]
+    pub fn region_counters(&self) -> Option<(u64, u64, f64)> {
+        match &self.engine {
+            Engine::Seq(_) => None,
+            Engine::Regioned(sim) => Some((
+                sim.windows_executed(),
+                sim.barrier_exchanges(),
+                sim.events_per_window(),
+            )),
+        }
+    }
+
+    /// Unicasts forwarded over inter-plane legs, summed over planes.
+    #[must_use]
+    pub fn relays_forwarded(&self) -> u64 {
+        self.planes
+            .iter()
+            .map(|&p| {
+                self.engine
+                    .actor::<NetworkActor>(p)
+                    .expect("plane actor")
+                    .relays_forwarded()
+            })
+            .sum()
+    }
+
+    /// Schedules a device crash (silent leave) at `at` seconds.
+    pub fn crash_device_at(&mut self, at: f64) {
+        let device = self.device;
+        self.engine
+            .schedule_at(SimTime::from_secs_f64(at), device, SimEvent::Crash);
+    }
+
+    /// Schedules a graceful device leave (Bye broadcast) at `at` seconds.
+    pub fn device_bye_at(&mut self, at: f64) {
+        let device = self.device;
+        self.engine
+            .schedule_at(SimTime::from_secs_f64(at), device, SimEvent::GracefulLeave);
+    }
+
+    /// Runs the scenario for its configured duration.
+    pub fn run(&mut self) {
+        let end = SimTime::from_secs_f64(self.cfg.duration);
+        self.engine.run_until(end);
+    }
+
+    /// Extracts the results accumulated so far. Mirrors
+    /// [`Scenario::collect`], with fabric counters summed over the planes
+    /// (each plane owns an independent fabric; the hub totals are the
+    /// plane totals' sum, and mean occupancy adds because in-flight
+    /// counts add).
+    #[must_use]
+    pub fn collect(&mut self) -> ScenarioResult {
+        let now = self.engine.now();
+
+        let (load_series, load_mean, load_variance) = {
+            let dev = self
+                .engine
+                .actor_mut::<DeviceActor>(self.device)
+                .expect("device actor");
+            match self.mode {
+                RecorderMode::Full => {
+                    let series = dev.load_series_until(now);
+                    let mut acc = presence_stats::Welford::new();
+                    for &(_, rate) in series.iter().skip(1) {
+                        acc.push(rate);
+                    }
+                    (series, acc.mean(), acc.sample_variance())
+                }
+                RecorderMode::Streaming => {
+                    let (mean, variance) = dev.streaming_load_stats(now);
+                    (Vec::new(), mean, variance)
+                }
+            }
+        };
+
+        let device_probes = self
+            .engine
+            .actor::<DeviceActor>(self.device)
+            .expect("device actor")
+            .probes_received();
+
+        let mut offered = 0;
+        let mut delivered = 0;
+        let mut dropped_overflow = 0;
+        let mut dropped_loss = 0;
+        let mut unroutable = 0;
+        let mut mean_buffer_occupancy: Option<f64> = None;
+        for &plane in &self.planes {
+            let net = self
+                .engine
+                .actor_mut::<NetworkActor>(plane)
+                .expect("plane actor");
+            let stats = net.fabric_stats(now);
+            offered += stats.offered;
+            delivered += stats.delivered;
+            dropped_overflow += stats.dropped_overflow;
+            dropped_loss += stats.dropped_loss;
+            unroutable += stats.unroutable;
+            if let Some(occ) = net.mean_occupancy(now) {
+                mean_buffer_occupancy = Some(mean_buffer_occupancy.unwrap_or(0.0) + occ);
+            }
+        }
+
+        let population_series: Vec<(f64, f64)> = self
+            .engine
+            .actor::<ChurnActor>(self.churn)
+            .expect("churn actor")
+            .population_series()
+            .samples()
+            .iter()
+            .map(|s| (s.t, s.value))
+            .collect();
+
+        let mut cps = Vec::with_capacity(self.cps.len());
+        for &actor in &self.cps {
+            let cp = self.engine.actor::<CpActor>(actor).expect("cp actor");
+            let rec = cp.record_snapshot();
+            cps.push(CpSummary::from_record(&rec, now.as_secs_f64()));
+        }
+
+        let freqs: Vec<f64> = cps
+            .iter()
+            .filter(|c| c.cycles_succeeded > 0)
+            .map(|c| c.mean_frequency)
+            .collect();
+        let fairness = jain_index(&freqs);
+
+        ScenarioResult {
+            duration: now.as_secs_f64(),
+            events_processed: self.engine.events_processed(),
+            device_probes,
+            load_series,
+            load_mean,
+            load_variance,
+            mean_buffer_occupancy,
+            messages_offered: offered,
+            messages_delivered: delivered,
+            messages_dropped_overflow: dropped_overflow,
+            messages_dropped_loss: dropped_loss,
+            messages_unroutable: unroutable,
             population_series,
             cps,
             fairness_jain: fairness,

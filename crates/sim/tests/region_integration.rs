@@ -2,11 +2,13 @@
 //! one-network-per-region cross-delivery, and the sharded mega path.
 
 use presence_core::{CpId, DeviceId, Probe, WireMessage};
+use presence_des::WindowPolicy;
 use presence_des::{ActorId, RegionSim, SimDuration, SimTime, Simulation};
 use presence_net::{ConstantDelay, Fabric, NoLoss};
 use presence_sim::{
-    run_mega_sharded, shard_configs, Addr, CollectorActor, MegaConfig, MegaScenario, NetworkActor,
-    PresenceActorSet, PresenceSim, Protocol, Scenario, ScenarioConfig, SimEvent,
+    golden_trio, run_mega_sharded, shard_configs, Addr, CollectorActor, DecomposedScenario,
+    MegaConfig, MegaScenario, NetworkActor, PresenceActorSet, PresenceSim, Protocol, Scenario,
+    ScenarioConfig, SimEvent,
 };
 
 /// The trio scenarios are hub-coupled: any multi-region request must
@@ -170,6 +172,104 @@ fn sharded_serial_and_threaded_are_byte_identical() {
         serde_json::to_string(&threaded).unwrap(),
         "worker count must not perturb results"
     );
+}
+
+/// The tentpole acceptance: under the decomposed topology the paper trio
+/// genuinely partitions — every scenario plans ≥ 2 effective regions with
+/// a positive lookahead, instead of collapsing like the hub.
+#[test]
+fn decomposed_trio_plans_multiple_regions() {
+    for (name, cfg) in golden_trio() {
+        for requested in [2usize, 4, 8] {
+            let scenario = DecomposedScenario::build(cfg, requested);
+            let plan = scenario.region_plan();
+            assert_eq!(plan.requested, requested, "{name}");
+            assert!(
+                plan.effective >= 2,
+                "{name} collapsed at requested={requested}: {}",
+                plan.reason
+            );
+            assert!(
+                plan.reason.contains("lookahead"),
+                "{name} plan must state the lookahead: {}",
+                plan.reason
+            );
+        }
+    }
+}
+
+/// Decomposed runs are bit-identical across region counts, worker counts,
+/// and window policies: regions {2, 4} × policies on the windowed engine
+/// must reproduce the sequential (regions = 1) trajectory exactly.
+#[test]
+fn decomposed_runs_match_sequential_across_regions() {
+    let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 12, 30.0, 42);
+    cfg.load_window = 2.0;
+    let mut reference = DecomposedScenario::build(cfg, 1);
+    assert!(reference.region_counters().is_none());
+    reference.run();
+    let expected = serde_json::to_string(&reference.collect()).unwrap();
+    assert!(reference.relays_forwarded() > 0, "no cross-plane traffic");
+
+    for regions in [2usize, 4] {
+        for policy in [WindowPolicy::Adaptive, WindowPolicy::Static] {
+            let mut sc = DecomposedScenario::build(cfg, regions);
+            sc.set_workers(regions);
+            sc.set_window_policy(policy);
+            sc.run();
+            let got = serde_json::to_string(&sc.collect()).unwrap();
+            assert_eq!(
+                got, expected,
+                "regions={regions} policy={policy:?} diverged from sequential"
+            );
+            let (windows, exchanges, _) = sc.region_counters().expect("windowed engine");
+            assert!(windows > 0, "regions={regions}: no windows executed");
+            assert!(
+                exchanges > 0,
+                "regions={regions}: no cross-region events exchanged"
+            );
+        }
+    }
+}
+
+/// Adaptive windows never barrier more than static ones on the same
+/// decomposed run (the tentpole's efficiency claim, on a real scenario).
+#[test]
+fn decomposed_adaptive_windows_at_most_static() {
+    let mut cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 10, 20.0, 11);
+    cfg.load_window = 2.0;
+    let windows = |policy: WindowPolicy| {
+        let mut sc = DecomposedScenario::build(cfg, 4);
+        sc.set_workers(1);
+        sc.set_window_policy(policy);
+        sc.run();
+        sc.region_counters().expect("windowed engine").0
+    };
+    let adaptive = windows(WindowPolicy::Adaptive);
+    let static_ = windows(WindowPolicy::Static);
+    assert!(
+        adaptive <= static_,
+        "adaptive executed {adaptive} windows, static {static_}"
+    );
+}
+
+/// The churn scenario exercises cross-region membership notifications
+/// (the churn driver lives in region 0, its CPs everywhere): it must run
+/// to completion and stay engine-invariant too.
+#[test]
+fn decomposed_churn_scenario_matches_sequential() {
+    let mut cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 16, 60.0, 21);
+    cfg.initially_active = 6;
+    cfg.churn = presence_sim::ChurnModel::paper_fig5();
+    cfg.load_window = 5.0;
+    let mut reference = DecomposedScenario::build(cfg, 1);
+    reference.run();
+    let expected = serde_json::to_string(&reference.collect()).unwrap();
+    let mut sc = DecomposedScenario::build(cfg, 4);
+    sc.set_workers(2);
+    sc.run();
+    let got = serde_json::to_string(&sc.collect()).unwrap();
+    assert_eq!(got, expected, "churn trajectory diverged across engines");
 }
 
 /// The population split is even, total-preserving, and clamps the shard

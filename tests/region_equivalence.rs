@@ -12,7 +12,9 @@
 //! `PRESENCE_REGIONS` is process-global, so this suite serialises its
 //! env mutations behind a mutex and restores the variable afterwards.
 
-use presence::sim::{builtin_catalog, golden_trio, run_spec_once, Scenario, ScenarioResult};
+use presence::sim::{
+    builtin_catalog, golden_trio, run_spec_once, DecomposedScenario, Scenario, ScenarioResult,
+};
 use std::sync::Mutex;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -67,6 +69,53 @@ fn golden_trio_replays_identically_at_every_region_count() {
             assert_matches_fixture(name, regions, &result);
         }
     });
+}
+
+/// The decomposed (multi-plane) topology genuinely partitions — and its
+/// recorded regions = 1 fixtures must replay byte-for-byte on the
+/// windowed engine at every region count, with workers matched to
+/// regions. This is the soundness pin for the PR 8 hub decomposition:
+/// the fixtures were recorded on the sequential reference engine, so any
+/// divergence is a barrier-ordering or lookahead bug, not a fixture
+/// drift.
+#[test]
+fn decomposed_trio_replays_identically_at_every_region_count() {
+    for regions in [1usize, 2, 4] {
+        for (name, cfg) in golden_trio() {
+            let mut scenario = DecomposedScenario::build(cfg, regions);
+            let plan = scenario.region_plan();
+            assert_eq!(plan.requested, regions, "{name}");
+            if regions > 1 {
+                assert!(
+                    plan.effective >= 2,
+                    "{name}: decomposed scenario collapsed ({})",
+                    plan.reason
+                );
+            }
+            scenario.set_workers(regions);
+            scenario.run();
+            let result = scenario.collect();
+            assert_matches_fixture(&format!("decomposed-{name}"), regions, &result);
+        }
+    }
+}
+
+/// Same pin for the regime-switching lab spec on the decomposed
+/// topology: per-plane `Scheduled` model instances must stay in lockstep
+/// with the recorded single-instance run.
+#[test]
+fn decomposed_lab_replays_identically_at_every_region_count() {
+    let spec = builtin_catalog()
+        .into_iter()
+        .find(|s| s.name == "mixed-regime-stress")
+        .expect("mixed-regime-stress is in the builtin catalog");
+    for regions in [1usize, 2, 4] {
+        let mut scenario = spec.build_decomposed(regions).expect("spec builds");
+        scenario.set_workers(regions);
+        scenario.run();
+        let result = scenario.collect();
+        assert_matches_fixture("decomposed-lab-mixed", regions, &result);
+    }
 }
 
 #[test]
