@@ -70,11 +70,11 @@ PRESENCE_REGIONS=4 cargo test --release -q --test region_equivalence
 # perturb a trajectory), the decomposed trio's adaptive-window runs must
 # be byte-identical to static and never barrier more often, and
 # best-of-run trio throughput must stay above half the committed
-# BENCH_PR7.json snapshot — the best-of estimator holds steady even on
+# BENCH_PR8.json snapshot — the best-of estimator holds steady even on
 # the noisy 1-core CI box. --regions also runs the multi-core scaling
 # suite (decomposed trio at regions {1,2,4,8}, workers matched) so the
 # window/barrier counters it gates on are recorded every CI run. The
-# throwaway report path keeps the committed BENCH_PR8.json a recorded
+# throwaway report path keeps the committed BENCH_PR9.json a recorded
 # snapshot rather than overwriting it with this machine's timings.
 echo "==> perf gates: events/delivered-msg <= 2.05 + events_processed == golden + regions=2 equivalence + adaptive==static + throughput floor + scaling suite (perf_report --check --regions)"
 cargo run --release -q -p presence-bench --bin perf_report -- --check --regions target/perf_report_ci.json
@@ -92,5 +92,24 @@ cargo run --release -q -p presence-bench --bin mega_smoke -- --budget-mb 512
 # per-regime metric slices — under the same 2-worker pool as tier-1.
 echo "==> scenario lab: catalog validation + mixed-regime smoke (lab --check, PRESENCE_JOBS=$PRESENCE_JOBS)"
 cargo run --release -q -p presence-bench --bin lab -- --check
+
+# Trace stage: export a Perfetto trace from the mixed-regime acceptance
+# scenario (horizon-capped to keep the buffers CI-sized) and put it
+# through the full read-back path — `spotter` parses it, checks every
+# structural invariant (named tracks, flow begin ≤ end, counter
+# monotonicity), and prints the digest; a malformed trace exits non-zero.
+echo "==> trace stage: lab --trace + spotter validation (mixed-regime-stress, first 30 s)"
+cargo run --release -q -p presence-bench --bin lab -- \
+    mixed-regime-stress --seeds 1 --trace target/trace_ci.json --trace-until 30
+cargo run --release -q -p presence-bench --bin spotter -- target/trace_ci.json
+rm -f target/trace_ci.json
+
+# Zero-cost-when-off: with tracing disarmed (the default everywhere
+# else), the steady-state loop must still allocate nothing and the trio
+# must still clear the committed throughput floor — the trace layer may
+# only cost when a trace was asked for.
+echo "==> tracing-off re-check: alloc steady-state gate + throughput floor"
+cargo test --release -q --test alloc_steady_state
+cargo run --release -q -p presence-bench --bin perf_report -- --check target/perf_report_traceoff.json
 
 echo "==> ci.sh: all green"

@@ -25,6 +25,14 @@ use std::path::PathBuf;
 /// timelines (delay, loss, churn), shared with the shipped catalog.
 const LAB_FIXTURE_SPEC: &str = "mixed-regime-stress";
 
+/// The scenario pinned as a Chrome JSON trace fixture
+/// (`trace-paper-dcpp.json`) — the paper-default DCPP catalog entry.
+const TRACE_FIXTURE_SPEC: &str = "paper-dcpp";
+
+/// Horizon cap (virtual seconds) of the trace fixture: long enough for
+/// several probe cycles per CP, short enough to keep the fixture small.
+const TRACE_FIXTURE_UNTIL: f64 = 10.0;
+
 fn write_fixture(out_dir: &std::path::Path, name: &str, result: &ScenarioResult) {
     let json = serde_json::to_string_pretty(result).expect("result serialises");
     let path = out_dir.join(format!("{name}.json"));
@@ -67,4 +75,26 @@ fn main() {
     let mut decomposed_lab = spec.build_decomposed(1).expect("lab fixture spec builds");
     decomposed_lab.run();
     write_fixture(&out_dir, "decomposed-lab-mixed", &decomposed_lab.collect());
+
+    // The Chrome JSON trace fixture: the full export pipeline on the
+    // paper-default DCPP entry, horizon-capped, pinned byte-for-byte by
+    // `tests/trace_export.rs`. A legitimate format change (new track,
+    // renamed counter, different float rendering) must regenerate this
+    // and say so.
+    let trace_spec = builtin_catalog()
+        .into_iter()
+        .find(|s| s.name == TRACE_FIXTURE_SPEC)
+        .expect("trace fixture spec is in the builtin catalog");
+    let mut traced = trace_spec.build().expect("trace fixture spec builds");
+    traced.enable_trace(Some(TRACE_FIXTURE_UNTIL), false);
+    traced.run();
+    let result = traced.collect();
+    let json = presence_trace::write_chrome_json(&traced.collect_trace(&result));
+    let path = out_dir.join(format!("trace-{TRACE_FIXTURE_SPEC}.json"));
+    std::fs::write(&path, &json).expect("write trace fixture");
+    println!(
+        "trace-{TRACE_FIXTURE_SPEC}: {} bytes (first {TRACE_FIXTURE_UNTIL} s) -> {}",
+        json.len(),
+        path.display()
+    );
 }

@@ -21,8 +21,20 @@
 //! lookahead, or the collapsing route — and the barrier/window counters;
 //! the trajectories are byte-identical to the sequential decomposed run,
 //! pinned by `tests/region_equivalence.rs`), `--json PATH` (write the
-//! full `LabReport`), `--catalog DIR` (default: the repository's
-//! `catalog/`).
+//! full `LabReport`, or the decomposed report — region plan, per-seed
+//! window/barrier/relay/unroutable counters — under `--regions`),
+//! `--catalog DIR` (default: the repository's `catalog/`).
+//!
+//! Tracing: `--trace PATH` re-runs the first seed with presence tracing
+//! armed and writes a Chrome JSON trace that Perfetto's viewer loads
+//! directly — one track per actor, probe→reply flow arrows, counter
+//! tracks for load/frequency/fabric occupancy. `--trace-until SECS` caps
+//! the traced horizon (the run still completes; only the buffers stop),
+//! `--trace-engine` adds the dense engine stream (dispatch spans, timer
+//! arm/cancel/fire). Works on the hub topology and under `--regions N`
+//! (where the exported trace is byte-identical to the sequential one —
+//! pinned by `tests/trace_export.rs`). Inspect traces offline with the
+//! `spotter` bin.
 //!
 //! Reports are **byte-identical at any `--jobs` value** — replications
 //! merge in seed order before any cross-seed folding (pinned by
@@ -31,8 +43,60 @@
 use presence_sim::{
     builtin_catalog, job_count, mega_catalog, run_lab, LabReport, MegaSpec, ScenarioSpec,
 };
+use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// What `--trace PATH [--trace-until SECS] [--trace-engine]` asked for.
+struct TraceRequest {
+    path: PathBuf,
+    until: Option<f64>,
+    engine: bool,
+}
+
+/// Runs the first seed once more with tracing armed and writes the
+/// Chrome JSON trace. A dedicated run keeps the report path untouched:
+/// the replications the report aggregates stay untraced (and unperturbed
+/// — tracing does not change trajectories, but it does cost memory).
+fn export_trace(
+    spec: &ScenarioSpec,
+    seed: u64,
+    regions: Option<usize>,
+    request: &TraceRequest,
+) -> Result<(), String> {
+    let mut seeded = spec.clone();
+    seeded.seed = seed;
+    let err = |e: presence_sim::SpecError| format!("{}: {e}", spec.name);
+    let model = match regions {
+        Some(n) => {
+            let mut scenario = seeded.build_decomposed(n).map_err(err)?;
+            scenario.set_workers(n);
+            scenario.enable_trace(request.until, request.engine);
+            scenario.run();
+            let result = scenario.collect();
+            scenario.collect_trace(&result)
+        }
+        None => {
+            let mut scenario = seeded.build().map_err(err)?;
+            scenario.enable_trace(request.until, request.engine);
+            scenario.run();
+            let result = scenario.collect();
+            scenario.collect_trace(&result)
+        }
+    };
+    let json = presence_trace::write_chrome_json(&model);
+    std::fs::write(&request.path, &json)
+        .map_err(|e| format!("write {}: {e}", request.path.display()))?;
+    println!(
+        "trace -> {} (seed {seed}, {} tracks, {} flow/instant points, {} counters, {} bytes)",
+        request.path.display(),
+        model.tracks.len(),
+        model.points.len(),
+        model.counters.len(),
+        json.len()
+    );
+    Ok(())
+}
 
 fn default_catalog_dir() -> PathBuf {
     // crates/bench/../../catalog — the repository's shipped catalog.
@@ -125,6 +189,7 @@ fn run_one(
     seeds: &[u64],
     jobs: usize,
     json_out: Option<&Path>,
+    trace: Option<&TraceRequest>,
 ) -> Result<(), String> {
     let report = run_lab(spec, seeds, jobs).map_err(|e| format!("{}: {e}", spec.name))?;
     print_report(&report);
@@ -133,7 +198,36 @@ fn run_one(
         std::fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
         println!("report -> {}", path.display());
     }
+    if let Some(request) = trace {
+        export_trace(spec, seeds[0], None, request)?;
+    }
     Ok(())
+}
+
+/// One seed of the `--regions` path, as `--json` reports it: the
+/// parallel-engine counters (window/barrier) next to the fabric's
+/// relay/unroutable tallies.
+#[derive(Debug, Serialize)]
+struct DecomposedSeedReport {
+    seed: u64,
+    events_processed: u64,
+    windows_executed: u64,
+    barrier_exchanges: u64,
+    events_per_window: f64,
+    cross_plane_relays: u64,
+    messages_delivered: u64,
+    messages_unroutable: u64,
+}
+
+/// The `--regions … --json` envelope: region plan plus per-seed counters.
+#[derive(Debug, Serialize)]
+struct DecomposedLabReport {
+    name: String,
+    regions: usize,
+    plan_requested: usize,
+    plan_effective: usize,
+    plan_reason: String,
+    per_seed: Vec<DecomposedSeedReport>,
 }
 
 /// The `--regions N` path: run each seed on the decomposed
@@ -142,8 +236,22 @@ fn run_one(
 /// byte-identical to the hub-free sequential reference at any region
 /// count, so the numbers of interest here are the parallel-engine
 /// counters, not the metrics.
-fn run_one_decomposed(spec: &ScenarioSpec, seeds: &[u64], regions: usize) -> Result<(), String> {
+fn run_one_decomposed(
+    spec: &ScenarioSpec,
+    seeds: &[u64],
+    regions: usize,
+    json_out: Option<&Path>,
+    trace: Option<&TraceRequest>,
+) -> Result<(), String> {
     println!("\n=== {} · decomposed @ {regions} region(s) ===", spec.name);
+    let mut report = DecomposedLabReport {
+        name: spec.name.clone(),
+        regions,
+        plan_requested: regions,
+        plan_effective: 1,
+        plan_reason: String::new(),
+        per_seed: Vec::with_capacity(seeds.len()),
+    };
     for (i, &seed) in seeds.iter().enumerate() {
         let mut seeded = spec.clone();
         seeded.seed = seed;
@@ -151,17 +259,21 @@ fn run_one_decomposed(spec: &ScenarioSpec, seeds: &[u64], regions: usize) -> Res
             .build_decomposed(regions)
             .map_err(|e| format!("{}: {e}", spec.name))?;
         scenario.set_workers(regions);
+        let plan = scenario.region_plan();
         if i == 0 {
-            let plan = scenario.region_plan();
             println!(
                 "plan: requested {} -> effective {} ({})",
                 plan.requested, plan.effective, plan.reason
             );
+            report.plan_requested = plan.requested;
+            report.plan_effective = plan.effective;
+            report.plan_reason = plan.reason.clone();
         }
         scenario.run();
         let result = scenario.collect();
+        let (windows, exchanges, per_window) = scenario.region_counters().unwrap_or((0, 0, 0.0));
         match scenario.region_counters() {
-            Some((windows, exchanges, per_window)) => println!(
+            Some(_) => println!(
                 "seed {seed}: {} events in {windows} windows ({per_window:.1} events/window), \
                  {exchanges} barrier events, {} cross-plane relays",
                 result.events_processed,
@@ -173,6 +285,24 @@ fn run_one_decomposed(spec: &ScenarioSpec, seeds: &[u64], regions: usize) -> Res
                 scenario.relays_forwarded()
             ),
         }
+        report.per_seed.push(DecomposedSeedReport {
+            seed,
+            events_processed: result.events_processed,
+            windows_executed: windows,
+            barrier_exchanges: exchanges,
+            events_per_window: per_window,
+            cross_plane_relays: scenario.relays_forwarded(),
+            messages_delivered: result.messages_delivered,
+            messages_unroutable: result.messages_unroutable,
+        });
+    }
+    if let Some(path) = json_out {
+        let text = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("report -> {}", path.display());
+    }
+    if let Some(request) = trace {
+        export_trace(spec, seeds[0], Some(regions), request)?;
     }
     Ok(())
 }
@@ -318,6 +448,9 @@ fn main() -> ExitCode {
     let mut emit: Option<PathBuf> = None;
     let mut target: Option<String> = None;
     let mut regions: Option<usize> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_until: Option<f64> = None;
+    let mut trace_engine = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -337,6 +470,15 @@ fn main() -> ExitCode {
                 regions = Some(n);
             }
             "--json" => json_out = Some(PathBuf::from(value("--json"))),
+            "--trace" => trace_path = Some(PathBuf::from(value("--trace"))),
+            "--trace-until" => {
+                let secs: f64 = value("--trace-until")
+                    .parse()
+                    .expect("--trace-until SECS (virtual seconds)");
+                assert!(secs > 0.0, "--trace-until must be positive");
+                trace_until = Some(secs);
+            }
+            "--trace-engine" => trace_engine = true,
             "--seeds" => {
                 seeds = value("--seeds")
                     .split(',')
@@ -356,7 +498,16 @@ fn main() -> ExitCode {
         }
     }
 
+    let trace = trace_path.map(|path| TraceRequest {
+        path,
+        until: trace_until,
+        engine: trace_engine,
+    });
+
     let outcome = (|| -> Result<(), String> {
+        if trace.is_some() && (all || do_check || list || emit.is_some()) {
+            return Err("--trace needs a single scenario target".into());
+        }
         if let Some(dir) = emit {
             return emit_catalog(&dir);
         }
@@ -382,8 +533,8 @@ fn main() -> ExitCode {
         if all {
             for (_, spec) in load_catalog_dir(&catalog_dir)? {
                 match regions {
-                    Some(n) => run_one_decomposed(&spec, &seeds, n)?,
-                    None => run_one(&spec, &seeds, jobs, None)?,
+                    Some(n) => run_one_decomposed(&spec, &seeds, n, None, None)?,
+                    None => run_one(&spec, &seeds, jobs, None, None)?,
                 }
             }
             return Ok(());
@@ -392,7 +543,7 @@ fn main() -> ExitCode {
             return Err(
                 "usage: lab [--list | --all | --check | --emit-catalog DIR | <name|spec.json>] \
                  [--seeds a,b,c | --replications N] [--jobs N] [--regions N] [--json PATH] \
-                 [--catalog DIR]"
+                 [--trace PATH [--trace-until SECS] [--trace-engine]] [--catalog DIR]"
                     .into(),
             );
         };
@@ -408,8 +559,8 @@ fn main() -> ExitCode {
                 .ok_or_else(|| format!("no catalog entry named {target:?} (try --list)"))?
         };
         match regions {
-            Some(n) => run_one_decomposed(&spec, &seeds, n),
-            None => run_one(&spec, &seeds, jobs, json_out.as_deref()),
+            Some(n) => run_one_decomposed(&spec, &seeds, n, json_out.as_deref(), trace.as_ref()),
+            None => run_one(&spec, &seeds, jobs, json_out.as_deref(), trace.as_ref()),
         }
     })();
 

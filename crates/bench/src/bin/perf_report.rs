@@ -5,7 +5,7 @@
 //! same configurations the golden-equivalence suite pins) at CI horizons.
 //!
 //! * `perf_report [out.json]` — run the trio, print the table, write the
-//!   report (default `BENCH_PR8.json`).
+//!   report (default `BENCH_PR9.json`).
 //! * `perf_report --regions` — additionally run the multi-core scaling
 //!   suite: the decomposed (one-network-plane-per-region) trio at
 //!   regions ∈ {1, 2, 4, 8} with workers matched to regions, under both
@@ -26,7 +26,7 @@
 //!   a trajectory), a decomposed trio scenario whose adaptive-window run
 //!   is not byte-identical to its static-window run (or executes *more*
 //!   windows than static), or trio throughput collapsing below half of
-//!   the committed `BENCH_PR7.json` snapshot (the one wall-clock gate;
+//!   the committed `BENCH_PR8.json` snapshot (the one wall-clock gate;
 //!   halved to absorb CI box noise while still catching
 //!   order-of-magnitude regressions).
 
@@ -47,11 +47,11 @@ const EPM_GATE: f64 = 2.05;
 const MIN_WALL_SECS: f64 = 0.25;
 
 /// `--check` fails if a trio scenario's events/sec drops below this
-/// fraction of its `BENCH_PR7.json` snapshot.
+/// fraction of its `BENCH_PR8.json` snapshot.
 const THROUGHPUT_GATE_FRACTION: f64 = 0.5;
 
 /// The committed throughput snapshot the `--check` floor reads.
-const BASELINE_FILE: &str = "BENCH_PR7.json";
+const BASELINE_FILE: &str = "BENCH_PR8.json";
 
 /// The region/shard counts the `--regions` scaling suite sweeps.
 const SCALING_POINTS: [usize; 4] = [1, 2, 4, 8];
@@ -407,7 +407,7 @@ fn main() {
             other => out_path = Some(other.to_string()),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let regions = region_count();
 
     let mut scenarios = Vec::new();

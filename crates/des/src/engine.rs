@@ -184,6 +184,59 @@ pub struct TraceRecord {
     pub seq: u64,
 }
 
+/// What a structured [`EngineEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEventKind {
+    /// An event was delivered to the actor (anything but a self-armed
+    /// timer: messages from other actors, external stimuli, batch
+    /// members).
+    Dispatch,
+    /// The actor armed a timer — [`Context::set_timer`], or a rearm of a
+    /// still-pending timer ([`Context::rearm_timer`] /
+    /// [`Context::reschedule`] on an armed handle).
+    TimerArm,
+    /// A pending timer was cancelled before it fired.
+    TimerCancel,
+    /// A self-armed timer fired.
+    TimerFire,
+}
+
+/// One entry of the structured engine trace (see
+/// [`Simulation::enable_engine_trace`]): what the scheduler did, when,
+/// and to whom. Engine sequence numbers are deliberately absent — they
+/// are scheduler-internal and differ between a sequential and a regioned
+/// run of the same trajectory, whereas the `(time, actor, kind)` stream
+/// in canonical order is bit-identical across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineEvent {
+    /// Virtual time of the action.
+    pub time: SimTime,
+    /// The actor concerned: the dispatch target, or the timer's owner.
+    pub actor: ActorId,
+    /// What happened.
+    pub kind: EngineEventKind,
+}
+
+/// Buffered trace state behind [`Core::etrace`]. Lives in an
+/// `Option<Box<_>>` so the disabled path (the default) costs one
+/// predictable branch per scheduler operation and zero allocation —
+/// the PR 5 steady-state alloc gate stays green with tracing off.
+#[derive(Default)]
+pub(crate) struct EngineTraceState {
+    /// Buffer structured [`EngineEvent`]s (drained by
+    /// `take_engine_trace`).
+    pub(crate) record_events: bool,
+    /// Buffer raw [`TraceRecord`]s at dispatch — the regioned engine's
+    /// path to `set_trace` parity (collected and merged at each barrier).
+    pub(crate) record_raw: bool,
+    pub(crate) events: Vec<EngineEvent>,
+    pub(crate) records: Vec<TraceRecord>,
+    /// Sequence numbers of pending self-armed timers, so pops and
+    /// cancels can classify themselves. A rearm mints a fresh sequence
+    /// number ([`Core::reschedule_slot`]) and migrates membership to it.
+    armed: std::collections::HashSet<u64>,
+}
+
 /// Why a run loop returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -271,6 +324,9 @@ pub(crate) struct Core<E> {
     /// `Some` only inside a regioned run; `None` keeps the sequential
     /// engine's push path branch-free apart from one predictable test.
     pub(crate) router: Option<RegionRouter<E>>,
+    /// `Some` only while structured tracing is enabled; `None` keeps the
+    /// hot loop allocation-free (one predictable branch per operation).
+    pub(crate) etrace: Option<Box<EngineTraceState>>,
 }
 
 impl<E> Core<E> {
@@ -361,11 +417,120 @@ impl<E> Core<E> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        // A rearmed timer keeps its timer identity under the fresh
+        // sequence number; the trace sees the rearm as a new arm.
+        let rearmed_timer = self
+            .etrace
+            .as_deref_mut()
+            .is_some_and(|t| t.armed.remove(&handle.seq) && t.armed.insert(seq));
         let entry = self
             .queue
             .reschedule(handle.seq, at, seq)
             .expect("pending event reschedules");
+        if rearmed_timer {
+            let Dest::One(actor) = entry.0 else {
+                unreachable!("timers are never batch events")
+            };
+            let now = self.now;
+            if let Some(t) = self.etrace.as_deref_mut() {
+                if t.record_events {
+                    t.events.push(EngineEvent {
+                        time: now,
+                        actor,
+                        kind: EngineEventKind::TimerArm,
+                    });
+                }
+            }
+        }
         Some((EventHandle { seq }, entry))
+    }
+
+    /// Marks the event behind `handle` as a self-armed timer and records
+    /// the arm, when structured tracing is on (no-op otherwise).
+    pub(crate) fn note_timer_armed(&mut self, actor: ActorId, handle: EventHandle) {
+        let now = self.now;
+        if let Some(t) = self.etrace.as_deref_mut() {
+            if t.record_events {
+                t.armed.insert(handle.seq);
+                t.events.push(EngineEvent {
+                    time: now,
+                    actor,
+                    kind: EngineEventKind::TimerArm,
+                });
+            }
+        }
+    }
+
+    /// Cancels a pending event, classifying a cancelled timer for the
+    /// structured trace. Returns whether the event was still pending.
+    pub(crate) fn cancel(&mut self, handle: EventHandle) -> bool {
+        let now = self.now;
+        match self.queue.cancel(handle.seq) {
+            None => false,
+            Some((dest, _payload)) => {
+                if let Some(t) = self.etrace.as_deref_mut() {
+                    if t.armed.remove(&handle.seq) && t.record_events {
+                        let Dest::One(actor) = dest else {
+                            unreachable!("timers are never batch events")
+                        };
+                        t.events.push(EngineEvent {
+                            time: now,
+                            actor,
+                            kind: EngineEventKind::TimerCancel,
+                        });
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Records the pop of event `seq` for `actor` when tracing is on: a
+    /// structured dispatch/fire event, and (under `record_raw`) the raw
+    /// [`TraceRecord`] the regioned engine merges at its barriers.
+    pub(crate) fn note_dispatch(&mut self, time: SimTime, actor: ActorId, seq: u64) {
+        if let Some(t) = self.etrace.as_deref_mut() {
+            if t.record_events {
+                let kind = if t.armed.remove(&seq) {
+                    EngineEventKind::TimerFire
+                } else {
+                    EngineEventKind::Dispatch
+                };
+                t.events.push(EngineEvent { time, actor, kind });
+            }
+            if t.record_raw {
+                t.records.push(TraceRecord {
+                    time,
+                    target: actor,
+                    seq,
+                });
+            }
+        }
+    }
+
+    /// Enables structured tracing (idempotent).
+    pub(crate) fn enable_etrace(&mut self) {
+        self.etrace.get_or_insert_with(Box::default).record_events = true;
+    }
+
+    /// Enables raw [`TraceRecord`] buffering at dispatch (idempotent) —
+    /// the regioned engine's `set_trace` substrate.
+    pub(crate) fn enable_raw_records(&mut self) {
+        self.etrace.get_or_insert_with(Box::default).record_raw = true;
+    }
+
+    /// Drains the raw record buffer into `out` (engine execution order).
+    pub(crate) fn drain_raw_records_into(&mut self, out: &mut Vec<TraceRecord>) {
+        if let Some(t) = self.etrace.as_deref_mut() {
+            out.append(&mut t.records);
+        }
+    }
+
+    /// Drains the structured trace buffer (raw, engine execution order).
+    pub(crate) fn take_etrace_events(&mut self) -> Vec<EngineEvent> {
+        self.etrace
+            .as_deref_mut()
+            .map_or_else(Vec::new, |t| std::mem::take(&mut t.events))
     }
 
     fn reschedule(&mut self, handle: EventHandle, at: SimTime) -> Option<EventHandle> {
@@ -441,7 +606,11 @@ impl<'a, E> Context<'a, E> {
     /// Schedules `payload` for this actor after a delay (a timer).
     pub fn set_timer(&mut self, delay: SimDuration, payload: E) -> EventHandle {
         let me = self.me;
-        self.schedule_in(delay, me, payload)
+        let handle = self.schedule_in(delay, me, payload);
+        // Self-sends never cross a region boundary, so the handle is
+        // always a live local sequence number.
+        self.core.note_timer_armed(me, handle);
+        handle
     }
 
     /// Sends `payload` to `target` at the current instant (it fires after
@@ -480,7 +649,7 @@ impl<'a, E> Context<'a, E> {
     /// already cancelled) is a **true** no-op: nothing is retained, so
     /// fire-then-cancel patterns cannot grow engine state.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.core.queue.cancel(handle.seq).is_some()
+        self.core.cancel(handle)
     }
 
     /// Whether the event behind `handle` is still pending (neither fired
@@ -645,6 +814,7 @@ impl<E: 'static, S: Actor<E>> Simulation<E, S> {
                 stop_requested: false,
                 actor_count: 0,
                 router: None,
+                etrace: None,
             },
             actors: Vec::new(),
             rngs: Vec::new(),
@@ -664,6 +834,29 @@ impl<E: 'static, S: Actor<E>> Simulation<E, S> {
     /// Installs a trace hook invoked for every processed event.
     pub fn set_trace<F: FnMut(&TraceRecord) + 'static>(&mut self, hook: F) {
         self.trace = Some(Box::new(hook));
+    }
+
+    /// Switches the structured engine trace on (idempotent): every
+    /// dispatch, timer arm, timer cancel, and timer fire is buffered as
+    /// an [`EngineEvent`] until [`Simulation::take_engine_trace`] drains
+    /// it. Disabled (the default), the scheduler pays one predictable
+    /// branch per operation and allocates nothing.
+    pub fn enable_engine_trace(&mut self) {
+        self.core.enable_etrace();
+    }
+
+    /// Drains the buffered structured trace in canonical `(time, actor)`
+    /// order — the region-invariant order. Engine sequence numbers
+    /// differ between a sequential and a regioned run of the same
+    /// trajectory, but each actor's own event order does not (per-actor
+    /// trajectories are bit-identical, and every actor lives in exactly
+    /// one region), so a *stable* sort keyed on `(time, actor)` yields
+    /// the identical stream from either engine. Empty when tracing was
+    /// never enabled.
+    pub fn take_engine_trace(&mut self) -> Vec<EngineEvent> {
+        let mut events = self.core.take_etrace_events();
+        events.sort_by_key(|e| (e.time, e.actor));
+        events
     }
 
     /// Registers an actor given as the simulation's member type and
@@ -742,7 +935,7 @@ impl<E: 'static, S: Actor<E>> Simulation<E, S> {
     /// context, returning whether it was still pending. Cancelling a fired
     /// or already-cancelled handle is a true no-op (nothing is retained).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        self.core.queue.cancel(handle.seq).is_some()
+        self.core.cancel(handle)
     }
 
     /// Moves a pending event to `at` in place, returning the fresh handle
@@ -849,6 +1042,7 @@ impl<E: Clone + 'static, S: Actor<E>> Simulation<E, S> {
         match dest {
             Dest::One(target) => {
                 self.trace_dispatch(key.time, target, key.seq);
+                self.core.note_dispatch(key.time, target, key.seq);
                 self.dispatch(target.0, Some(payload));
             }
             Dest::Batch(targets) => {
@@ -858,9 +1052,11 @@ impl<E: Clone + 'static, S: Actor<E>> Simulation<E, S> {
                 let (&last, rest) = targets.split_last().expect("batch is never empty");
                 for &target in rest {
                     self.trace_dispatch(key.time, target, key.seq);
+                    self.core.note_dispatch(key.time, target, key.seq);
                     self.dispatch(target.0, Some(payload.clone()));
                 }
                 self.trace_dispatch(key.time, last, key.seq);
+                self.core.note_dispatch(key.time, last, key.seq);
                 self.dispatch(last.0, Some(payload));
             }
         }
@@ -1519,6 +1715,66 @@ mod tests {
         let c = run(8);
         assert_eq!(a, b, "same seed must replay identically");
         assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    /// The structured trace classifies timers end to end: arm, rearm
+    /// (which mints a fresh sequence number and must migrate the timer
+    /// identity), cancel, and fire, with plain sends staying `Dispatch`.
+    #[test]
+    fn engine_trace_classifies_timers_across_rearm() {
+        use EngineEventKind as K;
+        struct Timers {
+            peer: ActorId,
+        }
+        impl Actor<Ev> for Timers {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ev>) {
+                // Armed then cancelled: TimerArm + TimerCancel.
+                let dead = ctx.set_timer(SimDuration::from_secs(1), 0);
+                assert!(ctx.cancel(dead));
+                // Armed then rearmed in place: the fire must still be a
+                // TimerFire even though the sequence number changed.
+                let h = ctx.set_timer(SimDuration::from_secs(2), 1);
+                ctx.rearm_timer(h, SimDuration::from_secs(3), 2).unwrap();
+                // A plain message to the peer stays a Dispatch.
+                ctx.schedule_in(SimDuration::from_secs(1), self.peer, 3);
+            }
+            fn on_event(&mut self, _: &mut Context<'_, Ev>, ev: Ev) {
+                assert_eq!(ev, 2, "only the rearmed timer fires");
+            }
+        }
+        let mut sim = Simulation::new(1);
+        sim.enable_engine_trace();
+        let peer = sim.add_actor(Recorder { log: vec![] });
+        let t = sim.add_actor(Timers { peer });
+        sim.run_until_idle();
+        let kinds: Vec<(usize, K)> = sim
+            .take_engine_trace()
+            .into_iter()
+            .map(|e| (e.actor.index(), e.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (t.index(), K::TimerArm),    // set_timer (cancelled)
+                (t.index(), K::TimerCancel), // cancel
+                (t.index(), K::TimerArm),    // set_timer (rearmed)
+                (t.index(), K::TimerArm),    // rearm_timer
+                (peer.index(), K::Dispatch), // message at t=1
+                (t.index(), K::TimerFire),   // rearmed timer at t=3
+            ]
+        );
+    }
+
+    /// Disabled tracing must stay disabled: no buffer appears unless
+    /// `enable_engine_trace` is called, and taking the trace then is
+    /// empty.
+    #[test]
+    fn engine_trace_disabled_is_empty() {
+        let mut sim = Simulation::new(1);
+        let id = sim.add_actor(Recorder { log: vec![] });
+        sim.schedule_at(SimTime::from_secs_f64(1.0), id, 1);
+        sim.run_until_idle();
+        assert!(sim.take_engine_trace().is_empty());
     }
 
     #[test]

@@ -30,11 +30,11 @@ mod time;
 mod timer_slots;
 
 pub use engine::{
-    Actor, ActorId, Context, DynActorSet, EventHandle, ProjectActor, RunOutcome, Simulation,
-    TraceRecord,
+    Actor, ActorId, Context, DynActorSet, EngineEvent, EngineEventKind, EventHandle, ProjectActor,
+    RunOutcome, Simulation, TraceRecord,
 };
 pub use queue::{EventKey, EventQueue, QueueProfile};
-pub use region::{RegionSim, WindowPolicy};
+pub use region::{BarrierMark, RegionSim, WindowPolicy};
 pub use rng::{derive_seed, splitmix64, StreamRng};
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
 pub use timer_slots::TimerSlots;

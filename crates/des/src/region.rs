@@ -70,11 +70,16 @@
 //!
 //! [`DelayModel::min_delay`]: trait method in `presence-net`
 
-use crate::engine::{Actor, ActorId, Context, Core, Dest, RegionRouter, RunOutcome};
+use crate::engine::{
+    Actor, ActorId, Context, Core, Dest, EngineEvent, RegionRouter, RunOutcome, TraceRecord,
+};
 use crate::queue::{EventQueue, QueueProfile};
 use crate::rng::StreamRng;
 use crate::time::{SimDuration, SimTime};
 use std::sync::Arc;
+
+/// The raw trace hook installed by [`RegionSim::set_trace`].
+type TraceHook = Box<dyn FnMut(&TraceRecord)>;
 
 /// How a [`RegionSim`] sizes its conservative windows (see the
 /// [module docs](self) for the safety argument).
@@ -186,15 +191,18 @@ impl<E: Clone + 'static, S: Actor<E>> RegionState<E, S> {
             self.events_processed += 1;
             match dest {
                 Dest::One(target) => {
+                    self.core.note_dispatch(key.time, target, key.seq);
                     let (_, slot) = self.locate[target.0];
                     self.dispatch(slot as usize, Some(payload));
                 }
                 Dest::Batch(targets) => {
                     let (&last, rest) = targets.split_last().expect("batch is never empty");
                     for &target in rest {
+                        self.core.note_dispatch(key.time, target, key.seq);
                         let (_, slot) = self.locate[target.0];
                         self.dispatch(slot as usize, Some(payload.clone()));
                     }
+                    self.core.note_dispatch(key.time, last, key.seq);
                     let (_, slot) = self.locate[last.0];
                     self.dispatch(slot as usize, Some(payload));
                 }
@@ -237,6 +245,28 @@ pub struct RegionSim<E: 'static, S: Actor<E>> {
     /// Whether the per-region routers have been (re)installed since the
     /// last membership change.
     sealed: bool,
+    /// Trace hook with [`crate::Simulation::set_trace`] parity: invoked
+    /// for every processed event, in deterministic barrier-merge order.
+    trace: Option<TraceHook>,
+    /// Reusable scratch for the per-barrier trace merge.
+    trace_scratch: Vec<TraceRecord>,
+    /// Barrier marks buffered while structured tracing is on.
+    barriers: Vec<BarrierMark>,
+    /// Whether structured tracing (and barrier marks) are enabled.
+    etrace_enabled: bool,
+}
+
+/// One window-barrier mark from a regioned run's structured trace: when
+/// the barrier completed (the global frontier) and how many cross-region
+/// events it exchanged. Sequential runs have no barriers, so these live
+/// beside the [`EngineEvent`] stream rather than in it — stripping them
+/// recovers the engine-invariant trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierMark {
+    /// Global frontier when the barrier completed.
+    pub time: SimTime,
+    /// Cross-region events exchanged at this barrier.
+    pub exchanged: u64,
 }
 
 impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
@@ -297,6 +327,7 @@ impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
                     stop_requested: false,
                     actor_count: 0,
                     router: None,
+                    etrace: None,
                 },
                 actors: Vec::new(),
                 global_ids: Vec::new(),
@@ -318,7 +349,57 @@ impl<E: 'static, S: Actor<E>> RegionSim<E, S> {
             windows_executed: 0,
             barrier_exchanges: 0,
             sealed: false,
+            trace: None,
+            trace_scratch: Vec::new(),
+            barriers: Vec::new(),
+            etrace_enabled: false,
         }
+    }
+
+    /// Installs a trace hook with [`crate::Simulation::set_trace`]
+    /// parity: the hook observes every processed event exactly once.
+    /// Regions buffer their records while a window runs and the hook is
+    /// invoked at each barrier, merged in `(time, target)` order — a
+    /// total order fixed by the trajectory, independent of worker
+    /// scheduling. The `seq` field is the *region-local* sequence number
+    /// (engine sequence numbering is per-region here); `time` and
+    /// `target` match the sequential engine's records exactly.
+    pub fn set_trace<F: FnMut(&TraceRecord) + 'static>(&mut self, hook: F) {
+        for region in &mut self.regions {
+            region.core.enable_raw_records();
+        }
+        self.trace = Some(Box::new(hook));
+    }
+
+    /// Switches the structured engine trace on for every region
+    /// (idempotent) — the regioned mirror of
+    /// [`crate::Simulation::enable_engine_trace`]. Window barriers are
+    /// additionally recorded as [`BarrierMark`]s.
+    pub fn enable_engine_trace(&mut self) {
+        for region in &mut self.regions {
+            region.core.enable_etrace();
+        }
+        self.etrace_enabled = true;
+    }
+
+    /// Drains the structured trace in canonical `(time, actor)` order —
+    /// bit-identical to [`crate::Simulation::take_engine_trace`] on the
+    /// same population and seed (each actor's trajectory is identical
+    /// and lives in exactly one region, so the stable cross-region sort
+    /// reconstructs the sequential stream exactly).
+    pub fn take_engine_trace(&mut self) -> Vec<EngineEvent> {
+        let mut events = Vec::new();
+        for region in &mut self.regions {
+            events.append(&mut region.core.take_etrace_events());
+        }
+        events.sort_by_key(|e| (e.time, e.actor));
+        events
+    }
+
+    /// Drains the buffered [`BarrierMark`]s (one per window barrier
+    /// executed while [`RegionSim::enable_engine_trace`] was on).
+    pub fn take_barrier_marks(&mut self) -> Vec<BarrierMark> {
+        std::mem::take(&mut self.barriers)
     }
 
     /// Caps the worker threads used per window (1 forces inline serial
@@ -574,6 +655,7 @@ impl<E: Clone + Send + 'static, S: Actor<E> + Send> RegionSim<E, S> {
             }
             self.run_windows(&ends);
             self.windows_executed += 1;
+            self.flush_trace();
             if self.take_stop_request() {
                 return RunOutcome::Stopped;
             }
@@ -581,8 +663,33 @@ impl<E: Clone + Send + 'static, S: Actor<E> + Send> RegionSim<E, S> {
             // before it has executed in every region.
             let frontier = ends.iter().copied().min().unwrap_or(horizon);
             self.now = self.now.max(frontier.min(end.unwrap_or(SimTime::MAX)));
+            let before = self.barrier_exchanges;
             self.merge_outboxes();
+            if self.etrace_enabled {
+                self.barriers.push(BarrierMark {
+                    time: self.now,
+                    exchanged: self.barrier_exchanges - before,
+                });
+            }
         }
+    }
+
+    /// Delivers every record buffered during the last round of windows to
+    /// the trace hook, merged in `(time, target)` order (see
+    /// [`RegionSim::set_trace`]).
+    fn flush_trace(&mut self) {
+        let Some(hook) = self.trace.as_mut() else {
+            return;
+        };
+        let records = &mut self.trace_scratch;
+        for region in &mut self.regions {
+            region.core.drain_raw_records_into(records);
+        }
+        records.sort_by_key(|r| (r.time, r.target));
+        for record in records.iter() {
+            hook(record);
+        }
+        records.clear();
     }
 
     /// Computes each region's window end for the next round (see the
@@ -976,6 +1083,60 @@ mod tests {
         reg.add_member(0, relay(1, 1_000, 10));
         reg.add_member(1, relay(0, 1_000, 10));
         reg.run_until(SimTime::from_secs_f64(0.001));
+    }
+
+    /// The canonical structured trace is engine-invariant: the regioned
+    /// run (any worker count) reproduces the sequential stream exactly,
+    /// and its barrier marks strip away cleanly.
+    #[test]
+    fn engine_trace_is_bit_identical_to_sequential() {
+        let end = SimTime::from_secs_f64(0.01);
+        let mut seq: RelaySim = Simulation::with_actor_set(0xabcd);
+        seq.enable_engine_trace();
+        seq.add_member(relay(1, 25_000, 40));
+        seq.add_member(relay(0, 35_000, 40));
+        seq.run_until(end);
+        let sequential = seq.take_engine_trace();
+        assert!(!sequential.is_empty());
+
+        for workers in [1, 4] {
+            let mut reg: RelayRegionSim = RegionSim::new(0xabcd, 2, LOOKAHEAD);
+            reg.enable_engine_trace();
+            reg.add_member(0, relay(1, 25_000, 40));
+            reg.add_member(1, relay(0, 35_000, 40));
+            reg.set_workers(workers);
+            reg.run_until(end);
+            assert_eq!(
+                reg.take_engine_trace(),
+                sequential,
+                "workers={workers}: canonical trace must match sequential"
+            );
+            let marks = reg.take_barrier_marks();
+            assert!(!marks.is_empty(), "regioned run records barrier marks");
+            assert!(marks.windows(2).all(|w| w[0].time <= w[1].time));
+        }
+    }
+
+    /// `set_trace` parity: the regioned hook observes every processed
+    /// event exactly once, in a worker-count-independent order.
+    #[test]
+    fn set_trace_hook_sees_every_event_deterministically() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let run = |workers: usize| {
+            let mut reg: RelayRegionSim = RegionSim::new(9, 2, LOOKAHEAD);
+            reg.add_member(0, relay(1, 25_000, 20));
+            reg.add_member(1, relay(0, 35_000, 20));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let log2 = Rc::clone(&log);
+            reg.set_trace(move |rec| log2.borrow_mut().push((rec.time, rec.target)));
+            reg.set_workers(workers);
+            reg.run_until(SimTime::from_secs_f64(0.01));
+            let records = log.borrow().clone();
+            assert_eq!(records.len() as u64, reg.events_processed());
+            records
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

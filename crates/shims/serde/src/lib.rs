@@ -77,6 +77,20 @@ impl Value {
     }
 }
 
+/// A [`Value`] serializes as itself — callers holding arbitrary JSON
+/// (e.g. a trace reader) can pass the tree straight through.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Deserialization error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError(pub String);

@@ -27,6 +27,7 @@
 //! deterministically.
 
 use crate::event::SimEvent;
+use crate::trace::ChurnTrace;
 use presence_des::{Actor, ActorId, Context, EventHandle, SimDuration, SimTime};
 use presence_stats::TimeSeries;
 use serde::{Deserialize, Serialize};
@@ -152,6 +153,9 @@ pub struct ChurnActor {
     /// inter-plane leg so every `Join`/`Leave` crosses region cuts with
     /// positive lookahead (see [`ChurnActor::set_notify_delay`]).
     notify_delay: SimDuration,
+    /// Regime-switch trace buffer; `None` (one predictable branch per
+    /// switch) unless [`ChurnActor::set_trace`] armed it.
+    trace: Option<Box<ChurnTrace>>,
 }
 
 impl ChurnActor {
@@ -191,7 +195,18 @@ impl ChurnActor {
             flash_baseline: 0,
             switches: 0,
             notify_delay: SimDuration::ZERO,
+            trace: None,
         }
+    }
+
+    /// Arms regime-switch tracing up to `until_ns` (virtual nanoseconds).
+    pub fn set_trace(&mut self, until_ns: u64) {
+        self.trace = Some(Box::new(ChurnTrace::new(until_ns)));
+    }
+
+    /// Takes the trace buffer accumulated since [`ChurnActor::set_trace`].
+    pub fn take_trace(&mut self) -> Option<Box<ChurnTrace>> {
+        self.trace.take()
     }
 
     /// Makes every membership notification (`Join`/`Leave`, wave steps,
@@ -552,6 +567,9 @@ impl Actor<SimEvent> for ChurnActor {
                 }
                 self.model = model;
                 self.switches += 1;
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.switch(ctx.now().as_nanos(), self.switches);
+                }
                 self.arm(ctx);
             }
             other => {

@@ -5,6 +5,7 @@
 
 use crate::event::{Addr, SimEvent};
 use crate::recorder::RecorderMode;
+use crate::trace::CpTrace;
 use presence_core::{
     CpAction, CpId, CpStats, DcppConfig, DcppCp, Disseminator, FixedRateCp, LeaveNotice,
     NoticeDisposition, OverlayView, ProbeCycleConfig, Prober, Reply, ReplyBody, SappConfig, SappCp,
@@ -92,6 +93,9 @@ pub struct CpActor {
     active: bool,
     /// Recorder granularity; streaming skips the frequency series.
     mode: RecorderMode,
+    /// Lifecycle trace buffer; `None` (a single predictable branch per
+    /// emission point) unless [`CpActor::set_trace`] armed it.
+    trace: Option<Box<CpTrace>>,
 }
 
 impl CpActor {
@@ -132,7 +136,18 @@ impl CpActor {
             },
             active: false,
             mode: RecorderMode::Full,
+            trace: None,
         }
+    }
+
+    /// Arms lifecycle tracing up to `until_ns` (virtual nanoseconds).
+    pub fn set_trace(&mut self, until_ns: u64) {
+        self.trace = Some(Box::new(CpTrace::new(until_ns)));
+    }
+
+    /// Takes the trace buffer accumulated since [`CpActor::set_trace`].
+    pub fn take_trace(&mut self) -> Option<Box<CpTrace>> {
+        self.trace.take()
     }
 
     /// Switches the recorder granularity. Call before the first event:
@@ -203,6 +218,9 @@ impl CpActor {
         for action in actions.drain(..) {
             match action {
                 CpAction::SendProbe(probe) => {
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.probe_send(ctx.now().as_nanos(), probe.cp, probe.seq);
+                    }
                     let device = self.device;
                     ctx.send_now(
                         self.network,
@@ -241,6 +259,9 @@ impl CpActor {
                     }
                 }
                 CpAction::DeviceAbsent { at, .. } => {
+                    if let Some(t) = self.trace.as_deref_mut() {
+                        t.absent(at.as_nanos());
+                    }
                     if self.record.detected_absent_at.is_none() {
                         self.record.detected_absent_at = Some(at);
                     }
@@ -286,6 +307,9 @@ impl CpActor {
         let Some(prober) = self.prober.as_mut() else {
             return;
         };
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.reply_recv(ctx.now().as_nanos(), reply.probe.cp, reply.probe.seq);
+        }
         if let ReplyBody::Sapp { last_probers, .. } = reply.body {
             self.overlay.observe(last_probers);
         }

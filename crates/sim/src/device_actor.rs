@@ -4,6 +4,7 @@
 
 use crate::event::{Addr, SimEvent};
 use crate::recorder::RecorderMode;
+use crate::trace::DeviceTrace;
 use presence_core::{
     AutoTuner, Bye, DcppDevice, DeviceId, Probe, Reply, SappDevice, TuneDecision, WireMessage,
 };
@@ -119,6 +120,9 @@ pub struct DeviceActor {
     /// Closed load windows seen so far in streaming mode (to skip the
     /// warm-up window).
     load_windows_seen: u64,
+    /// Lifecycle trace buffer; `None` (one predictable branch per probe)
+    /// unless [`DeviceActor::set_trace`] armed it.
+    trace: Option<Box<DeviceTrace>>,
 }
 
 impl DeviceActor {
@@ -154,7 +158,18 @@ impl DeviceActor {
             mode: RecorderMode::Full,
             load_acc: Welford::new(),
             load_windows_seen: 0,
+            trace: None,
         }
+    }
+
+    /// Arms lifecycle tracing up to `until_ns` (virtual nanoseconds).
+    pub fn set_trace(&mut self, until_ns: u64) {
+        self.trace = Some(Box::new(DeviceTrace::new(until_ns)));
+    }
+
+    /// Takes the trace buffer accumulated since [`DeviceActor::set_trace`].
+    pub fn take_trace(&mut self) -> Option<Box<DeviceTrace>> {
+        self.trace.take()
     }
 
     /// Switches the recorder granularity. Call before the first event:
@@ -288,6 +303,14 @@ impl Actor<SimEvent> for DeviceActor {
                 }
                 let reply = self.machine.on_probe(now, probe);
                 let delay = self.processing.sample(ctx.rng());
+                if let Some(t) = self.trace.as_deref_mut() {
+                    t.probe(
+                        now.as_nanos(),
+                        (now + delay).as_nanos(),
+                        probe.cp,
+                        probe.seq,
+                    );
+                }
                 // Single-hop fast path: the reply's `Send` is scheduled on
                 // the network for the instant processing completes — no
                 // intermediate self-event. The handle is kept so a crash

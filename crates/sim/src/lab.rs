@@ -596,6 +596,9 @@ pub struct LabSeedResult {
     pub messages_dropped_loss: u64,
     /// Messages dropped on buffer overflow.
     pub messages_dropped_overflow: u64,
+    /// Messages the fabric could not route to any live recipient
+    /// (`FabricStats::unroutable`).
+    pub messages_unroutable: u64,
     /// Per-regime slices of this replication.
     pub slices: Vec<RegimeSlice>,
 }
@@ -691,6 +694,7 @@ pub fn run_lab(spec: &ScenarioSpec, seeds: &[u64], jobs: usize) -> Result<LabRep
             messages_delivered: result.messages_delivered,
             messages_dropped_loss: result.messages_dropped_loss,
             messages_dropped_overflow: result.messages_dropped_overflow,
+            messages_unroutable: result.messages_unroutable,
             slices: slice_result(&result, &windows, failure_at),
         }
     });

@@ -48,6 +48,7 @@ pub mod region;
 mod replication;
 mod scenario;
 pub mod test_profile;
+pub mod trace;
 
 pub use actor_set::{CollectorActor, PresenceActorSet, PresenceSim};
 pub use churn::{ChurnActor, ChurnModel};
@@ -76,3 +77,4 @@ pub use scenario::{
     golden_trio, DecomposedScenario, DelayKind, LossKind, Protocol, Scenario, ScenarioConfig,
     DECOMPOSED_PLANES, WAN_LEG_FLOOR,
 };
+pub use trace::flow_id;

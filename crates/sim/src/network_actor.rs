@@ -45,6 +45,7 @@
 //! positive lookahead.
 
 use crate::event::{Addr, SimEvent};
+use crate::trace::NetTrace;
 use presence_des::{Actor, ActorId, Context, SimDuration, SimTime};
 use presence_net::{Fabric, FabricStats, SendOutcome};
 use std::sync::Arc;
@@ -90,6 +91,9 @@ pub struct NetworkActor {
     plane: Option<(u32, Arc<PlaneTopology>)>,
     /// Unicasts this plane forwarded to another plane's fabric.
     relays_forwarded: u64,
+    /// Counter-sample buffer; `None` (one predictable branch per message
+    /// event) unless [`NetworkActor::set_trace`] armed it.
+    trace: Option<Box<NetTrace>>,
 }
 
 impl NetworkActor {
@@ -103,6 +107,32 @@ impl NetworkActor {
             device_routes: Vec::new(),
             plane: None,
             relays_forwarded: 0,
+            trace: None,
+        }
+    }
+
+    /// Arms counter-sample tracing up to `until_ns` (virtual nanoseconds).
+    pub fn set_trace(&mut self, until_ns: u64) {
+        self.trace = Some(Box::new(NetTrace::new(until_ns)));
+    }
+
+    /// Takes the buffer accumulated since [`NetworkActor::set_trace`].
+    pub fn take_trace(&mut self) -> Option<Box<NetTrace>> {
+        self.trace.take()
+    }
+
+    /// Samples the in-flight and relay counters (at most once per
+    /// simulated millisecond) when tracing is armed.
+    fn trace_sample(&mut self, now: SimTime) {
+        let Some(t) = self.trace.as_deref_mut() else {
+            return;
+        };
+        if t.wants_sample(now.as_nanos()) {
+            let in_flight = self.fabric.in_flight_at(now);
+            let relays = self.relays_forwarded;
+            if let Some(t) = self.trace.as_deref_mut() {
+                t.sample(now.as_nanos(), in_flight, relays);
+            }
         }
     }
 
@@ -279,6 +309,7 @@ impl Actor<SimEvent> for NetworkActor {
                 debug_assert!(false, "network actor got unexpected event {other:?}");
             }
         }
+        self.trace_sample(ctx.now());
     }
 }
 

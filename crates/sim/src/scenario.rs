@@ -14,6 +14,7 @@ use crate::metrics::{CpSummary, ScenarioResult};
 use crate::network_actor::{NetworkActor, PlaneTopology};
 use crate::recorder::RecorderMode;
 use crate::region::{plan_partitioned, RegionPartition, RegionPlan};
+use crate::trace::TraceCapture;
 use presence_core::{
     AutoTuneConfig, AutoTuner, CpId, DcppConfig, DcppDevice, DeviceId, ProbeCycleConfig,
     SappConfig, SappDevice, SappDeviceConfig,
@@ -235,6 +236,8 @@ pub struct Scenario {
     network: ActorId,
     churn: ActorId,
     cps: Vec<ActorId>,
+    /// Trace horizon (ns) when [`Scenario::enable_trace`] armed tracing.
+    trace_until_ns: Option<u64>,
 }
 
 impl Scenario {
@@ -383,7 +386,96 @@ impl Scenario {
             network,
             churn,
             cps,
+            trace_until_ns: None,
         }
+    }
+
+    /// Arms presence tracing on every actor (and, when `engine` is set,
+    /// the structured engine event stream). `until` caps the horizon in
+    /// virtual seconds (`None` = the whole run). Call before [`Scenario::run`];
+    /// drain with [`Scenario::collect_trace`]. The simulated trajectory is
+    /// unchanged — tracing only buffers observations.
+    pub fn enable_trace(&mut self, until: Option<f64>, engine: bool) {
+        let until_ns = until.map_or(u64::MAX, |s| SimTime::from_secs_f64(s).as_nanos());
+        self.trace_until_ns = Some(until_ns);
+        if engine {
+            self.sim.enable_engine_trace();
+        }
+        let network = self.network;
+        self.sim
+            .actor_mut::<NetworkActor>(network)
+            .expect("network actor")
+            .set_trace(until_ns);
+        let device = self.device;
+        self.sim
+            .actor_mut::<DeviceActor>(device)
+            .expect("device actor")
+            .set_trace(until_ns);
+        for &cp in &self.cps.clone() {
+            self.sim
+                .actor_mut::<CpActor>(cp)
+                .expect("cp actor")
+                .set_trace(until_ns);
+        }
+        let churn = self.churn;
+        self.sim
+            .actor_mut::<ChurnActor>(churn)
+            .expect("churn actor")
+            .set_trace(until_ns);
+    }
+
+    /// Drains the trace buffers into a [`presence_trace::TraceModel`]
+    /// (counter tracks are synthesised from `result`'s series, so pass the
+    /// [`Scenario::collect`] output of the same run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scenario::enable_trace`] was not called.
+    #[must_use]
+    pub fn collect_trace(&mut self, result: &ScenarioResult) -> presence_trace::TraceModel {
+        let until_ns = self
+            .trace_until_ns
+            .expect("enable_trace before collect_trace");
+        let network = self.network;
+        let device = self.device;
+        let churn = self.churn;
+        let nets = vec![(
+            network.index(),
+            self.sim
+                .actor_mut::<NetworkActor>(network)
+                .expect("network actor")
+                .take_trace(),
+        )];
+        let device_buf = self
+            .sim
+            .actor_mut::<DeviceActor>(device)
+            .expect("device actor")
+            .take_trace();
+        let mut cps = Vec::with_capacity(self.cps.len());
+        for &cp in &self.cps.clone() {
+            cps.push((
+                cp.index(),
+                self.sim
+                    .actor_mut::<CpActor>(cp)
+                    .expect("cp actor")
+                    .take_trace(),
+            ));
+        }
+        let churn_buf = self
+            .sim
+            .actor_mut::<ChurnActor>(churn)
+            .expect("churn actor")
+            .take_trace();
+        TraceCapture {
+            until_ns,
+            nets,
+            device: (device.index(), device_buf),
+            cps,
+            churn: (churn.index(), churn_buf),
+            engine: self.sim.take_engine_trace(),
+            barriers: Vec::new(),
+        }
+        .into_model(result)
     }
 
     /// The configuration this scenario was built from.
@@ -683,6 +775,27 @@ impl Engine {
             }
         }
     }
+
+    fn enable_engine_trace(&mut self) {
+        match self {
+            Engine::Seq(sim) => sim.enable_engine_trace(),
+            Engine::Regioned(sim) => sim.enable_engine_trace(),
+        }
+    }
+
+    fn take_engine_trace(&mut self) -> Vec<presence_des::EngineEvent> {
+        match self {
+            Engine::Seq(sim) => sim.take_engine_trace(),
+            Engine::Regioned(sim) => sim.take_engine_trace(),
+        }
+    }
+
+    fn take_barrier_marks(&mut self) -> Vec<presence_des::BarrierMark> {
+        match self {
+            Engine::Seq(_) => Vec::new(),
+            Engine::Regioned(sim) => sim.take_barrier_marks(),
+        }
+    }
 }
 
 /// A scenario on the decomposed (multi-plane) network topology: one
@@ -709,6 +822,9 @@ pub struct DecomposedScenario {
     cps: Vec<ActorId>,
     plan: RegionPlan,
     leg: SimDuration,
+    /// Trace horizon (ns) when [`DecomposedScenario::enable_trace`] armed
+    /// tracing.
+    trace_until_ns: Option<u64>,
 }
 
 impl DecomposedScenario {
@@ -947,7 +1063,100 @@ impl DecomposedScenario {
             cps,
             plan,
             leg,
+            trace_until_ns: None,
         }
+    }
+
+    /// Arms presence tracing on every actor of the decomposed topology
+    /// (see [`Scenario::enable_trace`]). The emitted trace is bit-identical
+    /// across region counts: per-actor trajectories are region-invariant
+    /// and the engine stream is canonically ordered — only the barrier
+    /// marks (regioned runs only) differ, on their own track.
+    pub fn enable_trace(&mut self, until: Option<f64>, engine: bool) {
+        let until_ns = until.map_or(u64::MAX, |s| SimTime::from_secs_f64(s).as_nanos());
+        self.trace_until_ns = Some(until_ns);
+        if engine {
+            self.engine.enable_engine_trace();
+        }
+        for &plane in &self.planes.clone() {
+            self.engine
+                .actor_mut::<NetworkActor>(plane)
+                .expect("plane actor")
+                .set_trace(until_ns);
+        }
+        let device = self.device;
+        self.engine
+            .actor_mut::<DeviceActor>(device)
+            .expect("device actor")
+            .set_trace(until_ns);
+        for &cp in &self.cps.clone() {
+            self.engine
+                .actor_mut::<CpActor>(cp)
+                .expect("cp actor")
+                .set_trace(until_ns);
+        }
+        let churn = self.churn;
+        self.engine
+            .actor_mut::<ChurnActor>(churn)
+            .expect("churn actor")
+            .set_trace(until_ns);
+    }
+
+    /// Drains the trace buffers into a [`presence_trace::TraceModel`] —
+    /// the decomposed mirror of [`Scenario::collect_trace`], with one
+    /// `net{p}` track per plane and the regioned engine's barrier marks
+    /// attached when the run was genuinely parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DecomposedScenario::enable_trace`] was not called.
+    #[must_use]
+    pub fn collect_trace(&mut self, result: &ScenarioResult) -> presence_trace::TraceModel {
+        let until_ns = self
+            .trace_until_ns
+            .expect("enable_trace before collect_trace");
+        let mut nets = Vec::with_capacity(self.planes.len());
+        for &plane in &self.planes.clone() {
+            nets.push((
+                plane.index(),
+                self.engine
+                    .actor_mut::<NetworkActor>(plane)
+                    .expect("plane actor")
+                    .take_trace(),
+            ));
+        }
+        let device = self.device;
+        let device_buf = self
+            .engine
+            .actor_mut::<DeviceActor>(device)
+            .expect("device actor")
+            .take_trace();
+        let mut cps = Vec::with_capacity(self.cps.len());
+        for &cp in &self.cps.clone() {
+            cps.push((
+                cp.index(),
+                self.engine
+                    .actor_mut::<CpActor>(cp)
+                    .expect("cp actor")
+                    .take_trace(),
+            ));
+        }
+        let churn = self.churn;
+        let churn_buf = self
+            .engine
+            .actor_mut::<ChurnActor>(churn)
+            .expect("churn actor")
+            .take_trace();
+        TraceCapture {
+            until_ns,
+            nets,
+            device: (device.index(), device_buf),
+            cps,
+            churn: (churn.index(), churn_buf),
+            engine: self.engine.take_engine_trace(),
+            barriers: self.engine.take_barrier_marks(),
+        }
+        .into_model(result)
     }
 
     /// The configuration this scenario was built from.

@@ -1,0 +1,353 @@
+//! Per-actor trace capture behind the `presence-trace` layer.
+//!
+//! Every actor that participates in a probe lifecycle owns an
+//! `Option<Box<…Trace>>` buffer, `None` by default: the steady-state loop
+//! pays exactly one predictable branch per emission point and allocates
+//! nothing while tracing is off (the PR 5 alloc gate runs with tracing
+//! disabled and stays green). [`crate::Scenario::enable_trace`] installs
+//! the buffers; `collect_trace` drains them into a
+//! [`presence_trace::TraceModel`] in global actor-id order, which is what
+//! makes the assembled model — and the serialised Chrome JSON —
+//! bit-identical across region counts (per-actor trajectories are
+//! region-invariant, and each buffer is filled by exactly one actor).
+//!
+//! All buffers share an `until_ns` horizon so a `--trace-until` cap bounds
+//! trace size uniformly: an event past the horizon is dropped by every
+//! recorder, never by just some of them (no orphan flow steps).
+
+use crate::metrics::ScenarioResult;
+use presence_core::CpId;
+use presence_des::{BarrierMark, EngineEvent};
+use presence_trace::{FlowPhase, PointKind, TraceModel};
+use std::collections::BTreeSet;
+
+/// Nanoseconds per fabric-counter sampling bucket: the network recorders
+/// keep at most one sample per simulated millisecond so counter tracks
+/// stay bounded on message-heavy runs.
+const SAMPLE_BUCKET_NS: u64 = 1_000_000;
+
+/// The flow id stitching one probe cycle across CP → network → device →
+/// network → CP: the CP's identity in the high bits, the per-session
+/// cycle sequence number in the low 40. Both endpoints of the lifecycle
+/// can compute it locally (the probe carries `cp` and `seq` on the wire).
+#[must_use]
+pub fn flow_id(cp: CpId, seq: u64) -> u64 {
+    (u64::from(cp.0) << 40) | (seq & 0xFF_FFFF_FFFF)
+}
+
+/// CP-side lifecycle recorder: probe sends, reply receipts, absence
+/// verdicts.
+#[derive(Debug)]
+pub struct CpTrace {
+    until_ns: u64,
+    /// `(time_ns, flow id, phase)` in emission (= time) order.
+    pub flows: Vec<(u64, u64, FlowPhase)>,
+    /// Absence-verdict instants (ns).
+    pub absents: Vec<u64>,
+    /// Sequence numbers whose flow start was recorded. A retransmission
+    /// reuses its cycle's `seq`, and a re-joined CP's fresh prober restarts
+    /// the sequence — both would duplicate a flow start, which the trace
+    /// format forbids; only the first send per seq opens the flow.
+    started: BTreeSet<u64>,
+    /// Sequence numbers whose flow finish was recorded (a stale reply must
+    /// not finish a flow twice).
+    done: BTreeSet<u64>,
+}
+
+impl CpTrace {
+    pub(crate) fn new(until_ns: u64) -> Self {
+        Self {
+            until_ns,
+            flows: Vec::new(),
+            absents: Vec::new(),
+            started: BTreeSet::new(),
+            done: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn probe_send(&mut self, time_ns: u64, cp: CpId, seq: u64) {
+        if time_ns <= self.until_ns && self.started.insert(seq) {
+            self.flows
+                .push((time_ns, flow_id(cp, seq), FlowPhase::ProbeSend));
+        }
+    }
+
+    pub(crate) fn reply_recv(&mut self, time_ns: u64, cp: CpId, seq: u64) {
+        if time_ns <= self.until_ns && self.started.contains(&seq) && self.done.insert(seq) {
+            self.flows
+                .push((time_ns, flow_id(cp, seq), FlowPhase::ReplyRecv));
+        }
+    }
+
+    pub(crate) fn absent(&mut self, time_ns: u64) {
+        if time_ns <= self.until_ns {
+            self.absents.push(time_ns);
+        }
+    }
+}
+
+/// Device-side lifecycle recorder: probe receipts and (scheduled) reply
+/// departures. No dedup is needed — repeated processing of a retransmitted
+/// probe records extra flow *steps*, which the format allows.
+#[derive(Debug)]
+pub struct DeviceTrace {
+    until_ns: u64,
+    /// `(time_ns, flow id, phase)`; `ReplySend` entries are pushed out of
+    /// time order (the departure lies one processing delay in the future),
+    /// so the collector sorts this buffer once before building the model.
+    pub flows: Vec<(u64, u64, FlowPhase)>,
+}
+
+impl DeviceTrace {
+    pub(crate) fn new(until_ns: u64) -> Self {
+        Self {
+            until_ns,
+            flows: Vec::new(),
+        }
+    }
+
+    pub(crate) fn probe(&mut self, recv_ns: u64, send_ns: u64, cp: CpId, seq: u64) {
+        let id = flow_id(cp, seq);
+        if recv_ns <= self.until_ns {
+            self.flows.push((recv_ns, id, FlowPhase::ProbeRecv));
+        }
+        if send_ns <= self.until_ns {
+            self.flows.push((send_ns, id, FlowPhase::ReplySend));
+        }
+    }
+
+    pub(crate) fn sorted_flows(mut self) -> Vec<(u64, u64, FlowPhase)> {
+        self.flows
+            .sort_by_key(|&(t, id, phase)| (t, id, matches!(phase, FlowPhase::ReplySend)));
+        self.flows
+    }
+}
+
+/// Network-plane recorder: in-flight and relay counter samples, at most
+/// one per [`SAMPLE_BUCKET_NS`] of simulated time.
+#[derive(Debug)]
+pub struct NetTrace {
+    until_ns: u64,
+    last_bucket: Option<u64>,
+    /// `(time_ns, fabric in-flight count)`.
+    pub in_flight: Vec<(u64, f64)>,
+    /// `(time_ns, cumulative relays forwarded)`.
+    pub relays: Vec<(u64, f64)>,
+}
+
+impl NetTrace {
+    pub(crate) fn new(until_ns: u64) -> Self {
+        Self {
+            until_ns,
+            last_bucket: None,
+            in_flight: Vec::new(),
+            relays: Vec::new(),
+        }
+    }
+
+    /// Whether a sample should be taken at `time_ns` (claims the bucket).
+    pub(crate) fn wants_sample(&mut self, time_ns: u64) -> bool {
+        if time_ns > self.until_ns {
+            return false;
+        }
+        let bucket = time_ns / SAMPLE_BUCKET_NS;
+        if self.last_bucket == Some(bucket) {
+            return false;
+        }
+        self.last_bucket = Some(bucket);
+        true
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    pub(crate) fn sample(&mut self, time_ns: u64, in_flight: usize, relays: u64) {
+        self.in_flight.push((time_ns, in_flight as f64));
+        self.relays.push((time_ns, relays as f64));
+    }
+}
+
+/// Churn-driver recorder: regime-switch instants.
+#[derive(Debug)]
+pub struct ChurnTrace {
+    until_ns: u64,
+    /// `(time_ns, switch ordinal)`.
+    pub switches: Vec<(u64, u64)>,
+}
+
+impl ChurnTrace {
+    pub(crate) fn new(until_ns: u64) -> Self {
+        Self {
+            until_ns,
+            switches: Vec::new(),
+        }
+    }
+
+    pub(crate) fn switch(&mut self, time_ns: u64, ordinal: u64) {
+        if time_ns <= self.until_ns {
+            self.switches.push((time_ns, ordinal));
+        }
+    }
+}
+
+/// Everything a scenario drains out of its actors and engine after a
+/// traced run, keyed by global actor index so track assembly is identical
+/// at every region count.
+pub(crate) struct TraceCapture {
+    pub(crate) until_ns: u64,
+    /// `(actor index, buffer)` per network plane, in plane order.
+    pub(crate) nets: Vec<(usize, Option<Box<NetTrace>>)>,
+    pub(crate) device: (usize, Option<Box<DeviceTrace>>),
+    /// `(actor index, buffer)` per CP, in `CpId` order.
+    pub(crate) cps: Vec<(usize, Option<Box<CpTrace>>)>,
+    pub(crate) churn: (usize, Option<Box<ChurnTrace>>),
+    pub(crate) engine: Vec<EngineEvent>,
+    pub(crate) barriers: Vec<BarrierMark>,
+}
+
+/// Seconds → virtual nanoseconds, for series recorded in float seconds.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn secs_ns(t: f64) -> u64 {
+    (t * 1e9).round().max(0.0) as u64
+}
+
+impl TraceCapture {
+    /// Assembles the final [`TraceModel`]: one track per actor, lifecycle
+    /// points from the live buffers, counter tracks synthesised from the
+    /// collected result's series (which are region-invariant by
+    /// construction), and the engine/barrier streams capped at the trace
+    /// horizon.
+    pub(crate) fn into_model(self, result: &ScenarioResult) -> TraceModel {
+        let cap = self.until_ns;
+        let mut model = TraceModel::default();
+        for (p, &(actor, _)) in self.nets.iter().enumerate() {
+            model.add_track(format!("net{p}"), Some(actor));
+        }
+        let device_track = model.add_track("device", Some(self.device.0));
+        let mut cp_tracks = Vec::with_capacity(self.cps.len());
+        for (i, &(actor, _)) in self.cps.iter().enumerate() {
+            cp_tracks.push(model.add_track(format!("cp{i}"), Some(actor)));
+        }
+        let churn_track = model.add_track("churn", Some(self.churn.0));
+
+        if let Some(dev) = self.device.1 {
+            for (t, id, phase) in dev.sorted_flows() {
+                model.push_point(t, device_track, PointKind::Flow { id, phase });
+            }
+        }
+        for ((_, buf), &track) in self.cps.into_iter().zip(&cp_tracks) {
+            let Some(buf) = buf else { continue };
+            for &(t, id, phase) in &buf.flows {
+                model.push_point(t, track, PointKind::Flow { id, phase });
+            }
+            for &t in &buf.absents {
+                model.push_point(t, track, PointKind::Absent);
+            }
+        }
+        if let Some(churn) = self.churn.1 {
+            for &(t, switch) in &churn.switches {
+                model.push_point(t, churn_track, PointKind::RegimeSwitch { switch });
+            }
+        }
+
+        for (p, (_, buf)) in self.nets.into_iter().enumerate() {
+            let Some(buf) = buf else { continue };
+            if !buf.in_flight.is_empty() {
+                model.add_counter(format!("net{p}.in_flight"), buf.in_flight);
+            }
+            if !buf.relays.is_empty() {
+                model.add_counter(format!("net{p}.relays"), buf.relays);
+            }
+        }
+        let capped = |series: &[(f64, f64)]| -> Vec<(u64, f64)> {
+            series
+                .iter()
+                .map(|&(t, v)| (secs_ns(t), v))
+                .filter(|&(t, _)| t <= cap)
+                .collect()
+        };
+        let load = capped(&result.load_series);
+        if !load.is_empty() {
+            model.add_counter("device.load", load);
+        }
+        for (i, cp) in result.cps.iter().enumerate() {
+            let freq = capped(&cp.frequency_series);
+            if !freq.is_empty() {
+                model.add_counter(format!("cp{i}.frequency"), freq);
+            }
+        }
+        let population = capped(&result.population_series);
+        if !population.is_empty() {
+            model.add_counter("population", population);
+        }
+
+        model.engine = self
+            .engine
+            .into_iter()
+            .filter(|e| e.time.as_nanos() <= cap)
+            .collect();
+        model.barriers = self
+            .barriers
+            .into_iter()
+            .filter(|b| b.time.as_nanos() <= cap)
+            .collect();
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_packs_cp_and_seq() {
+        assert_eq!(flow_id(CpId(0), 0), 0);
+        assert_eq!(flow_id(CpId(1), 0), 1 << 40);
+        assert_eq!(flow_id(CpId(3), 7), (3 << 40) | 7);
+        // Sequence numbers beyond 40 bits wrap into the cp-local space
+        // instead of corrupting the cp bits.
+        assert_eq!(flow_id(CpId(2), 1 << 41), 2 << 40);
+    }
+
+    #[test]
+    fn cp_trace_dedups_restarts_and_stale_replies() {
+        let mut t = CpTrace::new(u64::MAX);
+        t.probe_send(10, CpId(0), 1);
+        t.probe_send(20, CpId(0), 1); // retransmission: step elsewhere, no new start
+        t.reply_recv(30, CpId(0), 1);
+        t.reply_recv(40, CpId(0), 1); // stale duplicate reply
+        t.reply_recv(50, CpId(0), 2); // reply for an unrecorded cycle
+        assert_eq!(
+            t.flows,
+            vec![
+                (10, flow_id(CpId(0), 1), FlowPhase::ProbeSend),
+                (30, flow_id(CpId(0), 1), FlowPhase::ReplyRecv),
+            ]
+        );
+    }
+
+    #[test]
+    fn until_cap_drops_late_events_everywhere() {
+        let mut cp = CpTrace::new(100);
+        cp.probe_send(101, CpId(0), 1);
+        cp.absent(101);
+        assert!(cp.flows.is_empty() && cp.absents.is_empty());
+        let mut dev = DeviceTrace::new(100);
+        dev.probe(99, 101, CpId(0), 1);
+        assert_eq!(dev.flows.len(), 1, "recv kept, capped reply send dropped");
+        let mut net = NetTrace::new(100);
+        assert!(!net.wants_sample(101));
+        let mut churn = ChurnTrace::new(100);
+        churn.switch(101, 1);
+        assert!(churn.switches.is_empty());
+    }
+
+    #[test]
+    fn net_trace_buckets_samples_per_millisecond() {
+        let mut net = NetTrace::new(u64::MAX);
+        assert!(net.wants_sample(0));
+        assert!(!net.wants_sample(999_999));
+        assert!(net.wants_sample(1_000_000));
+        net.sample(1_000_000, 3, 2);
+        assert_eq!(net.in_flight, vec![(1_000_000, 3.0)]);
+        assert_eq!(net.relays, vec![(1_000_000, 2.0)]);
+    }
+}

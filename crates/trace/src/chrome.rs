@@ -1,0 +1,299 @@
+//! Serialises a [`TraceModel`] to the Chrome JSON trace format.
+//!
+//! The output loads directly in Perfetto's trace viewer (and in Chrome's
+//! legacy `about:tracing`): one process (pid 0) with one named thread per
+//! actor track, dur-0 `X` slices for lifecycle points (so flow arrows have
+//! slices to bind to), a real-duration `process` slice on the device track
+//! for each probe's service time, `s`/`t`/`f` flow events stitching every
+//! probe→reply lifecycle across the network hops, `i` instants for absence
+//! verdicts / regime switches / region barriers, and `C` counter samples.
+//!
+//! Output is byte-deterministic: events are emitted in model order (which
+//! the simulation layer constructs region-invariantly), object keys are
+//! insertion-ordered, and floats use shortest round-trip formatting — the
+//! properties the golden-fixture and regioned-equivalence tests pin.
+
+use crate::model::{FlowPhase, PointKind, TraceModel};
+use presence_des::EngineEventKind;
+use serde::Value;
+use std::collections::HashMap;
+
+/// Microsecond timestamp for Perfetto (fractional µs keep full ns
+/// precision as the shortest round-trip decimal).
+#[allow(clippy::cast_precision_loss)]
+fn ts_us(time_ns: u64) -> f64 {
+    time_ns as f64 / 1000.0
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+fn push_event(out: &mut String, first: &mut bool, event: &Value) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(&serde_json::to_string(event).expect("value serialisation is infallible"));
+}
+
+fn phase_slice_name(phase: FlowPhase) -> &'static str {
+    match phase {
+        FlowPhase::ProbeSend => "probe_send",
+        FlowPhase::ProbeRecv => "probe_recv",
+        FlowPhase::ReplySend => "reply_send",
+        FlowPhase::ReplyRecv => "reply_recv",
+    }
+}
+
+/// `s` begins a flow at the probe send, `t` steps it through the device,
+/// `f` finishes it at the reply receive.
+fn phase_flow_ph(phase: FlowPhase) -> &'static str {
+    match phase {
+        FlowPhase::ProbeSend => "s",
+        FlowPhase::ProbeRecv | FlowPhase::ReplySend => "t",
+        FlowPhase::ReplyRecv => "f",
+    }
+}
+
+fn engine_slice_name(kind: EngineEventKind) -> &'static str {
+    match kind {
+        EngineEventKind::Dispatch => "dispatch",
+        EngineEventKind::TimerArm => "timer_arm",
+        EngineEventKind::TimerCancel => "timer_cancel",
+        EngineEventKind::TimerFire => "timer_fire",
+    }
+}
+
+/// Renders the model as a Chrome JSON trace (`{"traceEvents":[...]}`),
+/// one event per line.
+#[must_use]
+pub fn write_chrome_json(model: &TraceModel) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Process + thread metadata name the tracks in the viewer.
+    push_event(
+        &mut out,
+        &mut first,
+        &obj(vec![
+            ("name", s("process_name")),
+            ("ph", s("M")),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(0)),
+            ("args", obj(vec![("name", s("presence"))])),
+        ]),
+    );
+    let barrier_tid = model.tracks.len() as u64;
+    let thread_meta = |out: &mut String, first: &mut bool, tid: u64, name: &str| {
+        push_event(
+            out,
+            first,
+            &obj(vec![
+                ("name", s("thread_name")),
+                ("ph", s("M")),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(tid)),
+                ("args", obj(vec![("name", s(name))])),
+            ]),
+        );
+    };
+    for (tid, track) in model.tracks.iter().enumerate() {
+        thread_meta(&mut out, &mut first, tid as u64, &track.name);
+    }
+    if !model.barriers.is_empty() {
+        thread_meta(&mut out, &mut first, barrier_tid, "region");
+    }
+
+    // Device service spans: a real-duration `process` slice per probe that
+    // has both its recv and its send on the same track.
+    let mut recv_at: HashMap<(u32, u64), u64> = HashMap::new();
+    for point in &model.points {
+        if let PointKind::Flow {
+            id,
+            phase: FlowPhase::ProbeRecv,
+        } = point.kind
+        {
+            recv_at.insert((point.track, id), point.time_ns);
+        }
+    }
+    for point in &model.points {
+        let PointKind::Flow { id, phase } = point.kind else {
+            continue;
+        };
+        if phase != FlowPhase::ReplySend {
+            continue;
+        }
+        let Some(&begin) = recv_at.get(&(point.track, id)) else {
+            continue;
+        };
+        push_event(
+            &mut out,
+            &mut first,
+            &obj(vec![
+                ("name", s("process")),
+                ("cat", s("device")),
+                ("ph", s("X")),
+                ("ts", Value::F64(ts_us(begin))),
+                ("dur", Value::F64(ts_us(point.time_ns - begin))),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(u64::from(point.track))),
+                ("args", obj(vec![("flow", Value::U64(id))])),
+            ]),
+        );
+    }
+
+    // Lifecycle points: a dur-0 slice (the flow's anchor) plus the flow
+    // event itself; instants for verdicts and regime switches.
+    for point in &model.points {
+        let tid = Value::U64(u64::from(point.track));
+        let ts = Value::F64(ts_us(point.time_ns));
+        match point.kind {
+            PointKind::Flow { id, phase } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &obj(vec![
+                        ("name", s(phase_slice_name(phase))),
+                        ("cat", s("probe")),
+                        ("ph", s("X")),
+                        ("ts", ts.clone()),
+                        ("dur", Value::F64(0.0)),
+                        ("pid", Value::U64(0)),
+                        ("tid", tid.clone()),
+                        ("args", obj(vec![("flow", Value::U64(id))])),
+                    ]),
+                );
+                let mut fields = vec![
+                    ("name", s("probe")),
+                    ("cat", s("probe")),
+                    ("ph", s(phase_flow_ph(phase))),
+                    ("id", Value::U64(id)),
+                    ("ts", ts),
+                    ("pid", Value::U64(0)),
+                    ("tid", tid),
+                ];
+                if phase == FlowPhase::ReplyRecv {
+                    // Bind the finish to the enclosing slice's start.
+                    fields.push(("bp", s("e")));
+                }
+                push_event(&mut out, &mut first, &obj(fields));
+            }
+            PointKind::Absent => push_event(
+                &mut out,
+                &mut first,
+                &obj(vec![
+                    ("name", s("absent")),
+                    ("cat", s("verdict")),
+                    ("ph", s("i")),
+                    ("ts", ts),
+                    ("pid", Value::U64(0)),
+                    ("tid", tid),
+                    ("s", s("t")),
+                ]),
+            ),
+            PointKind::RegimeSwitch { switch } => push_event(
+                &mut out,
+                &mut first,
+                &obj(vec![
+                    ("name", s("regime_switch")),
+                    ("cat", s("regime")),
+                    ("ph", s("i")),
+                    ("ts", ts),
+                    ("pid", Value::U64(0)),
+                    ("tid", tid),
+                    ("s", s("t")),
+                    ("args", obj(vec![("switch", Value::U64(switch))])),
+                ]),
+            ),
+        }
+    }
+
+    // Counter samples.
+    for counter in &model.counters {
+        for &(time_ns, value) in &counter.samples {
+            push_event(
+                &mut out,
+                &mut first,
+                &obj(vec![
+                    ("name", s(&counter.name)),
+                    ("ph", s("C")),
+                    ("ts", Value::F64(ts_us(time_ns))),
+                    ("pid", Value::U64(0)),
+                    ("args", obj(vec![("value", Value::F64(value))])),
+                ]),
+            );
+        }
+    }
+
+    // The engine's structured stream, routed onto the actor tracks.
+    for event in &model.engine {
+        let Some(track) = model.track_of_actor(event.actor.index()) else {
+            continue;
+        };
+        push_event(
+            &mut out,
+            &mut first,
+            &obj(vec![
+                ("name", s(engine_slice_name(event.kind))),
+                ("cat", s("engine")),
+                ("ph", s("X")),
+                ("ts", Value::F64(ts_us(event.time.as_nanos()))),
+                ("dur", Value::F64(0.0)),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(u64::from(track))),
+            ]),
+        );
+    }
+
+    // Barrier marks (regioned runs only): instants plus the two derived
+    // region counters.
+    let mut exchanged_total = 0;
+    for (index, mark) in model.barriers.iter().enumerate() {
+        let ts = Value::F64(ts_us(mark.time.as_nanos()));
+        push_event(
+            &mut out,
+            &mut first,
+            &obj(vec![
+                ("name", s("barrier")),
+                ("cat", s("region")),
+                ("ph", s("i")),
+                ("ts", ts.clone()),
+                ("pid", Value::U64(0)),
+                ("tid", Value::U64(barrier_tid)),
+                ("s", s("t")),
+                ("args", obj(vec![("exchanged", Value::U64(mark.exchanged))])),
+            ]),
+        );
+        exchanged_total += mark.exchanged;
+        #[allow(clippy::cast_precision_loss)]
+        for (name, value) in [
+            ("region.windows_executed", (index + 1) as f64),
+            ("region.barrier_exchanges", exchanged_total as f64),
+        ] {
+            push_event(
+                &mut out,
+                &mut first,
+                &obj(vec![
+                    ("name", s(name)),
+                    ("ph", s("C")),
+                    ("ts", ts.clone()),
+                    ("pid", Value::U64(0)),
+                    ("args", obj(vec![("value", Value::F64(value))])),
+                ]),
+            );
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}

@@ -1,0 +1,135 @@
+//! The engine-agnostic trace model the simulation layer fills.
+//!
+//! A [`TraceModel`] is ordinary data — no handles into a live simulation —
+//! so it can be built from either engine (sequential or regioned) and
+//! compared across them. Two invariants make regioned traces bit-identical
+//! to sequential ones:
+//!
+//! * every point carries its global actor track and virtual time, and the
+//!   writer orders output by construction, not by engine internals;
+//! * barrier marks (which exist only in regioned runs) live in their own
+//!   field, so stripping [`TraceModel::barriers`] recovers the
+//!   engine-invariant trace.
+
+use presence_des::{BarrierMark, EngineEvent};
+
+/// One step of a probe→reply lifecycle, in flow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// CP handed the probe to the network.
+    ProbeSend,
+    /// Device received the probe.
+    ProbeRecv,
+    /// Device handed the reply to the network (after processing).
+    ReplySend,
+    /// CP received the reply — the cycle completed.
+    ReplyRecv,
+}
+
+/// What a [`TracePoint`] records on its track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointKind {
+    /// A probe→reply lifecycle step, correlated across tracks by `id`
+    /// (the writer stitches the phases into one Perfetto flow).
+    Flow {
+        /// Flow correlation id (unique per probe cycle).
+        id: u64,
+        /// Which lifecycle step this is.
+        phase: FlowPhase,
+    },
+    /// A CP declared the device absent.
+    Absent,
+    /// The churn process switched regimes (`switch` counts from 1).
+    RegimeSwitch {
+        /// Ordinal of the switch (1-based).
+        switch: u64,
+    },
+}
+
+/// One timestamped point on an actor's track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePoint {
+    /// Virtual time in nanoseconds.
+    pub time_ns: u64,
+    /// Index into [`TraceModel::tracks`].
+    pub track: u32,
+    /// What happened.
+    pub kind: PointKind,
+}
+
+/// One named timeline (a Perfetto "thread").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Track {
+    /// Display name (e.g. `cp3`, `device`, `plane0`, `churn`).
+    pub name: String,
+    /// Global actor index backing this track, when there is one — engine
+    /// events are routed onto tracks through this mapping.
+    pub actor: Option<usize>,
+}
+
+/// A named counter series (a Perfetto counter track).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Counter name (e.g. `device.load`, `cp3.frequency`).
+    pub name: String,
+    /// `(time_ns, value)` samples in non-decreasing time order.
+    pub samples: Vec<(u64, f64)>,
+}
+
+/// Everything one traced run produced.
+#[derive(Debug, Default)]
+pub struct TraceModel {
+    /// Actor tracks, in tid order (track index == Perfetto tid).
+    pub tracks: Vec<Track>,
+    /// Flow and instant points emitted by the actors.
+    pub points: Vec<TracePoint>,
+    /// Counter tracks.
+    pub counters: Vec<CounterTrack>,
+    /// The engine's structured stream (dispatch/timer events), already in
+    /// canonical `(time, actor)` order. Empty unless engine tracing was
+    /// requested — it is by far the densest part of a trace.
+    pub engine: Vec<EngineEvent>,
+    /// Window-barrier marks — regioned runs only. Clearing this field
+    /// yields the engine-invariant trace (the regioned-vs-sequential
+    /// byte-identity tests do exactly that).
+    pub barriers: Vec<BarrierMark>,
+}
+
+impl TraceModel {
+    /// Registers a track and returns its index (the Perfetto tid).
+    pub fn add_track(&mut self, name: impl Into<String>, actor: Option<usize>) -> u32 {
+        let tid = u32::try_from(self.tracks.len()).expect("track count fits u32");
+        self.tracks.push(Track {
+            name: name.into(),
+            actor,
+        });
+        tid
+    }
+
+    /// Records a point (flow step or instant) on `track`.
+    pub fn push_point(&mut self, time_ns: u64, track: u32, kind: PointKind) {
+        self.points.push(TracePoint {
+            time_ns,
+            track,
+            kind,
+        });
+    }
+
+    /// Registers a counter series (samples must be time-sorted).
+    pub fn add_counter(&mut self, name: impl Into<String>, samples: Vec<(u64, f64)>) {
+        debug_assert!(samples.windows(2).all(|w| w[0].0 <= w[1].0));
+        self.counters.push(CounterTrack {
+            name: name.into(),
+            samples,
+        });
+    }
+
+    /// The track index backing a global actor id, if one was registered.
+    #[must_use]
+    pub fn track_of_actor(&self, actor: usize) -> Option<u32> {
+        self.tracks
+            .iter()
+            .position(|t| t.actor == Some(actor))
+            .map(|i| u32::try_from(i).expect("track count fits u32"))
+    }
+}

@@ -1,0 +1,118 @@
+//! Property battery for the trace writer: any model the simulation layer
+//! can legally produce must serialise to a parseable Chrome JSON trace in
+//! which every flow begins at or before its end and every counter series
+//! is time-monotone — the invariants [`presence_trace::validate`] pins.
+
+use presence_trace::{
+    analyze, parse, validate, write_chrome_json, FlowPhase, PointKind, TraceModel,
+};
+use proptest::prelude::*;
+
+/// A random-but-legal model: `cps` CP tracks plus a device track, `flows`
+/// probe cycles with ordered phase times (some left incomplete), and a
+/// couple of counter series with sorted sample times.
+fn build_model(
+    cps: usize,
+    flows: Vec<(u64, u64, u64, u64, bool)>,
+    counter_times: Vec<u64>,
+) -> TraceModel {
+    let mut model = TraceModel::default();
+    let cp_tracks: Vec<u32> = (0..cps)
+        .map(|i| model.add_track(format!("cp{i}"), Some(i)))
+        .collect();
+    let device = model.add_track("device", Some(cps));
+    for (index, &(t0, d1, d2, d3, complete)) in flows.iter().enumerate() {
+        let id = index as u64;
+        let cp = cp_tracks[index % cps];
+        let (t1, t2, t3) = (t0 + d1, t0 + d1 + d2, t0 + d1 + d2 + d3);
+        model.push_point(
+            t0,
+            cp,
+            PointKind::Flow {
+                id,
+                phase: FlowPhase::ProbeSend,
+            },
+        );
+        model.push_point(
+            t1,
+            device,
+            PointKind::Flow {
+                id,
+                phase: FlowPhase::ProbeRecv,
+            },
+        );
+        model.push_point(
+            t2,
+            device,
+            PointKind::Flow {
+                id,
+                phase: FlowPhase::ReplySend,
+            },
+        );
+        if complete {
+            model.push_point(
+                t3,
+                cp,
+                PointKind::Flow {
+                    id,
+                    phase: FlowPhase::ReplyRecv,
+                },
+            );
+        }
+    }
+    let mut times = counter_times;
+    times.sort_unstable();
+    for (i, track) in cp_tracks.iter().enumerate() {
+        let _ = track;
+        let samples: Vec<(u64, f64)> = times.iter().map(|&t| (t, (i + 1) as f64 * 0.25)).collect();
+        model.add_counter(format!("cp{i}.frequency"), samples);
+    }
+    model.add_counter("device.load", times.iter().map(|&t| (t, 0.5)).collect());
+    model
+}
+
+proptest! {
+    /// Writer output always parses, validates, and satisfies the flow
+    /// begin ≤ end and counter-monotonicity invariants.
+    #[test]
+    fn writer_output_validates(
+        cps in 1usize..5,
+        flows in proptest::collection::vec(
+            (0u64..1_000_000_000, 0u64..5_000_000, 0u64..5_000_000, 0u64..5_000_000, any::<bool>()),
+            1..40,
+        ),
+        counter_times in proptest::collection::vec(0u64..1_000_000_000, 1..30),
+    ) {
+        let model = build_model(cps, flows.clone(), counter_times);
+        let json = write_chrome_json(&model);
+        let trace = parse(&json).expect("writer output parses");
+        let check = validate(&trace).expect("writer output validates");
+        let completed = flows.iter().filter(|f| f.4).count();
+        prop_assert_eq!(check.flows_started, flows.len());
+        prop_assert_eq!(check.flows_finished, completed);
+        prop_assert!(check.counter_tracks >= 2, "cp frequency + device load");
+        // Flow begin <= end, re-derived independently of the validator:
+        // every completed cycle's latency is non-negative.
+        let report = analyze(&trace, 10);
+        prop_assert_eq!(report.cycles_started, flows.len());
+        prop_assert_eq!(report.cycles_completed, completed);
+        if let Some(p) = report.cycle_latency {
+            prop_assert!(p.p50 >= 0.0 && p.p50 <= p.p90 && p.p90 <= p.p99);
+        }
+    }
+
+    /// The validator actually rejects a counter that goes backwards in
+    /// time (the writer can't produce one; a hand-built trace can).
+    #[test]
+    fn validator_rejects_backwards_counter(at in 1_000u64..1_000_000) {
+        let mut model = TraceModel::default();
+        model.add_track("device", Some(0));
+        model.counters.push(presence_trace::CounterTrack {
+            name: "device.load".to_string(),
+            samples: vec![(at, 1.0), (at - 1, 2.0)],
+        });
+        let json = write_chrome_json(&model);
+        let trace = parse(&json).expect("parses");
+        prop_assert!(validate(&trace).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic end-to-end exercise of the writer, reader, validator,
+//! and spotter analytics on a small hand-built model.
+
+use presence_trace::{
+    analyze, parse, validate, write_chrome_json, FlowPhase, PointKind, TraceModel,
+};
+
+fn sample_model() -> TraceModel {
+    let mut model = TraceModel::default();
+    let cp0 = model.add_track("cp0", Some(0));
+    let cp1 = model.add_track("cp1", Some(1));
+    let device = model.add_track("device", Some(2));
+    let churn = model.add_track("churn", Some(3));
+    // Two complete cycles on cp0, one in-flight on cp1.
+    for (id, cp, t0) in [(1u64, cp0, 1_000_000u64), (2, cp0, 5_000_000)] {
+        model.push_point(
+            t0,
+            cp,
+            PointKind::Flow {
+                id,
+                phase: FlowPhase::ProbeSend,
+            },
+        );
+        model.push_point(
+            t0 + 200_000,
+            device,
+            PointKind::Flow {
+                id,
+                phase: FlowPhase::ProbeRecv,
+            },
+        );
+        model.push_point(
+            t0 + 450_000,
+            device,
+            PointKind::Flow {
+                id,
+                phase: FlowPhase::ReplySend,
+            },
+        );
+        model.push_point(
+            t0 + 700_000,
+            cp,
+            PointKind::Flow {
+                id,
+                phase: FlowPhase::ReplyRecv,
+            },
+        );
+    }
+    model.push_point(
+        9_000_000,
+        cp1,
+        PointKind::Flow {
+            id: 3,
+            phase: FlowPhase::ProbeSend,
+        },
+    );
+    model.push_point(9_500_000, cp1, PointKind::Absent);
+    model.push_point(4_000_000, churn, PointKind::RegimeSwitch { switch: 1 });
+    model.add_counter("cp0.frequency", vec![(2_000_000, 4.0), (6_000_000, 2.0)]);
+    model.add_counter("cp1.frequency", vec![(2_000_000, 4.0), (6_000_000, 6.0)]);
+    model.add_counter("device.load", vec![(1_000_000, 0.2), (8_000_000, 0.4)]);
+    model
+}
+
+#[test]
+fn writes_parses_validates_and_analyzes() {
+    let json = write_chrome_json(&sample_model());
+    assert!(json.starts_with("{\"traceEvents\":["));
+    let trace = parse(&json).expect("parses");
+    let check = validate(&trace).expect("validates");
+    assert_eq!(check.tracks, 4);
+    assert_eq!(check.flows_started, 3);
+    assert_eq!(check.flows_finished, 2);
+    assert_eq!(check.counter_tracks, 3);
+    assert!(check.slices > 0 && check.instants == 2);
+
+    let report = analyze(&trace, 3);
+    assert_eq!(report.cycles_started, 3);
+    assert_eq!(report.cycles_completed, 2);
+    let latency = report.cycle_latency.expect("two completed cycles");
+    assert!((latency.p50 - 700.0).abs() < 1e-9, "700 µs cycles");
+    assert_eq!(report.regime_switches, vec![(4_000.0, 1)]);
+    // Two phases around the switch; fairness defined in both (cp0+cp1
+    // sampled at 2 ms and 6 ms).
+    assert_eq!(report.phases.len(), 2);
+    assert!(report.phases.iter().all(|p| p.jain.is_some()));
+    // Phase 1: equal frequencies -> perfectly fair; phase 2: 2 vs 6.
+    assert!((report.phases[0].jain.unwrap() - 1.0).abs() < 1e-9);
+    assert!(report.phases[1].jain.unwrap() < 1.0);
+    assert_eq!(report.busiest.len(), 3);
+    assert_eq!(report.busiest[0].0, "device");
+}
+
+#[test]
+fn output_is_byte_deterministic() {
+    let a = write_chrome_json(&sample_model());
+    let b = write_chrome_json(&sample_model());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn reader_rejects_garbage() {
+    assert!(parse("not json").is_err());
+    assert!(parse("{}").is_err());
+    assert!(parse("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
+}

@@ -15,6 +15,8 @@
 //!   histograms, time series, fairness indices;
 //! * [`sim`] (`presence-sim`) — scenarios, churn workloads, and one
 //!   experiment preset per paper figure/claim;
+//! * [`trace`] (`presence-trace`) — Chrome/Perfetto trace export,
+//!   validation, and the `spotter` analytics;
 //! * [`runtime`] (`presence-runtime`) — wall-clock hosts running the same
 //!   state machines over UDP.
 //!
@@ -47,3 +49,4 @@ pub use presence_net as net;
 pub use presence_runtime as runtime;
 pub use presence_sim as sim;
 pub use presence_stats as stats;
+pub use presence_trace as trace;

@@ -1,0 +1,155 @@
+//! End-to-end pins for the presence-trace pipeline: a hub scenario must
+//! export a Perfetto-loadable Chrome JSON trace with actor tracks, probe
+//! flow events, and counter tracks; and a regioned run's trace (barrier
+//! marks aside — they only exist on the windowed engine) must be
+//! byte-for-byte identical to the sequential engine's, because the trace
+//! is a pure function of the simulated trajectory and the trajectory is
+//! region-invariant.
+
+use presence::sim::{DecomposedScenario, Protocol, Scenario, ScenarioConfig};
+use presence::trace::{analyze, parse, validate, write_chrome_json};
+
+/// The full pipeline on a paper-default DCPP hub: model → Chrome JSON →
+/// parse → validate → spotter analytics.
+#[test]
+fn hub_trace_exports_and_validates() {
+    let cfg = ScenarioConfig::paper_defaults(Protocol::dcpp_paper(), 10, 60.0, 42);
+    let mut scenario = Scenario::build(cfg);
+    scenario.enable_trace(None, true);
+    scenario.run();
+    let result = scenario.collect();
+    let model = scenario.collect_trace(&result);
+
+    // One track per actor: network plane, device, 10 CPs, churn.
+    assert_eq!(model.tracks.len(), 1 + 1 + 10 + 1);
+    assert!(!model.engine.is_empty(), "engine stream was requested");
+    assert!(model.barriers.is_empty(), "hub run has no region barriers");
+
+    let json = write_chrome_json(&model);
+    let trace = parse(&json).expect("exported trace parses");
+    let check = validate(&trace).unwrap_or_else(|e| panic!("exported trace invalid: {e}"));
+    assert_eq!(check.tracks, model.tracks.len());
+    assert!(check.flows_started > 0, "no probe cycles traced");
+    assert!(
+        check.flows_finished > 0 && check.flows_finished <= check.flows_started,
+        "reply flows inconsistent ({} started, {} finished)",
+        check.flows_started,
+        check.flows_finished
+    );
+    assert!(
+        check.counter_tracks >= 3,
+        "want >= 3 counter tracks, got {}",
+        check.counter_tracks
+    );
+    for name in [
+        "device.load",
+        "population",
+        "cp0.frequency",
+        "net0.in_flight",
+    ] {
+        assert!(
+            trace.events.iter().any(|e| e.ph == "C" && e.name == name),
+            "missing counter track `{name}`"
+        );
+    }
+
+    let report = analyze(&trace, 5);
+    assert_eq!(report.busiest.len(), 5);
+    assert_eq!(report.cycles_started, check.flows_started);
+    assert_eq!(report.cycles_completed, check.flows_finished);
+    let latency = report
+        .cycle_latency
+        .expect("completed cycles give percentiles");
+    assert!(latency.p50 > 0.0 && latency.p50 <= latency.p99);
+}
+
+/// Rendering the collected model is deterministic: two identical runs
+/// export byte-identical JSON.
+#[test]
+fn trace_export_is_deterministic() {
+    let export = || {
+        let cfg = ScenarioConfig::paper_defaults(Protocol::sapp_paper(), 4, 30.0, 9);
+        let mut scenario = Scenario::build(cfg);
+        scenario.enable_trace(Some(20.0), true);
+        scenario.run();
+        let result = scenario.collect();
+        write_chrome_json(&scenario.collect_trace(&result))
+    };
+    assert_eq!(export(), export());
+}
+
+fn decomposed_trace(cfg: ScenarioConfig, regions: usize, until: Option<f64>) -> String {
+    let mut scenario = DecomposedScenario::build(cfg, regions);
+    scenario.set_workers(regions);
+    scenario.enable_trace(until, true);
+    scenario.run();
+    let result = scenario.collect();
+    let mut model = scenario.collect_trace(&result);
+    if regions > 1 {
+        assert!(
+            !model.barriers.is_empty(),
+            "regions={regions}: windowed engine produced no barrier marks"
+        );
+    } else {
+        assert!(model.barriers.is_empty(), "sequential run has no barriers");
+    }
+    // Barrier marks are an engine artifact (they exist only on the
+    // windowed engine), not part of the simulated trajectory — strip
+    // them before comparing regioned against sequential.
+    model.barriers.clear();
+    write_chrome_json(&model)
+}
+
+/// The exported trace of the paper-default DCPP catalog entry matches
+/// the recorded fixture bit-for-bit (regenerate with the
+/// `golden_fixtures` bin when the trace format legitimately changes).
+#[test]
+fn paper_dcpp_trace_matches_golden_fixture() {
+    let spec = presence::sim::builtin_catalog()
+        .into_iter()
+        .find(|s| s.name == "paper-dcpp")
+        .expect("paper-dcpp is in the builtin catalog");
+    let mut scenario = spec.build().expect("spec builds");
+    scenario.enable_trace(Some(10.0), false);
+    scenario.run();
+    let result = scenario.collect();
+    let json = write_chrome_json(&scenario.collect_trace(&result));
+
+    let path = format!(
+        "{}/tests/golden/trace-paper-dcpp.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("fixture {path} unreadable ({e}); regenerate with the golden_fixtures bin")
+    });
+    assert!(
+        json == golden,
+        "trace format drifted from tests/golden/trace-paper-dcpp.json \
+         ({} vs {} bytes); regenerate with the golden_fixtures bin if intended",
+        json.len(),
+        golden.len()
+    );
+    // The fixture itself must stay a valid trace.
+    let check = validate(&parse(&golden).expect("fixture parses")).expect("fixture validates");
+    assert!(check.flows_started > 0 && check.counter_tracks >= 3);
+}
+
+/// The regioned engine's trace — dispatch spans, timer events, probe
+/// flows, counters — is byte-identical to the sequential engine's at
+/// every region count, on the decomposed trio.
+#[test]
+fn decomposed_trio_trace_is_byte_identical_across_regions() {
+    for (name, cfg) in presence::sim::golden_trio() {
+        // Cap the horizon so the engine stream stays test-sized; the cap
+        // is part of what must be region-invariant.
+        let reference = decomposed_trace(cfg, 1, Some(45.0));
+        assert!(reference.len() > 2, "{name}: empty trace");
+        for regions in [2usize, 4] {
+            let got = decomposed_trace(cfg, regions, Some(45.0));
+            assert_eq!(
+                got, reference,
+                "{name}: trace diverged from sequential at regions={regions}"
+            );
+        }
+    }
+}
