@@ -74,10 +74,27 @@ PRESENCE_REGIONS=4 cargo test --release -q --test region_equivalence
 # the noisy 1-core CI box. --regions also runs the multi-core scaling
 # suite (decomposed trio at regions {1,2,4,8}, workers matched) so the
 # window/barrier counters it gates on are recorded every CI run. The
-# throwaway report path keeps the committed BENCH_PR9.json a recorded
+# throwaway report path keeps the committed BENCH_PR10.json a recorded
 # snapshot rather than overwriting it with this machine's timings.
 echo "==> perf gates: events/delivered-msg <= 2.05 + events_processed == golden + regions=2 equivalence + adaptive==static + throughput floor + scaling suite (perf_report --check --regions)"
 cargo run --release -q -p presence-bench --bin perf_report -- --check --regions target/perf_report_ci.json
+
+# Conformance stage: the DES is the oracle for the sharded UDP serving
+# runtime. The suite drives identical machine populations through the
+# discrete-event engine (zero-delay network) and through real loopback
+# sockets under a lockstep virtual clock, requiring verdict-for-verdict
+# agreement — at one shard and at four, so both the single-socket path
+# and the cross-shard routing/demux paths are proven. Then the stress
+# gate: the sharded host must sustain 10k devices + 10k probers on the
+# wall clock with zero backpressure drops, zero decode errors, zero
+# unroutable datagrams, and zero false verdicts.
+echo "==> conformance: DES oracle vs UDP runtime at RUNTIME_SHARDS=1 and =4"
+RUNTIME_SHARDS=1 cargo test --release -q --test conformance
+RUNTIME_SHARDS=4 cargo test --release -q --test conformance
+RUNTIME_SHARDS=1 cargo run --release -q -p presence-bench --bin conformance
+RUNTIME_SHARDS=4 cargo run --release -q -p presence-bench --bin conformance
+echo "==> conformance stress: 10k devices on loopback, zero-drop gate (RUNTIME_SHARDS=4)"
+RUNTIME_SHARDS=4 cargo run --release -q -p presence-bench --bin conformance -- --stress 10000
 
 # Mega-scale smoke: the 100k-device calendar-queue + streaming-recorder
 # configuration (mega-ci) must finish with sane physics (wait mean at the

@@ -1,0 +1,210 @@
+//! Sim/runtime conformance inspector and loopback stress driver.
+//!
+//! * `conformance` — run the standard conformance scenarios (the same
+//!   catalogue `tests/conformance.rs` pins) through both the DES oracle
+//!   and the sharded UDP runtime at `RUNTIME_SHARDS`, print the
+//!   agreement table, and exit non-zero on any divergence.
+//! * `conformance --stress [N]` — serve `N` (default 10 000) DCPP
+//!   devices and `N` probers over loopback UDP on the wall clock for a
+//!   few seconds and require **zero** backpressure drops, zero decode
+//!   errors, zero unroutable datagrams, and zero false absence verdicts
+//!   from the new `ShardCounters` surface. This is the serving-runtime
+//!   acceptance gate: the sharded host must sustain a five-digit device
+//!   population on a CI container without shedding load.
+//!
+//! `RUNTIME_SHARDS` controls the shard count of every host either way.
+
+use presence_core::{CpId, DcppConfig, DcppCp, DcppDevice, DeviceId};
+use presence_des::{SimDuration, SimTime};
+use presence_runtime::conformance::{
+    dcpp_fleet, dcpp_pair, mixed_fleet, run_oracle, run_udp, sapp_pair, ConformanceScenario,
+};
+use presence_runtime::{
+    shards_from_env, Clock, DeviceHost, HostConfig, HostHandle, ShardedHost, SystemClock,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn run_catalogue(shards: usize) -> bool {
+    let scenarios: Vec<ConformanceScenario> =
+        vec![dcpp_pair(), dcpp_fleet(6), sapp_pair(), mixed_fleet()];
+    let mut all_ok = true;
+    println!("scenario        shards  cps  devices  verdicts  probes   agreement");
+    for scenario in &scenarios {
+        let oracle = run_oracle(scenario);
+        let udp = match run_udp(scenario, shards) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<15} {shards:>6}  UDP run failed: {e}", scenario.name);
+                all_ok = false;
+                continue;
+            }
+        };
+        let verdicts = oracle.cps.iter().filter(|c| c.verdict.is_some()).count();
+        let probes: u64 = oracle.cps.iter().map(|c| c.stats.probes_sent).sum();
+        let ok = oracle == udp;
+        all_ok &= ok;
+        println!(
+            "{:<15} {shards:>6} {:>4} {:>8} {:>9} {:>7}   {}",
+            scenario.name,
+            scenario.cps.len(),
+            scenario.devices.len(),
+            verdicts,
+            probes,
+            if ok { "EXACT" } else { "DIVERGED" }
+        );
+        if !ok {
+            for (o, u) in oracle.cps.iter().zip(&udp.cps) {
+                if o != u {
+                    println!("  cp {:?}: oracle {o:?}\n           udp    {u:?}", o.cp);
+                }
+            }
+            for (o, u) in oracle.devices.iter().zip(&udp.devices) {
+                if o != u {
+                    println!("  device {:?}: oracle {o:?} udp {u:?}", o.device);
+                }
+            }
+        }
+    }
+    all_ok
+}
+
+/// Waits until the host's activity counter stops moving (in-flight
+/// datagrams drained), bounded by `limit`.
+fn settle(host: &HostHandle, limit: Duration) {
+    let deadline = Instant::now() + limit;
+    let mut last = host.activity();
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+        let now = host.activity();
+        if now == last {
+            return;
+        }
+        last = now;
+    }
+}
+
+fn run_stress(devices_n: u32, shards: usize) -> bool {
+    let cfg = DcppConfig::paper_default(); // d_min = 500 ms: ~2 probes/s/CP
+    let host_cfg = HostConfig {
+        shards,
+        bind: "127.0.0.1:0".to_string(),
+        recv_batch: 64,
+        poll_interval: Duration::from_millis(1),
+    };
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+
+    let mut devices = ShardedHost::bind(&host_cfg).expect("bind device host");
+    for d in 0..devices_n {
+        devices.add_device(DeviceHost::Dcpp(DcppDevice::new(DeviceId(d), cfg)), None);
+    }
+    let mut cps = ShardedHost::bind(&host_cfg).expect("bind cp host");
+    // Stagger starts across one full probe period so the steady state is
+    // phase-spread: a thundering herd of 10k simultaneous probes would
+    // measure the kernel's socket buffer, not the host.
+    let stagger = cfg.d_min.as_nanos() / u64::from(devices_n.max(1));
+    for d in 0..devices_n {
+        cps.add_prober(
+            Box::new(DcppCp::new(CpId(d), cfg)),
+            devices.addr_of(DeviceId(d)),
+            DeviceId(d),
+            SimTime::ZERO + SimDuration::from_nanos(u64::from(d) * stagger),
+        );
+    }
+
+    println!(
+        "stress: {devices_n} DCPP devices / {devices_n} CPs, {shards} shard(s) per host, \
+         d_min {:.3} s",
+        cfg.d_min.as_secs_f64()
+    );
+    let start = Instant::now();
+    let device_handle = devices.start(Arc::clone(&clock));
+    let cp_handle = cps.start(Arc::clone(&clock));
+
+    // Run long enough for several full probe cycles per CP.
+    std::thread::sleep(Duration::from_secs(4));
+    let cp_report = cp_handle.join();
+    settle(&device_handle, Duration::from_secs(2));
+    let device_report = device_handle.join();
+    let wall = start.elapsed().as_secs_f64();
+
+    let sent: u64 = cp_report.probers.iter().map(|p| p.stats.probes_sent).sum();
+    let answered: u64 = device_report
+        .devices
+        .iter()
+        .map(|d| d.probes_received)
+        .sum();
+    let datagrams = cp_report.stats.datagrams_sent + device_report.stats.datagrams_sent;
+    let false_verdicts = cp_report
+        .probers
+        .iter()
+        .filter(|p| p.verdict.is_some())
+        .count();
+    let drops = cp_report.stats.dropped() + device_report.stats.dropped();
+    let decode_errors = cp_report.stats.decode_errors + device_report.stats.decode_errors;
+    let unroutable = cp_report.stats.unroutable + device_report.stats.unroutable;
+
+    println!(
+        "stress: {sent} probes sent, {answered} answered, {datagrams} datagrams \
+         in {wall:.1} s ({:.0} datagrams/s)",
+        datagrams as f64 / wall
+    );
+    println!(
+        "stress: backpressure drops {drops}, decode errors {decode_errors}, \
+         unroutable {unroutable}, false verdicts {false_verdicts}"
+    );
+    for (i, s) in cp_report.per_shard.iter().enumerate() {
+        println!(
+            "  cp shard {i}: sent {} received {} timers {}",
+            s.datagrams_sent, s.datagrams_received, s.timers_fired
+        );
+    }
+
+    let mut ok = true;
+    if drops != 0 || decode_errors != 0 || unroutable != 0 {
+        println!("FAIL: host shed load (the backpressure counters must read zero)");
+        ok = false;
+    }
+    if false_verdicts != 0 {
+        println!("FAIL: {false_verdicts} false absence verdicts under load");
+        ok = false;
+    }
+    let min_cycles = u64::from(devices_n) * 4; // ≥ 4 full cycles per CP in 4 s
+    let cycles: u64 = cp_report
+        .probers
+        .iter()
+        .map(|p| p.stats.cycles_succeeded)
+        .sum();
+    if cycles < min_cycles {
+        println!("FAIL: only {cycles} cycles completed (need ≥ {min_cycles})");
+        ok = false;
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let shards = shards_from_env();
+    let mut stress: Option<u32> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--stress" => {
+                stress = Some(
+                    iter.next()
+                        .map(|v| v.parse().expect("--stress takes a device count"))
+                        .unwrap_or(10_000),
+                );
+            }
+            other => panic!("unknown flag {other} (conformance [--stress [N]])"),
+        }
+    }
+
+    let ok = match stress {
+        Some(n) => run_stress(n, shards),
+        None => run_catalogue(shards),
+    };
+    if !ok {
+        std::process::exit(1);
+    }
+}

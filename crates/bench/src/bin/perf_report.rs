@@ -4,8 +4,10 @@
 //! wall time for the standard SAPP/DCPP/churn trio (`golden_trio`, the
 //! same configurations the golden-equivalence suite pins) at CI horizons.
 //!
-//! * `perf_report [out.json]` — run the trio, print the table, write the
-//!   report (default `BENCH_PR9.json`).
+//! * `perf_report [out.json]` — run the trio plus a sharded-UDP loopback
+//!   throughput probe (the serving runtime under a real kernel socket
+//!   path), print the table, write the report (default
+//!   `BENCH_PR10.json`).
 //! * `perf_report --regions` — additionally run the multi-core scaling
 //!   suite: the decomposed (one-network-plane-per-region) trio at
 //!   regions ∈ {1, 2, 4, 8} with workers matched to regions, under both
@@ -30,13 +32,16 @@
 //!   halved to absorb CI box noise while still catching
 //!   order-of-magnitude regressions).
 
-use presence_des::WindowPolicy;
+use presence_core::{CpId, DcppConfig, DcppCp, DcppDevice, DeviceId};
+use presence_des::{SimDuration, SimTime, WindowPolicy};
+use presence_runtime::{shards_from_env, Clock, DeviceHost, HostConfig, ShardedHost, SystemClock};
 use presence_sim::{
     golden_trio, mega_catalog, region_count, run_mega_sharded, run_mega_spec, DecomposedScenario,
     MegaResult, Scenario,
 };
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Events-per-delivered-message ceiling: 2 exact for the single-hop path,
 /// plus 2.5 % headroom for dropped and still-in-flight messages.
@@ -128,12 +133,31 @@ struct ScalingReport {
     mega: Vec<MegaScalingPoint>,
 }
 
+/// Throughput of the sharded UDP serving runtime on loopback: real
+/// sockets, real kernel, wall clock.
+#[derive(Debug, Serialize)]
+struct UdpLoopbackReport {
+    /// Shards per host (`RUNTIME_SHARDS`, or parallelism-derived).
+    shards: usize,
+    /// DCPP device/CP pairs served.
+    pairs: u32,
+    wall_seconds: f64,
+    probes_sent: u64,
+    probes_answered: u64,
+    /// Datagrams put on the wire by both hosts together.
+    datagrams: u64,
+    datagrams_per_sec: f64,
+    /// Backpressure drops reported by the host counters (gated to 0).
+    backpressure_dropped: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     epm_gate: f64,
     /// `PRESENCE_REGIONS` the report ran under (1 unless set in the env).
     regions: usize,
     scenarios: Vec<ScenarioReport>,
+    udp_loopback: UdpLoopbackReport,
     mega: Option<MegaReport>,
     /// Present when `--regions` ran the scaling suite.
     scaling: Option<ScalingReport>,
@@ -218,6 +242,78 @@ fn check_region_equivalence(gate_failures: &mut Vec<String>) {
         Some(v) => std::env::set_var("PRESENCE_REGIONS", v),
         None => std::env::remove_var("PRESENCE_REGIONS"),
     }
+}
+
+/// Measures the sharded UDP host on loopback: a fleet of DCPP pairs with
+/// tightened waits, real sockets, wall clock. The datagram rate is the
+/// end-to-end serving throughput (probe out, reply back, both counted);
+/// under `--check` any backpressure drop fails the gate.
+fn run_udp_loopback(gate_failures: &mut Vec<String>, check: bool) -> UdpLoopbackReport {
+    let shards = shards_from_env();
+    let pairs: u32 = 256;
+    let mut cfg = DcppConfig::paper_default();
+    cfg.delta_min = SimDuration::from_millis(2);
+    cfg.d_min = SimDuration::from_millis(10);
+    let host_cfg = HostConfig {
+        shards,
+        bind: "127.0.0.1:0".to_string(),
+        recv_batch: 64,
+        poll_interval: Duration::from_millis(1),
+    };
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let mut devices = ShardedHost::bind(&host_cfg).expect("bind device host");
+    for d in 0..pairs {
+        devices.add_device(DeviceHost::Dcpp(DcppDevice::new(DeviceId(d), cfg)), None);
+    }
+    let mut cps = ShardedHost::bind(&host_cfg).expect("bind cp host");
+    let stagger = cfg.d_min.as_nanos() / u64::from(pairs);
+    for d in 0..pairs {
+        cps.add_prober(
+            Box::new(DcppCp::new(CpId(d), cfg)),
+            devices.addr_of(DeviceId(d)),
+            DeviceId(d),
+            SimTime::ZERO + SimDuration::from_nanos(u64::from(d) * stagger),
+        );
+    }
+    let start = Instant::now();
+    let device_handle = devices.start(Arc::clone(&clock));
+    let cp_handle = cps.start(Arc::clone(&clock));
+    std::thread::sleep(Duration::from_secs(1));
+    let cp_report = cp_handle.join();
+    // Let in-flight probes drain before counting the device side.
+    std::thread::sleep(Duration::from_millis(50));
+    let device_report = device_handle.join();
+    let wall = start.elapsed().as_secs_f64();
+
+    let probes_sent: u64 = cp_report.probers.iter().map(|p| p.stats.probes_sent).sum();
+    let probes_answered: u64 = device_report
+        .devices
+        .iter()
+        .map(|d| d.probes_received)
+        .sum();
+    let datagrams = cp_report.stats.datagrams_sent + device_report.stats.datagrams_sent;
+    let dropped = cp_report.stats.dropped() + device_report.stats.dropped();
+    let report = UdpLoopbackReport {
+        shards,
+        pairs,
+        wall_seconds: wall,
+        probes_sent,
+        probes_answered,
+        datagrams,
+        datagrams_per_sec: datagrams as f64 / wall,
+        backpressure_dropped: dropped,
+    };
+    println!(
+        "udp-loopback: {pairs} DCPP pairs x{shards} shard(s): {datagrams} datagrams \
+         in {wall:.2} s ({:.0} datagrams/s), {dropped} backpressure drops",
+        report.datagrams_per_sec
+    );
+    if check && dropped != 0 {
+        gate_failures.push(format!(
+            "udp-loopback: {dropped} backpressure drops (counters must read zero)"
+        ));
+    }
+    report
 }
 
 fn run_mega() -> MegaReport {
@@ -407,7 +503,7 @@ fn main() {
             other => out_path = Some(other.to_string()),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let regions = region_count();
 
     let mut scenarios = Vec::new();
@@ -504,6 +600,8 @@ fn main() {
         scenarios.push(report);
     }
 
+    let udp_loopback = run_udp_loopback(&mut gate_failures, check);
+
     if check {
         println!("region-equivalence gate (regions=2 vs regions=1):");
         check_region_equivalence(&mut gate_failures);
@@ -537,6 +635,7 @@ fn main() {
         epm_gate: EPM_GATE,
         regions,
         scenarios,
+        udp_loopback,
         mega: mega_report,
         scaling: scaling_report,
     };

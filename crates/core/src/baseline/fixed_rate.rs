@@ -9,7 +9,7 @@
 use crate::config::ProbeCycleConfig;
 use crate::cycle::{ReplyDisposition, Retransmitter, TimerDisposition};
 use crate::prober::Prober;
-use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, TimerToken};
+use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, TimerToken, Verdict};
 use presence_des::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +28,8 @@ pub struct FixedRateCp {
     period: SimDuration,
     phase: Phase,
     wake: Option<TimerToken>,
+    /// The terminal verdict, once reached.
+    verdict: Option<Verdict>,
 }
 
 impl FixedRateCp {
@@ -44,6 +46,7 @@ impl FixedRateCp {
             period,
             phase: Phase::NotStarted,
             wake: None,
+            verdict: None,
         }
     }
 
@@ -55,6 +58,7 @@ impl FixedRateCp {
 
     fn declare_absent(&mut self, now: SimTime, reason: AbsenceReason, out: &mut Vec<CpAction>) {
         self.phase = Phase::Stopped;
+        self.verdict = Some(Verdict { at: now, reason });
         if let Some(token) = self.wake.take() {
             out.push(CpAction::CancelTimer { token });
         }
@@ -132,6 +136,10 @@ impl Prober for FixedRateCp {
 
     fn is_stopped(&self) -> bool {
         self.phase == Phase::Stopped
+    }
+
+    fn verdict(&self) -> Option<Verdict> {
+        self.verdict
     }
 
     fn current_delay(&self) -> Option<SimDuration> {

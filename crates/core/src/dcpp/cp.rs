@@ -9,7 +9,7 @@
 use crate::config::DcppConfig;
 use crate::cycle::{ReplyDisposition, Retransmitter, TimerDisposition};
 use crate::prober::Prober;
-use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken};
+use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken, Verdict};
 use presence_des::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +31,8 @@ pub struct DcppCp {
     last_wait: Option<SimDuration>,
     /// Outstanding wake timer, if sleeping.
     wake: Option<TimerToken>,
+    /// The terminal verdict, once reached.
+    verdict: Option<Verdict>,
 }
 
 impl DcppCp {
@@ -49,6 +51,7 @@ impl DcppCp {
             phase: Phase::NotStarted,
             last_wait: None,
             wake: None,
+            verdict: None,
         }
     }
 
@@ -66,6 +69,7 @@ impl DcppCp {
 
     fn declare_absent(&mut self, now: SimTime, reason: AbsenceReason, out: &mut Vec<CpAction>) {
         self.phase = Phase::Stopped;
+        self.verdict = Some(Verdict { at: now, reason });
         if let Some(token) = self.wake.take() {
             out.push(CpAction::CancelTimer { token });
         }
@@ -146,6 +150,10 @@ impl Prober for DcppCp {
 
     fn is_stopped(&self) -> bool {
         self.phase == Phase::Stopped
+    }
+
+    fn verdict(&self) -> Option<Verdict> {
+        self.verdict
     }
 
     fn current_delay(&self) -> Option<SimDuration> {

@@ -92,5 +92,5 @@ pub use responder::Responder;
 pub use sapp::{AdaptationStats, AutoTuneConfig, AutoTuner, SappCp, SappDevice, TuneDecision};
 pub use types::{
     AbsenceReason, Bye, CpAction, CpId, CpStats, DeviceId, LeaveNotice, Probe, Reply, ReplyBody,
-    TimerToken, WireMessage,
+    TimerToken, Verdict, WireMessage,
 };

@@ -5,7 +5,7 @@
 //! SAPP, DCPP, and the baseline probers are interchangeable in every
 //! scenario and experiment.
 
-use crate::types::{CpAction, CpId, CpStats, Reply, TimerToken};
+use crate::types::{CpAction, CpId, CpStats, Reply, TimerToken, Verdict};
 use presence_des::{SimDuration, SimTime};
 
 /// A sans-io probing state machine (the CP side of a probe protocol).
@@ -41,6 +41,12 @@ pub trait Prober {
     /// Whether the machine has reached a terminal state (device declared
     /// absent).
     fn is_stopped(&self) -> bool;
+
+    /// The terminal absence verdict, once reached. `Some` exactly when
+    /// [`Prober::is_stopped`] holds; mirrors the
+    /// [`CpAction::DeviceAbsent`] the machine emitted, so drivers can read
+    /// the outcome without scraping the action stream.
+    fn verdict(&self) -> Option<Verdict>;
 
     /// The current inter-probe-cycle delay, when the machine knows one
     /// (SAPP: the adapted `δ`; DCPP: the last device-assigned wait;

@@ -24,7 +24,7 @@
 use crate::config::SappConfig;
 use crate::cycle::{ReplyDisposition, Retransmitter, TimerDisposition};
 use crate::prober::Prober;
-use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken};
+use crate::types::{AbsenceReason, CpAction, CpId, CpStats, Reply, ReplyBody, TimerToken, Verdict};
 use presence_des::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +68,8 @@ pub struct SappCp {
     adaptation: AdaptationStats,
     /// Overlay peers gleaned from the last reply.
     peers: [Option<CpId>; 2],
+    /// The terminal verdict, once reached.
+    verdict: Option<Verdict>,
 }
 
 impl SappCp {
@@ -90,6 +92,7 @@ impl SappCp {
             last_lexp: None,
             adaptation: AdaptationStats::default(),
             peers: [None, None],
+            verdict: None,
         }
     }
 
@@ -167,6 +170,7 @@ impl SappCp {
 
     fn declare_absent(&mut self, now: SimTime, reason: AbsenceReason, out: &mut Vec<CpAction>) {
         self.phase = Phase::Stopped;
+        self.verdict = Some(Verdict { at: now, reason });
         if let Some(token) = self.wake.take() {
             out.push(CpAction::CancelTimer { token });
         }
@@ -252,6 +256,10 @@ impl Prober for SappCp {
 
     fn is_stopped(&self) -> bool {
         self.phase == Phase::Stopped
+    }
+
+    fn verdict(&self) -> Option<Verdict> {
+        self.verdict
     }
 
     fn current_delay(&self) -> Option<SimDuration> {

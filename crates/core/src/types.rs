@@ -151,6 +151,20 @@ pub enum AbsenceReason {
     NoticeReceived,
 }
 
+/// A terminal absence verdict: when it was reached and why.
+///
+/// Every [`crate::Prober`] records its verdict internally the moment it
+/// emits [`CpAction::DeviceAbsent`], so drivers (the simulator's CP actor,
+/// the wall-clock hosts, the sim/runtime conformance harness) can read the
+/// outcome directly from the machine instead of scraping the action stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// When the verdict was reached (protocol time).
+    pub at: SimTime,
+    /// Why the device was declared absent.
+    pub reason: AbsenceReason,
+}
+
 /// Running statistics every CP-side machine maintains.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct CpStats {

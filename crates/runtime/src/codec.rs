@@ -15,7 +15,15 @@
 //! Reply(DCPP)  = 0x03 cp:u32 seq:u64 device:u32 wait_nanos:u64
 //! Bye          = 0x04 device:u32
 //! LeaveNotice  = 0x05 device:u32 reporter:u32
+//! Addressed    = 0x06 device:u32 <any of the above>
 //! ```
+//!
+//! The `Addressed` frame exists for the sharded presence host
+//! ([`crate::ShardedHost`]): a plain [`Probe`] does not name its target
+//! device (point-to-point transports address by socket), but a host
+//! serving thousands of devices behind one socket per shard needs the
+//! destination in the datagram. Replies travel back unwrapped — the
+//! `probe.cp` field already identifies the prober on a shared socket.
 
 use presence_core::{Bye, CpId, DeviceId, LeaveNotice, Probe, Reply, ReplyBody, WireMessage};
 use presence_des::SimDuration;
@@ -27,6 +35,14 @@ const TAG_REPLY_SAPP: u8 = 0x02;
 const TAG_REPLY_DCPP: u8 = 0x03;
 const TAG_BYE: u8 = 0x04;
 const TAG_NOTICE: u8 = 0x05;
+const TAG_ADDRESSED: u8 = 0x06;
+
+/// Receive-buffer size every transport allocates. Every encoding this
+/// module can produce — including the 5-byte [`encode_addressed`] envelope
+/// — fits with generous headroom (pinned by a proptest), so no datagram is
+/// ever truncated on receive (a truncated datagram would vanish silently
+/// as a decode error).
+pub const MAX_DATAGRAM: usize = 256;
 
 /// A datagram could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +152,40 @@ pub fn encode(msg: &WireMessage) -> Vec<u8> {
         }
     }
     buf
+}
+
+/// Encodes a message wrapped in the device-addressed host frame.
+#[must_use]
+pub fn encode_addressed(device: DeviceId, msg: &WireMessage) -> Vec<u8> {
+    let inner = encode(msg);
+    let mut buf = Vec::with_capacity(5 + inner.len());
+    buf.push(TAG_ADDRESSED);
+    buf.extend_from_slice(&device.0.to_le_bytes());
+    buf.extend_from_slice(&inner);
+    buf
+}
+
+/// One datagram as a shard socket sees it: either a plain wire message or
+/// one wrapped in the device-addressed host frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Datagram {
+    /// A bare wire message (point-to-point transports, replies).
+    Direct(WireMessage),
+    /// A message addressed to one hosted device.
+    Addressed(DeviceId, WireMessage),
+}
+
+/// Decodes one datagram, accepting both bare messages and the
+/// device-addressed host frame.
+pub fn decode_datagram(buf: &[u8]) -> Result<Datagram, DecodeError> {
+    match buf.first() {
+        Some(&TAG_ADDRESSED) => {
+            let mut r = Reader { buf: &buf[1..] };
+            let device = DeviceId(r.get_u32_le()?);
+            Ok(Datagram::Addressed(device, decode(r.buf)?))
+        }
+        _ => Ok(Datagram::Direct(decode(buf)?)),
+    }
 }
 
 /// Decodes one datagram.
@@ -298,6 +348,39 @@ mod tests {
             seq: 1,
         }));
         assert_eq!(bytes.len(), 13);
+    }
+
+    #[test]
+    fn addressed_frame_roundtrip() {
+        let msg = WireMessage::Probe(Probe {
+            cp: CpId(3),
+            seq: 77,
+        });
+        let bytes = encode_addressed(DeviceId(42), &msg);
+        assert_eq!(bytes.len(), 5 + 13);
+        assert_eq!(
+            decode_datagram(&bytes).unwrap(),
+            Datagram::Addressed(DeviceId(42), msg)
+        );
+        // Bare messages pass through decode_datagram unchanged.
+        assert_eq!(
+            decode_datagram(&encode(&msg)).unwrap(),
+            Datagram::Direct(msg)
+        );
+    }
+
+    #[test]
+    fn addressed_frame_truncations_rejected() {
+        let bytes = encode_addressed(
+            DeviceId(1),
+            &WireMessage::Probe(Probe {
+                cp: CpId(1),
+                seq: 1,
+            }),
+        );
+        for n in 0..bytes.len() {
+            assert!(decode_datagram(&bytes[..n]).is_err(), "prefix {n} accepted");
+        }
     }
 
     #[test]

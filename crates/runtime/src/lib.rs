@@ -36,11 +36,20 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod conformance;
 
 mod clock;
 mod host;
+mod shard;
+mod stats;
 mod transport;
+mod wheel;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use host::{run_cp, run_device, CpOutcome, DeviceHost, StopFlag};
+pub use shard::{
+    shards_from_env, DeviceReport, HostConfig, HostHandle, HostReport, ProberReport, ShardedHost,
+};
+pub use stats::{ShardCounters, ShardStats, NO_DEADLINE};
 pub use transport::{InMemoryTransport, Transport, UdpTransport};
+pub use wheel::TimerWheel;

@@ -1,0 +1,779 @@
+//! The sharded presence host: a multi-socket UDP event loop serving many
+//! device and prober machines from a fixed pool of worker threads.
+//!
+//! [`run_device`]/[`run_cp`] host *one* machine per thread — fine for a
+//! demo, hopeless for the paper's deployment target of thousands of
+//! devices. [`ShardedHost`] hashes machines across `RUNTIME_SHARDS` worker
+//! threads. Each shard owns exactly one UDP socket (no cross-thread socket
+//! contention), a [`TimerWheel`] keyed by `(machine, token)`, and a batch
+//! buffer: per loop iteration it fires every due timer, drains up to a
+//! batch of datagrams non-blockingly, routes each through the
+//! [`codec`](crate::codec), flushes queued sends, republishes its earliest
+//! deadline, and only sleeps when a full iteration found no work.
+//!
+//! Routing on a shared socket:
+//!
+//! * probes travel in the device-addressed `0x06` frame
+//!   ([`crate::codec::encode_addressed`]) — the shard looks the target
+//!   device up by id;
+//! * replies travel bare and route by `reply.probe.cp`;
+//! * `Bye`/`LeaveNotice` route to every hosted prober watching the named
+//!   device.
+//!
+//! Everything the host drops is counted ([`ShardCounters`]), never
+//! silently lost, mirroring `FabricStats` in the simulator's network
+//! fabric. The counters double as the conformance controller's quiescence
+//! instrument: `loop_iterations` proves a shard completed full
+//! drain-and-fire passes, `activity()` proves those passes found nothing
+//! to do.
+//!
+//! [`run_device`]: crate::run_device
+//! [`run_cp`]: crate::run_cp
+
+use crate::clock::Clock;
+use crate::codec::{decode_datagram, encode, encode_addressed, Datagram, MAX_DATAGRAM};
+use crate::host::{DeviceHost, StopFlag};
+use crate::stats::{ShardCounters, ShardStats, NO_DEADLINE};
+use crate::wheel::TimerWheel;
+use presence_core::{CpAction, CpId, CpStats, DeviceId, Prober, TimerToken, Verdict, WireMessage};
+use presence_des::SimTime;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Configuration of a [`ShardedHost`].
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Worker threads (= sockets). Machines are hashed across shards by
+    /// id.
+    pub shards: usize,
+    /// Bind address for every shard socket (use port `0` to let the OS
+    /// pick distinct ports).
+    pub bind: String,
+    /// Maximum datagrams drained from the socket per loop iteration.
+    pub recv_batch: usize,
+    /// Sleep when an iteration finds no work. Bounds both timer-firing
+    /// latency and stop-flag reaction time.
+    pub poll_interval: Duration,
+}
+
+impl HostConfig {
+    /// Loopback defaults: shard count from the `RUNTIME_SHARDS`
+    /// environment variable (falling back to available parallelism,
+    /// capped at 4), OS-assigned ports.
+    #[must_use]
+    pub fn default_loopback() -> Self {
+        Self {
+            shards: shards_from_env(),
+            bind: "127.0.0.1:0".to_string(),
+            recv_batch: 64,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+
+    /// Like [`HostConfig::default_loopback`] with an explicit shard
+    /// count.
+    #[must_use]
+    pub fn loopback(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            ..Self::default_loopback()
+        }
+    }
+}
+
+/// The shard count the environment asks for: `RUNTIME_SHARDS` if set and
+/// parseable, else available parallelism capped at 4.
+#[must_use]
+pub fn shards_from_env() -> usize {
+    std::env::var("RUNTIME_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(1)
+        })
+}
+
+/// Timer-wheel key for one shard: which machine, which timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum WheelKey {
+    /// Start the prober with this CP id.
+    StartProber(u32),
+    /// A protocol timer armed by the prober with this CP id.
+    ProberTimer(u32, TimerToken),
+    /// Silence (depart) the device with this id.
+    SilenceDevice(u32),
+}
+
+struct DeviceSlot {
+    host: DeviceHost,
+    /// A silenced device models departure: probes to it are dropped.
+    silenced: bool,
+}
+
+struct ProberSlot {
+    prober: Box<dyn Prober + Send>,
+    /// Where this prober's target device is served.
+    peer: SocketAddr,
+    /// The device the prober watches (for the addressed probe frame).
+    target: DeviceId,
+    started: bool,
+}
+
+/// Final state of one hosted prober.
+#[derive(Debug, Clone)]
+pub struct ProberReport {
+    /// The prober's identity.
+    pub cp: CpId,
+    /// Terminal absence verdict, if reached.
+    pub verdict: Option<Verdict>,
+    /// Probe-cycle statistics.
+    pub stats: CpStats,
+}
+
+/// Final state of one hosted device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceReport {
+    /// The device's identity.
+    pub device: DeviceId,
+    /// Probes it answered.
+    pub probes_received: u64,
+}
+
+/// Everything a finished host hands back.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Hosted probers, sorted by CP id.
+    pub probers: Vec<ProberReport>,
+    /// Hosted devices, sorted by device id.
+    pub devices: Vec<DeviceReport>,
+    /// Summed counters across shards.
+    pub stats: ShardStats,
+    /// Per-shard counters.
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// One worker: socket, machines, wheel, counters.
+struct Shard {
+    socket: UdpSocket,
+    counters: Arc<ShardCounters>,
+    devices: HashMap<u32, DeviceSlot>,
+    probers: HashMap<u32, ProberSlot>,
+    wheel: TimerWheel<WheelKey>,
+    recv_batch: usize,
+    poll_interval: Duration,
+}
+
+impl Shard {
+    fn publish_deadline(&mut self) {
+        let nanos = self
+            .wheel
+            .next_deadline()
+            .map_or(NO_DEADLINE, SimTime::as_nanos);
+        self.counters
+            .next_deadline_nanos
+            .store(nanos, Ordering::Release);
+    }
+
+    /// Executes one prober's pending actions. `emitted_at` is the instant
+    /// the machine was called with — timers arm relative to it, not to a
+    /// fresh clock read (see `run_cp`'s emission-instant rule).
+    fn execute(
+        &mut self,
+        cp: u32,
+        emitted_at: SimTime,
+        actions: &mut Vec<CpAction>,
+        sends: &mut Vec<(SocketAddr, Vec<u8>)>,
+    ) {
+        for action in actions.drain(..) {
+            match action {
+                CpAction::SendProbe(p) => {
+                    let slot = &self.probers[&cp];
+                    sends.push((
+                        slot.peer,
+                        encode_addressed(slot.target, &WireMessage::Probe(p)),
+                    ));
+                }
+                CpAction::StartTimer { token, after } => {
+                    self.wheel
+                        .insert(WheelKey::ProberTimer(cp, token), emitted_at + after);
+                }
+                CpAction::CancelTimer { token } => {
+                    self.wheel.cancel(WheelKey::ProberTimer(cp, token));
+                }
+                // Verdicts are read back from `Prober::verdict()` at
+                // report time.
+                CpAction::DeviceAbsent { .. } => {}
+            }
+        }
+    }
+
+    fn fire_due(&mut self, now: SimTime, sends: &mut Vec<(SocketAddr, Vec<u8>)>) -> u64 {
+        let mut fired = 0;
+        let mut actions = Vec::new();
+        while let Some((key, _at)) = self.wheel.pop_due(now) {
+            fired += 1;
+            match key {
+                WheelKey::StartProber(cp) => {
+                    if let Some(slot) = self.probers.get_mut(&cp) {
+                        slot.started = true;
+                        slot.prober.start(now, &mut actions);
+                        self.execute(cp, now, &mut actions, sends);
+                    }
+                }
+                WheelKey::ProberTimer(cp, token) => {
+                    if let Some(slot) = self.probers.get_mut(&cp) {
+                        if !slot.prober.is_stopped() {
+                            slot.prober.on_timer(now, token, &mut actions);
+                            self.execute(cp, now, &mut actions, sends);
+                        }
+                    }
+                }
+                WheelKey::SilenceDevice(dev) => {
+                    if let Some(slot) = self.devices.get_mut(&dev) {
+                        slot.silenced = true;
+                    }
+                }
+            }
+        }
+        self.counters
+            .timers_fired
+            .fetch_add(fired, Ordering::Release);
+        fired
+    }
+
+    fn handle_datagram(
+        &mut self,
+        now: SimTime,
+        buf: &[u8],
+        from: SocketAddr,
+        sends: &mut Vec<(SocketAddr, Vec<u8>)>,
+    ) {
+        let datagram = match decode_datagram(buf) {
+            Ok(d) => d,
+            Err(_) => {
+                self.counters.decode_errors.fetch_add(1, Ordering::Release);
+                return;
+            }
+        };
+        self.counters
+            .datagrams_received
+            .fetch_add(1, Ordering::Release);
+        let mut actions = Vec::new();
+        match datagram {
+            Datagram::Addressed(device, WireMessage::Probe(probe)) => {
+                match self.devices.get_mut(&device.0) {
+                    Some(slot) if slot.silenced => {
+                        self.counters
+                            .dropped_departed
+                            .fetch_add(1, Ordering::Release);
+                    }
+                    Some(slot) => {
+                        let reply = slot.host.on_probe(now, probe);
+                        sends.push((from, encode(&WireMessage::Reply(reply))));
+                    }
+                    None => {
+                        self.counters.unroutable.fetch_add(1, Ordering::Release);
+                    }
+                }
+            }
+            Datagram::Direct(WireMessage::Reply(reply)) => {
+                let cp = reply.probe.cp.0;
+                match self.probers.get_mut(&cp) {
+                    Some(slot) if slot.started && !slot.prober.is_stopped() => {
+                        slot.prober.on_reply(now, &reply, &mut actions);
+                        self.execute(cp, now, &mut actions, sends);
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.counters.unroutable.fetch_add(1, Ordering::Release);
+                    }
+                }
+            }
+            Datagram::Direct(WireMessage::Bye(bye))
+            | Datagram::Addressed(_, WireMessage::Bye(bye)) => {
+                let watching: Vec<u32> = self
+                    .probers
+                    .iter()
+                    .filter(|(_, s)| s.target == bye.device && s.started && !s.prober.is_stopped())
+                    .map(|(&cp, _)| cp)
+                    .collect();
+                for cp in watching {
+                    if let Some(slot) = self.probers.get_mut(&cp) {
+                        slot.prober.on_bye(now, &mut actions);
+                    }
+                    self.execute(cp, now, &mut actions, sends);
+                }
+            }
+            Datagram::Direct(WireMessage::LeaveNotice(notice))
+            | Datagram::Addressed(_, WireMessage::LeaveNotice(notice)) => {
+                let watching: Vec<u32> = self
+                    .probers
+                    .iter()
+                    .filter(|(_, s)| {
+                        s.target == notice.device && s.started && !s.prober.is_stopped()
+                    })
+                    .map(|(&cp, _)| cp)
+                    .collect();
+                for cp in watching {
+                    if let Some(slot) = self.probers.get_mut(&cp) {
+                        slot.prober.on_leave_notice(now, &mut actions);
+                    }
+                    self.execute(cp, now, &mut actions, sends);
+                }
+            }
+            // A bare probe has no target on a shared socket; an addressed
+            // reply makes no sense either.
+            Datagram::Direct(WireMessage::Probe(_)) | Datagram::Addressed(_, _) => {
+                self.counters.unroutable.fetch_add(1, Ordering::Release);
+            }
+        }
+    }
+
+    fn flush(&mut self, sends: &mut Vec<(SocketAddr, Vec<u8>)>) {
+        for (dest, bytes) in sends.drain(..) {
+            match self.socket.send_to(&bytes, dest) {
+                Ok(_) => {
+                    self.counters.datagrams_sent.fetch_add(1, Ordering::Release);
+                }
+                Err(_) => {
+                    self.counters
+                        .dropped_sendpressure
+                        .fetch_add(1, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    fn run(
+        mut self,
+        clock: Arc<dyn Clock>,
+        stop: StopFlag,
+    ) -> (Vec<ProberReport>, Vec<DeviceReport>) {
+        let mut buf = [0u8; MAX_DATAGRAM];
+        let mut sends: Vec<(SocketAddr, Vec<u8>)> = Vec::new();
+        while !stop.is_stopped() {
+            let mut work = 0u64;
+            let now = clock.now();
+            work += self.fire_due(now, &mut sends);
+
+            for _ in 0..self.recv_batch {
+                match self.socket.recv_from(&mut buf) {
+                    Ok((n, from)) => {
+                        work += 1;
+                        let now = clock.now();
+                        // Split borrow: copy out the datagram so handle_
+                        // datagram can take &mut self.
+                        let bytes = buf[..n].to_vec();
+                        self.handle_datagram(now, &bytes, from, &mut sends);
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+
+            work += sends.len() as u64;
+            self.flush(&mut sends);
+            self.publish_deadline();
+            self.counters
+                .loop_iterations
+                .fetch_add(1, Ordering::Release);
+
+            if work == 0 {
+                thread::sleep(self.poll_interval);
+            }
+        }
+
+        let mut probers: Vec<ProberReport> = self
+            .probers
+            .into_values()
+            .map(|s| ProberReport {
+                cp: s.prober.cp(),
+                verdict: s.prober.verdict(),
+                stats: *s.prober.stats(),
+            })
+            .collect();
+        probers.sort_by_key(|r| r.cp.0);
+        let mut devices: Vec<DeviceReport> = self
+            .devices
+            .into_values()
+            .map(|s| DeviceReport {
+                device: s.host.id(),
+                probes_received: s.host.probes_received(),
+            })
+            .collect();
+        devices.sort_by_key(|r| r.device.0);
+        (probers, devices)
+    }
+}
+
+/// A multi-socket sharded UDP host, configured between [`bind`] and
+/// [`start`].
+///
+/// [`bind`]: ShardedHost::bind
+/// [`start`]: ShardedHost::start
+pub struct ShardedHost {
+    shards: Vec<Shard>,
+    addrs: Vec<SocketAddr>,
+    counters: Vec<Arc<ShardCounters>>,
+}
+
+impl ShardedHost {
+    /// Binds one non-blocking UDP socket per shard.
+    pub fn bind(config: &HostConfig) -> io::Result<Self> {
+        let n = config.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let socket = UdpSocket::bind(&config.bind)?;
+            socket.set_nonblocking(true)?;
+            addrs.push(socket.local_addr()?);
+            let c = Arc::new(ShardCounters::new());
+            counters.push(Arc::clone(&c));
+            shards.push(Shard {
+                socket,
+                counters: c,
+                devices: HashMap::new(),
+                probers: HashMap::new(),
+                wheel: TimerWheel::new(),
+                recv_batch: config.recv_batch.max(1),
+                poll_interval: config.poll_interval,
+            });
+        }
+        Ok(Self {
+            shards,
+            addrs,
+            counters,
+        })
+    }
+
+    fn shard_of_device(&self, device: DeviceId) -> usize {
+        device.0 as usize % self.shards.len()
+    }
+
+    fn shard_of_cp(&self, cp: CpId) -> usize {
+        cp.0 as usize % self.shards.len()
+    }
+
+    /// Adds a device machine, optionally scheduling the instant it goes
+    /// silent (models departure without deregistration).
+    pub fn add_device(&mut self, host: DeviceHost, silence_at: Option<SimTime>) {
+        let id = host.id();
+        let idx = self.shard_of_device(id);
+        let shard = &mut self.shards[idx];
+        if let Some(at) = silence_at {
+            shard.wheel.insert(WheelKey::SilenceDevice(id.0), at);
+        }
+        shard.devices.insert(
+            id.0,
+            DeviceSlot {
+                host,
+                silenced: false,
+            },
+        );
+    }
+
+    /// Adds a prober watching the device `target` served at `peer`,
+    /// starting at `start_at` on the host clock.
+    pub fn add_prober(
+        &mut self,
+        prober: Box<dyn Prober + Send>,
+        peer: SocketAddr,
+        target: DeviceId,
+        start_at: SimTime,
+    ) {
+        let cp = prober.cp();
+        let idx = self.shard_of_cp(cp);
+        let shard = &mut self.shards[idx];
+        shard.wheel.insert(WheelKey::StartProber(cp.0), start_at);
+        shard.probers.insert(
+            cp.0,
+            ProberSlot {
+                prober,
+                peer,
+                target,
+                started: false,
+            },
+        );
+    }
+
+    /// The socket address serving `device` (valid once the device is
+    /// added; stable across [`start`](ShardedHost::start)).
+    #[must_use]
+    pub fn addr_of(&self, device: DeviceId) -> SocketAddr {
+        self.addrs[self.shard_of_device(device)]
+    }
+
+    /// All shard socket addresses, in shard order.
+    #[must_use]
+    pub fn local_addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Spawns the shard threads. The host serves until
+    /// [`HostHandle::stop`].
+    #[must_use]
+    pub fn start(mut self, clock: Arc<dyn Clock>) -> HostHandle {
+        let stop = StopFlag::new();
+        // Publish each shard's seeded deadline BEFORE its thread exists,
+        // so a controller sampling immediately after `start` never sees
+        // an empty wheel that is about to become non-empty.
+        for shard in &mut self.shards {
+            shard.publish_deadline();
+        }
+        let threads = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let clock = Arc::clone(&clock);
+                let stop = stop.clone();
+                thread::Builder::new()
+                    .name(format!("presence-shard-{i}"))
+                    .spawn(move || shard.run(clock, stop))
+                    .expect("spawn shard thread")
+            })
+            .collect();
+        HostHandle {
+            threads,
+            counters: self.counters,
+            addrs: self.addrs,
+            stop,
+        }
+    }
+}
+
+/// A running [`ShardedHost`]: live counters, shutdown, and the final
+/// report.
+pub struct HostHandle {
+    threads: Vec<JoinHandle<(Vec<ProberReport>, Vec<DeviceReport>)>>,
+    counters: Vec<Arc<ShardCounters>>,
+    addrs: Vec<SocketAddr>,
+    stop: StopFlag,
+}
+
+impl HostHandle {
+    /// The socket address serving `device`.
+    #[must_use]
+    pub fn addr_of(&self, device: DeviceId) -> SocketAddr {
+        self.addrs[device.0 as usize % self.addrs.len()]
+    }
+
+    /// Summed live counters across shards.
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        self.counters
+            .iter()
+            .fold(ShardStats::default(), |acc, c| acc.merged(c.snapshot()))
+    }
+
+    /// Summed activity across shards (see [`ShardCounters::activity`]).
+    #[must_use]
+    pub fn activity(&self) -> u64 {
+        self.counters.iter().map(|c| c.activity()).sum()
+    }
+
+    /// Completed loop iterations, per shard.
+    #[must_use]
+    pub fn iterations(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .map(|c| c.loop_iterations.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Earliest armed timer deadline across shards.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.counters
+            .iter()
+            .map(|c| c.next_deadline_nanos.load(Ordering::Acquire))
+            .min()
+            .filter(|&n| n != NO_DEADLINE)
+            .map(SimTime::from_nanos)
+    }
+
+    /// Requests shutdown (idempotent).
+    pub fn stop(&self) {
+        self.stop.stop();
+    }
+
+    /// Stops the host and collects the final report.
+    #[must_use]
+    pub fn join(self) -> HostReport {
+        self.stop.stop();
+        let mut probers = Vec::new();
+        let mut devices = Vec::new();
+        for t in self.threads {
+            let (p, d) = t.join().expect("shard thread panicked");
+            probers.extend(p);
+            devices.extend(d);
+        }
+        probers.sort_by_key(|r| r.cp.0);
+        devices.sort_by_key(|r| r.device.0);
+        let per_shard: Vec<ShardStats> = self.counters.iter().map(|c| c.snapshot()).collect();
+        let stats = per_shard
+            .iter()
+            .fold(ShardStats::default(), |acc, s| acc.merged(*s));
+        HostReport {
+            probers,
+            devices,
+            stats,
+            per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SystemClock;
+    use presence_core::{DcppConfig, DcppCp, DcppDevice};
+
+    #[test]
+    fn sharded_host_serves_dcpp_pairs_over_loopback() {
+        // 8 devices on a 2-shard device host, 8 probers on a 2-shard CP
+        // host, real clock, tightened waits so cycles complete quickly.
+        let mut cfg = DcppConfig::paper_default();
+        cfg.delta_min = presence_des::SimDuration::from_millis(5);
+        cfg.d_min = presence_des::SimDuration::from_millis(10);
+
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let mut devices = ShardedHost::bind(&HostConfig::loopback(2)).unwrap();
+        for d in 0..8u32 {
+            devices.add_device(DeviceHost::Dcpp(DcppDevice::new(DeviceId(d), cfg)), None);
+        }
+        let mut cps = ShardedHost::bind(&HostConfig::loopback(2)).unwrap();
+        for d in 0..8u32 {
+            cps.add_prober(
+                Box::new(DcppCp::new(CpId(d), cfg)),
+                devices.addr_of(DeviceId(d)),
+                DeviceId(d),
+                SimTime::from_nanos(u64::from(d) * 1_000_000),
+            );
+        }
+        let dev_handle = devices.start(Arc::clone(&clock));
+        let cp_handle = cps.start(Arc::clone(&clock));
+
+        std::thread::sleep(Duration::from_millis(300));
+        // Stop the probers first, then let the device side drain whatever
+        // is still in flight before counting.
+        let cp_report = cp_handle.join();
+        let settle = std::time::Instant::now() + Duration::from_secs(2);
+        let mut last = dev_handle.activity();
+        loop {
+            std::thread::sleep(Duration::from_millis(20));
+            let now = dev_handle.activity();
+            if now == last || std::time::Instant::now() > settle {
+                break;
+            }
+            last = now;
+        }
+        let dev_report = dev_handle.join();
+
+        let total_probes: u64 = cp_report.probers.iter().map(|p| p.stats.probes_sent).sum();
+        let total_received: u64 = dev_report.devices.iter().map(|d| d.probes_received).sum();
+        assert!(total_probes >= 8, "probers barely ran: {total_probes}");
+        assert_eq!(total_received, total_probes, "probes lost on loopback");
+        for p in &cp_report.probers {
+            assert!(p.verdict.is_none(), "false absence verdict for {:?}", p.cp);
+            assert!(p.stats.cycles_succeeded >= 2, "{:?} too slow", p.cp);
+        }
+        assert_eq!(cp_report.stats.dropped(), 0);
+        assert_eq!(dev_report.stats.dropped(), 0);
+        assert_eq!(dev_report.stats.unroutable, 0);
+    }
+
+    #[test]
+    fn silenced_device_drops_probes_and_cp_concludes_absence() {
+        let cfg = DcppConfig::paper_default();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let mut devices = ShardedHost::bind(&HostConfig::loopback(1)).unwrap();
+        // Silent from the very start.
+        devices.add_device(
+            DeviceHost::Dcpp(DcppDevice::new(DeviceId(0), cfg)),
+            Some(SimTime::ZERO),
+        );
+        let mut cps = ShardedHost::bind(&HostConfig::loopback(1)).unwrap();
+        cps.add_prober(
+            Box::new(DcppCp::new(CpId(0), cfg)),
+            devices.addr_of(DeviceId(0)),
+            DeviceId(0),
+            SimTime::ZERO,
+        );
+        let dev_handle = devices.start(Arc::clone(&clock));
+        let cp_handle = cps.start(Arc::clone(&clock));
+
+        // TOF + 3·TOS = 85 ms with paper defaults; give it slack.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            std::thread::sleep(Duration::from_millis(10));
+            let r = cp_handle.stats();
+            if r.datagrams_sent >= 4 || std::time::Instant::now() > deadline {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let cp_report = cp_handle.join();
+        let dev_report = dev_handle.join();
+
+        let p = &cp_report.probers[0];
+        let v = p.verdict.expect("CP never concluded absence");
+        assert_eq!(
+            v.reason,
+            presence_core::AbsenceReason::ProbeTimeout,
+            "wrong reason"
+        );
+        assert_eq!(p.stats.probes_sent, 4, "initial probe + 3 retransmissions");
+        assert_eq!(dev_report.stats.dropped_departed, 4);
+        assert_eq!(dev_report.devices[0].probes_received, 0);
+    }
+
+    #[test]
+    fn unroutable_and_garbage_datagrams_are_counted() {
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let mut host = ShardedHost::bind(&HostConfig::loopback(1)).unwrap();
+        host.add_device(DeviceHost::dcpp_paper(DeviceId(0)), None);
+        let addr = host.addr_of(DeviceId(0));
+        let handle = host.start(clock);
+
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        // Garbage.
+        sock.send_to(&[0xff, 0x00], addr).unwrap();
+        // Probe addressed to a device this host does not serve.
+        let stray = encode_addressed(
+            DeviceId(99),
+            &WireMessage::Probe(presence_core::Probe {
+                cp: CpId(1),
+                seq: 1,
+            }),
+        );
+        sock.send_to(&stray, addr).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            let s = handle.stats();
+            if s.decode_errors >= 1 && s.unroutable >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = handle.join();
+        assert_eq!(report.stats.decode_errors, 1);
+        assert_eq!(report.stats.unroutable, 1);
+        assert_eq!(report.stats.dropped(), 0);
+    }
+}

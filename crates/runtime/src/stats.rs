@@ -1,0 +1,160 @@
+//! Shard-level counters for the sharded presence host.
+//!
+//! Mirrors the shape of `presence_net::FabricStats`: monotone counters a
+//! controller can sample live (each shard thread updates its own
+//! [`ShardCounters`] through an `Arc`) and a plain snapshot struct
+//! ([`ShardStats`]) for reports. Backpressure is explicit — a datagram the
+//! host could not route or send is *counted*, never silently lost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel stored in [`ShardCounters::next_deadline_nanos`] when the
+/// shard's timer wheel is empty.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// Live counters owned by one shard thread, sampled by controllers.
+///
+/// All counters are monotone except `next_deadline_nanos` (the shard's
+/// earliest armed timer deadline, republished every loop iteration) and
+/// `loop_iterations` (monotone, but a liveness signal rather than a
+/// traffic counter: it proves the shard completed full
+/// drain-fire-publish iterations, which the conformance controller uses
+/// for its quiescence proof).
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Datagrams received and decoded.
+    pub datagrams_received: AtomicU64,
+    /// Datagrams handed to the kernel.
+    pub datagrams_sent: AtomicU64,
+    /// Datagrams that failed to decode (garbage, truncation).
+    pub decode_errors: AtomicU64,
+    /// Decoded datagrams with no hosted device or prober to route to.
+    pub unroutable: AtomicU64,
+    /// Datagrams addressed to a device that has gone silent (departed).
+    pub dropped_departed: AtomicU64,
+    /// Outbound datagrams dropped because the kernel would not accept
+    /// them (send buffer full) or the send errored.
+    pub dropped_sendpressure: AtomicU64,
+    /// Timer-wheel entries fired.
+    pub timers_fired: AtomicU64,
+    /// Completed shard-loop iterations (drain + fire + publish).
+    pub loop_iterations: AtomicU64,
+    /// Earliest armed deadline in nanoseconds, or [`NO_DEADLINE`].
+    pub next_deadline_nanos: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Creates zeroed counters with no published deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        let c = Self::default();
+        c.next_deadline_nanos.store(NO_DEADLINE, Ordering::Release);
+        c
+    }
+
+    /// Sum of all traffic-and-work counters — changes if and only if the
+    /// shard did *anything* (received, sent, dropped, fired). Quiescence
+    /// detectors compare successive samples of this.
+    #[must_use]
+    pub fn activity(&self) -> u64 {
+        self.datagrams_received.load(Ordering::Acquire)
+            + self.datagrams_sent.load(Ordering::Acquire)
+            + self.decode_errors.load(Ordering::Acquire)
+            + self.unroutable.load(Ordering::Acquire)
+            + self.dropped_departed.load(Ordering::Acquire)
+            + self.dropped_sendpressure.load(Ordering::Acquire)
+            + self.timers_fired.load(Ordering::Acquire)
+    }
+
+    /// A plain-value snapshot of the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            datagrams_received: self.datagrams_received.load(Ordering::Acquire),
+            datagrams_sent: self.datagrams_sent.load(Ordering::Acquire),
+            decode_errors: self.decode_errors.load(Ordering::Acquire),
+            unroutable: self.unroutable.load(Ordering::Acquire),
+            dropped_departed: self.dropped_departed.load(Ordering::Acquire),
+            dropped_sendpressure: self.dropped_sendpressure.load(Ordering::Acquire),
+            timers_fired: self.timers_fired.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Point-in-time snapshot of one shard's counters (or, summed, a whole
+/// host's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Datagrams received and decoded.
+    pub datagrams_received: u64,
+    /// Datagrams handed to the kernel.
+    pub datagrams_sent: u64,
+    /// Datagrams that failed to decode.
+    pub decode_errors: u64,
+    /// Decoded datagrams with no hosted device or prober.
+    pub unroutable: u64,
+    /// Datagrams addressed to a departed (silenced) device.
+    pub dropped_departed: u64,
+    /// Outbound datagrams the kernel refused.
+    pub dropped_sendpressure: u64,
+    /// Timer-wheel entries fired.
+    pub timers_fired: u64,
+}
+
+impl ShardStats {
+    /// Backpressure drops: datagrams lost to the host's own limits (as
+    /// opposed to protocol-intended drops like departed devices).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped_sendpressure
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(self, other: ShardStats) -> ShardStats {
+        ShardStats {
+            datagrams_received: self.datagrams_received + other.datagrams_received,
+            datagrams_sent: self.datagrams_sent + other.datagrams_sent,
+            decode_errors: self.decode_errors + other.decode_errors,
+            unroutable: self.unroutable + other.unroutable,
+            dropped_departed: self.dropped_departed + other.dropped_departed,
+            dropped_sendpressure: self.dropped_sendpressure + other.dropped_sendpressure,
+            timers_fired: self.timers_fired + other.timers_fired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_tracks_every_counter() {
+        let c = ShardCounters::new();
+        assert_eq!(c.activity(), 0);
+        c.datagrams_received.fetch_add(2, Ordering::Release);
+        c.dropped_sendpressure.fetch_add(1, Ordering::Release);
+        c.timers_fired.fetch_add(3, Ordering::Release);
+        assert_eq!(c.activity(), 6);
+        // loop_iterations is liveness, not activity.
+        c.loop_iterations.fetch_add(10, Ordering::Release);
+        assert_eq!(c.activity(), 6);
+    }
+
+    #[test]
+    fn snapshot_and_merge() {
+        let c = ShardCounters::new();
+        c.datagrams_sent.fetch_add(4, Ordering::Release);
+        c.unroutable.fetch_add(1, Ordering::Release);
+        let a = c.snapshot();
+        let b = ShardStats {
+            datagrams_sent: 1,
+            dropped_sendpressure: 2,
+            ..ShardStats::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.datagrams_sent, 5);
+        assert_eq!(m.unroutable, 1);
+        assert_eq!(m.dropped(), 2);
+    }
+}

@@ -4,7 +4,7 @@
 //! loopback UDP (the `udp_live_demo` example), across real networks, or
 //! entirely in memory (tests).
 
-use crate::codec::{decode, encode};
+use crate::codec::{decode, encode, MAX_DATAGRAM};
 use presence_core::WireMessage;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -34,7 +34,11 @@ pub struct UdpTransport {
     /// answer whoever probed it.
     reply_to_last_sender: bool,
     last_sender: Option<SocketAddr>,
-    buf: [u8; 256],
+    /// The read timeout currently programmed into the socket, so the hot
+    /// receive loop only pays the `set_read_timeout` syscall when the
+    /// deadline actually changes.
+    read_timeout: Option<Duration>,
+    buf: [u8; MAX_DATAGRAM],
 }
 
 impl UdpTransport {
@@ -46,7 +50,8 @@ impl UdpTransport {
             peer: Some(peer),
             reply_to_last_sender: false,
             last_sender: None,
-            buf: [0; 256],
+            read_timeout: None,
+            buf: [0; MAX_DATAGRAM],
         })
     }
 
@@ -59,7 +64,8 @@ impl UdpTransport {
             peer: None,
             reply_to_last_sender: true,
             last_sender: None,
-            buf: [0; 256],
+            read_timeout: None,
+            buf: [0; MAX_DATAGRAM],
         })
     }
 
@@ -88,13 +94,22 @@ impl Transport for UdpTransport {
     }
 
     fn recv(&mut self, timeout: Duration) -> io::Result<Option<WireMessage>> {
-        self.socket
-            .set_read_timeout(Some(timeout.max(Duration::from_micros(1))))?;
+        let timeout = timeout.max(Duration::from_micros(1));
+        if self.read_timeout != Some(timeout) {
+            self.socket.set_read_timeout(Some(timeout))?;
+            self.read_timeout = Some(timeout);
+        }
         match self.socket.recv_from(&mut self.buf) {
             Ok((n, from)) => {
-                self.last_sender = Some(from);
                 match decode(&self.buf[..n]) {
-                    Ok(msg) => Ok(Some(msg)),
+                    // Only a datagram that decodes counts as "the peer":
+                    // recording the sender before decoding would let one
+                    // garbage/spoofed packet silently redirect every
+                    // subsequent reply to the spoofer.
+                    Ok(msg) => {
+                        self.last_sender = Some(from);
+                        Ok(Some(msg))
+                    }
                     Err(_) => Ok(None), // garbage datagram: drop
                 }
             }
@@ -200,6 +215,56 @@ mod tests {
     fn udp_server_without_sender_cannot_send() {
         let mut server = UdpTransport::server("127.0.0.1:0").unwrap();
         assert!(server.send(&probe(1)).is_err());
+    }
+
+    #[test]
+    fn garbage_datagram_does_not_hijack_reply_routing() {
+        // Regression: a garbage (undecodable) datagram must NOT update the
+        // server's last-sender, or one spoofed packet would redirect every
+        // subsequent reply to the spoofer.
+        let mut server = UdpTransport::server("127.0.0.1:0").unwrap();
+        let server_addr = server.local_addr().unwrap();
+        let mut client = UdpTransport::client("127.0.0.1:0", server_addr).unwrap();
+        let client_addr = client.local_addr().unwrap();
+
+        // A real probe establishes the client as the peer…
+        client.send(&probe(1)).unwrap();
+        assert_eq!(
+            server.recv(Duration::from_millis(500)).unwrap(),
+            Some(probe(1))
+        );
+
+        // …then a spoofer sprays garbage from a different socket.
+        let spoofer = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        spoofer.send_to(&[0xff, 0xee, 0xdd], server_addr).unwrap();
+        assert_eq!(
+            server.recv(Duration::from_millis(500)).unwrap(),
+            None,
+            "garbage must be dropped"
+        );
+
+        // The server's reply must still go to the real client.
+        server.send(&probe(2)).unwrap();
+        assert_eq!(
+            client.recv(Duration::from_millis(500)).unwrap(),
+            Some(probe(2)),
+            "reply was redirected away from {client_addr}"
+        );
+    }
+
+    #[test]
+    fn read_timeout_syscall_is_cached() {
+        // Two receives with the same timeout must not error, and the cached
+        // deadline must still be re-programmed when it changes (observable
+        // behaviourally: both a short and a long timeout elapse correctly).
+        let mut t = UdpTransport::server("127.0.0.1:0").unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(t.recv(Duration::from_millis(10)).unwrap(), None);
+        assert_eq!(t.recv(Duration::from_millis(10)).unwrap(), None);
+        assert_eq!(t.read_timeout, Some(Duration::from_millis(10)));
+        assert_eq!(t.recv(Duration::from_millis(30)).unwrap(), None);
+        assert_eq!(t.read_timeout, Some(Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(50));
     }
 
     #[test]

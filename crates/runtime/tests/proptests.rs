@@ -4,7 +4,9 @@
 
 use presence_core::{Bye, CpId, DeviceId, LeaveNotice, Probe, Reply, ReplyBody, WireMessage};
 use presence_des::SimDuration;
-use presence_runtime::codec::{decode, encode};
+use presence_runtime::codec::{
+    decode, decode_datagram, encode, encode_addressed, Datagram, MAX_DATAGRAM,
+};
 use proptest::prelude::*;
 
 fn any_prober() -> impl Strategy<Value = Option<CpId>> {
@@ -132,5 +134,24 @@ proptest! {
         if a != b {
             prop_assert_ne!(encode(&a), encode(&b));
         }
+    }
+
+    /// Every encoding this codec can produce — bare or wrapped in the
+    /// device-addressed host frame — fits in the `MAX_DATAGRAM` receive
+    /// buffer every transport allocates. A violation would truncate the
+    /// datagram on receive, where it vanishes as a silent decode error.
+    #[test]
+    fn every_encoding_fits_the_receive_buffer(msg in any_message(), dev in any::<u32>()) {
+        prop_assert!(encode(&msg).len() <= MAX_DATAGRAM);
+        prop_assert!(encode_addressed(DeviceId(dev), &msg).len() <= MAX_DATAGRAM);
+    }
+
+    /// The addressed host frame round-trips for every message and target
+    /// device.
+    #[test]
+    fn addressed_frame_roundtrips(msg in any_message(), dev in any::<u32>()) {
+        let bytes = encode_addressed(DeviceId(dev), &msg);
+        let back = decode_datagram(&bytes).expect("decode addressed");
+        prop_assert_eq!(back, Datagram::Addressed(DeviceId(dev), msg));
     }
 }
